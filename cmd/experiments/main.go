@@ -1,0 +1,85 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section and prints them as text tables.
+//
+// By default it runs every experiment at a laptop-friendly scale; -full runs
+// the paper-sized workloads (hours on a single core; the Fig. 9 suite alone
+// reaches one million nodes).
+//
+// Examples:
+//
+//	experiments                 # full suite, quick scale
+//	experiments -run fig6,fig7  # only the effectiveness comparisons
+//	experiments -scale 0.5      # larger datasets
+//	experiments -full           # paper-sized workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "comma-separated experiment ids (table2, fig2..fig10) or all")
+		scale  = flag.Float64("scale", 0, "dataset scale override in (0,1]")
+		scaleG = flag.Float64("scaleG", 0, "scalability-suite scale override in (0,1]")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		full   = flag.Bool("full", false, "run paper-sized workloads (slow)")
+		list   = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *full {
+		cfg = experiments.FullConfig()
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *scaleG > 0 {
+		cfg.ScaleG = *scaleG
+	}
+	cfg.Seed = *seed
+
+	var runners []experiments.Runner
+	if *run == "all" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			r, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	for i, r := range runners {
+		if i > 0 {
+			fmt.Println()
+		}
+		rep, err := r.Run(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", r.ID, err))
+		}
+		if err := rep.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

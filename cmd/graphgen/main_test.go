@@ -1,0 +1,60 @@
+package main
+
+import "testing"
+
+func TestGenerateKinds(t *testing.T) {
+	cases := []struct {
+		kind    string
+		n, m    int
+		wantN   int
+		wantErr bool
+	}{
+		{kind: "powerlaw", n: 100, m: 300, wantN: 100},
+		{kind: "ba", n: 100, m: 0, wantN: 100},
+		{kind: "erdosrenyi", n: 50, m: 100, wantN: 50},
+		{kind: "star", n: 10, wantN: 10},
+		{kind: "path", n: 10, wantN: 10},
+		{kind: "cycle", n: 10, wantN: 10},
+		{kind: "complete", n: 6, wantN: 6},
+		{kind: "nope", wantErr: true},
+	}
+	for _, tc := range cases {
+		g, err := generate(tc.kind, tc.n, tc.m, 3, "CAGrQc", 1, 1, 10, 10, 1)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: expected error", tc.kind)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", tc.kind, err)
+		}
+		if g.N() != tc.wantN {
+			t.Errorf("%s: n=%d want %d", tc.kind, g.N(), tc.wantN)
+		}
+	}
+}
+
+func TestGenerateDatasetAndScalability(t *testing.T) {
+	g, err := generate("dataset", 0, 0, 0, "CAHepPh", 0.02, 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 240 {
+		t.Fatalf("dataset stand-in n=%d", g.N())
+	}
+	g, err = generate("scalability", 0, 0, 0, "", 0.005, 2, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 1000 {
+		t.Fatalf("scalability G2 at 0.005 n=%d", g.N())
+	}
+	g, err = generate("grid", 0, 0, 0, "", 0, 0, 4, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 20 {
+		t.Fatalf("grid n=%d", g.N())
+	}
+}

@@ -1,0 +1,72 @@
+// Ads placement with a blended objective: the paper's second motivating
+// application (§1.1) combined with its first future-work extension (§5).
+//
+// An advertiser pays k users of an advertisement network to host an Ad.
+// Reaching many users matters (coverage, Problem 2), but so does reaching
+// them quickly before a browsing session ends (hitting time, Problem 1).
+// This example sweeps the combination weight between the two objectives and
+// shows the trade-off curve an advertiser would choose from, plus the edge
+// domination measure of how much browsing happens before an Ad is seen.
+//
+// Run with: go run ./examples/adsbudget
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Epinions stand-in at 15% scale (~11.4k users).
+	g, err := rwdom.LoadDataset("Epinions", 0.15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("advertisement network: %v\n", g)
+
+	const (
+		budget  = 30
+		session = 6 // pages per browsing session
+	)
+	opts := rwdom.Options{K: budget, L: session, R: 100, Seed: 11, Lazy: true}
+
+	fmt.Printf("\ntrade-off sweep (w = weight on fast reachability):\n")
+	fmt.Printf("%-6s %-14s %-14s %-20s %s\n", "w", "AHT (lower+)", "EHN (higher+)", "pre-Ad browsing edges", "overlap with w=0")
+	var base map[int]bool
+	for _, w := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		sel, err := rwdom.SelectCombined(g, opts, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := rwdom.EvaluateExact(g, sel.Nodes, session)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The future-work edge-domination measure: how much browsing happens
+		// before users encounter an Ad (lower = Ads seen earlier).
+		edges, err := rwdom.EdgeDomination(g, sel.Nodes, session, 20, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == nil {
+			base = map[int]bool{}
+			for _, u := range sel.Nodes {
+				base[u] = true
+			}
+		}
+		overlap := 0
+		for _, u := range sel.Nodes {
+			if base[u] {
+				overlap++
+			}
+		}
+		fmt.Printf("%-6.2f %-14.4f %-14.0f %-20.0f %d/%d\n", w, m.AHT, m.EHN, edges, overlap, len(sel.Nodes))
+	}
+
+	fmt.Println("\nw=0 optimizes pure coverage; w=1 optimizes pure hitting time.")
+	fmt.Println("On heavy-tailed networks the two objectives agree on the most central")
+	fmt.Println("hosts, so the selections overlap heavily — the blended objective is a")
+	fmt.Println("safety net for graphs (or budgets) where they diverge.")
+}

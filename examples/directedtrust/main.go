@@ -1,0 +1,101 @@
+// Directed, weighted trust network: the paper notes (§2) that its techniques
+// "can also be easily extended to directed and weighted graphs" — this
+// example exercises that extension end to end.
+//
+// Scenario: a review platform where user u follows user v with a trust
+// weight; readers surf along trust edges (weight-proportionally) for a
+// bounded session. The platform certifies k "trusted reviewer" accounts and
+// wants surfing readers to encounter a certified account quickly. After the
+// selection, an agent-based simulation A/B-tests the greedy placement
+// against degree seeding, reporting realized discovery rates, tail
+// latencies, and how evenly certified accounts share attention.
+//
+// Run with: go run ./examples/directedtrust
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/rng"
+)
+
+func main() {
+	g, err := buildTrustNetwork(4000, 24000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trust network: %v\n", g)
+
+	const (
+		k       = 25
+		session = 6
+	)
+
+	greedy, err := rwdom.MaximizeCoverage(g, rwdom.Options{
+		K: k, L: session, R: 100, Seed: 2, Algorithm: rwdom.AlgorithmApprox, Lazy: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	degree, err := rwdom.MaximizeCoverage(g, rwdom.Options{K: k, L: session, Algorithm: rwdom.AlgorithmDegree})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Validate with the agent-based simulator: 30 surfing sessions per
+	// reader under each placement.
+	outcomes, err := rwdom.CompareSelections(g, session, 99, 30, map[string][]int{
+		"greedy (paper)": greedy.Nodes,
+		"top-k degree":   degree.Nodes,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nsimulated outcomes (%d sessions each):\n", outcomes["greedy (paper)"].Sessions)
+	fmt.Printf("%-16s %-12s %-14s %-10s %-12s\n", "placement", "discovered", "mean latency", "p95", "load max/mean")
+	for _, name := range []string{"greedy (paper)", "top-k degree"} {
+		o := outcomes[name]
+		fmt.Printf("%-16s %-12.1f%% %-13.3f %-10d %-12.2f\n",
+			name, 100*o.DiscoveryRate(), o.MeanLatency, o.LatencyPercentile(95), o.LoadImbalance())
+	}
+
+	// Cross-check the simulation against the exact DP quantities.
+	m, err := rwdom.EvaluateExact(g, greedy.Nodes, session)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexact check (greedy placement): AHT=%.3f (simulated %.3f), EHN=%.0f/%d\n",
+		m.AHT, outcomes["greedy (paper)"].MeanLatency, m.EHN, g.N())
+}
+
+// buildTrustNetwork generates a directed, weighted graph: a power-law
+// follower structure where each arc carries a trust weight in (0.5, 3].
+func buildTrustNetwork(n, arcs int, seed uint64) (*rwdom.Graph, error) {
+	r := rng.New(seed)
+	b := rwdom.NewBuilder(n, rwdom.Directed)
+	// Preferential attachment on the target side: popular accounts attract
+	// more followers.
+	targets := make([]int, 0, arcs)
+	targets = append(targets, 0)
+	added := 0
+	for added < arcs {
+		u := r.Intn(n)
+		var v int
+		if r.Float64() < 0.8 {
+			v = targets[r.Intn(len(targets))]
+		} else {
+			v = r.Intn(n)
+		}
+		if u == v {
+			continue
+		}
+		w := 0.5 + 2.5*r.Float64()
+		b.AddWeightedEdge(u, v, w)
+		targets = append(targets, v)
+		added++
+	}
+	return b.Build()
+}

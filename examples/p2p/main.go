@@ -1,0 +1,82 @@
+// P2P resource placement: the paper's third motivating application (§1.1).
+//
+// In a peer-to-peer network, searches are forwarded as random walks with a
+// hop-limited lifespan (TTL). Placing replicas of a resource on the right k
+// peers makes searches succeed sooner (Problem 1) and more often (Problem
+// 2). This example sizes the replica set with the partial-cover extension
+// ("how many replicas until 90% of searches succeed?") and inspects
+// per-peer search success probabilities.
+//
+// Run with: go run ./examples/p2p
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	// An unstructured overlay of 8000 peers (Gnutella-like topologies are
+	// heavy-tailed; a power-law overlay captures that).
+	g, err := rwdom.GeneratePowerLaw(8000, 32000, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overlay: %v\n", g)
+
+	const ttl = 8 // search walk time-to-live, in hops
+
+	// How many replicas until an expected 90% of peers can find the
+	// resource within one TTL-bounded search?
+	cover, err := rwdom.MinimumCoverSet(g, rwdom.Options{L: ttl, R: 100, Seed: 3}, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreplicas needed for 90%% search success: %d (achieved=%v)\n",
+		len(cover.Nodes), cover.Achieved)
+	fmt.Println("coverage growth as replicas are added:")
+	step := len(cover.Coverage)/10 + 1
+	for i := 0; i < len(cover.Coverage); i += step {
+		fmt.Printf("  %3d replicas -> expected %6.0f / %d peers\n", i+1, cover.Coverage[i], g.N())
+	}
+	last := len(cover.Coverage) - 1
+	fmt.Printf("  %3d replicas -> expected %6.0f / %d peers (target %.0f)\n",
+		last+1, cover.Coverage[last], g.N(), cover.Target)
+
+	// With a fixed budget, minimize expected search latency instead.
+	const budget = 20
+	fast, err := rwdom.MinimizeHittingTime(g, rwdom.Options{
+		K: budget, L: ttl, R: 100, Seed: 3, Algorithm: rwdom.AlgorithmApprox, Lazy: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := rwdom.EvaluateExact(g, fast.Nodes, ttl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith %d replicas placed for latency: mean search latency %.2f hops, success %.0f peers\n",
+		budget, m.AHT, m.EHN)
+
+	// Which peers still struggle? Inspect per-peer success probabilities.
+	probs, err := rwdom.HitProbabilities(g, fast.Nodes, ttl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type peer struct {
+		id int
+		p  float64
+	}
+	worst := make([]peer, 0, g.N())
+	for id, p := range probs {
+		worst = append(worst, peer{id, p})
+	}
+	sort.Slice(worst, func(i, j int) bool { return worst[i].p < worst[j].p })
+	fmt.Println("\npeers with the lowest search success probability:")
+	for _, w := range worst[:5] {
+		fmt.Printf("  peer %5d: %.3f (degree %d)\n", w.id, w.p, g.Degree(w.id))
+	}
+}

@@ -1,0 +1,134 @@
+package rwdom
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestSelectStochasticFacade(t *testing.T) {
+	g := testGraph(t)
+	sel, err := SelectStochastic(g, Options{K: 5, L: 4, R: 50, Seed: 3}, Problem2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Nodes) != 5 {
+		t.Fatalf("stochastic selected %d nodes", len(sel.Nodes))
+	}
+	// Defaulted R path.
+	sel, err = SelectStochastic(g, Options{K: 3, L: 4, Seed: 3}, Problem1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Nodes) != 3 {
+		t.Fatal("stochastic with defaulted R failed")
+	}
+	if _, err := SelectStochastic(nil, Options{K: 1, L: 2}, Problem1, 0.1); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := SelectStochastic(g, Options{K: 1, L: 2, R: 10}, Problem1, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+}
+
+func TestSelectAdaptiveFacade(t *testing.T) {
+	g, _ := GenerateBarabasiAlbert(150, 2, 8)
+	res, err := SelectAdaptive(g, Options{K: 3, L: 4, R: 25, Seed: 1, Lazy: true}, Problem2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 3 || res.RUsed < 25 {
+		t.Fatalf("adaptive result %+v", res)
+	}
+}
+
+func TestIndexSaveLoadFacade(t *testing.T) {
+	g := testGraph(t)
+	ix, err := BuildIndexParallel(g, 4, 30, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "idx.bin")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadIndexFile(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := SelectWithIndex(ix, Problem1, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelectWithIndex(back, Problem1, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatal("loaded index gives different selection")
+		}
+	}
+	// Wrong graph rejected.
+	other, _ := GeneratePowerLaw(300, 1500, 77)
+	if _, err := LoadIndexFile(path, other); err == nil {
+		t.Error("index loaded against wrong graph")
+	}
+}
+
+func TestSimulatorFacade(t *testing.T) {
+	g, _ := GenerateBarabasiAlbert(100, 2, 4)
+	sel, err := MaximizeCoverage(g, Options{K: 5, L: 5, R: 50, Algorithm: AlgorithmApprox})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(g, sel.Nodes, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sim.RunAll(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sessions == 0 || out.DiscoveryRate() <= 0 {
+		t.Fatalf("implausible outcome %+v", out)
+	}
+	// Simulated mean latency close to exact AHT.
+	m, _ := EvaluateExact(g, sel.Nodes, 5)
+	if diff := out.MeanLatency - m.AHT; diff > 0.3 || diff < -0.3 {
+		t.Fatalf("simulated latency %v vs exact AHT %v", out.MeanLatency, m.AHT)
+	}
+}
+
+func TestCompareSelectionsFacade(t *testing.T) {
+	g, _ := GenerateBarabasiAlbert(100, 2, 4)
+	outs, err := CompareSelections(g, 4, 1, 10, map[string][]int{
+		"a": {0, 1},
+		"b": {50, 51},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 || outs["a"] == nil || outs["b"] == nil {
+		t.Fatalf("outcomes %v", outs)
+	}
+}
+
+func TestAnalyzeGraphFacade(t *testing.T) {
+	g, err := LoadDataset("CAGrQc", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalyzeGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Nodes != g.N() {
+		t.Fatalf("analysis nodes %d", a.Stats.Nodes)
+	}
+	if a.GlobalClustering <= 0 || a.LocalClustering <= 0 {
+		t.Fatalf("community stand-in should have positive clustering: %+v", a)
+	}
+	if a.Top1pctDegreeCut <= 0 {
+		t.Fatalf("degree cut %d", a.Top1pctDegreeCut)
+	}
+}

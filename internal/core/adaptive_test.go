@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hitting"
+	"repro/internal/index"
+)
+
+func hittingEval(g *graph.Graph, L int) (*hitting.Evaluator, error) {
+	return hitting.NewEvaluator(g, L)
+}
+
+func TestApproxAdaptiveStabilizes(t *testing.T) {
+	g, err := graph.BarabasiAlbert(200, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ApproxAdaptive(g, Options{K: 5, L: 5, R: 25, Seed: 4, Lazy: true}, index.Problem2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 5 {
+		t.Fatalf("selected %d nodes", len(res.Nodes))
+	}
+	if res.Rounds < 2 {
+		t.Fatalf("adaptive run needs at least 2 rounds to compare, got %d", res.Rounds)
+	}
+	if res.RUsed < 25 {
+		t.Fatalf("RUsed = %d below the starting value", res.RUsed)
+	}
+	if res.Stability < 0 || res.Stability > 1 {
+		t.Fatalf("stability %v outside [0,1]", res.Stability)
+	}
+}
+
+func TestApproxAdaptiveDefaultsR(t *testing.T) {
+	g, _ := graph.Star(30)
+	res, err := ApproxAdaptive(g, Options{K: 1, L: 3, Seed: 1}, index.Problem1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a star any R agrees: the hub is selected and stability is 1.
+	if res.Nodes[0] != 0 || res.Stability != 1 {
+		t.Fatalf("star adaptive: nodes=%v stability=%v", res.Nodes, res.Stability)
+	}
+	if res.Rounds != 2 {
+		t.Fatalf("star should stabilize at the first comparison, rounds=%d", res.Rounds)
+	}
+}
+
+func TestApproxAdaptiveValidation(t *testing.T) {
+	g, _ := graph.Path(4)
+	if _, err := ApproxAdaptive(g, Options{K: 1, L: 2}, index.Problem1, 0); err == nil {
+		t.Error("stability 0 accepted")
+	}
+	if _, err := ApproxAdaptive(g, Options{K: 1, L: 2}, index.Problem1, 1.5); err == nil {
+		t.Error("stability >1 accepted")
+	}
+	if _, err := ApproxAdaptive(nil, Options{K: 1, L: 2}, index.Problem1, 0.9); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+func TestApproxStochasticQuality(t *testing.T) {
+	// Stochastic greedy over the index should land close to full approx
+	// greedy on the exact objective.
+	g, err := graph.BarabasiAlbert(300, 3, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{K: 10, L: 5, R: 100, Seed: 6}
+	full, err := ApproxF2(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ApproxStochastic(g, opts, index.Problem2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Nodes) != 10 {
+		t.Fatalf("stochastic selected %d nodes", len(st.Nodes))
+	}
+	evFull := exactF2(t, g, 5, full.Nodes)
+	evSt := exactF2(t, g, 5, st.Nodes)
+	if evSt < 0.92*evFull {
+		t.Fatalf("stochastic exact F2 %v below 92%% of full approx %v", evSt, evFull)
+	}
+}
+
+func TestApproxStochasticValidation(t *testing.T) {
+	g, _ := graph.Path(5)
+	if _, err := ApproxStochastic(g, Options{K: 1, L: 2, R: 10}, index.Problem1, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := ApproxStochastic(g, Options{K: 1, L: 2, R: 0}, index.Problem1, 0.1); err == nil {
+		t.Error("R=0 accepted")
+	}
+	if _, err := ApproxStochastic(g, Options{K: 1, L: 2, R: 10}, index.Problem(9), 0.1); err == nil {
+		t.Error("bad problem accepted")
+	}
+}
+
+func exactF2(t *testing.T, g *graph.Graph, L int, S []int) float64 {
+	t.Helper()
+	ev, err := hittingEval(g, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ev.F2(S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want float64
+	}{
+		{nil, nil, 1},
+		{[]int{1}, []int{1}, 1},
+		{[]int{1, 2}, []int{2, 3}, 1.0 / 3},
+		{[]int{1}, []int{2}, 0},
+		{[]int{1, 2, 3}, []int{1, 2, 3}, 1},
+	}
+	for _, c := range cases {
+		if got := jaccard(c.a, c.b); got != c.want {
+			t.Errorf("jaccard(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCommunityPowerLawSizes(t *testing.T) {
+	g, err := CommunityPowerLaw(3000, 18000, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3000 {
+		t.Fatalf("n=%d, want 3000", g.N())
+	}
+	if math.Abs(float64(g.M())-18000) > 0.05*18000 {
+		t.Fatalf("m=%d, want ≈18000", g.M())
+	}
+	if !g.IsConnected() {
+		t.Fatal("community graph must be connected")
+	}
+}
+
+func TestCommunityPowerLawDeterministic(t *testing.T) {
+	a, _ := CommunityPowerLaw(800, 4000, 8, 3)
+	b, _ := CommunityPowerLaw(800, 4000, 8, 3)
+	if a.M() != b.M() {
+		t.Fatalf("edge counts differ: %d vs %d", a.M(), b.M())
+	}
+	for u := 0; u < a.N(); u++ {
+		ra, rb := a.Neighbors(u), b.Neighbors(u)
+		if len(ra) != len(rb) {
+			t.Fatal("nondeterministic adjacency")
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatal("nondeterministic adjacency")
+			}
+		}
+	}
+}
+
+func TestCommunityPowerLawValidation(t *testing.T) {
+	if _, err := CommunityPowerLaw(1, 0, 2, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := CommunityPowerLaw(100, 0, 0, 1); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := CommunityPowerLaw(10, 100, 2, 1); err == nil {
+		t.Error("impossible m accepted")
+	}
+	// c > n/2 is clamped, not rejected.
+	g, err := CommunityPowerLaw(10, 15, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 {
+		t.Fatalf("clamped-c graph n=%d", g.N())
+	}
+}
+
+func TestCommunityPowerLawHeavyTailed(t *testing.T) {
+	g, _ := CommunityPowerLaw(2000, 12000, 10, 7)
+	s := g.ComputeStats()
+	if float64(s.MaxDegree) < 4*s.MeanDegree {
+		t.Fatalf("max degree %d not heavy-tailed vs mean %.1f", s.MaxDegree, s.MeanDegree)
+	}
+}
+
+// TestCommunityStructureHurtsDegreeBaseline asserts the property the
+// stand-ins exist to reproduce: on a community-structured graph, the top-k
+// degree nodes overlap in their random-walk catchment areas, so their
+// marginal coverage is more redundant than a spread-out selection's. We
+// check a direct structural proxy: the top hubs concentrate in few
+// communities.
+func TestCommunityStructureHurtsDegreeBaseline(t *testing.T) {
+	const n, m, c = 3000, 18000, 12
+	g, _ := CommunityPowerLaw(n, m, c, 11)
+	top := g.TopKByDegree(10)
+	// Recover community boundaries from the deterministic size rule.
+	sizes := make([]int, c)
+	var h float64
+	for i := 0; i < c; i++ {
+		h += 1 / float64(i+1)
+	}
+	assigned := 0
+	for i := 0; i < c; i++ {
+		sizes[i] = int(float64(n) / (float64(i+1) * h))
+		if sizes[i] < 2 {
+			sizes[i] = 2
+		}
+		assigned += sizes[i]
+	}
+	sizes[0] += n - assigned
+	commOf := func(u int) int {
+		off := 0
+		for i, sz := range sizes {
+			if u < off+sz {
+				return i
+			}
+			off += sz
+		}
+		return c - 1
+	}
+	seen := map[int]bool{}
+	for _, u := range top {
+		seen[commOf(u)] = true
+	}
+	if len(seen) > 5 {
+		t.Fatalf("top-10 hubs spread over %d communities; expected concentration in the few largest", len(seen))
+	}
+}
+
+func TestCommunityStandInsClusterLikeSocialNetworks(t *testing.T) {
+	// The stand-ins must have markedly higher clustering than a plain
+	// power-law graph of the same size — the structural property the
+	// paper's baseline comparisons depend on.
+	g, err := Load("CAGrQc", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := PowerLawExact(g.N(), g.M(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cCommunity := g.MeanLocalClustering()
+	cPlain := plain.MeanLocalClustering()
+	if cCommunity < 1.5*cPlain {
+		t.Fatalf("stand-in clustering %v not clearly above plain power-law %v", cCommunity, cPlain)
+	}
+}
+
+func TestLoadUsesCommunityGenerator(t *testing.T) {
+	// The stand-ins must remain connected and matched in size after the
+	// switch to the community generator.
+	g, err := Load("CAGrQc", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Fatal("stand-in must be connected")
+	}
+	scale := 0.2
+	wantN := int(5242 * scale)
+	if g.N() != wantN {
+		t.Fatalf("n=%d want %d", g.N(), wantN)
+	}
+}

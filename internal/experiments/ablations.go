@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/hitting"
+)
+
+// Ablations quantifies the design decisions of DESIGN.md §6 that have
+// algorithmic (not just constant-factor) impact, as a runnable report:
+//
+//	(1) CELF lazy evaluation vs the paper's plain per-round scan, for the
+//	    DP-based greedy algorithm — gain evaluations and wall-clock;
+//	(2) the inverted index (Algorithm 6) vs per-round re-sampling (the
+//	    sampling-based greedy) — wall-clock at equal R, plus solution quality
+//	    on the exact objective;
+//	(3) stochastic greedy vs CELF on the index — evaluations vs quality.
+//
+// The two memory-layout ablations (CSR vs adjacency lists, generation-stamp
+// visited resets) are microbenchmarks and live in bench_test.go.
+func Ablations(cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	g, err := fig25Graph(cfg)
+	if err != nil {
+		return nil, err
+	}
+	const L = 5
+	k := scaleK(20, g.N())
+	rep := &Report{
+		ID: "ablations", Title: "Design-decision ablations (DESIGN.md §6)",
+		Params: fmt.Sprintf("n=%d m=%d k=%d L=%d", g.N(), g.M(), k, L),
+	}
+	ev, err := hitting.NewEvaluator(g, L)
+	if err != nil {
+		return nil, err
+	}
+	exactF1 := func(S []int) float64 {
+		v, err := ev.F1(S)
+		if err != nil {
+			return 0
+		}
+		return v
+	}
+
+	// (1) Lazy vs plain DP greedy.
+	plain, err := core.DPF1(g, core.Options{K: k, L: L})
+	if err != nil {
+		return nil, err
+	}
+	lazy, err := core.DPF1(g, core.Options{K: k, L: L, Lazy: true})
+	if err != nil {
+		return nil, err
+	}
+	t1 := Table{
+		Title:   "(1) CELF lazy evaluation vs plain scan (DP-based greedy, identical selections)",
+		Columns: []string{"driver", "gain evals", "time(s)", "exact F1"},
+		Rows: [][]string{
+			{"plain", fmt.Sprint(plain.Evaluations), fmt.Sprintf("%.3f", secs(plain.SelectTime)), fmt.Sprintf("%.1f", exactF1(plain.Nodes))},
+			{"lazy (CELF)", fmt.Sprint(lazy.Evaluations), fmt.Sprintf("%.3f", secs(lazy.SelectTime)), fmt.Sprintf("%.1f", exactF1(lazy.Nodes))},
+		},
+	}
+
+	// (2) Inverted index vs per-round re-sampling at equal R.
+	const R = 40
+	approx, err := core.ApproxF1(g, core.Options{K: k, L: L, R: R, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	resample, err := core.SampleF1(g, core.Options{K: k, L: L, R: R, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	t2 := Table{
+		Title:   fmt.Sprintf("(2) Inverted index (Alg. 6) vs per-round re-sampling, R=%d", R),
+		Columns: []string{"algorithm", "time(s)", "exact F1"},
+		Rows: [][]string{
+			{"inverted index", fmt.Sprintf("%.3f", secs(approx.BuildTime+approx.SelectTime)), fmt.Sprintf("%.1f", exactF1(approx.Nodes))},
+			{"re-sampling", fmt.Sprintf("%.3f", secs(resample.BuildTime+resample.SelectTime)), fmt.Sprintf("%.1f", exactF1(resample.Nodes))},
+		},
+	}
+
+	// (3) Stochastic greedy vs CELF over the same index machinery.
+	celf, err := core.ApproxF1(g, core.Options{K: k, L: L, R: R, Seed: cfg.Seed, Lazy: true})
+	if err != nil {
+		return nil, err
+	}
+	stoch, err := core.ApproxStochastic(g, core.Options{K: k, L: L, R: R, Seed: cfg.Seed}, 1, 0.1)
+	if err != nil {
+		return nil, err
+	}
+	t3 := Table{
+		Title:   "(3) Stochastic greedy vs CELF over the inverted index (eps=0.1)",
+		Columns: []string{"driver", "gain evals", "exact F1"},
+		Rows: [][]string{
+			{"CELF", fmt.Sprint(celf.Evaluations), fmt.Sprintf("%.1f", exactF1(celf.Nodes))},
+			{"stochastic", fmt.Sprint(stoch.Evaluations), fmt.Sprintf("%.1f", exactF1(stoch.Nodes))},
+		},
+	}
+
+	rep.Tables = []Table{t1, t2, t3}
+	rep.Notes = []string{
+		"expected: lazy matches plain's selection with far fewer evaluations",
+		"expected: the index is much faster than re-sampling at equal quality (the paper's central design point)",
+		"expected: stochastic's ~(n/k)ln(1/eps) evals/round beat the plain scan's n and are k-independent;" +
+			" CELF can still win at moderate k (as here) — stochastic pays off when k is large",
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// Extra1OptimalityRatio empirically validates the 1 − 1/e guarantee: on
+// small graphs it compares greedy selections against the exhaustively
+// optimal set for k = 2 and 3. Not a paper figure; it substantiates the
+// approximation claims the paper invokes from Nemhauser et al.
+func Extra1OptimalityRatio(cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	const L = 4
+	t := Table{
+		Title:   "Greedy objective / exhaustive optimum (must be ≥ 1−1/e ≈ 0.632)",
+		Columns: []string{"graph", "k", "DPF1 ratio", "DPF2 ratio"},
+	}
+	graphs := []struct {
+		name string
+		n, m int
+		seed uint64
+	}{
+		{"powerlaw-30", 30, 90, 3},
+		{"powerlaw-40", 40, 150, 4},
+		{"community-40", 40, 160, 5},
+	}
+	worst := 1.0
+	for _, spec := range graphs {
+		g, err := dataset.PowerLawExact(spec.n, spec.m, spec.seed)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := hitting.NewEvaluator(g, L)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range []int{2, 3} {
+			dp1, err := core.DPF1(g, core.Options{K: k, L: L})
+			if err != nil {
+				return nil, err
+			}
+			dp2, err := core.DPF2(g, core.Options{K: k, L: L})
+			if err != nil {
+				return nil, err
+			}
+			opt1, err := exhaustiveBest(g.N(), k, func(S []int) (float64, error) { return ev.F1(S) })
+			if err != nil {
+				return nil, err
+			}
+			opt2, err := exhaustiveBest(g.N(), k, func(S []int) (float64, error) { return ev.F2(S) })
+			if err != nil {
+				return nil, err
+			}
+			v1, _ := ev.F1(dp1.Nodes)
+			v2, _ := ev.F2(dp2.Nodes)
+			r1, r2 := v1/opt1, v2/opt2
+			if r1 < worst {
+				worst = r1
+			}
+			if r2 < worst {
+				worst = r2
+			}
+			t.Rows = append(t.Rows, []string{
+				spec.name, fmt.Sprint(k),
+				fmt.Sprintf("%.4f", r1), fmt.Sprintf("%.4f", r2),
+			})
+		}
+	}
+	return &Report{
+		ID: "extra1", Title: "Empirical validation of the greedy approximation guarantee",
+		Params:  fmt.Sprintf("L=%d, exhaustive optimum over all C(n,k) sets", L),
+		Tables:  []Table{t},
+		Notes:   []string{fmt.Sprintf("worst observed ratio %.4f (bound: 0.6321)", worst)},
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// exhaustiveBest evaluates obj over every k-subset of [0, n) and returns the
+// maximum. Exponential; small n and k only.
+func exhaustiveBest(n, k int, obj func([]int) (float64, error)) (float64, error) {
+	best := 0.0
+	S := make([]int, k)
+	var rec func(start, depth int) error
+	rec = func(start, depth int) error {
+		if depth == k {
+			v, err := obj(S)
+			if err != nil {
+				return err
+			}
+			if v > best {
+				best = v
+			}
+			return nil
+		}
+		for u := start; u < n; u++ {
+			S[depth] = u
+			if err := rec(u+1, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, 0); err != nil {
+		return 0, err
+	}
+	return best, nil
+}

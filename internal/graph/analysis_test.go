@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGlobalClusteringKnownGraphs(t *testing.T) {
+	// Complete graph: transitivity 1. Path/star/cycle(>3): 0.
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+		want float64
+	}{
+		{"K4", mustGen(Complete(4)), 1},
+		{"K5", mustGen(Complete(5)), 1},
+		{"path5", mustGen(Path(5)), 0},
+		{"star8", mustGen(Star(8)), 0},
+		{"cycle6", mustGen(Cycle(6)), 0},
+		{"triangle", MustFromEdgeList(3, [][2]int{{0, 1}, {1, 2}, {2, 0}}), 1},
+	} {
+		if got := tc.g.GlobalClustering(); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: transitivity %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestGlobalClusteringPaw(t *testing.T) {
+	// "Paw" graph: triangle {0,1,2} plus pendant 3-0. One triangle;
+	// triples: deg(0)=3 → 3, deg(1)=deg(2)=2 → 1 each, deg(3)=1 → 0.
+	// C = 3·1/5 = 0.6.
+	g := MustFromEdgeList(4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {0, 3}})
+	if got := g.GlobalClustering(); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("paw transitivity %v, want 0.6", got)
+	}
+}
+
+func TestMeanLocalClustering(t *testing.T) {
+	// Paw: local C: node0 = 1/3 (one of three neighbor pairs linked),
+	// node1 = 1, node2 = 1, node3 skipped (degree 1). Mean = (1/3+1+1)/3.
+	g := MustFromEdgeList(4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {0, 3}})
+	want := (1.0/3 + 1 + 1) / 3
+	if got := g.MeanLocalClustering(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("paw mean local clustering %v, want %v", got, want)
+	}
+	if got := mustGen(Path(5)).MeanLocalClustering(); got != 0 {
+		t.Fatalf("path clustering %v", got)
+	}
+	// Degenerate: no node with degree >= 2.
+	if got := MustFromEdgeList(2, [][2]int{{0, 1}}).MeanLocalClustering(); got != 0 {
+		t.Fatalf("single-edge clustering %v", got)
+	}
+}
+
+func TestDegreeAssortativity(t *testing.T) {
+	// Star: every edge joins the hub (high degree) to a leaf (degree 1):
+	// perfectly disassortative, r = −1.
+	g := mustGen(Star(10))
+	if got := g.DegreeAssortativity(); math.Abs(got-(-1)) > 1e-9 {
+		t.Fatalf("star assortativity %v, want -1", got)
+	}
+	// Regular graphs have zero degree variance: r defined as 0 here.
+	if got := mustGen(Cycle(8)).DegreeAssortativity(); got != 0 {
+		t.Fatalf("cycle assortativity %v, want 0", got)
+	}
+}
+
+func TestRichClubCoefficient(t *testing.T) {
+	// Two hubs (0,1) connected to each other and to leaves: club of
+	// degree > 2 = {0,1}, fully connected → φ = 1.
+	b := NewBuilder(8, Undirected)
+	b.AddEdge(0, 1)
+	for i := 2; i <= 4; i++ {
+		b.AddEdge(0, i)
+	}
+	for i := 5; i <= 7; i++ {
+		b.AddEdge(1, i)
+	}
+	g, _ := b.Build()
+	if got := g.RichClubCoefficient(2); got != 1 {
+		t.Fatalf("rich club %v, want 1", got)
+	}
+	// Club too small → 0.
+	if got := g.RichClubCoefficient(100); got != 0 {
+		t.Fatalf("oversized threshold club %v, want 0", got)
+	}
+	// Star: club of degree > 1 is just the hub → 0.
+	if got := mustGen(Star(5)).RichClubCoefficient(1); got != 0 {
+		t.Fatalf("star rich club %v", got)
+	}
+}
+
+func TestDegreePercentile(t *testing.T) {
+	g := mustGen(Star(10)) // degrees: one 9, nine 1
+	p50, err := g.DegreePercentile(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p50 != 1 {
+		t.Fatalf("p50 = %d, want 1", p50)
+	}
+	p100, _ := g.DegreePercentile(100)
+	if p100 != 9 {
+		t.Fatalf("p100 = %d, want 9", p100)
+	}
+	if _, err := g.DegreePercentile(0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := g.DegreePercentile(101); err == nil {
+		t.Error("p>100 accepted")
+	}
+}
+
+func TestBAIsLowClustering(t *testing.T) {
+	// Sanity calibration: plain BA graphs have near-zero clustering — this
+	// is exactly why the dataset stand-ins use the community generator.
+	ba, _ := BarabasiAlbert(2000, 5, 1)
+	if c := ba.GlobalClustering(); c > 0.1 {
+		t.Fatalf("BA transitivity %v unexpectedly high", c)
+	}
+}

@@ -1,0 +1,211 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph. The zero value
+// is not usable; construct with NewBuilder. Builders deduplicate parallel
+// edges at Build time (keeping the last weight seen) and reject self-loops,
+// matching the paper's simple-graph model.
+type Builder struct {
+	kind     Kind
+	n        int
+	weighted bool
+	us, vs   []int32
+	ws       []float64
+	err      error
+}
+
+// NewBuilder returns a builder for a graph with n nodes of the given kind.
+func NewBuilder(n int, kind Kind) *Builder {
+	b := &Builder{kind: kind, n: n}
+	if n < 0 {
+		b.err = ErrNegativeN
+	}
+	return b
+}
+
+// AddEdge records an unweighted edge (weight 1). For undirected graphs the
+// order of endpoints does not matter. Errors are sticky and reported by
+// Build.
+func (b *Builder) AddEdge(u, v int) {
+	b.AddWeightedEdge(u, v, 1)
+}
+
+// AddWeightedEdge records an edge with the given positive weight and marks
+// the builder weighted if w != 1.
+func (b *Builder) AddWeightedEdge(u, v int, w float64) {
+	if b.err != nil {
+		return
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		b.err = fmt.Errorf("graph: edge (%d,%d) with n=%d: %w", u, v, b.n, ErrNodeRange)
+		return
+	}
+	if u == v {
+		b.err = fmt.Errorf("graph: edge (%d,%d): %w", u, v, ErrSelfLoop)
+		return
+	}
+	if w <= 0 {
+		b.err = fmt.Errorf("graph: edge (%d,%d) weight %v: %w", u, v, w, ErrBadWeight)
+		return
+	}
+	if w != 1 {
+		b.weighted = true
+	}
+	b.us = append(b.us, int32(u))
+	b.vs = append(b.vs, int32(v))
+	b.ws = append(b.ws, w)
+}
+
+// Len returns the number of edges recorded so far (before deduplication).
+func (b *Builder) Len() int { return len(b.us) }
+
+// Build produces the immutable Graph. It deduplicates parallel edges (the
+// last weight recorded for a pair wins), sorts adjacency rows, and, for
+// weighted graphs, precomputes per-row cumulative weights for O(log deg)
+// neighbor sampling.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.n == 0 {
+		return nil, ErrEmptyGraph
+	}
+
+	type edge struct {
+		u, v int32
+		w    float64
+	}
+	edges := make([]edge, 0, len(b.us))
+	for i := range b.us {
+		u, v := b.us[i], b.vs[i]
+		if b.kind == Undirected && u > v {
+			u, v = v, u
+		}
+		edges = append(edges, edge{u, v, b.ws[i]})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	// Deduplicate, keeping the last weight for each pair.
+	dedup := edges[:0]
+	for _, e := range edges {
+		if len(dedup) > 0 && dedup[len(dedup)-1].u == e.u && dedup[len(dedup)-1].v == e.v {
+			dedup[len(dedup)-1].w = e.w
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	edges = dedup
+
+	g := &Graph{kind: b.kind, n: b.n, m: len(edges)}
+	degree := make([]int32, b.n)
+	for _, e := range edges {
+		degree[e.u]++
+		if b.kind == Undirected {
+			degree[e.v]++
+		}
+	}
+	g.offsets = make([]int32, b.n+1)
+	for u := 0; u < b.n; u++ {
+		g.offsets[u+1] = g.offsets[u] + degree[u]
+	}
+	total := int(g.offsets[b.n])
+	g.adj = make([]int32, total)
+	var weights []float64
+	if b.weighted {
+		weights = make([]float64, total)
+	}
+	cursor := make([]int32, b.n)
+	copy(cursor, g.offsets[:b.n])
+	place := func(u, v int32, w float64) {
+		i := cursor[u]
+		g.adj[i] = v
+		if weights != nil {
+			weights[i] = w
+		}
+		cursor[u] = i + 1
+	}
+	for _, e := range edges {
+		place(e.u, e.v, e.w)
+		if b.kind == Undirected {
+			place(e.v, e.u, e.w)
+		}
+	}
+	// Rows were filled in (u, v)-sorted edge order; for undirected graphs the
+	// reverse placements arrive out of order, so sort each row (with parallel
+	// weights when present).
+	for u := 0; u < b.n; u++ {
+		lo, hi := g.offsets[u], g.offsets[u+1]
+		row := g.adj[lo:hi]
+		if weights == nil {
+			sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		} else {
+			wrow := weights[lo:hi]
+			sort.Sort(&rowSorter{row, wrow})
+		}
+	}
+	g.weights = weights
+	if weights != nil {
+		g.cumWeights = make([]float64, total)
+		for u := 0; u < b.n; u++ {
+			lo, hi := g.offsets[u], g.offsets[u+1]
+			sum := 0.0
+			for i := lo; i < hi; i++ {
+				sum += weights[i]
+				g.cumWeights[i] = sum
+			}
+		}
+		// Make cumWeights globally usable for WeightDegree: convert per-row
+		// prefix sums into a single running prefix over adj order.
+		running := 0.0
+		for u := 0; u < b.n; u++ {
+			lo, hi := g.offsets[u], g.offsets[u+1]
+			for i := lo; i < hi; i++ {
+				g.cumWeights[i] += running
+			}
+			if hi > lo {
+				running = g.cumWeights[hi-1]
+			}
+		}
+	}
+	return g, nil
+}
+
+type rowSorter struct {
+	adj []int32
+	w   []float64
+}
+
+func (s *rowSorter) Len() int           { return len(s.adj) }
+func (s *rowSorter) Less(i, j int) bool { return s.adj[i] < s.adj[j] }
+func (s *rowSorter) Swap(i, j int) {
+	s.adj[i], s.adj[j] = s.adj[j], s.adj[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}
+
+// FromEdgeList builds an undirected, unweighted graph directly from an edge
+// list. It is the most common construction path in tests and examples.
+func FromEdgeList(n int, edges [][2]int) (*Graph, error) {
+	b := NewBuilder(n, Undirected)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// MustFromEdgeList is FromEdgeList that panics on error, for fixtures in
+// tests and examples where the edge list is a compile-time constant.
+func MustFromEdgeList(n int, edges [][2]int) *Graph {
+	g, err := FromEdgeList(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList asserts the edge-list parser never panics and that
+// anything it accepts is a valid graph that round-trips.
+func FuzzReadEdgeList(f *testing.F) {
+	seeds := []string{
+		"0 1\n1 2\n",
+		"# comment\n% comment\n\n0 1\n",
+		"0 1 2.5\n",
+		"100 200\n200 300\n",
+		"0 0\n",
+		"a b\n",
+		"-1 5\n",
+		"0 1 2 3\n",
+		"0 1 -9\n",
+		"9999999999999999999999 1\n",
+		strings.Repeat("0 1\n", 100),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeList(bytes.NewReader(data), Undirected)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadEdgeList(&buf, Undirected)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round trip changed size: %d/%d -> %d/%d", g.N(), g.M(), back.N(), back.M())
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// BarabasiAlbert generates a power-law random graph with n nodes by
+// preferential attachment: nodes arrive one at a time and connect to
+// mPerNode existing nodes chosen with probability proportional to degree.
+// This is the "commonly-used power-law random graph model [1]" (Barabási &
+// Albert) the paper uses for its synthetic graphs, including the small
+// n=1000, m≈10k graph of Figs. 2–5 and the G1..G10 scalability suite of
+// Fig. 9. The result is connected when mPerNode >= 1.
+//
+// The generator is deterministic for a given seed.
+func BarabasiAlbert(n, mPerNode int, seed uint64) (*Graph, error) {
+	if n <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	if mPerNode < 1 {
+		return nil, fmt.Errorf("graph: BarabasiAlbert mPerNode=%d, want >= 1", mPerNode)
+	}
+	if mPerNode >= n {
+		return nil, fmt.Errorf("graph: BarabasiAlbert mPerNode=%d with n=%d, want mPerNode < n", mPerNode, n)
+	}
+	r := rng.New(seed)
+	b := NewBuilder(n, Undirected)
+
+	// targets holds one entry per edge endpoint; drawing uniformly from it
+	// implements preferential attachment in O(1) per draw.
+	targets := make([]int32, 0, 2*n*mPerNode)
+
+	// Seed with a small connected core: a path over the first mPerNode+1
+	// nodes, so every early node has nonzero degree.
+	core := mPerNode + 1
+	for i := 1; i < core; i++ {
+		b.AddEdge(i-1, i)
+		targets = append(targets, int32(i-1), int32(i))
+	}
+	chosen := make(map[int32]bool, mPerNode)
+	picks := make([]int32, 0, mPerNode)
+	for v := core; v < n; v++ {
+		for k := range chosen {
+			delete(chosen, k)
+		}
+		picks = picks[:0]
+		for len(picks) < mPerNode {
+			t := targets[r.Intn(len(targets))]
+			if int(t) == v || chosen[t] {
+				continue
+			}
+			chosen[t] = true
+			picks = append(picks, t) // preserve draw order: map iteration would be nondeterministic
+		}
+		for _, t := range picks {
+			b.AddEdge(v, int(t))
+			targets = append(targets, int32(v), t)
+		}
+	}
+	return b.Build()
+}
+
+// ErdosRenyi generates a G(n, m) uniform random graph with exactly m distinct
+// edges. It is used for test fixtures and for contrast with power-law graphs
+// in ablation benches.
+func ErdosRenyi(n, m int, seed uint64) (*Graph, error) {
+	if n <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	maxEdges := n * (n - 1) / 2
+	if m < 0 || m > maxEdges {
+		return nil, fmt.Errorf("graph: ErdosRenyi m=%d out of [0,%d]", m, maxEdges)
+	}
+	r := rng.New(seed)
+	b := NewBuilder(n, Undirected)
+	seen := make(map[int64]bool, m)
+	for len(seen) < m {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := int64(u)*int64(n) + int64(v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// Path returns the path graph 0-1-2-...-(n-1).
+func Path(n int) (*Graph, error) {
+	if n <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	b := NewBuilder(n, Undirected)
+	for i := 1; i < n; i++ {
+		b.AddEdge(i-1, i)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph on n >= 3 nodes.
+func Cycle(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: Cycle needs n >= 3, got %d", n)
+	}
+	b := NewBuilder(n, Undirected)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+// Star returns the star graph: node 0 is the hub connected to 1..n-1.
+func Star(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: Star needs n >= 2, got %d", n)
+	}
+	b := NewBuilder(n, Undirected)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: Complete needs n >= 2, got %d", n)
+	}
+	b := NewBuilder(n, Undirected)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// Grid returns the rows x cols 4-connected grid graph.
+func Grid(rows, cols int) (*Graph, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("graph: Grid needs positive dimensions, got %dx%d", rows, cols)
+	}
+	n := rows * cols
+	b := NewBuilder(n, Undirected)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// PaperExample returns the 8-node running-example graph of Fig. 1 in the
+// paper. Node v_i of the paper is node i-1 here. Edges are read off the
+// figure: v1 is adjacent to v2 and v6; v2 to v1, v3, v5, v6; v3 to v2, v4,
+// v5; v4 to v3, v7, v8; v5 to v2, v3, v7; v6 to v1, v2, v7; v7 to v4, v5,
+// v6, v8; v8 to v4, v7. This adjacency is consistent with every walk and
+// every inverted-index entry the paper derives from the figure (Example 3.1
+// and Table 1).
+func PaperExample() *Graph {
+	return MustFromEdgeList(8, [][2]int{
+		{0, 1}, {0, 5},
+		{1, 2}, {1, 4}, {1, 5},
+		{2, 3}, {2, 4},
+		{3, 6}, {3, 7},
+		{4, 6},
+		{5, 6},
+		{6, 7},
+	})
+}

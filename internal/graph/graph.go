@@ -1,0 +1,298 @@
+// Package graph provides the graph substrate for the random-walk domination
+// algorithms: a compact immutable adjacency structure in compressed sparse
+// row (CSR) form, a mutable builder, edge-list I/O, synthetic generators, and
+// basic traversal and statistics utilities.
+//
+// The paper (Li et al., ICDE 2014) works on undirected, unweighted graphs,
+// and notes the techniques "can also be easily extended to directed and
+// weighted graphs"; this package supports all three variants. Nodes are dense
+// integer IDs in [0, N).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Kind distinguishes undirected from directed graphs.
+type Kind uint8
+
+const (
+	// Undirected graphs store each edge in both endpoints' adjacency rows.
+	Undirected Kind = iota
+	// Directed graphs store each arc only in its tail's adjacency row.
+	Directed
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Undirected:
+		return "undirected"
+	case Directed:
+		return "directed"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Errors shared by graph constructors and loaders.
+var (
+	ErrEmptyGraph  = errors.New("graph: graph has no nodes")
+	ErrNodeRange   = errors.New("graph: node id out of range")
+	ErrSelfLoop    = errors.New("graph: self-loops are not supported")
+	ErrNegativeN   = errors.New("graph: negative node count")
+	ErrBadWeight   = errors.New("graph: edge weight must be positive")
+	ErrKindMixture = errors.New("graph: cannot mix directed and undirected edges")
+)
+
+// Graph is an immutable graph in CSR form. The neighbors of node u occupy
+// adj[offsets[u]:offsets[u+1]]. For weighted graphs, weights holds the
+// parallel per-neighbor edge weights; for unweighted graphs weights is nil
+// and every edge has implicit weight 1.
+//
+// A Graph is safe for concurrent readers.
+type Graph struct {
+	kind    Kind
+	n       int
+	m       int // number of undirected edges (or directed arcs)
+	offsets []int32
+	adj     []int32
+	weights []float64 // nil for unweighted graphs
+
+	// cumWeights, present only for weighted graphs, stores per-row prefix
+	// sums of weights so weighted neighbor sampling is O(log deg).
+	cumWeights []float64
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges: undirected edges for undirected graphs,
+// arcs for directed graphs.
+func (g *Graph) M() int { return g.m }
+
+// Kind reports whether the graph is directed or undirected.
+func (g *Graph) Kind() Kind { return g.kind }
+
+// Weighted reports whether the graph carries edge weights.
+func (g *Graph) Weighted() bool { return g.weights != nil }
+
+// Degree returns the out-degree of node u (degree for undirected graphs).
+func (g *Graph) Degree(u int) int {
+	return int(g.offsets[u+1] - g.offsets[u])
+}
+
+// Neighbors returns the adjacency row of node u. The returned slice aliases
+// the graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(u int) []int32 {
+	return g.adj[g.offsets[u]:g.offsets[u+1]]
+}
+
+// NeighborWeights returns the edge weights parallel to Neighbors(u), or nil
+// for unweighted graphs. The returned slice must not be modified.
+func (g *Graph) NeighborWeights(u int) []float64 {
+	if g.weights == nil {
+		return nil
+	}
+	return g.weights[g.offsets[u]:g.offsets[u+1]]
+}
+
+// WeightDegree returns the total weight of edges incident to u. For
+// unweighted graphs it equals Degree(u).
+func (g *Graph) WeightDegree(u int) float64 {
+	if g.weights == nil {
+		return float64(g.Degree(u))
+	}
+	lo, hi := g.offsets[u], g.offsets[u+1]
+	if lo == hi {
+		return 0
+	}
+	// cumWeights[i] is the prefix sum within the row ending at adj index i.
+	base := 0.0
+	if lo > 0 {
+		base = g.cumWeights[lo-1]
+	}
+	return g.cumWeights[hi-1] - base
+}
+
+// HasEdge reports whether an edge (arc) u->v exists. It is a linear scan of
+// u's adjacency row; rows are sorted so it could binary-search, but rows are
+// short in the workloads this module targets and the scan is cache-friendly.
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, w := range g.Neighbors(u) {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TransitionProb returns the single-step random-walk transition probability
+// p_uv = w(u,v) / weightDegree(u), or 0 when the edge is absent or u is
+// isolated.
+func (g *Graph) TransitionProb(u, v int) float64 {
+	d := g.WeightDegree(u)
+	if d == 0 {
+		return 0
+	}
+	row := g.Neighbors(u)
+	for i, w := range row {
+		if int(w) == v {
+			if g.weights == nil {
+				return 1 / d
+			}
+			return g.NeighborWeights(u)[i] / d
+		}
+	}
+	return 0
+}
+
+// Validate checks internal consistency. It is used by tests and by loaders
+// after deserialization; library construction paths always produce valid
+// graphs.
+func (g *Graph) Validate() error {
+	if g.n < 0 {
+		return ErrNegativeN
+	}
+	if len(g.offsets) != g.n+1 {
+		return fmt.Errorf("graph: offsets length %d, want %d", len(g.offsets), g.n+1)
+	}
+	if g.offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
+	}
+	for u := 0; u < g.n; u++ {
+		if g.offsets[u+1] < g.offsets[u] {
+			return fmt.Errorf("graph: offsets decrease at node %d", u)
+		}
+	}
+	if int(g.offsets[g.n]) != len(g.adj) {
+		return fmt.Errorf("graph: offsets end %d, adj length %d", g.offsets[g.n], len(g.adj))
+	}
+	for i, v := range g.adj {
+		if v < 0 || int(v) >= g.n {
+			return fmt.Errorf("graph: adj[%d] = %d out of range [0,%d): %w", i, v, g.n, ErrNodeRange)
+		}
+	}
+	if g.weights != nil {
+		if len(g.weights) != len(g.adj) {
+			return fmt.Errorf("graph: weights length %d, adj length %d", len(g.weights), len(g.adj))
+		}
+		for i, w := range g.weights {
+			if w <= 0 {
+				return fmt.Errorf("graph: weights[%d] = %v: %w", i, w, ErrBadWeight)
+			}
+		}
+	}
+	wantAdj := g.m
+	if g.kind == Undirected {
+		wantAdj = 2 * g.m
+	}
+	if len(g.adj) != wantAdj {
+		return fmt.Errorf("graph: adj length %d inconsistent with m=%d (%s)", len(g.adj), g.m, g.kind)
+	}
+	return nil
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	w := ""
+	if g.Weighted() {
+		w = " weighted"
+	}
+	return fmt.Sprintf("%s%s graph: %d nodes, %d edges", g.kind, w, g.n, g.m)
+}
+
+// Fingerprint returns a 64-bit FNV-1a hash of the graph's structure (kind,
+// sizes, CSR arrays, weights). Two graphs with equal fingerprints are, for
+// all practical purposes, structurally identical; serialized artifacts such
+// as materialized walk indexes store it to detect being loaded against the
+// wrong graph.
+func (g *Graph) Fingerprint() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(g.kind))
+	mix(uint64(g.n))
+	mix(uint64(g.m))
+	for _, o := range g.offsets {
+		mix(uint64(uint32(o)))
+	}
+	for _, a := range g.adj {
+		mix(uint64(uint32(a)))
+	}
+	for _, w := range g.weights {
+		mix(math.Float64bits(w))
+	}
+	return h
+}
+
+// PickNeighbor maps a uniform variate x in [0, 1) to a neighbor of u,
+// selected uniformly for unweighted graphs and proportionally to edge weight
+// for weighted graphs. It returns -1 when u has no outgoing edges. Keeping
+// the randomness outside the graph keeps this method deterministic and
+// directly testable.
+func (g *Graph) PickNeighbor(u int, x float64) int {
+	lo, hi := int(g.offsets[u]), int(g.offsets[u+1])
+	deg := hi - lo
+	if deg == 0 {
+		return -1
+	}
+	if g.weights == nil {
+		i := int(x * float64(deg))
+		if i >= deg { // guard against x rounding up to 1.0
+			i = deg - 1
+		}
+		return int(g.adj[lo+i])
+	}
+	base := 0.0
+	if lo > 0 {
+		base = g.cumWeights[lo-1]
+	}
+	total := g.cumWeights[hi-1] - base
+	target := base + x*total
+	// Binary search for the first cumulative weight exceeding target.
+	a, b := lo, hi-1
+	for a < b {
+		mid := (a + b) / 2
+		if g.cumWeights[mid] > target {
+			b = mid
+		} else {
+			a = mid + 1
+		}
+	}
+	return int(g.adj[a])
+}
+
+// Edges calls fn once for every edge. For undirected graphs each edge {u,v}
+// is reported once with u < v; for directed graphs each arc (u,v) is reported
+// once. Iteration stops early if fn returns false.
+func (g *Graph) Edges(fn func(u, v int, w float64) bool) {
+	for u := 0; u < g.n; u++ {
+		row := g.Neighbors(u)
+		var ws []float64
+		if g.weights != nil {
+			ws = g.NeighborWeights(u)
+		}
+		for i, v := range row {
+			if g.kind == Undirected && int(v) < u {
+				continue
+			}
+			w := 1.0
+			if ws != nil {
+				w = ws[i]
+			}
+			if !fn(u, int(v), w) {
+				return
+			}
+		}
+	}
+}

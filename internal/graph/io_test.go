@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# a comment
+% another comment
+0 1
+1 2
+
+2 3
+`
+	g, err := ReadEdgeList(strings.NewReader(in), Undirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d, want 4, 3", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListRemapsSparseIDs(t *testing.T) {
+	in := "100 200\n200 300\n"
+	g, err := ReadEdgeList(strings.NewReader(in), Undirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d, want 3, 2", g.N(), g.M())
+	}
+}
+
+func TestReadEdgeListSkipsSelfLoops(t *testing.T) {
+	in := "0 0\n0 1\n1 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in), Undirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("m=%d, want 1 (self-loops skipped)", g.M())
+	}
+}
+
+func TestReadEdgeListCollapsesBothDirections(t *testing.T) {
+	in := "0 1\n1 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in), Undirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("m=%d, want 1", g.M())
+	}
+}
+
+func TestReadEdgeListWeighted(t *testing.T) {
+	in := "0 1 2.5\n1 2 1.5\n"
+	g, err := ReadEdgeList(strings.NewReader(in), Undirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Fatal("expected weighted graph")
+	}
+	if got := g.WeightDegree(1); got != 4 {
+		t.Fatalf("WeightDegree(1) = %v, want 4", got)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name, in string
+	}{
+		{"too many fields", "0 1 2 3\n"},
+		{"one field", "7\n"},
+		{"bad id", "a b\n"},
+		{"negative id", "-1 2\n"},
+		{"bad weight", "0 1 x\n"},
+		{"nonpositive weight", "0 1 0\n"},
+	} {
+		if _, err := ReadEdgeList(strings.NewReader(tc.in), Undirected); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	if _, err := ReadEdgeList(strings.NewReader("# only comments\n"), Undirected); !errors.Is(err, ErrEmptyGraph) {
+		t.Errorf("empty input: got %v, want ErrEmptyGraph", err)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	orig, err := BarabasiAlbert(100, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf, Undirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != orig.N() || back.M() != orig.M() {
+		t.Fatalf("round trip changed size: %d/%d -> %d/%d", orig.N(), orig.M(), back.N(), back.M())
+	}
+}
+
+func TestEdgeListRoundTripWeighted(t *testing.T) {
+	b := NewBuilder(3, Undirected)
+	b.AddWeightedEdge(0, 1, 2.5)
+	b.AddWeightedEdge(1, 2, 0.5)
+	orig, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf, Undirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Weighted() || back.WeightDegree(1) != 3 {
+		t.Fatalf("weighted round trip broken: weighted=%v deg=%v", back.Weighted(), back.WeightDegree(1))
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	orig := MustFromEdgeList(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if err := orig.SaveEdgeListFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEdgeListFile(path, Undirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 4 || back.M() != 3 {
+		t.Fatalf("file round trip: n=%d m=%d", back.N(), back.M())
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := LoadEdgeListFile("/nonexistent/file.txt", Undirected); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

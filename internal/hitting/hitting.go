@@ -1,0 +1,246 @@
+// Package hitting computes exact L-length random-walk hitting quantities by
+// dynamic programming, implementing Theorems 2.1, 2.2 and 2.3 of the paper:
+//
+//   - h^L_{uv}: expected hitting time from node u to node v (Eq. 2),
+//   - h^L_{uS}: generalized hitting time from u to a set S (Eq. 4),
+//   - p^L_{uS}: probability that an L-length walk from u hits S (Eq. 8),
+//
+// together with the two objective functions built on them,
+// F1(S) = nL − Σ_{u∈V\S} h^L_{uS} and F2(S) = Σ_{u∈V} p^L_{uS}.
+//
+// A single evaluation of h^L_{·S} or p^L_{·S} for all sources costs O(mL)
+// time and O(n) space, which is what makes the DP-based greedy algorithm
+// O(k n m L) overall and motivates the paper's approximate algorithm.
+package hitting
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Evaluator computes exact hitting quantities on a fixed graph with a fixed
+// walk-length bound L, reusing internal buffers across calls. It is not safe
+// for concurrent use; create one Evaluator per goroutine.
+type Evaluator struct {
+	g *graph.Graph
+	l int
+
+	invDeg []float64 // 1/weightDegree(u), 0 for isolated nodes
+	inS    []bool
+	prev   []float64
+	cur    []float64
+	out    []float64
+}
+
+// NewEvaluator returns an evaluator for graph g with walk length bound L.
+// L must be non-negative.
+func NewEvaluator(g *graph.Graph, L int) (*Evaluator, error) {
+	if L < 0 {
+		return nil, fmt.Errorf("hitting: negative walk length %d", L)
+	}
+	n := g.N()
+	e := &Evaluator{
+		g:      g,
+		l:      L,
+		invDeg: make([]float64, n),
+		inS:    make([]bool, n),
+		prev:   make([]float64, n),
+		cur:    make([]float64, n),
+	}
+	for u := 0; u < n; u++ {
+		if d := g.WeightDegree(u); d > 0 {
+			e.invDeg[u] = 1 / d
+		}
+	}
+	return e, nil
+}
+
+// L returns the walk length bound.
+func (e *Evaluator) L() int { return e.l }
+
+// Graph returns the underlying graph.
+func (e *Evaluator) Graph() *graph.Graph { return e.g }
+
+func (e *Evaluator) setS(S []int) error {
+	for i := range e.inS {
+		e.inS[i] = false
+	}
+	for _, v := range S {
+		if v < 0 || v >= e.g.N() {
+			return fmt.Errorf("hitting: set member %d out of range [0,%d): %w", v, e.g.N(), graph.ErrNodeRange)
+		}
+		e.inS[v] = true
+	}
+	return nil
+}
+
+// HitTimesToSet fills dst (allocating if nil or short) with h^L_{uS} for
+// every source u and returns it. Members of S have hitting time 0; nodes
+// that cannot reach S within L hops (including isolated nodes) have hitting
+// time L, per Eq. (3): T^L_{uS} is capped at L.
+//
+// The recursion of Eq. (4) is evaluated bottom-up over walk lengths
+// l = 0..L: h^0 ≡ 0 and h^l(u) = 1 + Σ_w p_uw · h^{l−1}(w) for u ∉ S, with
+// h^{l−1}(w) = 0 for w ∈ S (walks terminate on entering S). Isolated nodes
+// outside S are pinned at l directly because they have no outgoing
+// transition: their walk never moves, so T = L.
+func (e *Evaluator) HitTimesToSet(S []int, dst []float64) ([]float64, error) {
+	if err := e.setS(S); err != nil {
+		return nil, err
+	}
+	n := e.g.N()
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+
+	prev, cur := e.prev, e.cur
+	for u := range prev {
+		prev[u] = 0 // h^0 ≡ 0
+	}
+	for l := 1; l <= e.l; l++ {
+		for u := 0; u < n; u++ {
+			switch {
+			case e.inS[u]:
+				cur[u] = 0
+			case e.invDeg[u] == 0:
+				cur[u] = float64(l) // isolated: the walk never moves
+			default:
+				sum := 0.0
+				row := e.g.Neighbors(u)
+				if ws := e.g.NeighborWeights(u); ws != nil {
+					for i, w := range row {
+						sum += ws[i] * prev[w]
+					}
+				} else {
+					for _, w := range row {
+						sum += prev[w]
+					}
+				}
+				cur[u] = 1 + sum*e.invDeg[u]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	copy(dst, prev)
+	e.prev, e.cur = prev, cur
+	return dst, nil
+}
+
+// HitTimeToNode returns h^L_{uv} for all sources u (Theorem 2.1), the
+// single-target special case of HitTimesToSet.
+func (e *Evaluator) HitTimeToNode(v int, dst []float64) ([]float64, error) {
+	return e.HitTimesToSet([]int{v}, dst)
+}
+
+// HitProbsToSet fills dst with p^L_{uS} for every source u and returns it
+// (Theorem 2.3): p^0(u) = [u ∈ S]; for l > 0, p^l(u) = 1 if u ∈ S and
+// Σ_w p_uw · p^{l−1}(w) otherwise.
+func (e *Evaluator) HitProbsToSet(S []int, dst []float64) ([]float64, error) {
+	if err := e.setS(S); err != nil {
+		return nil, err
+	}
+	n := e.g.N()
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+
+	prev, cur := e.prev, e.cur
+	for u := 0; u < n; u++ {
+		if e.inS[u] {
+			prev[u] = 1
+		} else {
+			prev[u] = 0
+		}
+	}
+	for l := 1; l <= e.l; l++ {
+		for u := 0; u < n; u++ {
+			switch {
+			case e.inS[u]:
+				cur[u] = 1
+			case e.invDeg[u] == 0:
+				cur[u] = 0
+			default:
+				sum := 0.0
+				row := e.g.Neighbors(u)
+				if ws := e.g.NeighborWeights(u); ws != nil {
+					for i, w := range row {
+						sum += ws[i] * prev[w]
+					}
+				} else {
+					for _, w := range row {
+						sum += prev[w]
+					}
+				}
+				cur[u] = sum * e.invDeg[u]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	copy(dst, prev)
+	e.prev, e.cur = prev, cur
+	return dst, nil
+}
+
+// F1 returns the exact Problem-1 objective F1(S) = nL − Σ_{u∈V\S} h^L_{uS}
+// (Eq. 6). F1(∅) = 0 and F1 is nondecreasing submodular (Theorem 3.1).
+func (e *Evaluator) F1(S []int) (float64, error) {
+	h, err := e.HitTimesToSet(S, e.scratch())
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for u, hu := range h {
+		if !e.inS[u] {
+			total += hu
+		}
+	}
+	return float64(e.g.N())*float64(e.l) - total, nil
+}
+
+// AverageHittingTime returns M1(S) = Σ_{u∈V\S} h^L_{uS} / |V\S|, the paper's
+// AHT effectiveness metric, computed exactly. If S covers all of V it
+// returns 0.
+func (e *Evaluator) AverageHittingTime(S []int) (float64, error) {
+	h, err := e.HitTimesToSet(S, e.scratch())
+	if err != nil {
+		return 0, err
+	}
+	total, cnt := 0.0, 0
+	for u, hu := range h {
+		if !e.inS[u] {
+			total += hu
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0, nil
+	}
+	return total / float64(cnt), nil
+}
+
+// F2 returns the exact Problem-2 objective F2(S) = Σ_{u∈V} p^L_{uS} (Eq. 7),
+// which also equals the paper's EHN effectiveness metric M2(S). F2(∅) = 0
+// and F2 is nondecreasing submodular (Theorem 3.2).
+func (e *Evaluator) F2(S []int) (float64, error) {
+	p, err := e.HitProbsToSet(S, e.scratch())
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, pu := range p {
+		total += pu
+	}
+	return total, nil
+}
+
+// scratch returns a per-evaluator output buffer, grown on demand. F1/F2
+// reuse it across calls so repeated objective evaluations do not allocate.
+func (e *Evaluator) scratch() []float64 {
+	if e.out == nil {
+		e.out = make([]float64, e.g.N())
+	}
+	return e.out
+}

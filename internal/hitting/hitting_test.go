@@ -1,0 +1,494 @@
+package hitting
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+const eps = 1e-12
+
+func mustEval(t *testing.T, g *graph.Graph, L int) *Evaluator {
+	t.Helper()
+	e, err := NewEvaluator(g, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNegativeLRejected(t *testing.T) {
+	g := graph.MustFromEdgeList(2, [][2]int{{0, 1}})
+	if _, err := NewEvaluator(g, -1); err == nil {
+		t.Fatal("expected error for negative L")
+	}
+}
+
+func TestSetMemberOutOfRange(t *testing.T) {
+	g := graph.MustFromEdgeList(2, [][2]int{{0, 1}})
+	e := mustEval(t, g, 3)
+	if _, err := e.HitTimesToSet([]int{5}, nil); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := e.HitProbsToSet([]int{-1}, nil); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestTwoNodeHit(t *testing.T) {
+	// 0-1: from 0 the walk deterministically steps to 1.
+	g := graph.MustFromEdgeList(2, [][2]int{{0, 1}})
+	for _, L := range []int{1, 2, 5} {
+		e := mustEval(t, g, L)
+		h, err := e.HitTimeToNode(1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h[1] != 0 {
+			t.Fatalf("L=%d: h[target] = %v, want 0", L, h[1])
+		}
+		if math.Abs(h[0]-1) > eps {
+			t.Fatalf("L=%d: h[0] = %v, want 1", L, h[0])
+		}
+	}
+}
+
+func TestPathThreeHandComputed(t *testing.T) {
+	// 0-1-2, S={2}, L=2. From 0: always 0->1->*, never hits within budget
+	// except via cap: T=2 surely, h=2. From 1: hits at step 1 w.p. 1/2, else
+	// capped at 2: h = 1.5.
+	g := graph.MustFromEdgeList(3, [][2]int{{0, 1}, {1, 2}})
+	e := mustEval(t, g, 2)
+	h, err := e.HitTimesToSet([]int{2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h[0]-2) > eps || math.Abs(h[1]-1.5) > eps || h[2] != 0 {
+		t.Fatalf("h = %v, want [2 1.5 0]", h)
+	}
+	p, err := e.HitProbsToSet([]int{2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-0.5) > eps || math.Abs(p[1]-0.5) > eps || p[2] != 1 {
+		t.Fatalf("p = %v, want [0.5 0.5 1]", p)
+	}
+}
+
+func TestStarHub(t *testing.T) {
+	// Star with hub 0: every leaf steps to the hub in exactly 1 hop.
+	g, _ := graph.Star(10)
+	e := mustEval(t, g, 4)
+	h, err := e.HitTimesToSet([]int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u < 10; u++ {
+		if math.Abs(h[u]-1) > eps {
+			t.Fatalf("h[%d] = %v, want 1", u, h[u])
+		}
+	}
+	p, _ := e.HitProbsToSet([]int{0}, nil)
+	for u := 1; u < 10; u++ {
+		if math.Abs(p[u]-1) > eps {
+			t.Fatalf("p[%d] = %v, want 1", u, p[u])
+		}
+	}
+}
+
+func TestLZeroBoundary(t *testing.T) {
+	// L=0: T^0 = 0 always, so h ≡ 0; p^0 is the indicator of S.
+	g := graph.MustFromEdgeList(3, [][2]int{{0, 1}, {1, 2}})
+	e := mustEval(t, g, 0)
+	h, _ := e.HitTimesToSet([]int{1}, nil)
+	for u, hu := range h {
+		if hu != 0 {
+			t.Fatalf("h[%d] = %v at L=0, want 0", u, hu)
+		}
+	}
+	p, _ := e.HitProbsToSet([]int{1}, nil)
+	want := []float64{0, 1, 0}
+	for u := range p {
+		if p[u] != want[u] {
+			t.Fatalf("p = %v at L=0, want %v", p, want)
+		}
+	}
+	f1, _ := e.F1([]int{1})
+	if f1 != 0 {
+		t.Fatalf("F1 = %v at L=0, want 0", f1)
+	}
+	f2, _ := e.F2([]int{1})
+	if f2 != 1 {
+		t.Fatalf("F2 = %v at L=0, want 1 (the member itself)", f2)
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	// S=∅: T^L = L for every node, so F1(∅) = 0 and F2(∅) = 0.
+	g := graph.MustFromEdgeList(3, [][2]int{{0, 1}, {1, 2}})
+	e := mustEval(t, g, 5)
+	h, _ := e.HitTimesToSet(nil, nil)
+	for u, hu := range h {
+		if math.Abs(hu-5) > eps {
+			t.Fatalf("h[%d] = %v with S=∅, want L=5", u, hu)
+		}
+	}
+	f1, _ := e.F1(nil)
+	if math.Abs(f1) > eps {
+		t.Fatalf("F1(∅) = %v, want 0", f1)
+	}
+	f2, _ := e.F2(nil)
+	if f2 != 0 {
+		t.Fatalf("F2(∅) = %v, want 0", f2)
+	}
+}
+
+func TestIsolatedNode(t *testing.T) {
+	// Node 3 is isolated: it never reaches S, h = L and p = 0; if it is in
+	// S, h = 0 and p = 1.
+	g := graph.MustFromEdgeList(4, [][2]int{{0, 1}, {1, 2}})
+	e := mustEval(t, g, 6)
+	h, _ := e.HitTimesToSet([]int{0}, nil)
+	if math.Abs(h[3]-6) > eps {
+		t.Fatalf("isolated h = %v, want 6", h[3])
+	}
+	p, _ := e.HitProbsToSet([]int{0}, nil)
+	if p[3] != 0 {
+		t.Fatalf("isolated p = %v, want 0", p[3])
+	}
+	h, _ = e.HitTimesToSet([]int{3}, nil)
+	if h[3] != 0 {
+		t.Fatalf("isolated member h = %v, want 0", h[3])
+	}
+	// Connected nodes can never reach the isolated target.
+	if math.Abs(h[0]-6) > eps {
+		t.Fatalf("h[0] to isolated target = %v, want L", h[0])
+	}
+}
+
+func TestHittingTimeBoundedByL(t *testing.T) {
+	// Lemma 2.1: 0 <= h <= L, and 0 <= p <= 1, on random graphs and sets.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(20)
+		m := r.Intn(n*(n-1)/2 + 1)
+		g, err := graph.ErdosRenyi(n, m, seed)
+		if err != nil {
+			return false
+		}
+		L := r.Intn(8)
+		S := []int{r.Intn(n)}
+		if r.Intn(2) == 0 {
+			S = append(S, r.Intn(n))
+		}
+		e, err := NewEvaluator(g, L)
+		if err != nil {
+			return false
+		}
+		h, err := e.HitTimesToSet(S, nil)
+		if err != nil {
+			return false
+		}
+		p, err := e.HitProbsToSet(S, nil)
+		if err != nil {
+			return false
+		}
+		for u := range h {
+			if h[u] < -eps || h[u] > float64(L)+eps {
+				return false
+			}
+			if p[u] < -eps || p[u] > 1+eps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteForce enumerates every L-length walk on g (all degree^L branchings)
+// and returns the exact expected hitting time and hit probability from src
+// to S. Exponential; only for tiny graphs.
+func bruteForce(g *graph.Graph, src int, S map[int]bool, L int) (h, p float64) {
+	var rec func(u int, t int, prob float64)
+	rec = func(u int, t int, prob float64) {
+		if S[u] {
+			h += prob * float64(t)
+			p += prob
+			return
+		}
+		if t == L {
+			h += prob * float64(L)
+			return
+		}
+		row := g.Neighbors(u)
+		if len(row) == 0 {
+			h += prob * float64(L)
+			return
+		}
+		q := prob / float64(len(row))
+		for _, v := range row {
+			rec(int(v), t+1, q)
+		}
+	}
+	rec(src, 0, 1)
+	return h, p
+}
+
+func TestAgainstBruteForceEnumeration(t *testing.T) {
+	// Exact DP must match full walk enumeration on small graphs.
+	graphs := []*graph.Graph{
+		graph.MustFromEdgeList(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}),
+		graph.MustFromEdgeList(5, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}}),
+		graph.PaperExample(),
+	}
+	sets := [][]int{{0}, {2}, {0, 3}, {1, 2}}
+	for gi, g := range graphs {
+		for _, L := range []int{1, 2, 3, 4} {
+			e := mustEval(t, g, L)
+			for _, S := range sets {
+				setMap := map[int]bool{}
+				for _, v := range S {
+					setMap[v] = true
+				}
+				h, err := e.HitTimesToSet(S, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := e.HitProbsToSet(S, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for u := 0; u < g.N(); u++ {
+					wantH, wantP := bruteForce(g, u, setMap, L)
+					if math.Abs(h[u]-wantH) > 1e-9 {
+						t.Fatalf("graph %d L=%d S=%v u=%d: h=%v brute=%v", gi, L, S, u, h[u], wantH)
+					}
+					if math.Abs(p[u]-wantP) > 1e-9 {
+						t.Fatalf("graph %d L=%d S=%v u=%d: p=%v brute=%v", gi, L, S, u, p[u], wantP)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWeightedTransitions(t *testing.T) {
+	// 0-1 (w=3), 1-2 (w=1): from 1 the walk moves to 0 w.p. 3/4, to 2 w.p.
+	// 1/4. With S={2}, L=1: p[1] = 1/4, h[1] = 3/4·1 + 1/4·1 = 1.
+	b := graph.NewBuilder(3, graph.Undirected)
+	b.AddWeightedEdge(0, 1, 3)
+	b.AddWeightedEdge(1, 2, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustEval(t, g, 1)
+	p, _ := e.HitProbsToSet([]int{2}, nil)
+	if math.Abs(p[1]-0.25) > eps {
+		t.Fatalf("weighted p[1] = %v, want 0.25", p[1])
+	}
+	h, _ := e.HitTimesToSet([]int{2}, nil)
+	if math.Abs(h[1]-1) > eps {
+		t.Fatalf("weighted h[1] = %v, want 1", h[1])
+	}
+}
+
+func TestDirectedHit(t *testing.T) {
+	// 0 -> 1 -> 2 directed chain: from 0, S={2}, L=2: the walk must reach 2.
+	b := graph.NewBuilder(3, graph.Directed)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustEval(t, g, 2)
+	p, _ := e.HitProbsToSet([]int{2}, nil)
+	if p[0] != 1 || p[1] != 1 {
+		t.Fatalf("directed p = %v, want [1 1 1]", p)
+	}
+	// Reverse direction: 2 has no out-edges, never reaches 0.
+	p, _ = e.HitProbsToSet([]int{0}, nil)
+	if p[2] != 0 {
+		t.Fatalf("sink node p = %v, want 0", p[2])
+	}
+	h, _ := e.HitTimesToSet([]int{0}, nil)
+	if math.Abs(h[2]-2) > eps {
+		t.Fatalf("sink node h = %v, want L", h[2])
+	}
+}
+
+func TestMonotonicityProperty(t *testing.T) {
+	// Eq. (14): S ⊆ T implies h_uT <= h_uS for all u, hence F1(S) <= F1(T)
+	// and F2(S) <= F2(T).
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(15)
+		g, err := graph.BarabasiAlbert(n, 1+r.Intn(2), seed)
+		if err != nil {
+			return false
+		}
+		L := 1 + r.Intn(6)
+		s1 := r.Intn(n)
+		s2 := r.Intn(n)
+		S := []int{s1}
+		T := []int{s1, s2}
+		e, err := NewEvaluator(g, L)
+		if err != nil {
+			return false
+		}
+		hS, _ := e.HitTimesToSet(S, nil)
+		hT, _ := e.HitTimesToSet(T, make([]float64, n))
+		for u := range hS {
+			if hT[u] > hS[u]+1e-9 {
+				return false
+			}
+		}
+		f1S, _ := e.F1(S)
+		f1T, _ := e.F1(T)
+		f2S, _ := e.F2(S)
+		f2T, _ := e.F2(T)
+		return f1S <= f1T+1e-9 && f2S <= f2T+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubmodularityProperty(t *testing.T) {
+	// Theorems 3.1/3.2: marginal gains shrink as the base set grows:
+	// F(S∪{j}) − F(S) >= F(T∪{j}) − F(T) for S ⊆ T, j ∉ T.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 4 + r.Intn(12)
+		g, err := graph.BarabasiAlbert(n, 1+r.Intn(2), seed)
+		if err != nil {
+			return false
+		}
+		L := 1 + r.Intn(5)
+		perm := r.Perm(n)
+		s1, s2, j := perm[0], perm[1], perm[2]
+		S := []int{s1}
+		T := []int{s1, s2}
+		Sj := []int{s1, j}
+		Tj := []int{s1, s2, j}
+		e, err := NewEvaluator(g, L)
+		if err != nil {
+			return false
+		}
+		for _, obj := range []func([]int) (float64, error){e.F1, e.F2} {
+			fS, _ := obj(S)
+			fT, _ := obj(T)
+			fSj, _ := obj(Sj)
+			fTj, _ := obj(Tj)
+			if (fSj-fS)+1e-9 < (fTj - fT) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestF1Formula(t *testing.T) {
+	// F1(S) must equal nL − Σ_{u∉S} h_uS recomputed independently.
+	g := graph.PaperExample()
+	e := mustEval(t, g, 4)
+	S := []int{1, 6}
+	h, _ := e.HitTimesToSet(S, nil)
+	want := float64(g.N()) * 4
+	for u, hu := range h {
+		if u != 1 && u != 6 {
+			want -= hu
+		}
+	}
+	got, _ := e.F1(S)
+	if math.Abs(got-want) > eps {
+		t.Fatalf("F1 = %v, want %v", got, want)
+	}
+}
+
+func TestAverageHittingTime(t *testing.T) {
+	g, _ := graph.Star(5)
+	e := mustEval(t, g, 3)
+	aht, err := e.AverageHittingTime([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(aht-1) > eps {
+		t.Fatalf("AHT = %v, want 1 (all leaves hit hub in one hop)", aht)
+	}
+	// Full cover: AHT defined as 0.
+	all := []int{0, 1, 2, 3, 4}
+	aht, err = e.AverageHittingTime(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aht != 0 {
+		t.Fatalf("AHT over full set = %v, want 0", aht)
+	}
+}
+
+func TestHitProbMonotoneInL(t *testing.T) {
+	// p^L_uS is nondecreasing in L: longer walks can only hit more.
+	g, _ := graph.BarabasiAlbert(50, 2, 3)
+	S := []int{0, 7}
+	prev := make([]float64, g.N())
+	for L := 0; L <= 8; L++ {
+		e := mustEval(t, g, L)
+		p, _ := e.HitProbsToSet(S, nil)
+		for u := range p {
+			if p[u]+1e-12 < prev[u] {
+				t.Fatalf("p_u%d decreased from %v to %v at L=%d", u, prev[u], p[u], L)
+			}
+		}
+		copy(prev, p)
+	}
+}
+
+func TestBufferReuse(t *testing.T) {
+	// Passing a dst buffer avoids allocation and returns the same backing.
+	g, _ := graph.Path(10)
+	e := mustEval(t, g, 3)
+	buf := make([]float64, 10)
+	out, err := e.HitTimesToSet([]int{0}, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &buf[0] {
+		t.Fatal("dst buffer was not reused")
+	}
+}
+
+func BenchmarkHitTimesToSet(b *testing.B) {
+	g, _ := graph.BarabasiAlbert(1000, 5, 1)
+	e, _ := NewEvaluator(g, 10)
+	S := []int{1, 2, 3}
+	buf := make([]float64, g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.HitTimesToSet(S, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF2(b *testing.B) {
+	g, _ := graph.BarabasiAlbert(1000, 5, 1)
+	e, _ := NewEvaluator(g, 10)
+	S := []int{1, 2, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.F2(S); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

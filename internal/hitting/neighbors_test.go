@@ -1,0 +1,206 @@
+package hitting
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestHitTimeMatrixConsistency(t *testing.T) {
+	// Matrix entries must equal single-target DP results, diag must be 0.
+	g := graph.PaperExample()
+	e := mustEval(t, g, 4)
+	h, err := e.HitTimeMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		col, _ := e.HitTimeToNode(v, nil)
+		for u := 0; u < g.N(); u++ {
+			if h[u][v] != col[u] {
+				t.Fatalf("H[%d][%d] = %v, single-target %v", u, v, h[u][v], col[u])
+			}
+		}
+		if h[v][v] != 0 {
+			t.Fatalf("diagonal H[%d][%d] = %v", v, v, h[v][v])
+		}
+	}
+}
+
+func TestHitTimesFromSourceMatchesMatrix(t *testing.T) {
+	// The row query must agree with the column DP on every entry.
+	for _, gg := range []*graph.Graph{
+		graph.PaperExample(),
+		graph.MustFromEdgeList(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}),
+	} {
+		for _, L := range []int{1, 3, 5} {
+			e := mustEval(t, gg, L)
+			m, err := e.HitTimeMatrix()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := 0; s < gg.N(); s++ {
+				row, err := e.HitTimesFromSource(s, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for u := 0; u < gg.N(); u++ {
+					if math.Abs(row[u]-m[s][u]) > 1e-9 {
+						t.Fatalf("L=%d: h[%d][%d]: row %v matrix %v", L, s, u, row[u], m[s][u])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHitTimesFromSourceIsolated(t *testing.T) {
+	g := graph.MustFromEdgeList(3, [][2]int{{0, 1}}) // node 2 isolated
+	e := mustEval(t, g, 4)
+	row, err := e.HitTimesFromSource(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != 4 || row[1] != 4 || row[2] != 0 {
+		t.Fatalf("isolated source row %v, want [4 4 0]", row)
+	}
+	// Reaching an isolated target is impossible too.
+	row, _ = e.HitTimesFromSource(0, nil)
+	if row[2] != 4 {
+		t.Fatalf("h[0][isolated] = %v, want L", row[2])
+	}
+}
+
+func TestCommuteTimeSymmetric(t *testing.T) {
+	g := graph.PaperExample()
+	e := mustEval(t, g, 4)
+	a, err := e.CommuteTime(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.CommuteTime(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("commute time asymmetric: %v vs %v", a, b)
+	}
+	self, _ := e.CommuteTime(3, 3)
+	if self != 0 {
+		t.Fatalf("self commute time %v", self)
+	}
+	if _, err := e.CommuteTime(-1, 0); err == nil {
+		t.Error("bad endpoint accepted")
+	}
+}
+
+func TestCommuteTimeEqualsSumOfHittingTimes(t *testing.T) {
+	g, _ := graph.BarabasiAlbert(30, 2, 5)
+	e := mustEval(t, g, 5)
+	m, _ := e.HitTimeMatrix()
+	for _, pair := range [][2]int{{0, 7}, {3, 19}, {12, 4}} {
+		u, v := pair[0], pair[1]
+		c, err := e.CommuteTime(u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := m[u][v] + m[v][u]; math.Abs(c-want) > 1e-9 {
+			t.Fatalf("c(%d,%d) = %v, want %v", u, v, c, want)
+		}
+	}
+}
+
+func TestClosestByHittingTime(t *testing.T) {
+	// On a star with target = hub, every leaf has hitting time exactly 1;
+	// ties broken by id.
+	g, _ := graph.Star(8)
+	e := mustEval(t, g, 3)
+	nb, err := e.ClosestByHittingTime(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nb) != 3 || nb[0].Node != 1 || nb[1].Node != 2 || nb[2].Node != 3 {
+		t.Fatalf("closest to hub: %+v", nb)
+	}
+	for _, x := range nb {
+		if x.Value != 1 {
+			t.Fatalf("leaf hitting time %v, want 1", x.Value)
+		}
+	}
+	// Path: closeness ordering follows distance.
+	p, _ := graph.Path(6)
+	ep := mustEval(t, p, 5)
+	nb, _ = ep.ClosestByHittingTime(0, 2)
+	if nb[0].Node != 1 {
+		t.Fatalf("closest to end of path: %+v", nb)
+	}
+}
+
+func TestClosestByCommuteTime(t *testing.T) {
+	g, _ := graph.BarabasiAlbert(40, 2, 7)
+	e := mustEval(t, g, 5)
+	nb, err := e.ClosestByCommuteTime(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nb) != 5 {
+		t.Fatalf("got %d neighbors", len(nb))
+	}
+	m, _ := e.HitTimeMatrix()
+	for i, x := range nb {
+		want := m[x.Node][0] + m[0][x.Node]
+		if math.Abs(x.Value-want) > 1e-9 {
+			t.Fatalf("neighbor %d: value %v, want %v", x.Node, x.Value, want)
+		}
+		if i > 0 && nb[i].Value < nb[i-1].Value {
+			t.Fatal("neighbors not sorted")
+		}
+	}
+}
+
+func TestClosestValidation(t *testing.T) {
+	g, _ := graph.Path(4)
+	e := mustEval(t, g, 3)
+	if _, err := e.ClosestByHittingTime(9, 1); err == nil {
+		t.Error("bad target accepted")
+	}
+	if _, err := e.ClosestByHittingTime(0, -1); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := e.ClosestByCommuteTime(-1, 1); err == nil {
+		t.Error("bad target accepted")
+	}
+	if _, err := e.ClosestByCommuteTime(0, -1); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := e.HitTimesFromSource(77, nil); err == nil {
+		t.Error("bad source accepted")
+	}
+	// k > n−1 clamps.
+	nb, err := e.ClosestByHittingTime(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nb) != 3 {
+		t.Fatalf("clamped k gave %d neighbors", len(nb))
+	}
+}
+
+func TestHitTimesFromSourceDirected(t *testing.T) {
+	// Directed chain 0->1->2: from 0 everything is reachable at its
+	// distance, from 2 nothing is.
+	b := graph.NewBuilder(3, graph.Directed)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g, _ := b.Build()
+	e := mustEval(t, g, 4)
+	row, _ := e.HitTimesFromSource(0, nil)
+	if row[1] != 1 || row[2] != 2 {
+		t.Fatalf("directed row from 0: %v", row)
+	}
+	row, _ = e.HitTimesFromSource(2, nil)
+	if row[0] != 4 || row[1] != 4 {
+		t.Fatalf("directed row from sink: %v, want L everywhere", row)
+	}
+}

@@ -1,0 +1,54 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzReadIndex asserts the index deserializer never panics and never
+// accepts a stream whose contents would later break a greedy run.
+func FuzzReadIndex(f *testing.F) {
+	g, err := graph.BarabasiAlbert(30, 2, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ix, err := Build(g, 3, 2, 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("RWDOMIDX garbage"))
+	f.Add([]byte{})
+	// A few single-byte corruptions of the valid stream.
+	for _, pos := range []int{0, 8, 16, 40, len(valid) - 1} {
+		if pos >= 0 && pos < len(valid) {
+			mut := append([]byte(nil), valid...)
+			mut[pos] ^= 0xFF
+			f.Add(mut)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := ReadIndex(bytes.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		// Whatever was accepted must be safe to select against.
+		d, err := loaded.NewDTable(Problem1)
+		if err != nil {
+			t.Fatalf("accepted index rejects DTable: %v", err)
+		}
+		for u := 0; u < g.N(); u++ {
+			_ = d.Gain(u)
+		}
+		d.Update(0)
+		_ = d.Gain(1)
+	})
+}

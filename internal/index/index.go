@@ -1,0 +1,440 @@
+// Package index implements the sample-materialization machinery of Section
+// 3.2 of the paper: the inverted index I[1:R][1:n] over R materialized
+// L-length random walks per node (Algorithm 3), the D[1:R][1:n] table of
+// per-sample hitting estimates, the approximate marginal-gain computation
+// (Algorithm 4), and the incremental update after a node is selected
+// (Algorithm 5).
+//
+// The index stores, for each sample replicate i and each node v, the list of
+// source nodes whose i-th walk visits v, together with the hop of the first
+// visit. Entry <w, j> in I[i][v] means "w hits v at hop j in its i-th walk".
+// With the index materialized once, the marginal gain of every candidate
+// under any current set S can be estimated without re-running walks, which
+// is what brings the greedy algorithm down to O(kRLn) time.
+//
+// One deviation from the paper's presentation: Algorithm 3 stores weight 1
+// for Problem 2, building a second index. Here a single index stores the
+// actual first-visit hop and the Problem-2 logic simply ignores the hop
+// (treating every entry as an indicator), which is arithmetically identical
+// and halves memory when both problems are run on the same graph.
+package index
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Problem selects which objective the D-table tracks.
+type Problem int
+
+const (
+	// Problem1 is total-hitting-time minimization (Eq. 6): D[i][u] holds the
+	// per-sample hitting time of u's walk to S, initialized to L.
+	Problem1 Problem = 1
+	// Problem2 is expected-dominated-count maximization (Eq. 7): D[i][u]
+	// holds the per-sample indicator that u's walk hits S, initialized to 0.
+	Problem2 Problem = 2
+)
+
+func (p Problem) String() string {
+	switch p {
+	case Problem1:
+		return "F1"
+	case Problem2:
+		return "F2"
+	default:
+		return fmt.Sprintf("Problem(%d)", int(p))
+	}
+}
+
+// Index is the immutable inverted index of Algorithm 3. It is safe for
+// concurrent readers; D-tables carry the mutable state.
+type Index struct {
+	g *graph.Graph
+	l int
+	r int
+
+	// Row (i, v) occupies ids[offsets[i*n+v]:offsets[i*n+v+1]] with parallel
+	// first-visit hops in hops. Entries are (source node, hop of first
+	// visit); a source appears at most once per row.
+	offsets []int64
+	ids     []int32
+	hops    []uint16
+}
+
+// Build materializes R L-length random walks per node and constructs the
+// inverted index (Algorithm 3), single-threaded. Memory is O(nRL); to avoid
+// a third copy of the walk data during construction, walks are generated
+// twice — once to count row sizes, once to fill rows. Each (node, replicate)
+// walk is seeded independently from the master seed, so regeneration is
+// exact and the parallel builder produces the same walks.
+func Build(g *graph.Graph, L, R int, seed uint64) (*Index, error) {
+	return BuildWorkers(g, L, R, seed, 1)
+}
+
+// BuildWorkers is Build sharded over the given number of goroutines.
+// The walk set is identical for every worker count (per-walk seeding);
+// only the order of entries within an index row may differ, which no
+// consumer observes: Gain and EstimateObjective accumulate in integers, so
+// selections are bit-for-bit reproducible regardless of parallelism.
+func BuildWorkers(g *graph.Graph, L, R int, seed uint64, workers int) (*Index, error) {
+	if L < 0 {
+		return nil, fmt.Errorf("index: negative walk length %d", L)
+	}
+	if L > 1<<16-1 {
+		return nil, fmt.Errorf("index: walk length %d exceeds hop storage (max %d)", L, 1<<16-1)
+	}
+	if R <= 0 {
+		return nil, fmt.Errorf("index: sample size R = %d, want > 0", R)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	n := g.N()
+	if workers > n {
+		workers = n
+	}
+	ix := &Index{g: g, l: L, r: R}
+	rows := R * n
+	counts := make([]int64, rows+1)
+
+	// walkVisit invokes emit(v, hop) for the first visit of each node other
+	// than the start on the i-th walk of node w. visited is a
+	// generation-stamped scratch array owned by the calling worker.
+	walkVisit := func(visited []uint32, generation *uint32, w, i int, emit func(v int32, hop uint16)) {
+		rnd := rng.New(rng.Mix(seed, uint64(w), uint64(i)))
+		*generation++
+		visited[w] = *generation
+		u := w
+		for j := 1; j <= L; j++ {
+			v := g.PickNeighbor(u, rnd.Float64())
+			if v < 0 {
+				return
+			}
+			if visited[v] != *generation {
+				visited[v] = *generation
+				emit(int32(v), uint16(j))
+			}
+			u = v
+		}
+	}
+
+	// shard runs fn(w) for every node in a worker-private range.
+	shard := func(fn func(worker, lo, hi int)) {
+		if workers == 1 {
+			fn(0, 0, n)
+			return
+		}
+		var wg sync.WaitGroup
+		per := (n + workers - 1) / workers
+		for wk := 0; wk < workers; wk++ {
+			lo := wk * per
+			hi := lo + per
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(wk, lo, hi int) {
+				defer wg.Done()
+				fn(wk, lo, hi)
+			}(wk, lo, hi)
+		}
+		wg.Wait()
+	}
+
+	// Pass 1: count entries per (i, v) row. Counts are incremented
+	// atomically; contention is negligible because rows are numerous.
+	shard(func(_, lo, hi int) {
+		visited := make([]uint32, n)
+		var generation uint32
+		for w := lo; w < hi; w++ {
+			for i := 0; i < R; i++ {
+				base := int64(i) * int64(n)
+				walkVisit(visited, &generation, w, i, func(v int32, hop uint16) {
+					atomic.AddInt64(&counts[base+int64(v)+1], 1)
+				})
+			}
+		}
+	})
+	ix.offsets = counts
+	for i := 1; i <= rows; i++ {
+		ix.offsets[i] += ix.offsets[i-1]
+	}
+	total := ix.offsets[rows]
+	ix.ids = make([]int32, total)
+	ix.hops = make([]uint16, total)
+
+	// Pass 2: regenerate the identical walks and fill rows, claiming slots
+	// with an atomic cursor per row.
+	cursor := make([]int64, rows)
+	copy(cursor, ix.offsets[:rows])
+	shard(func(_, lo, hi int) {
+		visited := make([]uint32, n)
+		var generation uint32
+		for w := lo; w < hi; w++ {
+			ww := int32(w)
+			for i := 0; i < R; i++ {
+				base := int64(i) * int64(n)
+				walkVisit(visited, &generation, w, i, func(v int32, hop uint16) {
+					row := base + int64(v)
+					c := atomic.AddInt64(&cursor[row], 1) - 1
+					ix.ids[c] = ww
+					ix.hops[c] = hop
+				})
+			}
+		}
+	})
+	return ix, nil
+}
+
+// BuildFromWalks constructs an index from explicitly provided walks instead
+// of sampling them: walks[w][i] is the i-th walk of node w and must begin at
+// w. It is used by tests to reproduce the paper's worked example (Example
+// 3.1 / Table 1) exactly, and by callers that generate walks elsewhere.
+func BuildFromWalks(g *graph.Graph, L, R int, walks [][][]int32) (*Index, error) {
+	if L < 0 || L > 1<<16-1 {
+		return nil, fmt.Errorf("index: walk length %d out of range", L)
+	}
+	if R <= 0 {
+		return nil, fmt.Errorf("index: sample size R = %d, want > 0", R)
+	}
+	n := g.N()
+	if len(walks) != n {
+		return nil, fmt.Errorf("index: walks for %d nodes, graph has %d", len(walks), n)
+	}
+	ix := &Index{g: g, l: L, r: R}
+	rows := R * n
+	counts := make([]int64, rows+1)
+	visited := make([]uint32, n)
+	var generation uint32
+
+	firstVisits := func(w, i int, emit func(v int32, hop uint16)) error {
+		walk := walks[w][i]
+		if len(walk) == 0 || int(walk[0]) != w {
+			return fmt.Errorf("index: walk %d of node %d does not start at %d", i, w, w)
+		}
+		if len(walk) > L+1 {
+			return fmt.Errorf("index: walk %d of node %d has %d positions, max L+1=%d", i, w, len(walk), L+1)
+		}
+		generation++
+		visited[w] = generation
+		for j := 1; j < len(walk); j++ {
+			v := walk[j]
+			if v < 0 || int(v) >= n {
+				return fmt.Errorf("index: walk %d of node %d visits out-of-range node %d", i, w, v)
+			}
+			if visited[v] != generation {
+				visited[v] = generation
+				emit(v, uint16(j))
+			}
+		}
+		return nil
+	}
+
+	for w := 0; w < n; w++ {
+		if len(walks[w]) != R {
+			return nil, fmt.Errorf("index: node %d has %d walks, want R=%d", w, len(walks[w]), R)
+		}
+		for i := 0; i < R; i++ {
+			base := int64(i) * int64(n)
+			if err := firstVisits(w, i, func(v int32, hop uint16) {
+				counts[base+int64(v)+1]++
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ix.offsets = counts
+	for i := 1; i <= rows; i++ {
+		ix.offsets[i] += ix.offsets[i-1]
+	}
+	total := ix.offsets[rows]
+	ix.ids = make([]int32, total)
+	ix.hops = make([]uint16, total)
+	cursor := make([]int64, rows)
+	copy(cursor, ix.offsets[:rows])
+	for w := 0; w < n; w++ {
+		ww := int32(w)
+		for i := 0; i < R; i++ {
+			base := int64(i) * int64(n)
+			if err := firstVisits(w, i, func(v int32, hop uint16) {
+				row := base + int64(v)
+				c := cursor[row]
+				ix.ids[c] = ww
+				ix.hops[c] = hop
+				cursor[row] = c + 1
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ix, nil
+}
+
+// Graph returns the indexed graph.
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// L returns the walk-length bound the index was built with.
+func (ix *Index) L() int { return ix.l }
+
+// R returns the number of sample replicates per node.
+func (ix *Index) R() int { return ix.r }
+
+// Entries returns the number of materialized (source, first-visit) pairs;
+// it is bounded by nRL.
+func (ix *Index) Entries() int64 { return ix.offsets[len(ix.offsets)-1] }
+
+// Row returns the sources that hit node v in replicate i and their
+// first-visit hops. The slices alias index storage and must not be modified.
+func (ix *Index) Row(i, v int) (ids []int32, hops []uint16) {
+	row := int64(i)*int64(ix.g.N()) + int64(v)
+	lo, hi := ix.offsets[row], ix.offsets[row+1]
+	return ix.ids[lo:hi], ix.hops[lo:hi]
+}
+
+// MemoryBytes reports the approximate heap footprint of the index, used by
+// the scalability experiment to confirm O(nRL + m) space.
+func (ix *Index) MemoryBytes() int64 {
+	return int64(len(ix.offsets))*8 + int64(len(ix.ids))*4 + int64(len(ix.hops))*2
+}
+
+// DTable is the mutable D[1:R][1:n] array of Algorithms 4–6, tracking the
+// per-sample hitting estimate of each node's walks under the current set S.
+// A DTable belongs to a single greedy run and is not safe for concurrent
+// mutation.
+type DTable struct {
+	ix      *Index
+	problem Problem
+	d       []uint16 // row-major: d[i*n+u]
+	size    int      // |S| so far
+}
+
+// NewDTable returns a fresh D-table for the given problem: initialized to L
+// everywhere for Problem 1 ("h_uS = L given S = ∅", Algorithm 6 line 3) and
+// to 0 everywhere for Problem 2.
+func (ix *Index) NewDTable(p Problem) (*DTable, error) {
+	if p != Problem1 && p != Problem2 {
+		return nil, fmt.Errorf("index: unknown problem %d", int(p))
+	}
+	d := &DTable{ix: ix, problem: p, d: make([]uint16, ix.r*ix.g.N())}
+	if p == Problem1 {
+		l := uint16(ix.l)
+		for i := range d.d {
+			d.d[i] = l
+		}
+	}
+	return d, nil
+}
+
+// Problem returns which objective this table tracks.
+func (t *DTable) Problem() Problem { return t.problem }
+
+// Clone returns an independent copy of the table, used to evaluate
+// hypothetical selections without disturbing the greedy state.
+func (t *DTable) Clone() *DTable {
+	d := make([]uint16, len(t.d))
+	copy(d, t.d)
+	return &DTable{ix: t.ix, problem: t.problem, d: d, size: t.size}
+}
+
+// Size returns the number of Update calls applied, i.e. |S|.
+func (t *DTable) Size() int { return t.size }
+
+// Gain implements Algorithm 4: the approximate marginal gain of adding u to
+// the current set, averaged over the R replicates.
+//
+// For Problem 1 this estimates F1(S∪{u}) − F1(S) under the Eq. (6) form
+// F1(S) = nL − Σ_{u∈V\S} h^L_{uS}, which equals h_uS + Σ_w (h_wS − h_wSu).
+// (The paper states σ_u = ... − L because its complexity analysis uses the
+// alternative form Σ_{u∈V\S}(L − h_uS); the two differ by the constant L per
+// added node and induce the same argmax, as the paper notes.) For Problem 2
+// it estimates F2(S∪{u}) − F2(S) directly.
+func (t *DTable) Gain(u int) float64 {
+	n := t.ix.g.N()
+	var acc int64
+	if t.problem == Problem1 {
+		for i := 0; i < t.ix.r; i++ {
+			base := i * n
+			acc += int64(t.d[base+u])
+			ids, hops := t.ix.Row(i, u)
+			for e, v := range ids {
+				if dv := t.d[base+int(v)]; hops[e] < dv {
+					acc += int64(dv - hops[e])
+				}
+			}
+		}
+	} else {
+		for i := 0; i < t.ix.r; i++ {
+			base := i * n
+			if t.d[base+u] == 0 {
+				acc++
+			}
+			ids, _ := t.ix.Row(i, u)
+			for _, v := range ids {
+				if t.d[base+int(v)] == 0 {
+					acc++
+				}
+			}
+		}
+	}
+	return float64(acc) / float64(t.ix.r)
+}
+
+// Update implements Algorithm 5: fold the newly selected node u into the
+// D-table so subsequent Gain calls are relative to S ∪ {u}.
+func (t *DTable) Update(u int) {
+	n := t.ix.g.N()
+	if t.problem == Problem1 {
+		for i := 0; i < t.ix.r; i++ {
+			base := i * n
+			t.d[base+u] = 0
+			ids, hops := t.ix.Row(i, u)
+			for e, v := range ids {
+				if hops[e] < t.d[base+int(v)] {
+					t.d[base+int(v)] = hops[e]
+				}
+			}
+		}
+	} else {
+		for i := 0; i < t.ix.r; i++ {
+			base := i * n
+			t.d[base+u] = 1
+			ids, _ := t.ix.Row(i, u)
+			for _, v := range ids {
+				t.d[base+int(v)] = 1
+			}
+		}
+	}
+	t.size++
+}
+
+// EstimateObjective returns the sampled objective value implied by the
+// current D-table: for Problem 1, F̂1 = nL − Σ_{u∉S} D̄[u] where D̄ is the
+// replicate average (S-members hold D = 0 and are excluded by construction
+// since their D is 0); for Problem 2, F̂2 = Σ_u D̄[u]. The members parameter
+// identifies S for the Problem-1 exclusion.
+func (t *DTable) EstimateObjective(members []bool) float64 {
+	n := t.ix.g.N()
+	var acc int64
+	for i := 0; i < t.ix.r; i++ {
+		base := i * n
+		for u := 0; u < n; u++ {
+			if t.problem == Problem1 && members[u] {
+				continue
+			}
+			acc += int64(t.d[base+u])
+		}
+	}
+	avg := float64(acc) / float64(t.ix.r)
+	if t.problem == Problem1 {
+		return float64(n)*float64(t.ix.l) - avg
+	}
+	return avg
+}

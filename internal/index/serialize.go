@@ -1,0 +1,158 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/graph"
+)
+
+// Serialization of materialized walk indexes. Building the index is the
+// dominant cost of the approximate greedy algorithm (Fig. 8), and the same
+// index serves every budget and both problems, so persisting it across runs
+// is the natural production optimization. The format is a little-endian
+// binary layout with a magic header, a version byte, and the fingerprint of
+// the graph the index was built on; loading against a structurally different
+// graph is rejected.
+
+const (
+	indexMagic   = "RWDOMIDX"
+	indexVersion = 1
+)
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var written int64
+	put := func(data interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		written += int64(binary.Size(data))
+		return nil
+	}
+	if _, err := bw.WriteString(indexMagic); err != nil {
+		return written, fmt.Errorf("index: write header: %w", err)
+	}
+	written += int64(len(indexMagic))
+	header := []uint64{
+		indexVersion,
+		ix.g.Fingerprint(),
+		uint64(ix.g.N()),
+		uint64(ix.l),
+		uint64(ix.r),
+		uint64(len(ix.ids)),
+	}
+	for _, h := range header {
+		if err := put(h); err != nil {
+			return written, fmt.Errorf("index: write header: %w", err)
+		}
+	}
+	for _, chunk := range []interface{}{ix.offsets, ix.ids, ix.hops} {
+		if err := put(chunk); err != nil {
+			return written, fmt.Errorf("index: write payload: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, fmt.Errorf("index: flush: %w", err)
+	}
+	return written, nil
+}
+
+// ReadIndex deserializes an index previously written with WriteTo and binds
+// it to g. It fails if the stream was built on a different graph (detected
+// by fingerprint) or has an unknown version.
+func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("index: read header: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("index: bad magic %q", magic)
+	}
+	var header [6]uint64
+	for i := range header {
+		if err := binary.Read(br, binary.LittleEndian, &header[i]); err != nil {
+			return nil, fmt.Errorf("index: read header: %w", err)
+		}
+	}
+	version, fp, n, l, rr, entries := header[0], header[1], header[2], header[3], header[4], header[5]
+	if version != indexVersion {
+		return nil, fmt.Errorf("index: unsupported version %d (want %d)", version, indexVersion)
+	}
+	if got := g.Fingerprint(); got != fp {
+		return nil, fmt.Errorf("index: graph fingerprint mismatch: index built on %016x, loading against %016x", fp, got)
+	}
+	if int(n) != g.N() {
+		return nil, fmt.Errorf("index: node count mismatch: %d vs %d", n, g.N())
+	}
+	if l > 1<<16-1 || rr == 0 || rr > 1<<31 {
+		return nil, fmt.Errorf("index: implausible parameters L=%d R=%d", l, rr)
+	}
+	rows := int64(rr) * int64(n)
+	maxEntries := rows * int64(l)
+	if int64(entries) > maxEntries {
+		return nil, fmt.Errorf("index: entry count %d exceeds nRL bound %d", entries, maxEntries)
+	}
+	ix := &Index{
+		g:       g,
+		l:       int(l),
+		r:       int(rr),
+		offsets: make([]int64, rows+1),
+		ids:     make([]int32, entries),
+		hops:    make([]uint16, entries),
+	}
+	for _, chunk := range []interface{}{ix.offsets, ix.ids, ix.hops} {
+		if err := binary.Read(br, binary.LittleEndian, chunk); err != nil {
+			return nil, fmt.Errorf("index: read payload: %w", err)
+		}
+	}
+	// Structural validation so corrupted files fail fast, not at query time.
+	if ix.offsets[0] != 0 || ix.offsets[rows] != int64(entries) {
+		return nil, fmt.Errorf("index: corrupt offsets (start %d, end %d, entries %d)", ix.offsets[0], ix.offsets[rows], entries)
+	}
+	for i := int64(1); i <= rows; i++ {
+		if ix.offsets[i] < ix.offsets[i-1] {
+			return nil, fmt.Errorf("index: corrupt offsets: decrease at row %d", i)
+		}
+	}
+	for i, id := range ix.ids {
+		if id < 0 || int(id) >= g.N() {
+			return nil, fmt.Errorf("index: corrupt entry %d: node %d out of range", i, id)
+		}
+		if ix.hops[i] == 0 || int(ix.hops[i]) > int(l) {
+			return nil, fmt.Errorf("index: corrupt entry %d: hop %d outside [1,%d]", i, ix.hops[i], l)
+		}
+	}
+	return ix, nil
+}
+
+// SaveFile writes the index to a file.
+func (ix *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	if _, err := ix.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads an index from a file and binds it to g.
+func LoadFile(path string, g *graph.Graph) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	defer f.Close()
+	return ReadIndex(f, g)
+}

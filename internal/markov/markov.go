@@ -1,0 +1,234 @@
+// Package markov provides a dense absorbing-Markov-chain view of the
+// L-length random walk, as an independent verification path for the
+// dynamic-programming results of internal/hitting.
+//
+// The DP of Theorems 2.1–2.3 computes value functions backward over walk
+// lengths. This package computes the same quantities forward from first
+// principles of Markov chains: make the target set S absorbing, propagate
+// the transition matrix step by step, and read hitting probabilities and
+// expected (truncated) absorption times off the distribution sequence.
+// Agreement between the two implementations (asserted in the test suites)
+// is strong evidence both are correct, because they share no code and make
+// errors in different places. Dense O(n²) storage restricts this package to
+// small graphs, which is exactly its role: a test oracle and an analysis
+// tool, not a production path.
+package markov
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Chain is a dense random-walk transition matrix over a graph.
+type Chain struct {
+	n int
+	p [][]float64 // p[u][v] = transition probability u -> v
+}
+
+// NewChain builds the dense transition matrix of the random walk on g.
+// Rows of nodes with no outgoing edges are self-absorbing (the walk stays
+// put), matching the walk engine's "stuck" semantics.
+func NewChain(g *graph.Graph) (*Chain, error) {
+	if g == nil || g.N() == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	n := g.N()
+	c := &Chain{n: n, p: make([][]float64, n)}
+	for u := 0; u < n; u++ {
+		c.p[u] = make([]float64, n)
+		deg := g.WeightDegree(u)
+		if deg == 0 {
+			c.p[u][u] = 1
+			continue
+		}
+		row := g.Neighbors(u)
+		if ws := g.NeighborWeights(u); ws != nil {
+			for i, v := range row {
+				c.p[u][v] += ws[i] / deg
+			}
+		} else {
+			share := 1 / deg
+			for _, v := range row {
+				c.p[u][v] += share
+			}
+		}
+	}
+	return c, nil
+}
+
+// N returns the number of states.
+func (c *Chain) N() int { return c.n }
+
+// Prob returns the one-step transition probability u -> v.
+func (c *Chain) Prob(u, v int) float64 { return c.p[u][v] }
+
+// Validate checks that every row is a probability distribution.
+func (c *Chain) Validate() error {
+	for u := 0; u < c.n; u++ {
+		sum := 0.0
+		for v := 0; v < c.n; v++ {
+			pv := c.p[u][v]
+			if pv < 0 || pv > 1 {
+				return fmt.Errorf("markov: p[%d][%d] = %v outside [0,1]", u, v, pv)
+			}
+			sum += pv
+		}
+		if diff := sum - 1; diff > 1e-9 || diff < -1e-9 {
+			return fmt.Errorf("markov: row %d sums to %v", u, sum)
+		}
+	}
+	return nil
+}
+
+// Step advances a distribution one step: out = dist · P. out must not alias
+// dist.
+func (c *Chain) Step(dist, out []float64) {
+	for v := range out {
+		out[v] = 0
+	}
+	for u, mass := range dist {
+		if mass == 0 {
+			continue
+		}
+		row := c.p[u]
+		for v, pv := range row {
+			if pv != 0 {
+				out[v] += mass * pv
+			}
+		}
+	}
+}
+
+// Distribution returns the position distribution of an L-step walk starting
+// at src (no absorption).
+func (c *Chain) Distribution(src, L int) ([]float64, error) {
+	if src < 0 || src >= c.n {
+		return nil, fmt.Errorf("markov: source %d out of range [0,%d)", src, c.n)
+	}
+	if L < 0 {
+		return nil, fmt.Errorf("markov: negative length %d", L)
+	}
+	cur := make([]float64, c.n)
+	next := make([]float64, c.n)
+	cur[src] = 1
+	for t := 0; t < L; t++ {
+		c.Step(cur, next)
+		cur, next = next, cur
+	}
+	return cur, nil
+}
+
+// Absorbing derives the chain in which every state of S is absorbing.
+func (c *Chain) Absorbing(S []int) (*Chain, error) {
+	a := &Chain{n: c.n, p: make([][]float64, c.n)}
+	inS := make([]bool, c.n)
+	for _, v := range S {
+		if v < 0 || v >= c.n {
+			return nil, fmt.Errorf("markov: absorbing state %d out of range [0,%d)", v, c.n)
+		}
+		inS[v] = true
+	}
+	for u := 0; u < c.n; u++ {
+		a.p[u] = make([]float64, c.n)
+		if inS[u] {
+			a.p[u][u] = 1
+			continue
+		}
+		copy(a.p[u], c.p[u])
+	}
+	return a, nil
+}
+
+// HitSummary reports the truncated absorption behaviour of one source.
+type HitSummary struct {
+	// HitProb is the probability of absorption within L steps: p^L_{uS}.
+	HitProb float64
+	// ExpectedTime is the expected truncated absorption time: h^L_{uS}.
+	ExpectedTime float64
+	// AbsorbedAt[t] is the probability the walk is first absorbed exactly
+	// at step t (index 0..L).
+	AbsorbedAt []float64
+}
+
+// TruncatedAbsorption computes, for a source u and target set S, the full
+// first-absorption profile of the L-length walk by forward propagation of
+// the absorbing chain — the independent re-derivation of h^L_{uS} (Eq. 4)
+// and p^L_{uS} (Eq. 8).
+func (c *Chain) TruncatedAbsorption(u int, S []int, L int) (*HitSummary, error) {
+	if u < 0 || u >= c.n {
+		return nil, fmt.Errorf("markov: source %d out of range [0,%d)", u, c.n)
+	}
+	if L < 0 {
+		return nil, fmt.Errorf("markov: negative length %d", L)
+	}
+	abs, err := c.Absorbing(S)
+	if err != nil {
+		return nil, err
+	}
+	inS := make([]bool, c.n)
+	for _, v := range S {
+		inS[v] = true
+	}
+	sum := &HitSummary{AbsorbedAt: make([]float64, L+1)}
+	cur := make([]float64, c.n)
+	next := make([]float64, c.n)
+	cur[u] = 1
+	if inS[u] {
+		sum.AbsorbedAt[0] = 1
+		sum.HitProb = 1
+		return sum, nil
+	}
+	absorbed := 0.0
+	for t := 1; t <= L; t++ {
+		abs.Step(cur, next)
+		inMass := 0.0
+		for v, in := range inS { // iterate flags, not S: S may hold duplicates
+			if in {
+				inMass += next[v]
+			}
+		}
+		newly := inMass - absorbed
+		if newly < 0 {
+			newly = 0
+		}
+		sum.AbsorbedAt[t] = newly
+		sum.ExpectedTime += float64(t) * newly
+		absorbed = inMass
+		cur, next = next, cur
+	}
+	sum.HitProb = absorbed
+	sum.ExpectedTime += (1 - absorbed) * float64(L) // truncation at L
+	return sum, nil
+}
+
+// StationaryDistribution returns the stationary distribution of the chain by
+// power iteration from the uniform distribution, or an error if it fails to
+// converge within maxIter (e.g. periodic chains). For connected undirected
+// graphs it converges to degree/2m.
+func (c *Chain) StationaryDistribution(maxIter int, tol float64) ([]float64, error) {
+	if maxIter <= 0 {
+		return nil, fmt.Errorf("markov: maxIter %d, want > 0", maxIter)
+	}
+	cur := make([]float64, c.n)
+	next := make([]float64, c.n)
+	for i := range cur {
+		cur[i] = 1 / float64(c.n)
+	}
+	for it := 0; it < maxIter; it++ {
+		c.Step(cur, next)
+		diff := 0.0
+		for i := range next {
+			d := next[i] - cur[i]
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+		}
+		cur, next = next, cur
+		if diff < tol {
+			return cur, nil
+		}
+	}
+	return nil, fmt.Errorf("markov: power iteration did not converge in %d iterations", maxIter)
+}

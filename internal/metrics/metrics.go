@@ -1,0 +1,133 @@
+// Package metrics implements the two effectiveness metrics of Section 4.1:
+//
+//   - AHT, the average hitting time M1(S) = Σ_{u∈V\S} h^L_{uS} / |V\S|
+//     (smaller is better), and
+//   - EHN, the expected number of hitting nodes M2(S) = Σ_{u∈V} E[X^L_{uS}]
+//     (larger is better).
+//
+// The paper evaluates both metrics with the sampling algorithm (Algorithm 2)
+// at R = 500; Sampled reproduces that procedure, and Exact computes the same
+// quantities with the dynamic program for use on small graphs and in tests.
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/hitting"
+	"repro/internal/walk"
+)
+
+// DefaultR is the sample size the paper uses when reporting metrics.
+const DefaultR = 500
+
+// Result holds both effectiveness metrics for one selection.
+type Result struct {
+	// AHT is the average hitting time M1(S); lower is better.
+	AHT float64
+	// EHN is the expected number of nodes dominated, M2(S); higher is
+	// better.
+	EHN float64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("AHT=%.4f EHN=%.2f", r.AHT, r.EHN)
+}
+
+func distinct(S []int, n int) (int, error) {
+	seen := make(map[int]bool, len(S))
+	for _, v := range S {
+		if v < 0 || v >= n {
+			return 0, fmt.Errorf("metrics: set member %d out of range [0,%d): %w", v, n, graph.ErrNodeRange)
+		}
+		seen[v] = true
+	}
+	return len(seen), nil
+}
+
+// Sampled estimates both metrics with Algorithm 2 using R walks per node,
+// as in the paper's experimental setup.
+func Sampled(g *graph.Graph, S []int, L, R int, seed uint64) (Result, error) {
+	sz, err := distinct(S, g.N())
+	if err != nil {
+		return Result{}, err
+	}
+	est, err := walk.NewEstimator(g, L, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	f1, f2, err := est.EstimateF(S, R)
+	if err != nil {
+		return Result{}, err
+	}
+	return fromObjectives(g.N(), sz, L, f1, f2), nil
+}
+
+// Exact computes both metrics with the dynamic program (O(mL) time).
+func Exact(g *graph.Graph, S []int, L int) (Result, error) {
+	sz, err := distinct(S, g.N())
+	if err != nil {
+		return Result{}, err
+	}
+	ev, err := hitting.NewEvaluator(g, L)
+	if err != nil {
+		return Result{}, err
+	}
+	f1, err := ev.F1(S)
+	if err != nil {
+		return Result{}, err
+	}
+	f2, err := ev.F2(S)
+	if err != nil {
+		return Result{}, err
+	}
+	return fromObjectives(g.N(), sz, L, f1, f2), nil
+}
+
+// ExactSeries computes exact metrics for several prefixes of a greedy
+// selection in one pass per prefix, sharing the DP evaluator. ks must be
+// nondecreasing; entries larger than len(nodes) are clamped. This is the
+// primitive behind the k-sweeps of Figs. 6 and 7: greedy selections for
+// budget k are prefixes of larger-budget runs.
+func ExactSeries(g *graph.Graph, nodes []int, ks []int, L int) ([]Result, error) {
+	ev, err := hitting.NewEvaluator(g, L)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(ks))
+	prev := 0
+	for _, k := range ks {
+		if k < prev {
+			return nil, fmt.Errorf("metrics: ks must be nondecreasing, got %d after %d", k, prev)
+		}
+		prev = k
+		if k > len(nodes) {
+			k = len(nodes)
+		}
+		S := nodes[:k]
+		sz, err := distinct(S, g.N())
+		if err != nil {
+			return nil, err
+		}
+		f1, err := ev.F1(S)
+		if err != nil {
+			return nil, err
+		}
+		f2, err := ev.F2(S)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fromObjectives(g.N(), sz, L, f1, f2))
+	}
+	return out, nil
+}
+
+// fromObjectives converts objective values to metrics: under the Eq. (6)
+// form, Σ_{u∈V\S} h = nL − F1, so AHT = (nL − F1)/(n−|S|); EHN = F2.
+func fromObjectives(n, sizeS, L int, f1, f2 float64) Result {
+	res := Result{EHN: f2}
+	if rem := n - sizeS; rem > 0 {
+		res.AHT = (float64(n)*float64(L) - f1) / float64(rem)
+	}
+	return res
+}

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestExactStarHub(t *testing.T) {
+	g, _ := graph.Star(10)
+	res, err := Exact(g, []int{0}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.AHT-1) > 1e-9 {
+		t.Fatalf("AHT = %v, want 1", res.AHT)
+	}
+	if math.Abs(res.EHN-10) > 1e-9 {
+		t.Fatalf("EHN = %v, want 10 (hub + 9 leaves)", res.EHN)
+	}
+}
+
+func TestSampledMatchesExact(t *testing.T) {
+	g, _ := graph.BarabasiAlbert(100, 3, 4)
+	S := []int{0, 17, 42}
+	const L = 6
+	exact, err := Exact(g, S, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := Sampled(g, S, L, 2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sampled.AHT-exact.AHT) > 0.1 {
+		t.Fatalf("sampled AHT %v vs exact %v", sampled.AHT, exact.AHT)
+	}
+	if math.Abs(sampled.EHN-exact.EHN) > 0.03*float64(g.N()) {
+		t.Fatalf("sampled EHN %v vs exact %v", sampled.EHN, exact.EHN)
+	}
+}
+
+func TestDuplicateMembersCollapse(t *testing.T) {
+	// Duplicates in S must not skew the |V\S| divisor.
+	g, _ := graph.Star(6)
+	a, _ := Exact(g, []int{0}, 3)
+	b, _ := Exact(g, []int{0, 0, 0}, 3)
+	if a.AHT != b.AHT || a.EHN != b.EHN {
+		t.Fatalf("duplicates changed metrics: %v vs %v", a, b)
+	}
+}
+
+func TestEmptySelection(t *testing.T) {
+	// S=∅: every hitting time is pinned at L, nothing is dominated.
+	g, _ := graph.Path(5)
+	const L = 4
+	res, err := Exact(g, nil, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.AHT-L) > 1e-9 {
+		t.Fatalf("AHT(∅) = %v, want L=%d", res.AHT, L)
+	}
+	if res.EHN != 0 {
+		t.Fatalf("EHN(∅) = %v, want 0", res.EHN)
+	}
+}
+
+func TestFullSelection(t *testing.T) {
+	g, _ := graph.Path(4)
+	res, err := Exact(g, []int{0, 1, 2, 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AHT != 0 {
+		t.Fatalf("AHT(V) = %v, want 0 by convention", res.AHT)
+	}
+	if res.EHN != 4 {
+		t.Fatalf("EHN(V) = %v, want n", res.EHN)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g, _ := graph.Path(3)
+	if _, err := Exact(g, []int{5}, 2); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+	if _, err := Exact(g, nil, -1); err == nil {
+		t.Error("negative L accepted")
+	}
+	if _, err := Sampled(g, []int{-1}, 2, 10, 0); err == nil {
+		t.Error("negative member accepted")
+	}
+	if _, err := Sampled(g, nil, 2, 0, 0); err == nil {
+		t.Error("R=0 accepted")
+	}
+}
+
+func TestAHTBetterForBetterSets(t *testing.T) {
+	// The hub is a better single target than a leaf on a star.
+	g, _ := graph.Star(12)
+	hub, _ := Exact(g, []int{0}, 4)
+	leaf, _ := Exact(g, []int{3}, 4)
+	if hub.AHT >= leaf.AHT {
+		t.Fatalf("hub AHT %v should beat leaf AHT %v", hub.AHT, leaf.AHT)
+	}
+	if hub.EHN <= leaf.EHN {
+		t.Fatalf("hub EHN %v should beat leaf EHN %v", hub.EHN, leaf.EHN)
+	}
+}
+
+func TestExactSeriesMatchesPerPrefix(t *testing.T) {
+	g, _ := graph.BarabasiAlbert(60, 2, 7)
+	nodes := []int{3, 14, 27, 41, 55, 9}
+	ks := []int{1, 3, 6, 10} // 10 clamps to len(nodes)
+	series, err := ExactSeries(g, nodes, ks, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(ks) {
+		t.Fatalf("series length %d", len(series))
+	}
+	for i, k := range ks {
+		if k > len(nodes) {
+			k = len(nodes)
+		}
+		want, err := Exact(g, nodes[:k], 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if series[i] != want {
+			t.Fatalf("prefix %d: series %v, direct %v", k, series[i], want)
+		}
+	}
+	// AHT must be nonincreasing, EHN nondecreasing along prefixes.
+	for i := 1; i < len(series); i++ {
+		if series[i].AHT > series[i-1].AHT+1e-12 {
+			t.Fatal("AHT increased along greedy prefixes")
+		}
+		if series[i].EHN+1e-12 < series[i-1].EHN {
+			t.Fatal("EHN decreased along greedy prefixes")
+		}
+	}
+	if _, err := ExactSeries(g, nodes, []int{3, 1}, 5); err == nil {
+		t.Error("decreasing ks accepted")
+	}
+	if _, err := ExactSeries(g, []int{99}, []int{1}, 5); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	s := Result{AHT: 1.5, EHN: 10}.String()
+	if !strings.Contains(s, "AHT") || !strings.Contains(s, "EHN") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,128 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used by all sampling code in this module.
+//
+// The generator is xoshiro256** seeded through splitmix64, the combination
+// recommended by the xoshiro authors. It is not cryptographically secure; it
+// is chosen for speed (a few ns per call), a 2^256−1 period, and exact
+// reproducibility across platforms, which the test-suite and the experiment
+// harness rely on. The zero value is not usable; construct with New.
+package rng
+
+import "math/bits"
+
+// Source is a deterministic xoshiro256** generator. It is not safe for
+// concurrent use; give each goroutine its own Source (see Split).
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances the seed-expansion state and returns the next value.
+// It is the standard seeding mixer for the xoshiro family.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix hashes a sequence of values into a single seed. It is used to derive
+// independent per-task seeds (e.g. one per (node, replicate) walk) from a
+// master seed, which makes sampling deterministic regardless of how work is
+// sharded across goroutines.
+func Mix(vals ...uint64) uint64 {
+	acc := uint64(0x51ca5e9f2b7c63d1)
+	for _, v := range vals {
+		acc ^= v + 0x9e3779b97f4a7c15 + (acc << 6) + (acc >> 2)
+		acc = splitmix64(&acc)
+	}
+	return acc
+}
+
+// New returns a Source seeded from the given seed. Distinct seeds give
+// independent-looking streams; the same seed always gives the same stream.
+func New(seed uint64) *Source {
+	r := &Source{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator to the stream identified by seed.
+func (r *Source) Seed(seed uint64) {
+	sm := seed
+	r.s0 = splitmix64(&sm)
+	r.s1 = splitmix64(&sm)
+	r.s2 = splitmix64(&sm)
+	r.s3 = splitmix64(&sm)
+	// xoshiro requires a non-zero state; splitmix64 output is zero for at
+	// most one of the four words, but guard anyway.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+// It uses Lemire's multiply-shift rejection method, which avoids the modulo
+// bias of naive reduction and the division of the classic rejection method.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Split derives a new independent Source from the current stream. It is the
+// supported way to hand child generators to worker goroutines: the parent
+// remains usable and the children do not share state.
+func (r *Source) Split() *Source {
+	return New(r.Uint64())
+}
+
+// Perm returns a uniformly random permutation of [0, n) as a fresh slice,
+// using the Fisher–Yates shuffle.
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle randomizes the order of the first n elements using swap, with the
+// same contract as math/rand.Shuffle.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

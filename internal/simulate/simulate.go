@@ -1,0 +1,203 @@
+// Package simulate provides an agent-based simulator for the browsing and
+// search processes that motivate the paper's problems (Section 1.1): social
+// browsing in a social network, Ad discovery in an advertisement network,
+// and TTL-bounded resource search in a P2P overlay.
+//
+// Where internal/walk estimates the *expectations* the objectives are built
+// on, this package simulates the processes themselves and reports realized
+// outcome distributions: how many sessions discovered a target, the full
+// latency histogram, per-node discovery counts. It is the independent
+// validation layer — its means must agree with the exact DP quantities
+// (tested), but it also answers questions expectations cannot, such as tail
+// latencies and discovery concentration.
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Session describes one simulated browsing/search session.
+type Session struct {
+	// Start is the node the session began at.
+	Start int
+	// Hit reports whether the session reached a target.
+	Hit bool
+	// Latency is the hop at which the first target was reached; L if none.
+	Latency int
+	// Target is the target node reached, or -1.
+	Target int
+}
+
+// Outcome aggregates a batch of simulated sessions.
+type Outcome struct {
+	// Sessions is the number of simulated sessions.
+	Sessions int
+	// Discoveries is the number of sessions that reached a target.
+	Discoveries int
+	// MeanLatency is the average latency over all sessions (capped at L for
+	// misses), the realized analogue of the AHT metric.
+	MeanLatency float64
+	// LatencyHistogram[t] counts sessions whose first hit happened at hop t;
+	// index L additionally counts misses (latency capped), matching T^L.
+	LatencyHistogram []int
+	// TargetLoad maps each target node to the number of sessions it
+	// absorbed; measures how evenly the selection shares the load.
+	TargetLoad map[int]int
+}
+
+// DiscoveryRate returns the fraction of sessions that reached a target.
+func (o *Outcome) DiscoveryRate() float64 {
+	if o.Sessions == 0 {
+		return 0
+	}
+	return float64(o.Discoveries) / float64(o.Sessions)
+}
+
+// LatencyPercentile returns the p-th percentile (0 < p <= 100) of session
+// latencies, counting misses at L.
+func (o *Outcome) LatencyPercentile(p float64) int {
+	if o.Sessions == 0 || p <= 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(o.Sessions)))
+	seen := 0
+	for t, c := range o.LatencyHistogram {
+		seen += c
+		if seen >= rank {
+			return t
+		}
+	}
+	return len(o.LatencyHistogram) - 1
+}
+
+// LoadImbalance returns the ratio of the maximum to the mean target load
+// (1 = perfectly even; 0 if nothing was discovered).
+func (o *Outcome) LoadImbalance() float64 {
+	if len(o.TargetLoad) == 0 || o.Discoveries == 0 {
+		return 0
+	}
+	maxLoad := 0
+	for _, c := range o.TargetLoad {
+		if c > maxLoad {
+			maxLoad = c
+		}
+	}
+	mean := float64(o.Discoveries) / float64(len(o.TargetLoad))
+	return float64(maxLoad) / mean
+}
+
+func (o *Outcome) String() string {
+	return fmt.Sprintf("sessions=%d discovered=%.1f%% meanLatency=%.3f p95=%d",
+		o.Sessions, 100*o.DiscoveryRate(), o.MeanLatency, o.LatencyPercentile(95))
+}
+
+// Simulator runs browsing sessions over a fixed graph and target set.
+type Simulator struct {
+	g    *graph.Graph
+	l    int
+	inS  []bool
+	seed uint64
+}
+
+// New returns a simulator for sessions of at most L hops targeting S.
+func New(g *graph.Graph, S []int, L int, seed uint64) (*Simulator, error) {
+	if g == nil || g.N() == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	if L < 0 {
+		return nil, fmt.Errorf("simulate: negative session length %d", L)
+	}
+	inS := make([]bool, g.N())
+	for _, v := range S {
+		if v < 0 || v >= g.N() {
+			return nil, fmt.Errorf("simulate: target %d out of range [0,%d): %w", v, g.N(), graph.ErrNodeRange)
+		}
+		inS[v] = true
+	}
+	return &Simulator{g: g, l: L, inS: inS, seed: seed}, nil
+}
+
+// Run simulates one session from the given start node using an independent
+// per-session random stream (session ids are reproducible handles).
+func (s *Simulator) Run(start, session int) Session {
+	out := Session{Start: start, Latency: s.l, Target: -1}
+	if s.inS[start] {
+		out.Hit, out.Latency, out.Target = true, 0, start
+		return out
+	}
+	rnd := rng.New(rng.Mix(s.seed, uint64(start), uint64(session)))
+	u := start
+	for t := 1; t <= s.l; t++ {
+		v := s.g.PickNeighbor(u, rnd.Float64())
+		if v < 0 {
+			break
+		}
+		if s.inS[v] {
+			out.Hit, out.Latency, out.Target = true, t, v
+			return out
+		}
+		u = v
+	}
+	return out
+}
+
+// RunAll simulates sessionsPerNode sessions from every non-target node and
+// aggregates the outcomes.
+func (s *Simulator) RunAll(sessionsPerNode int) (*Outcome, error) {
+	if sessionsPerNode <= 0 {
+		return nil, fmt.Errorf("simulate: sessionsPerNode = %d, want > 0", sessionsPerNode)
+	}
+	out := &Outcome{
+		LatencyHistogram: make([]int, s.l+1),
+		TargetLoad:       map[int]int{},
+	}
+	totalLatency := 0
+	for u := 0; u < s.g.N(); u++ {
+		if s.inS[u] {
+			continue
+		}
+		for i := 0; i < sessionsPerNode; i++ {
+			sess := s.Run(u, i)
+			out.Sessions++
+			out.LatencyHistogram[sess.Latency]++
+			totalLatency += sess.Latency
+			if sess.Hit {
+				out.Discoveries++
+				out.TargetLoad[sess.Target]++
+			}
+		}
+	}
+	if out.Sessions > 0 {
+		out.MeanLatency = float64(totalLatency) / float64(out.Sessions)
+	}
+	return out, nil
+}
+
+// CompareSelections simulates the same session workload under several
+// alternative target selections and returns the outcomes keyed by name —
+// the A/B test a practitioner would run before committing a placement.
+func CompareSelections(g *graph.Graph, L int, seed uint64, sessionsPerNode int, selections map[string][]int) (map[string]*Outcome, error) {
+	out := make(map[string]*Outcome, len(selections))
+	names := make([]string, 0, len(selections))
+	for name := range selections {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic order
+	for _, name := range names {
+		sim, err := New(g, selections[name], L, seed)
+		if err != nil {
+			return nil, fmt.Errorf("simulate: selection %q: %w", name, err)
+		}
+		o, err := sim.RunAll(sessionsPerNode)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = o
+	}
+	return out, nil
+}

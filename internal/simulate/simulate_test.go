@@ -1,0 +1,185 @@
+package simulate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/hitting"
+)
+
+func TestSimulatorValidation(t *testing.T) {
+	g, _ := graph.Path(4)
+	if _, err := New(nil, nil, 3, 1); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := New(g, nil, -1, 1); err == nil {
+		t.Error("negative L accepted")
+	}
+	if _, err := New(g, []int{9}, 3, 1); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	sim, _ := New(g, []int{0}, 3, 1)
+	if _, err := sim.RunAll(0); err == nil {
+		t.Error("sessionsPerNode=0 accepted")
+	}
+}
+
+func TestSessionFromTargetIsImmediate(t *testing.T) {
+	g, _ := graph.Star(5)
+	sim, _ := New(g, []int{0}, 4, 1)
+	sess := sim.Run(0, 0)
+	if !sess.Hit || sess.Latency != 0 || sess.Target != 0 {
+		t.Fatalf("session from target: %+v", sess)
+	}
+}
+
+func TestStarSessionsAlwaysDiscover(t *testing.T) {
+	// Every leaf steps straight to the hub: 100% discovery at latency 1.
+	g, _ := graph.Star(20)
+	sim, _ := New(g, []int{0}, 4, 2)
+	out, err := sim.RunAll(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.DiscoveryRate() != 1 {
+		t.Fatalf("discovery rate %v, want 1", out.DiscoveryRate())
+	}
+	if out.MeanLatency != 1 {
+		t.Fatalf("mean latency %v, want 1", out.MeanLatency)
+	}
+	if out.LatencyHistogram[1] != out.Sessions {
+		t.Fatalf("latency histogram %v", out.LatencyHistogram)
+	}
+}
+
+func TestMeanLatencyMatchesExactHittingTime(t *testing.T) {
+	// The realized mean latency must converge to the exact generalized
+	// hitting time averaged over sources (the AHT metric).
+	g, err := graph.BarabasiAlbert(80, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	S := []int{0, 13}
+	const L = 5
+	sim, _ := New(g, S, L, 7)
+	out, err := sim.RunAll(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, _ := hitting.NewEvaluator(g, L)
+	aht, _ := ev.AverageHittingTime(S)
+	if math.Abs(out.MeanLatency-aht) > 0.05 {
+		t.Fatalf("simulated mean latency %v vs exact AHT %v", out.MeanLatency, aht)
+	}
+	// Discovery rate must converge to mean hit probability over non-targets.
+	p, _ := ev.HitProbsToSet(S, nil)
+	want := 0.0
+	cnt := 0
+	for u, pu := range p {
+		if u != 0 && u != 13 {
+			want += pu
+			cnt++
+		}
+	}
+	want /= float64(cnt)
+	if math.Abs(out.DiscoveryRate()-want) > 0.02 {
+		t.Fatalf("discovery rate %v vs exact %v", out.DiscoveryRate(), want)
+	}
+}
+
+func TestLatencyPercentile(t *testing.T) {
+	o := &Outcome{
+		Sessions:         10,
+		LatencyHistogram: []int{0, 5, 3, 0, 2}, // 5 at hop 1, 3 at hop 2, 2 at hop 4
+	}
+	if got := o.LatencyPercentile(50); got != 1 {
+		t.Fatalf("p50 = %d, want 1", got)
+	}
+	if got := o.LatencyPercentile(80); got != 2 {
+		t.Fatalf("p80 = %d, want 2", got)
+	}
+	if got := o.LatencyPercentile(100); got != 4 {
+		t.Fatalf("p100 = %d, want 4", got)
+	}
+	if got := o.LatencyPercentile(0); got != 0 {
+		t.Fatalf("p0 = %d, want 0", got)
+	}
+	empty := &Outcome{}
+	if empty.LatencyPercentile(50) != 0 {
+		t.Fatal("empty outcome percentile")
+	}
+}
+
+func TestTargetLoadAndImbalance(t *testing.T) {
+	// Path 0-1-2 with targets at both ends: node 1 discovers each end with
+	// equal probability, so the load should be roughly even.
+	g, _ := graph.Path(3)
+	sim, _ := New(g, []int{0, 2}, 1, 5)
+	out, err := sim.RunAll(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.DiscoveryRate() != 1 {
+		t.Fatalf("middle node always hits an end, rate=%v", out.DiscoveryRate())
+	}
+	imb := out.LoadImbalance()
+	if imb < 1 || imb > 1.1 {
+		t.Fatalf("load imbalance %v, want ≈1 (even split)", imb)
+	}
+	// Degenerate outcomes.
+	if (&Outcome{}).LoadImbalance() != 0 {
+		t.Fatal("empty outcome imbalance")
+	}
+}
+
+func TestDeterministicSessions(t *testing.T) {
+	g, _ := graph.BarabasiAlbert(50, 2, 3)
+	a, _ := New(g, []int{0}, 5, 9)
+	b, _ := New(g, []int{0}, 5, 9)
+	for u := 1; u < 10; u++ {
+		for i := 0; i < 5; i++ {
+			if a.Run(u, i) != b.Run(u, i) {
+				t.Fatal("sessions not reproducible")
+			}
+		}
+	}
+}
+
+func TestCompareSelections(t *testing.T) {
+	g, _ := graph.Star(30)
+	out, err := CompareSelections(g, 4, 1, 100, map[string][]int{
+		"hub":  {0},
+		"leaf": {5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["hub"].DiscoveryRate() <= out["leaf"].DiscoveryRate() {
+		t.Fatalf("hub rate %v should beat leaf rate %v",
+			out["hub"].DiscoveryRate(), out["leaf"].DiscoveryRate())
+	}
+	if _, err := CompareSelections(g, 4, 1, 100, map[string][]int{"bad": {99}}); err == nil {
+		t.Fatal("invalid selection accepted")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	g, _ := graph.Star(5)
+	sim, _ := New(g, []int{0}, 3, 1)
+	out, _ := sim.RunAll(10)
+	if s := out.String(); !strings.Contains(s, "discovered") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestStuckSessionCountsAsMiss(t *testing.T) {
+	// Node 2 is isolated: sessions from it never move and never discover.
+	g := graph.MustFromEdgeList(3, [][2]int{{0, 1}})
+	sim, _ := New(g, []int{0}, 4, 1)
+	sess := sim.Run(2, 0)
+	if sess.Hit || sess.Latency != 4 {
+		t.Fatalf("isolated session %+v, want miss at latency L", sess)
+	}
+}

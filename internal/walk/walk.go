@@ -1,0 +1,283 @@
+// Package walk implements the L-length random-walk model of Section 2 of the
+// paper and the sampling-based estimators of Section 3.1 (Algorithm 2):
+//
+//   - Walker runs L-length random walks on a graph;
+//   - EstimateHitTime implements the unbiased estimator ĥ^L_{uS} of Eq. (9);
+//   - EstimateHitProb implements the unbiased estimator Ê[X^L_{uS}] of Eq. (10);
+//   - Estimator.EstimateF implements Algorithm 2, producing F̂1(S) and F̂2(S);
+//   - SampleSizeF1 / SampleSizeF2 implement the Hoeffding sample-size bounds
+//     of Lemmas 3.3 and 3.4.
+//
+// An L-length random walk starts at a node and repeatedly moves to a
+// uniformly random neighbor (weight-proportionally for weighted graphs) for
+// at most L hops. Nodes may repeat within a walk. A walk stuck at a node
+// with no outgoing edges simply stops moving; its remaining positions are
+// the stuck node, which matches the T^L_{uS} = L convention for sources that
+// never reach S.
+package walk
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Walker runs L-length random walks over a fixed graph. It reuses an
+// internal position buffer, so the slice returned by Walk is only valid
+// until the next call. A Walker is not safe for concurrent use; derive one
+// per goroutine via Fork.
+type Walker struct {
+	g   *graph.Graph
+	l   int
+	rnd *rng.Source
+	buf []int32
+}
+
+// NewWalker returns a walker on g with walk-length bound L, seeded
+// deterministically.
+func NewWalker(g *graph.Graph, L int, seed uint64) (*Walker, error) {
+	if L < 0 {
+		return nil, fmt.Errorf("walk: negative walk length %d", L)
+	}
+	return &Walker{g: g, l: L, rnd: rng.New(seed), buf: make([]int32, 0, L+1)}, nil
+}
+
+// L returns the walk-length bound.
+func (w *Walker) L() int { return w.l }
+
+// Fork derives an independent walker for use on another goroutine.
+func (w *Walker) Fork() *Walker {
+	return &Walker{g: w.g, l: w.l, rnd: w.rnd.Split(), buf: make([]int32, 0, w.l+1)}
+}
+
+// Walk runs one L-length random walk from start and returns the node
+// sequence, position 0 being start. The walk may be shorter than L+1
+// positions only if it gets stuck at a node with no outgoing edges. The
+// returned slice is reused by the next Walk call.
+func (w *Walker) Walk(start int) []int32 {
+	if start < 0 || start >= w.g.N() {
+		panic(fmt.Sprintf("walk: start node %d out of range [0,%d)", start, w.g.N()))
+	}
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, int32(start))
+	u := start
+	for step := 0; step < w.l; step++ {
+		v := w.g.PickNeighbor(u, w.rnd.Float64())
+		if v < 0 {
+			break // stuck: no outgoing edges
+		}
+		w.buf = append(w.buf, int32(v))
+		u = v
+	}
+	return w.buf
+}
+
+// HitTime runs one walk from start and returns the first time t at which the
+// walk occupies a node with inS[node] true, or L if no such time exists
+// within the budget — exactly the random variable T^L_{uS} of Eq. (3).
+// The second result reports whether the walk hit.
+func (w *Walker) HitTime(start int, inS []bool) (int, bool) {
+	if inS[start] {
+		return 0, true
+	}
+	u := start
+	for step := 1; step <= w.l; step++ {
+		v := w.g.PickNeighbor(u, w.rnd.Float64())
+		if v < 0 {
+			return w.l, false
+		}
+		if inS[v] {
+			return step, true
+		}
+		u = v
+	}
+	return w.l, false
+}
+
+// EstimateHitTime returns ĥ^L_{uS}, the unbiased estimator of Eq. (9), from
+// R independent walks: (Σ hit times + (R−r)·L) / R where r walks hit.
+func (w *Walker) EstimateHitTime(u int, inS []bool, R int) float64 {
+	if R <= 0 {
+		panic("walk: sample size R must be positive")
+	}
+	total := 0
+	for i := 0; i < R; i++ {
+		t, _ := w.HitTime(u, inS)
+		total += t
+	}
+	return float64(total) / float64(R)
+}
+
+// EstimateHitProb returns Ê[X^L_{uS}] = r/R, the unbiased estimator of
+// Eq. (10).
+func (w *Walker) EstimateHitProb(u int, inS []bool, R int) float64 {
+	if R <= 0 {
+		panic("walk: sample size R must be positive")
+	}
+	hits := 0
+	for i := 0; i < R; i++ {
+		if _, ok := w.HitTime(u, inS); ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(R)
+}
+
+// Estimator implements Algorithm 2: sampling-based estimation of F1(S) and
+// F2(S) for arbitrary sets S. Each node's walks are seeded independently
+// from the master seed, so estimates are identical however the per-node
+// work is sharded across goroutines (EstimateFWorkers).
+type Estimator struct {
+	g    *graph.Graph
+	l    int
+	seed uint64
+	inS  []bool
+}
+
+// NewEstimator returns an Algorithm-2 estimator on g with bound L.
+func NewEstimator(g *graph.Graph, L int, seed uint64) (*Estimator, error) {
+	if L < 0 {
+		return nil, fmt.Errorf("walk: negative walk length %d", L)
+	}
+	return &Estimator{g: g, l: L, seed: seed, inS: make([]bool, g.N())}, nil
+}
+
+// EstimateF runs Algorithm 2 with sample size R and returns unbiased
+// estimates of F1(S) and F2(S).
+//
+// Note on F1: the paper's Eq. (6) defines F1(S) = nL − Σ_{u∈V\S} h^L_{uS},
+// while Algorithm 2 line 14 computes |V\S|·L − Σ ĥ, which differs by the
+// constant |S|·L (the two forms appear interchangeably in the paper; they
+// induce the same greedy ordering at fixed |S|). This implementation returns
+// the Eq. (6) form so sampled values are directly comparable with the exact
+// hitting.Evaluator.F1.
+func (e *Estimator) EstimateF(S []int, R int) (f1, f2 float64, err error) {
+	return e.EstimateFWorkers(S, R, 1)
+}
+
+// EstimateFWorkers is EstimateF sharded over the given number of
+// goroutines. Results are bit-for-bit identical for every worker count.
+func (e *Estimator) EstimateFWorkers(S []int, R, workers int) (f1, f2 float64, err error) {
+	if R <= 0 {
+		return 0, 0, fmt.Errorf("walk: sample size R = %d, want > 0", R)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	g := e.g
+	n := g.N()
+	if workers > n {
+		workers = n
+	}
+	for i := range e.inS {
+		e.inS[i] = false
+	}
+	sizeS := 0
+	for _, v := range S {
+		if v < 0 || v >= n {
+			return 0, 0, fmt.Errorf("walk: set member %d out of range [0,%d): %w", v, n, graph.ErrNodeRange)
+		}
+		if !e.inS[v] {
+			sizeS++
+		}
+		e.inS[v] = true
+	}
+
+	// nodeEstimates accumulates per-node totals of hit time and hit count
+	// over R walks, using a fresh per-(node, replicate) seed, then folds
+	// them into (Σĥ/R, Σr/R) for the range.
+	nodeEstimates := func(lo, hi int) (sumT, sumR int64) {
+		for u := lo; u < hi; u++ {
+			if e.inS[u] {
+				continue
+			}
+			for i := 0; i < R; i++ {
+				rnd := rng.New(rng.Mix(e.seed, uint64(u), uint64(i)))
+				t, hit := hitTimeSeeded(g, e.l, u, e.inS, rnd)
+				sumT += int64(t)
+				if hit {
+					sumR++
+				}
+			}
+		}
+		return sumT, sumR
+	}
+
+	var totT, totR int64
+	if workers == 1 {
+		totT, totR = nodeEstimates(0, n)
+	} else {
+		type partial struct{ t, r int64 }
+		parts := make([]partial, workers)
+		var wg sync.WaitGroup
+		per := (n + workers - 1) / workers
+		for wk := 0; wk < workers; wk++ {
+			lo := wk * per
+			hi := lo + per
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(wk, lo, hi int) {
+				defer wg.Done()
+				t, r := nodeEstimates(lo, hi)
+				parts[wk] = partial{t, r}
+			}(wk, lo, hi)
+		}
+		wg.Wait()
+		for _, p := range parts {
+			totT += p.t
+			totR += p.r
+		}
+	}
+	sumH := float64(totT) / float64(R)
+	sumP := float64(totR) / float64(R)
+	f1 = float64(n)*float64(e.l) - sumH
+	f2 = sumP + float64(sizeS) // members of S hit with probability 1 (line 15)
+	return f1, f2, nil
+}
+
+// hitTimeSeeded is Walker.HitTime with an explicit RNG, used by the
+// deterministic per-node estimator.
+func hitTimeSeeded(g *graph.Graph, L, start int, inS []bool, rnd *rng.Source) (int, bool) {
+	if inS[start] {
+		return 0, true
+	}
+	u := start
+	for step := 1; step <= L; step++ {
+		v := g.PickNeighbor(u, rnd.Float64())
+		if v < 0 {
+			return L, false
+		}
+		if inS[v] {
+			return step, true
+		}
+		u = v
+	}
+	return L, false
+}
+
+// SampleSizeF1 returns the Hoeffding sample size of Lemma 3.3: with
+// R >= ln((n−|S|)/δ) / (2ε²) samples per node,
+// Pr[|F̂1(S) − F1(S)| >= ε(n−|S|)L] <= δ.
+func SampleSizeF1(n, sizeS int, eps, delta float64) int {
+	if eps <= 0 || delta <= 0 || delta >= 1 || n-sizeS <= 0 {
+		return 1
+	}
+	return int(math.Ceil(math.Log(float64(n-sizeS)/delta) / (2 * eps * eps)))
+}
+
+// SampleSizeF2 returns the Hoeffding sample size of Lemma 3.4: with
+// R >= ln(n/δ) / (2ε²) samples per node, Pr[|F̂2(S) − F2(S)| >= εn] <= δ.
+func SampleSizeF2(n int, eps, delta float64) int {
+	if eps <= 0 || delta <= 0 || delta >= 1 || n <= 0 {
+		return 1
+	}
+	return int(math.Ceil(math.Log(float64(n)/delta) / (2 * eps * eps)))
+}

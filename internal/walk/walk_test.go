@@ -1,0 +1,347 @@
+package walk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/hitting"
+)
+
+func TestNewWalkerRejectsNegativeL(t *testing.T) {
+	g := graph.MustFromEdgeList(2, [][2]int{{0, 1}})
+	if _, err := NewWalker(g, -1, 0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestWalkLengthAndValidity(t *testing.T) {
+	g, _ := graph.BarabasiAlbert(100, 3, 1)
+	w, err := NewWalker(g, 7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		start := trial % g.N()
+		path := w.Walk(start)
+		if len(path) != 8 {
+			t.Fatalf("walk length %d, want L+1=8 on a connected graph", len(path))
+		}
+		if int(path[0]) != start {
+			t.Fatalf("walk starts at %d, want %d", path[0], start)
+		}
+		for i := 1; i < len(path); i++ {
+			if !g.HasEdge(int(path[i-1]), int(path[i])) {
+				t.Fatalf("walk uses non-edge %d-%d", path[i-1], path[i])
+			}
+		}
+	}
+}
+
+func TestWalkStuckAtIsolatedNode(t *testing.T) {
+	g := graph.MustFromEdgeList(3, [][2]int{{0, 1}}) // node 2 isolated
+	w, _ := NewWalker(g, 5, 1)
+	path := w.Walk(2)
+	if len(path) != 1 || path[0] != 2 {
+		t.Fatalf("isolated walk = %v, want [2]", path)
+	}
+}
+
+func TestWalkPanicsOnBadStart(t *testing.T) {
+	g := graph.MustFromEdgeList(2, [][2]int{{0, 1}})
+	w, _ := NewWalker(g, 3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.Walk(7)
+}
+
+func TestHitTimeImmediate(t *testing.T) {
+	g := graph.MustFromEdgeList(2, [][2]int{{0, 1}})
+	w, _ := NewWalker(g, 5, 1)
+	inS := []bool{true, false}
+	tHit, hit := w.HitTime(0, inS)
+	if tHit != 0 || !hit {
+		t.Fatalf("start in S: got (%d,%v), want (0,true)", tHit, hit)
+	}
+}
+
+func TestHitTimeDeterministicChain(t *testing.T) {
+	// On the 2-node path from 0 with S={1}, the walk hits at time 1 always.
+	g := graph.MustFromEdgeList(2, [][2]int{{0, 1}})
+	w, _ := NewWalker(g, 5, 9)
+	inS := []bool{false, true}
+	for i := 0; i < 20; i++ {
+		tHit, hit := w.HitTime(0, inS)
+		if tHit != 1 || !hit {
+			t.Fatalf("got (%d,%v), want (1,true)", tHit, hit)
+		}
+	}
+}
+
+func TestHitTimeCapAtL(t *testing.T) {
+	// Unreachable target: always (L, false).
+	g := graph.MustFromEdgeList(4, [][2]int{{0, 1}, {2, 3}})
+	w, _ := NewWalker(g, 4, 2)
+	inS := []bool{false, false, true, false}
+	for i := 0; i < 20; i++ {
+		tHit, hit := w.HitTime(0, inS)
+		if tHit != 4 || hit {
+			t.Fatalf("got (%d,%v), want (4,false)", tHit, hit)
+		}
+	}
+}
+
+func TestEstimatorUnbiasedAgainstExactDP(t *testing.T) {
+	// With many samples, ĥ and p̂ converge to the exact DP values.
+	g, _ := graph.BarabasiAlbert(60, 2, 5)
+	const L = 6
+	const R = 4000
+	S := []int{0, 11}
+	inS := make([]bool, g.N())
+	for _, v := range S {
+		inS[v] = true
+	}
+	ev, _ := hitting.NewEvaluator(g, L)
+	exactH, _ := ev.HitTimesToSet(S, nil)
+	exactP, _ := ev.HitProbsToSet(S, nil)
+	w, _ := NewWalker(g, L, 77)
+	for _, u := range []int{1, 5, 20, 40, 59} {
+		hHat := w.EstimateHitTime(u, inS, R)
+		pHat := w.EstimateHitProb(u, inS, R)
+		if math.Abs(hHat-exactH[u]) > 0.15 {
+			t.Errorf("u=%d: ĥ=%v exact=%v", u, hHat, exactH[u])
+		}
+		if math.Abs(pHat-exactP[u]) > 0.05 {
+			t.Errorf("u=%d: p̂=%v exact=%v", u, pHat, exactP[u])
+		}
+	}
+}
+
+func TestEstimateFMatchesExact(t *testing.T) {
+	g, _ := graph.BarabasiAlbert(50, 2, 3)
+	const L = 5
+	S := []int{0, 4}
+	ev, _ := hitting.NewEvaluator(g, L)
+	exactF1, _ := ev.F1(S)
+	exactF2, _ := ev.F2(S)
+	est, err := NewEstimator(g, L, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, f2, err := est.EstimateF(S, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tolerances: F1 error scales with (n−|S|)L, F2 with n.
+	if math.Abs(f1-exactF1) > 0.02*float64(g.N())*L {
+		t.Errorf("F̂1=%v exact=%v", f1, exactF1)
+	}
+	if math.Abs(f2-exactF2) > 0.02*float64(g.N()) {
+		t.Errorf("F̂2=%v exact=%v", f2, exactF2)
+	}
+}
+
+func TestEstimateFEmptySet(t *testing.T) {
+	g, _ := graph.Path(5)
+	est, _ := NewEstimator(g, 4, 1)
+	f1, f2, err := est.EstimateF(nil, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != 0 || f2 != 0 {
+		t.Fatalf("F̂(∅) = (%v,%v), want (0,0): no walk can hit an empty set", f1, f2)
+	}
+}
+
+func TestEstimateFFullSet(t *testing.T) {
+	g, _ := graph.Path(4)
+	est, _ := NewEstimator(g, 3, 1)
+	f1, f2, err := est.EstimateF([]int{0, 1, 2, 3}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != float64(4*3) {
+		t.Fatalf("F̂1(V) = %v, want nL=12", f1)
+	}
+	if f2 != 4 {
+		t.Fatalf("F̂2(V) = %v, want n=4", f2)
+	}
+}
+
+func TestEstimateFErrors(t *testing.T) {
+	g, _ := graph.Path(3)
+	est, _ := NewEstimator(g, 2, 1)
+	if _, _, err := est.EstimateF([]int{9}, 10); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+	if _, _, err := est.EstimateF([]int{0}, 0); err == nil {
+		t.Error("R=0 accepted")
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	g, _ := graph.BarabasiAlbert(50, 2, 7)
+	w, _ := NewWalker(g, 5, 1)
+	child := w.Fork()
+	// Both usable; streams differ.
+	a := append([]int32(nil), w.Walk(0)...)
+	b := append([]int32(nil), child.Walk(0)...)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	// A single identical walk can happen by chance, so compare several.
+	if same {
+		a2 := append([]int32(nil), w.Walk(1)...)
+		b2 := append([]int32(nil), child.Walk(1)...)
+		identical := len(a2) == len(b2)
+		if identical {
+			for i := range a2 {
+				if a2[i] != b2[i] {
+					identical = false
+					break
+				}
+			}
+		}
+		if identical {
+			t.Fatal("forked walker mirrors parent stream")
+		}
+	}
+}
+
+func TestWeightedWalkBias(t *testing.T) {
+	// Node 1 connects to 0 with weight 9 and to 2 with weight 1: the first
+	// step from 1 should go to 0 about 90% of the time.
+	b := graph.NewBuilder(3, graph.Undirected)
+	b.AddWeightedEdge(0, 1, 9)
+	b.AddWeightedEdge(1, 2, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := NewWalker(g, 1, 11)
+	to0 := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		path := w.Walk(1)
+		if path[1] == 0 {
+			to0++
+		}
+	}
+	frac := float64(to0) / trials
+	if math.Abs(frac-0.9) > 0.03 {
+		t.Fatalf("weighted first-step fraction to node 0 = %v, want ≈0.9", frac)
+	}
+}
+
+func TestHoeffdingBounds(t *testing.T) {
+	// Lemma 3.3 closed form: R = ceil(ln((n−|S|)/δ) / (2ε²)).
+	got := SampleSizeF1(1000, 30, 0.1, 0.01)
+	want := int(math.Ceil(math.Log(970/0.01) / (2 * 0.01)))
+	if got != want {
+		t.Fatalf("SampleSizeF1 = %d, want %d", got, want)
+	}
+	got = SampleSizeF2(1000, 0.1, 0.01)
+	want = int(math.Ceil(math.Log(1000/0.01) / (2 * 0.01)))
+	if got != want {
+		t.Fatalf("SampleSizeF2 = %d, want %d", got, want)
+	}
+	// Degenerate parameters fall back to 1 sample.
+	for _, r := range []int{
+		SampleSizeF1(10, 10, 0.1, 0.1),
+		SampleSizeF1(10, 0, 0, 0.1),
+		SampleSizeF2(10, 0.1, 0),
+		SampleSizeF2(0, 0.1, 0.1),
+	} {
+		if r != 1 {
+			t.Fatalf("degenerate sample size = %d, want 1", r)
+		}
+	}
+}
+
+func TestSampleSizeMonotonicity(t *testing.T) {
+	// Tighter ε or δ requires more samples.
+	f := func(seed uint64) bool {
+		eps1, eps2 := 0.05, 0.1
+		d := 0.05
+		return SampleSizeF2(1000, eps1, d) >= SampleSizeF2(1000, eps2, d) &&
+			SampleSizeF2(1000, 0.1, 0.01) >= SampleSizeF2(1000, 0.1, 0.1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateFWorkersInvariant(t *testing.T) {
+	// Per-node seeding makes the estimate bit-for-bit identical for any
+	// worker count.
+	g, _ := graph.BarabasiAlbert(120, 3, 13)
+	est, _ := NewEstimator(g, 5, 77)
+	S := []int{2, 50}
+	f1a, f2a, err := est.EstimateFWorkers(S, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0, 1000} {
+		f1b, f2b, err := est.EstimateFWorkers(S, 40, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f1a != f1b || f2a != f2b {
+			t.Fatalf("workers=%d changed estimate: (%v,%v) vs (%v,%v)", workers, f1a, f2a, f1b, f2b)
+		}
+	}
+}
+
+func TestEstimateFDuplicateMembers(t *testing.T) {
+	// Duplicate set members must not double-count the |S| term of F2.
+	g, _ := graph.Star(10)
+	est, _ := NewEstimator(g, 3, 1)
+	_, f2a, _ := est.EstimateF([]int{0}, 50)
+	_, f2b, _ := est.EstimateF([]int{0, 0, 0}, 50)
+	if f2a != f2b {
+		t.Fatalf("duplicates changed F2: %v vs %v", f2a, f2b)
+	}
+}
+
+func TestEstimatorDeterministicForSeed(t *testing.T) {
+	g, _ := graph.BarabasiAlbert(40, 2, 9)
+	S := []int{3}
+	a, _ := NewEstimator(g, 5, 42)
+	b, _ := NewEstimator(g, 5, 42)
+	f1a, f2a, _ := a.EstimateF(S, 50)
+	f1b, f2b, _ := b.EstimateF(S, 50)
+	if f1a != f1b || f2a != f2b {
+		t.Fatalf("same seed gave different estimates: (%v,%v) vs (%v,%v)", f1a, f2a, f1b, f2b)
+	}
+}
+
+func BenchmarkWalk(b *testing.B) {
+	g, _ := graph.BarabasiAlbert(10000, 5, 1)
+	w, _ := NewWalker(g, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Walk(i % g.N())
+	}
+}
+
+func BenchmarkEstimateF(b *testing.B) {
+	g, _ := graph.BarabasiAlbert(1000, 5, 1)
+	est, _ := NewEstimator(g, 6, 1)
+	S := []int{0, 1, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := est.EstimateF(S, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

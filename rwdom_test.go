@@ -1,0 +1,241 @@
+package rwdom
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := GeneratePowerLaw(300, 1500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	// The doc-comment quick start must work end to end.
+	g, err := GeneratePowerLaw(1000, 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := MaximizeCoverage(g, Options{K: 10, L: 6, R: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Nodes) != 10 {
+		t.Fatalf("selected %d nodes, want 10", len(sel.Nodes))
+	}
+	m, err := EvaluateExact(g, sel.Nodes, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.EHN <= 0 || m.AHT <= 0 || m.AHT > 6 {
+		t.Fatalf("implausible metrics %+v", m)
+	}
+}
+
+func TestAutoAlgorithmResolution(t *testing.T) {
+	// Small graph: Auto = DP; Approx selected explicitly must agree in
+	// quality on a star (hub first).
+	g, err := GenerateBarabasiAlbert(100, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := MinimizeHittingTime(g, Options{K: 3, L: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Algorithm != "DPF1" {
+		t.Fatalf("Auto on small graph resolved to %s, want DPF1", auto.Algorithm)
+	}
+	big, err := GeneratePowerLaw(3000, 9000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	autoBig, err := MinimizeHittingTime(big, Options{K: 3, L: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if autoBig.Algorithm != "ApproxF1" {
+		t.Fatalf("Auto on large graph resolved to %s, want ApproxF1", autoBig.Algorithm)
+	}
+}
+
+func TestAllAlgorithmsRun(t *testing.T) {
+	g := testGraph(t)
+	for _, alg := range []Algorithm{AlgorithmDP, AlgorithmSampling, AlgorithmApprox, AlgorithmDegree, AlgorithmDominate, AlgorithmCore} {
+		opts := Options{K: 4, L: 4, R: 30, Algorithm: alg}
+		for name, fn := range map[string]func(*Graph, Options) (*Selection, error){
+			"MinimizeHittingTime": MinimizeHittingTime,
+			"MaximizeCoverage":    MaximizeCoverage,
+		} {
+			sel, err := fn(g, opts)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, alg, err)
+			}
+			if len(sel.Nodes) != 4 {
+				t.Fatalf("%s/%v selected %d nodes", name, alg, len(sel.Nodes))
+			}
+		}
+	}
+}
+
+func TestDefaultRApplied(t *testing.T) {
+	g := testGraph(t)
+	sel, err := MaximizeCoverage(g, Options{K: 2, L: 3, Algorithm: AlgorithmApprox})
+	if err != nil {
+		t.Fatalf("R defaulting failed: %v", err)
+	}
+	if len(sel.Nodes) != 2 {
+		t.Fatal("selection failed with defaulted R")
+	}
+}
+
+func TestHittingTimesAndProbabilities(t *testing.T) {
+	g, err := FromEdgeList(3, [][2]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := HittingTimes(g, []int{2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h[1]-1.5) > 1e-12 || h[2] != 0 {
+		t.Fatalf("hitting times %v", h)
+	}
+	p, err := HitProbabilities(g, []int{2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-0.5) > 1e-12 {
+		t.Fatalf("hit probabilities %v", p)
+	}
+}
+
+func TestEvaluateSampledAgreesWithExact(t *testing.T) {
+	g := testGraph(t)
+	S := []int{0, 5, 9}
+	exact, err := EvaluateExact(g, S, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := EvaluateSampled(g, S, 5, 1500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact.AHT-sampled.AHT) > 0.1 {
+		t.Fatalf("AHT exact %v sampled %v", exact.AHT, sampled.AHT)
+	}
+	if math.Abs(exact.EHN-sampled.EHN) > 0.03*float64(g.N()) {
+		t.Fatalf("EHN exact %v sampled %v", exact.EHN, sampled.EHN)
+	}
+}
+
+func TestSelectCombined(t *testing.T) {
+	g := testGraph(t)
+	sel, err := SelectCombined(g, Options{K: 3, L: 4, R: 50}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Nodes) != 3 {
+		t.Fatalf("combined selected %v", sel.Nodes)
+	}
+}
+
+func TestMinimumCoverSet(t *testing.T) {
+	g := testGraph(t)
+	res, err := MinimumCoverSet(g, Options{L: 5, R: 60}, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Achieved || len(res.Nodes) == 0 {
+		t.Fatalf("cover not achieved: %+v", res)
+	}
+}
+
+func TestEdgeDominationFacade(t *testing.T) {
+	g := testGraph(t)
+	v, err := EdgeDomination(g, []int{0}, 4, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 {
+		t.Fatalf("edge domination %v", v)
+	}
+}
+
+func TestSampleSize(t *testing.T) {
+	r := SampleSize(10000, 0.1, 0.01)
+	if r < 100 || r > 10000 {
+		t.Fatalf("sample size %d implausible for (0.1, 0.01)", r)
+	}
+}
+
+func TestIndexReuseAcrossProblems(t *testing.T) {
+	g := testGraph(t)
+	ix, err := BuildIndex(g, 5, 60, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := SelectWithIndex(ix, Problem1, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SelectWithIndex(ix, Problem2, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.Nodes) != 4 || len(s2.Nodes) != 4 {
+		t.Fatal("index reuse selections wrong size")
+	}
+}
+
+func TestDatasetFacade(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 4 {
+		t.Fatalf("datasets %v", names)
+	}
+	g, err := LoadDataset("CAGrQc", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 262 {
+		t.Fatalf("scaled CAGrQc n=%d", g.N())
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for alg, want := range map[Algorithm]string{
+		AlgorithmAuto: "Auto", AlgorithmDP: "DP", AlgorithmSampling: "Sampling",
+		AlgorithmApprox: "Approx", AlgorithmDegree: "Degree", AlgorithmDominate: "Dominate",
+	} {
+		if alg.String() != want {
+			t.Errorf("%d.String() = %s, want %s", alg, alg.String(), want)
+		}
+	}
+	if !strings.Contains(Algorithm(42).String(), "42") {
+		t.Error("unknown algorithm String")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	if _, err := MinimizeHittingTime(nil, Options{K: 1, L: 2}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	g := testGraph(t)
+	if _, err := MaximizeCoverage(g, Options{K: 1, L: 2, Algorithm: Algorithm(99)}); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+	if _, err := MinimizeHittingTime(g, Options{K: 1, L: 2, Algorithm: Algorithm(99)}); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+	if _, err := SelectCombined(nil, Options{K: 1, L: 2}, 0.5); err == nil {
+		t.Error("nil graph accepted by SelectCombined")
+	}
+	if _, err := MinimumCoverSet(nil, Options{L: 2}, 0.5); err == nil {
+		t.Error("nil graph accepted by MinimumCoverSet")
+	}
+}
