@@ -1,0 +1,47 @@
+#!/bin/sh
+# bench.sh — the perf gate for this repo. Runs static checks, the race
+# detector over the packages that shard work across goroutines, and the
+# perf-tracking benchmarks (end-to-end selection, index build, and the
+# design-decision ablations), then writes the parsed results to
+# BENCH_PR1.json so the perf trajectory is recorded from PR 1 onward.
+#
+# Usage:
+#   ./bench.sh                # full run, writes BENCH_PR1.json
+#   BENCHTIME=10x ./bench.sh  # longer benchmark iterations
+#   OUT=bench.json ./bench.sh # alternative output file
+set -eu
+cd "$(dirname "$0")"
+
+BENCHTIME="${BENCHTIME:-5x}"
+OUT="${OUT:-BENCH_PR1.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go vet =="
+go vet ./...
+
+echo "== race detector (index, greedy) =="
+go test -race -count=1 ./internal/index/... ./internal/greedy/...
+
+echo "== benchmarks (benchtime=$BENCHTIME) =="
+go test -run '^$' \
+    -bench 'BenchmarkSelectionEndToEnd|BenchmarkIndexBuild$|BenchmarkAblationAliasVsBinarySearch|BenchmarkAblationCSRVsAdjList|BenchmarkAblationVisitedStamp|BenchmarkAblationLazyVsPlainGreedy|BenchmarkAblationIndexVsResample' \
+    -benchtime "$BENCHTIME" -timeout 60m . | tee "$RAW"
+go test -run '^$' -bench 'BenchmarkAblationDTableLayout' \
+    -benchtime "$BENCHTIME" -timeout 30m ./internal/index/ | tee -a "$RAW"
+
+awk -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" '
+BEGIN {
+    printf "{\n  \"record\": \"PR1 parallel batched gain engine\",\n"
+    printf "  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", goversion, benchtime
+    first = 1
+}
+/^Benchmark/ && $4 == "ns/op" {
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $1, $2, $3
+}
+END { printf "\n  ]\n}\n" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro"
@@ -38,7 +39,7 @@ func main() {
 		evalR     = flag.Int("evalR", 0, "if > 0, evaluate metrics by sampling with this R instead of exactly")
 		out       = flag.String("o", "", "write selected node ids to this file, one per line")
 		indexFile = flag.String("indexfile", "", "cache the walk index here: load if present, else build and save (approx only)")
-		workers   = flag.Int("workers", 1, "goroutines for index construction")
+		workers   = flag.Int("workers", 0, "goroutines for index construction and gain evaluation (0 = all cores); selections are identical for every value")
 		analyze   = flag.Bool("analyze", false, "print structural statistics (clustering, assortativity, rich club) and exit")
 	)
 	flag.Parse()
@@ -65,7 +66,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := rwdom.Options{K: *k, L: *l, R: *r, Seed: *seed, Algorithm: alg, Lazy: *lazy}
+	opts := rwdom.Options{K: *k, L: *l, R: *r, Seed: *seed, Algorithm: alg, Lazy: *lazy, Workers: *workers}
 
 	var prob rwdom.Problem
 	switch strings.ToLower(*problem) {
@@ -79,7 +80,7 @@ func main() {
 
 	var sel *rwdom.Selection
 	if *indexFile != "" {
-		sel, err = selectWithCachedIndex(g, prob, opts, *indexFile, *workers)
+		sel, err = selectWithCachedIndex(g, prob, opts, *indexFile)
 	} else if prob == rwdom.Problem1 {
 		sel, err = rwdom.MinimizeHittingTime(g, opts)
 	} else {
@@ -119,21 +120,30 @@ func main() {
 
 // selectWithCachedIndex loads the walk index from path if it exists
 // (validating it against the graph), otherwise builds and saves it, then
-// runs the approximate greedy selection.
-func selectWithCachedIndex(g *rwdom.Graph, prob rwdom.Problem, opts rwdom.Options, path string, workers int) (*rwdom.Selection, error) {
+// runs the approximate greedy selection. opts.Workers drives both the build
+// and the selection loop.
+func selectWithCachedIndex(g *rwdom.Graph, prob rwdom.Problem, opts rwdom.Options, path string) (*rwdom.Selection, error) {
 	var ix *rwdom.Index
 	if _, statErr := os.Stat(path); statErr == nil {
 		loaded, err := rwdom.LoadIndexFile(path, g)
 		if err != nil {
-			return nil, fmt.Errorf("loading cached index: %w", err)
-		}
-		if loaded.L() != opts.L || loaded.R() != opts.R {
+			// Unreadable cache (old format version, corruption, or an index
+			// built on a different graph): rebuilding is cheap and always
+			// what the user wants here, so warn and fall through.
+			fmt.Fprintf(os.Stderr, "rwdom: cached index %s unusable (%v), rebuilding\n", path, err)
+		} else if loaded.L() != opts.L || loaded.R() != opts.R {
 			return nil, fmt.Errorf("cached index has L=%d R=%d, run requested L=%d R=%d (delete %s to rebuild)",
 				loaded.L(), loaded.R(), opts.L, opts.R, path)
+		} else {
+			fmt.Printf("loaded index from %s (%d entries)\n", path, loaded.Entries())
+			ix = loaded
 		}
-		fmt.Printf("loaded index from %s (%d entries)\n", path, loaded.Entries())
-		ix = loaded
-	} else {
+	}
+	if ix == nil {
+		workers := opts.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
 		built, err := rwdom.BuildIndexParallel(g, opts.L, opts.R, opts.Seed, workers)
 		if err != nil {
 			return nil, err
@@ -144,7 +154,7 @@ func selectWithCachedIndex(g *rwdom.Graph, prob rwdom.Problem, opts rwdom.Option
 		fmt.Printf("built and saved index to %s (%d entries)\n", path, built.Entries())
 		ix = built
 	}
-	return rwdom.SelectWithIndex(ix, prob, opts.K, opts.Lazy)
+	return rwdom.SelectWithIndexWorkers(ix, prob, opts.K, opts.Lazy, opts.Workers)
 }
 
 func loadGraph(path, ds string, scale float64, gen string, n, m int, seed uint64) (*rwdom.Graph, error) {

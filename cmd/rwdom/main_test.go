@@ -86,15 +86,15 @@ func TestSelectWithCachedIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "cache.idx")
-	opts := rwdom.Options{K: 4, L: 4, R: 20, Seed: 1, Lazy: true}
+	opts := rwdom.Options{K: 4, L: 4, R: 20, Seed: 1, Lazy: true, Workers: 2}
 
 	// First call builds and saves.
-	first, err := selectWithCachedIndex(g, rwdom.Problem2, opts, path, 2)
+	first, err := selectWithCachedIndex(g, rwdom.Problem2, opts, path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Second call loads and must select identically.
-	second, err := selectWithCachedIndex(g, rwdom.Problem2, opts, path, 2)
+	second, err := selectWithCachedIndex(g, rwdom.Problem2, opts, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,12 +106,12 @@ func TestSelectWithCachedIndex(t *testing.T) {
 	// Parameter mismatch is rejected with a helpful error.
 	badOpts := opts
 	badOpts.L = 7
-	if _, err := selectWithCachedIndex(g, rwdom.Problem2, badOpts, path, 1); err == nil {
+	if _, err := selectWithCachedIndex(g, rwdom.Problem2, badOpts, path); err == nil {
 		t.Error("L mismatch accepted")
 	}
 	badOpts = opts
 	badOpts.R = 99
-	if _, err := selectWithCachedIndex(g, rwdom.Problem2, badOpts, path, 1); err == nil {
+	if _, err := selectWithCachedIndex(g, rwdom.Problem2, badOpts, path); err == nil {
 		t.Error("R mismatch accepted")
 	}
 }

@@ -24,6 +24,22 @@
 // AlgorithmDominate) and the paper's future-work extensions (combined
 // objective, partial cover, edge domination) are included.
 //
+// # Parallelism and layout
+//
+// The approximate-greedy hot path is engineered for modern hardware without
+// changing the algorithmics (the O(k·R·L·n) / O(n·R·L + m) bounds above are
+// untouched): the inverted index and D-table are laid out candidate-major
+// (all R replicate rows of a node contiguous) so one marginal-gain
+// evaluation reads a single contiguous span; weighted neighbor sampling
+// uses precomputed Walker alias tables (O(1) per hop instead of an
+// O(log deg) binary search); and Options.Workers shards index construction,
+// the CELF initial sweep and stale-entry re-evaluations over goroutines
+// (defaulting to all cores). Walks are seeded per (node, replicate) and
+// gains accumulate in integers, so Selected and Gains are bit-for-bit
+// identical for every worker count — parallelism changes wall-clock time
+// only. bench.sh records the perf trajectory (BENCH_PR1.json) and the
+// ablation benchmarks isolate each of these decisions.
+//
 // # Quick start
 //
 //	g, err := rwdom.GeneratePowerLaw(10000, 50000, 1)

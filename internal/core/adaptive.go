@@ -48,12 +48,13 @@ func ApproxAdaptive(g *graph.Graph, opts Options, p index.Problem, stability flo
 	var prev []int
 	var last *Selection
 	res := &AdaptiveResult{}
+	workers := opts.workers()
 	for r := opts.R; ; r *= 2 {
-		ix, err := index.Build(g, opts.L, r, opts.Seed)
+		ix, err := index.BuildWorkers(g, opts.L, r, opts.Seed, workers)
 		if err != nil {
 			return nil, err
 		}
-		sel, err := ApproxWithIndex(ix, p, opts.K, opts.Lazy)
+		sel, err := ApproxWithIndexWorkers(ix, p, opts.K, opts.Lazy, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -88,7 +89,7 @@ func ApproxStochastic(g *graph.Graph, opts Options, p index.Problem, eps float64
 		return nil, err
 	}
 	start := time.Now()
-	ix, err := index.Build(g, opts.L, opts.R, opts.Seed)
+	ix, err := index.BuildWorkers(g, opts.L, opts.R, opts.Seed, opts.workers())
 	if err != nil {
 		return nil, err
 	}

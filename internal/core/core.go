@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/graph"
@@ -46,6 +47,20 @@ type Options struct {
 	// per-round scan. Valid for the DP and approximate algorithms, whose
 	// gain functions are submodular (exactly, and per-sample respectively).
 	Lazy bool
+	// Workers shards index construction and the approximate algorithms'
+	// gain evaluations over this many goroutines. Zero (the default) means
+	// runtime.GOMAXPROCS(0). Selections are bit-for-bit identical for every
+	// worker count: walks are seeded per (node, replicate) and gains
+	// accumulate in integers, so only wall-clock time changes.
+	Workers int
+}
+
+// workers resolves the Workers knob, defaulting to all available cores.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o Options) validate(g *graph.Graph, needsR bool) error {
@@ -98,10 +113,18 @@ func (s *Selection) String() string {
 
 // drive runs the configured greedy driver over the oracle.
 func drive(n, k int, oracle greedy.Oracle, lazy bool) (*greedy.Result, error) {
+	return driveWorkers(n, k, oracle, lazy, 1)
+}
+
+// driveWorkers runs the configured greedy driver, sharding gain evaluations
+// over workers goroutines when workers > 1. The oracle must then support
+// concurrent Gain calls between Updates (index.DTable does; the DP and
+// sampling oracles do not and always pass workers = 1).
+func driveWorkers(n, k int, oracle greedy.Oracle, lazy bool, workers int) (*greedy.Result, error) {
 	if lazy {
-		return greedy.RunLazy(n, k, oracle)
+		return greedy.RunLazyWorkers(n, k, oracle, workers)
 	}
-	return greedy.Run(n, k, oracle)
+	return greedy.RunWorkers(n, k, oracle, workers)
 }
 
 // ---------------------------------------------------------------------------
@@ -278,11 +301,16 @@ func SampleF2(g *graph.Graph, opts Options) (*Selection, error) {
 // Approximate greedy (ApproxF1, ApproxF2) — Algorithm 6
 // ---------------------------------------------------------------------------
 
-// dtableOracle adapts an index.DTable to the greedy.Oracle interface.
+// dtableOracle adapts an index.DTable to the greedy.BatchOracle interface.
+// Gain and GainBatch are pure reads of the D-table, so the parallel drivers
+// may call them concurrently between Updates.
 type dtableOracle struct{ d *index.DTable }
 
 func (o dtableOracle) Gain(u int) float64 { return o.d.Gain(u) }
 func (o dtableOracle) Update(u int)       { o.d.Update(u) }
+func (o dtableOracle) GainBatch(us []int, out []float64) []float64 {
+	return o.d.GainBatch(us, out)
+}
 
 // ApproxF1 solves Problem 1 with the approximate greedy algorithm
 // (Algorithm 6): build the inverted index once, then run greedy with
@@ -300,13 +328,14 @@ func approxGreedy(g *graph.Graph, opts Options, name string, p index.Problem) (*
 	if err := opts.validate(g, true); err != nil {
 		return nil, err
 	}
+	workers := opts.workers()
 	start := time.Now()
-	ix, err := index.Build(g, opts.L, opts.R, opts.Seed)
+	ix, err := index.BuildWorkers(g, opts.L, opts.R, opts.Seed, workers)
 	if err != nil {
 		return nil, err
 	}
 	build := time.Since(start)
-	sel, err := ApproxWithIndex(ix, p, opts.K, opts.Lazy)
+	sel, err := ApproxWithIndexWorkers(ix, p, opts.K, opts.Lazy, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -316,11 +345,22 @@ func approxGreedy(g *graph.Graph, opts Options, name string, p index.Problem) (*
 }
 
 // ApproxWithIndex runs the greedy loop of Algorithm 6 on an already-built
-// index, so several budgets or both problems can share one materialization.
-// BuildTime in the result covers only the D-table setup.
+// index, so several budgets or both problems can share one materialization,
+// sharding gain evaluations over all available cores. BuildTime in the
+// result covers only the D-table setup.
 func ApproxWithIndex(ix *index.Index, p index.Problem, k int, lazy bool) (*Selection, error) {
+	return ApproxWithIndexWorkers(ix, p, k, lazy, 0)
+}
+
+// ApproxWithIndexWorkers is ApproxWithIndex with an explicit worker count
+// for the selection loop; workers <= 0 means runtime.GOMAXPROCS(0).
+// Selections are bit-for-bit identical for every worker count.
+func ApproxWithIndexWorkers(ix *index.Index, p index.Problem, k int, lazy bool, workers int) (*Selection, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("core: negative budget K=%d", k)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
 	d, err := ix.NewDTable(p)
@@ -329,7 +369,7 @@ func ApproxWithIndex(ix *index.Index, p index.Problem, k int, lazy bool) (*Selec
 	}
 	build := time.Since(start)
 	start = time.Now()
-	res, err := drive(ix.Graph().N(), k, dtableOracle{d}, lazy)
+	res, err := driveWorkers(ix.Graph().N(), k, dtableOracle{d}, lazy, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -24,7 +24,8 @@ import (
 // combinedOracle mixes the Problem-1 and Problem-2 gains of a shared index.
 // Both objectives are normalized to [0, 1] ranges (F1 by nL, F2 by n) so the
 // weight is scale-free; a positive combination of submodular functions is
-// submodular, so CELF remains valid.
+// submodular, so CELF remains valid. Gain is a pure read of both D-tables,
+// so the parallel drivers may shard it like any other index-backed oracle.
 type combinedOracle struct {
 	d1, d2 *index.DTable
 	w      float64 // weight on normalized F1; 1−w on normalized F2
@@ -56,8 +57,9 @@ func Combined(g *graph.Graph, opts Options, w float64) (*Selection, error) {
 	if opts.L == 0 {
 		return nil, fmt.Errorf("core: combined objective undefined at L=0 (F1 normalization nL vanishes)")
 	}
+	workers := opts.workers()
 	start := time.Now()
-	ix, err := index.Build(g, opts.L, opts.R, opts.Seed)
+	ix, err := index.BuildWorkers(g, opts.L, opts.R, opts.Seed, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +78,7 @@ func Combined(g *graph.Graph, opts Options, w float64) (*Selection, error) {
 		n:  float64(g.N()),
 	}
 	start = time.Now()
-	res, err := drive(g.N(), opts.K, oracle, opts.Lazy)
+	res, err := driveWorkers(g.N(), opts.K, oracle, opts.Lazy, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +119,7 @@ func PartialCover(g *graph.Graph, opts Options, alpha float64) (*PartialCoverRes
 		return nil, fmt.Errorf("core: coverage fraction α=%v outside [0,1]", alpha)
 	}
 	start := time.Now()
-	ix, err := index.Build(g, opts.L, opts.R, opts.Seed)
+	ix, err := index.BuildWorkers(g, opts.L, opts.R, opts.Seed, opts.workers())
 	if err != nil {
 		return nil, err
 	}

@@ -115,7 +115,7 @@ func figEffectivenessVsR(cfg Config, id, title string, dp, approx func(*graph.Gr
 		}
 		var ahtDP, ehnDP, ahtAp, ehnAp []float64
 		for ri, R := range rGrid {
-			apSel, err := approx(g, core.Options{K: k, L: L, R: int(R), Seed: cfg.Seed + uint64(ri)})
+			apSel, err := approx(g, core.Options{K: k, L: L, R: int(R), Seed: cfg.Seed + uint64(ri), Workers: cfg.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -183,7 +183,7 @@ func Fig4(cfg Config) (*Report, error) {
 		run  func() (*core.Selection, error)
 	}
 	for _, L := range []int{5, 10} {
-		opts := core.Options{K: k, L: L, R: 250, Seed: cfg.Seed}
+		opts := core.Options{K: k, L: L, R: 250, Seed: cfg.Seed, Workers: cfg.Workers}
 		algos := []algo{
 			{"DPF1", func() (*core.Selection, error) { return core.DPF1(g, opts) }},
 			{"ApproxF1", func() (*core.Selection, error) { return core.ApproxF1(g, opts) }},
@@ -236,7 +236,7 @@ func Fig5(cfg Config) (*Report, error) {
 	for _, L := range []int{5, 10} {
 		var y1, y2 []float64
 		for ri, R := range rGrid {
-			opts := core.Options{K: k, L: L, R: int(R), Seed: cfg.Seed + uint64(ri)}
+			opts := core.Options{K: k, L: L, R: int(R), Seed: cfg.Seed + uint64(ri), Workers: cfg.Workers}
 			s1, err := core.ApproxF1(g, opts)
 			if err != nil {
 				return nil, err
@@ -263,7 +263,7 @@ func Fig5(cfg Config) (*Report, error) {
 
 // effectivenessSweep runs the four algorithms of Figs. 6/7 on one dataset at
 // the largest budget, then evaluates both exact metrics on budget prefixes.
-func effectivenessSweep(g *graph.Graph, L, R int, seed uint64, ks []float64) (aht, ehn map[string][]float64, err error) {
+func effectivenessSweep(g *graph.Graph, L, R, workers int, seed uint64, ks []float64) (aht, ehn map[string][]float64, err error) {
 	kmax := scaleK(int(ks[len(ks)-1]), g.N())
 	type result struct {
 		name  string
@@ -283,16 +283,16 @@ func effectivenessSweep(g *graph.Graph, L, R int, seed uint64, ks []float64) (ah
 	runs = append(runs, result{"Dominate", dom.Nodes})
 
 	// One index serves both approximate algorithms (Lazy keeps k=100 cheap).
-	ix, err := index.Build(g, L, R, seed)
+	ix, err := index.BuildWorkers(g, L, R, seed, workers)
 	if err != nil {
 		return nil, nil, err
 	}
-	ap1, err := core.ApproxWithIndex(ix, index.Problem1, kmax, true)
+	ap1, err := core.ApproxWithIndexWorkers(ix, index.Problem1, kmax, true, workers)
 	if err != nil {
 		return nil, nil, err
 	}
 	runs = append(runs, result{"ApproxF1", ap1.Nodes})
-	ap2, err := core.ApproxWithIndex(ix, index.Problem2, kmax, true)
+	ap2, err := core.ApproxWithIndexWorkers(ix, index.Problem2, kmax, true, workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -338,7 +338,7 @@ func figAcrossDatasets(cfg Config, id, title, metric string) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		aht, ehn, err := effectivenessSweep(g, L, R, cfg.Seed, kGrid)
+		aht, ehn, err := effectivenessSweep(g, L, R, cfg.workers(), cfg.Seed, kGrid)
 		if err != nil {
 			return nil, err
 		}
@@ -403,7 +403,7 @@ func Fig8(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		out["Dominate"] = secs(dom.BuildTime + dom.SelectTime)
-		opts := core.Options{K: k, L: L, R: R, Seed: cfg.Seed, Lazy: true}
+		opts := core.Options{K: k, L: L, R: R, Seed: cfg.Seed, Lazy: true, Workers: cfg.Workers}
 		a1, err := core.ApproxF1(g, opts)
 		if err != nil {
 			return nil, err
@@ -472,7 +472,7 @@ func Fig9(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		k := scaleK(100, g.N())
-		opts := core.Options{K: k, L: L, R: R, Seed: cfg.Seed, Lazy: true}
+		opts := core.Options{K: k, L: L, R: R, Seed: cfg.Seed, Lazy: true, Workers: cfg.Workers}
 		s1, err := core.ApproxF1(g, opts)
 		if err != nil {
 			return nil, err
@@ -539,15 +539,15 @@ func Fig10(cfg Config) (*Report, error) {
 		ehn := map[string][]float64{}
 		for _, lf := range lGrid {
 			L := int(lf)
-			ix, err := index.Build(g, L, R, cfg.Seed)
+			ix, err := index.BuildWorkers(g, L, R, cfg.Seed, cfg.workers())
 			if err != nil {
 				return nil, err
 			}
-			ap1, err := core.ApproxWithIndex(ix, index.Problem1, k, true)
+			ap1, err := core.ApproxWithIndexWorkers(ix, index.Problem1, k, true, cfg.workers())
 			if err != nil {
 				return nil, err
 			}
-			ap2, err := core.ApproxWithIndex(ix, index.Problem2, k, true)
+			ap2, err := core.ApproxWithIndexWorkers(ix, index.Problem2, k, true, cfg.workers())
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,112 @@
+package graph
+
+// Alias-method sampling for weighted graphs (Walker 1977, with Vose's O(deg)
+// construction). The builder precomputes one alias table per adjacency row;
+// PickNeighbor then maps a single uniform variate to a neighbor in O(1) —
+// two array reads and a comparison — instead of the O(log deg) binary search
+// over cumulative weights. On high-degree hubs, which random walks visit
+// disproportionately often, this removes the dominant branch-missing search
+// loop from the walk inner loop (index build, sampling estimators, and the
+// session simulator all step through PickNeighbor).
+//
+// The tables are deterministic functions of the weights, so walks remain
+// bit-for-bit reproducible for a fixed seed. The cumulative-weight search is
+// retained as PickNeighborBinarySearch for the distribution-parity test and
+// the sampling ablation benchmark.
+
+// buildAliasTables fills the alias slots for every adjacency row of a
+// weighted graph. For row slot i (absolute adj index), a uniform column draw
+// lands on slot i with probability 1/deg; the walk then keeps slot i with
+// probability alias[i].prob and otherwise takes the precomputed alias slot
+// alias[i].idx. The resulting neighbor distribution is exactly proportional
+// to the row's edge weights (up to float rounding).
+func (g *Graph) buildAliasTables() {
+	if g.weights == nil {
+		return
+	}
+	g.alias = make([]aliasSlot, len(g.adj))
+	small := make([]int32, 0, 64)
+	large := make([]int32, 0, 64)
+	for u := 0; u < g.n; u++ {
+		lo, hi := int(g.offsets[u]), int(g.offsets[u+1])
+		deg := hi - lo
+		if deg == 0 {
+			continue
+		}
+		rowW := g.weights[lo:hi]
+		sum := 0.0
+		for _, w := range rowW {
+			sum += w
+		}
+		// Scaled probabilities: p_i = w_i·deg/sum, mean exactly 1.
+		scale := float64(deg) / sum
+		small, large = small[:0], large[:0]
+		for i := 0; i < deg; i++ {
+			p := rowW[i] * scale
+			g.alias[lo+i].prob = p
+			if p < 1 {
+				small = append(small, int32(i))
+			} else {
+				large = append(large, int32(i))
+			}
+		}
+		// Vose pairing: each underfull slot donates its deficit to one
+		// overfull slot, which may in turn become underfull.
+		for len(small) > 0 && len(large) > 0 {
+			s := small[len(small)-1]
+			small = small[:len(small)-1]
+			l := large[len(large)-1]
+			g.alias[lo+int(s)].idx = int32(lo) + l
+			g.alias[lo+int(l)].prob -= 1 - g.alias[lo+int(s)].prob
+			if g.alias[lo+int(l)].prob < 1 {
+				large = large[:len(large)-1]
+				small = append(small, l)
+			}
+		}
+		// Residual slots are within rounding of probability 1: saturate them
+		// (their alias is never taken; self-alias keeps reads in range).
+		for _, i := range small {
+			g.alias[lo+int(i)] = aliasSlot{prob: 1, idx: int32(lo) + i}
+		}
+		for _, i := range large {
+			g.alias[lo+int(i)] = aliasSlot{prob: 1, idx: int32(lo) + i}
+		}
+	}
+}
+
+// PickNeighborBinarySearch is the pre-alias weighted sampler: an O(log deg)
+// binary search over per-row cumulative weights. It consumes the uniform
+// variate differently from PickNeighbor, so for the same x the two may return
+// different neighbors — but both map uniform variates to the exact
+// weight-proportional distribution (asserted by the chi-squared parity test).
+// It is kept for that test and for the sampling ablation benchmark.
+func (g *Graph) PickNeighborBinarySearch(u int, x float64) int {
+	lo, hi := int(g.offsets[u]), int(g.offsets[u+1])
+	deg := hi - lo
+	if deg == 0 {
+		return -1
+	}
+	if g.weights == nil {
+		i := int(x * float64(deg))
+		if i >= deg {
+			i = deg - 1
+		}
+		return int(g.adj[lo+i])
+	}
+	base := 0.0
+	if lo > 0 {
+		base = g.cumWeights[lo-1]
+	}
+	total := g.cumWeights[hi-1] - base
+	target := base + x*total
+	a, b := lo, hi-1
+	for a < b {
+		mid := (a + b) / 2
+		if g.cumWeights[mid] > target {
+			b = mid
+		} else {
+			a = mid + 1
+		}
+	}
+	return int(g.adj[a])
+}

@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// weightedStar returns a star with center 0 and leaves 1..d, the edge to
+// leaf i carrying weight i — a maximally skewed single-row distribution, so
+// any bias in either sampler concentrates in one chi-squared statistic.
+func weightedStar(t *testing.T, d int) *Graph {
+	t.Helper()
+	b := NewBuilder(d+1, Undirected)
+	for i := 1; i <= d; i++ {
+		b.AddWeightedEdge(0, i, float64(i))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// chiSquared returns the statistic Σ (obs−exp)²/exp of observed counts
+// against weight-proportional expectations over draws samples.
+func chiSquared(counts []int, weights []float64, draws int) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	stat := 0.0
+	for i, c := range counts {
+		exp := float64(draws) * weights[i] / total
+		diff := float64(c) - exp
+		stat += diff * diff / exp
+	}
+	return stat
+}
+
+// TestAliasSamplerDistributionParity checks that the alias sampler and the
+// binary-search sampler both realize the exact weight-proportional neighbor
+// distribution on a weighted star: each sampler's chi-squared statistic
+// against the true expectation must clear the df=15, p=0.001 critical value
+// (37.70; generous because the seed is fixed and the test deterministic).
+func TestAliasSamplerDistributionParity(t *testing.T) {
+	const d = 16
+	const draws = 200000
+	g := weightedStar(t, d)
+	weights := make([]float64, d)
+	for i := range weights {
+		weights[i] = float64(i + 1)
+	}
+
+	sample := func(pick func(int, float64) int, seed uint64) []int {
+		r := rng.New(seed)
+		counts := make([]int, d)
+		for i := 0; i < draws; i++ {
+			v := pick(0, r.Float64())
+			if v < 1 || v > d {
+				t.Fatalf("sampled non-neighbor %d", v)
+			}
+			counts[v-1]++
+		}
+		return counts
+	}
+
+	aliasCounts := sample(g.PickNeighbor, 7)
+	binCounts := sample(g.PickNeighborBinarySearch, 11)
+	const critical = 37.70 // chi-squared df=15 at p=0.001
+	if stat := chiSquared(aliasCounts, weights, draws); stat > critical {
+		t.Errorf("alias sampler chi-squared %.2f exceeds %.2f", stat, critical)
+	}
+	if stat := chiSquared(binCounts, weights, draws); stat > critical {
+		t.Errorf("binary-search sampler chi-squared %.2f exceeds %.2f", stat, critical)
+	}
+
+	// Two-sample parity: the samplers' empirical distributions must also be
+	// statistically indistinguishable from each other.
+	stat := 0.0
+	for i := range weights {
+		a, b := float64(aliasCounts[i]), float64(binCounts[i])
+		if a+b == 0 {
+			continue
+		}
+		diff := a - b
+		stat += diff * diff / (a + b)
+	}
+	if stat > critical {
+		t.Errorf("two-sample chi-squared %.2f exceeds %.2f", stat, critical)
+	}
+}
+
+// TestAliasTablesExactProbabilities verifies the constructed alias tables
+// analytically: integrating the PickNeighbor decision rule over the uniform
+// column and coin must recover each edge's weight share exactly.
+func TestAliasTablesExactProbabilities(t *testing.T) {
+	b := NewBuilder(6, Undirected)
+	ws := []float64{0.5, 3, 1.25, 7, 0.25}
+	for i, w := range ws {
+		b.AddWeightedEdge(0, i+1, w)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := int(g.offsets[0]), int(g.offsets[0+1])
+	deg := hi - lo
+	prob := make([]float64, deg) // realized P[neighbor at row slot j]
+	for i := 0; i < deg; i++ {
+		slot := g.alias[lo+i]
+		prob[int(g.adj[lo+i])-1] += slot.prob / float64(deg)
+		if slot.prob < 1 {
+			prob[int(g.adj[slot.idx])-1] += (1 - slot.prob) / float64(deg)
+		}
+	}
+	total := 0.0
+	for _, w := range ws {
+		total += w
+	}
+	for j, w := range ws {
+		if math.Abs(prob[j]-w/total) > 1e-12 {
+			t.Errorf("neighbor %d realized probability %v, want %v", j+1, prob[j], w/total)
+		}
+	}
+}
+
+// TestPickNeighborUnweightedUnchanged pins the unweighted fast path: the
+// alias refactor must not alter uniform sampling, which the per-walk seeding
+// of the index builder depends on for reproducibility of existing artifacts.
+func TestPickNeighborUnweightedUnchanged(t *testing.T) {
+	g := MustFromEdgeList(5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	row := g.Neighbors(0)
+	for _, x := range []float64{0, 0.2499, 0.25, 0.6, 0.999999} {
+		i := int(x * float64(len(row)))
+		if i >= len(row) {
+			i = len(row) - 1
+		}
+		if got := g.PickNeighbor(0, x); got != int(row[i]) {
+			t.Errorf("PickNeighbor(0, %v) = %d, want %d", x, got, row[i])
+		}
+	}
+	if g.PickNeighbor(1, 0.5) != 0 {
+		t.Error("leaf should step to center")
+	}
+}

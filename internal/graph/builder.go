@@ -174,6 +174,7 @@ func (b *Builder) Build() (*Graph, error) {
 				running = g.cumWeights[hi-1]
 			}
 		}
+		g.buildAliasTables()
 	}
 	return g, nil
 }

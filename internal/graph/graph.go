@@ -61,8 +61,23 @@ type Graph struct {
 	weights []float64 // nil for unweighted graphs
 
 	// cumWeights, present only for weighted graphs, stores per-row prefix
-	// sums of weights so weighted neighbor sampling is O(log deg).
+	// sums of weights, used by WeightDegree and the binary-search sampler
+	// kept for the alias parity test and ablation benchmark.
 	cumWeights []float64
+
+	// alias, present only for weighted graphs, holds per-row Walker alias
+	// tables so weighted neighbor sampling is O(1); see alias.go. Slots are
+	// parallel to adj; prob and the alias target are interleaved so one
+	// draw touches a single cache line.
+	alias []aliasSlot
+}
+
+// aliasSlot is one column of a Walker alias table: keep this slot's
+// neighbor with probability prob, otherwise jump to the neighbor at
+// absolute adj index idx.
+type aliasSlot struct {
+	prob float64
+	idx  int32
 }
 
 // N returns the number of nodes.
@@ -237,39 +252,30 @@ func (g *Graph) Fingerprint() uint64 {
 
 // PickNeighbor maps a uniform variate x in [0, 1) to a neighbor of u,
 // selected uniformly for unweighted graphs and proportionally to edge weight
-// for weighted graphs. It returns -1 when u has no outgoing edges. Keeping
-// the randomness outside the graph keeps this method deterministic and
-// directly testable.
+// for weighted graphs via the precomputed alias tables (O(1); see alias.go).
+// It returns -1 when u has no outgoing edges. Keeping the randomness outside
+// the graph keeps this method deterministic and directly testable: the
+// integer part of x·deg picks the alias column, the fractional part (itself
+// uniform and independent of the column) plays the alias coin.
 func (g *Graph) PickNeighbor(u int, x float64) int {
 	lo, hi := int(g.offsets[u]), int(g.offsets[u+1])
 	deg := hi - lo
 	if deg == 0 {
 		return -1
 	}
+	scaled := x * float64(deg)
+	i := int(scaled)
+	if i >= deg { // guard against x rounding up to 1.0
+		i = deg - 1
+	}
 	if g.weights == nil {
-		i := int(x * float64(deg))
-		if i >= deg { // guard against x rounding up to 1.0
-			i = deg - 1
-		}
 		return int(g.adj[lo+i])
 	}
-	base := 0.0
-	if lo > 0 {
-		base = g.cumWeights[lo-1]
+	slot := g.alias[lo+i]
+	if scaled-float64(i) < slot.prob {
+		return int(g.adj[lo+i])
 	}
-	total := g.cumWeights[hi-1] - base
-	target := base + x*total
-	// Binary search for the first cumulative weight exceeding target.
-	a, b := lo, hi-1
-	for a < b {
-		mid := (a + b) / 2
-		if g.cumWeights[mid] > target {
-			b = mid
-		} else {
-			a = mid + 1
-		}
-	}
-	return int(g.adj[a])
+	return int(g.adj[slot.idx])
 }
 
 // Edges calls fn once for every edge. For undirected graphs each edge {u,v}

@@ -8,6 +8,14 @@
 // Both drivers are generic over an Oracle so the same loop serves the
 // DP-based greedy algorithm, the sampling-based greedy algorithm, and the
 // approximate (inverted-index) greedy algorithm.
+//
+// RunWorkers and RunLazyWorkers (parallel.go) are the same two drivers with
+// gain evaluation sharded over goroutines — the initial CELF sweep is split
+// into contiguous candidate ranges and stale heap entries are re-evaluated
+// in batches of up to one per worker, using the BatchOracle fast path when
+// the oracle provides one. They require a concurrency-safe Gain (pure reads
+// between Updates, as index.DTable guarantees) and produce bit-for-bit the
+// selections of their serial counterparts for every worker count.
 package greedy
 
 import (

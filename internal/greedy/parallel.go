@@ -1,0 +1,196 @@
+package greedy
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// BatchOracle is an Oracle that can evaluate many candidates in one call.
+// GainBatch appends Gain(u) for each u in us to out and returns it; the
+// values must be bit-for-bit identical to per-candidate Gain calls.
+//
+// The parallel drivers invoke GainBatch (and Gain) concurrently from several
+// goroutines between Update calls, so implementations must make gain
+// evaluation a pure read of their committed state — which index.DTable
+// satisfies: gains are integer accumulations over an immutable index and a
+// D-table that only Update mutates.
+type BatchOracle interface {
+	Oracle
+	GainBatch(us []int, out []float64) []float64
+}
+
+// sweepRange evaluates gains[lo:hi] for candidates lo..hi-1 against the
+// oracle's current committed set, using one GainBatch call when available.
+// It returns the (possibly grown) candidate-id scratch buffer so callers
+// can reuse it across rounds. GainBatch appends into gains[lo:lo], whose
+// capacity covers [lo, hi), so the results land in place.
+func sweepRange(oracle Oracle, gains []float64, us []int, lo, hi int) []int {
+	if bo, ok := oracle.(BatchOracle); ok {
+		us = us[:0]
+		for u := lo; u < hi; u++ {
+			us = append(us, u)
+		}
+		bo.GainBatch(us, gains[lo:lo])
+		return us
+	}
+	for u := lo; u < hi; u++ {
+		gains[u] = oracle.Gain(u)
+	}
+	return us
+}
+
+// shardBounds splits [0, n) into at most workers near-equal ranges.
+func shardBounds(n, workers int) [][2]int {
+	per := (n + workers - 1) / workers
+	var out [][2]int
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// RunWorkers is Run with the per-round candidate scan sharded over the given
+// number of goroutines. Each worker scans a contiguous candidate range for
+// its local first maximum; the reduction applies the same gain-then-smaller-id
+// rule, so selections are bit-for-bit identical to the serial driver for
+// every worker count. The oracle's Gain must be safe for concurrent calls
+// (see BatchOracle); workers <= 1 falls back to the serial driver.
+func RunWorkers(n, k int, oracle Oracle, workers int) (*Result, error) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return Run(n, k, oracle)
+	}
+	k, err := validate(n, k)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Selected: make([]int, 0, k), Gains: make([]float64, 0, k)}
+	selected := make([]bool, n)
+	gains := make([]float64, n)
+	shards := shardBounds(n, workers)
+	usBufs := make([][]int, len(shards))
+	for round := 0; round < k; round++ {
+		var wg sync.WaitGroup
+		for s, bounds := range shards {
+			wg.Add(1)
+			go func(s, lo, hi int) {
+				defer wg.Done()
+				usBufs[s] = sweepRange(oracle, gains, usBufs[s], lo, hi)
+			}(s, bounds[0], bounds[1])
+		}
+		wg.Wait()
+		best, bestGain := -1, 0.0
+		for u := 0; u < n; u++ {
+			if selected[u] {
+				continue
+			}
+			res.Evaluations++
+			if best == -1 || gains[u] > bestGain {
+				best, bestGain = u, gains[u]
+			}
+		}
+		if best == -1 {
+			break
+		}
+		selected[best] = true
+		oracle.Update(best)
+		res.Selected = append(res.Selected, best)
+		res.Gains = append(res.Gains, bestGain)
+	}
+	return res, nil
+}
+
+// RunLazyWorkers is RunLazy (CELF) with the two gain-evaluation phases
+// parallelized: the initial whole-candidate sweep is sharded over workers
+// goroutines, and each time the heap top is stale the top batch of stale
+// entries (up to workers of them) is re-evaluated concurrently instead of
+// one at a time.
+//
+// Selections are bit-for-bit identical to the serial RunLazy for every
+// worker count: a refreshed gain is an exact, order-independent function of
+// the committed set (integer accumulation in the oracle), and a candidate is
+// only ever selected when its entry is fresh for the current round — at
+// which point it is the unique (gain, smaller-id) lexicographic argmax
+// regardless of how many extra entries a batch refreshed along the way.
+// Extra refreshes can only tighten cached upper bounds, never change them.
+//
+// The oracle's Gain/GainBatch must be safe for concurrent invocation between
+// Updates (see BatchOracle). workers <= 1 falls back to the serial driver.
+func RunLazyWorkers(n, k int, oracle Oracle, workers int) (*Result, error) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return RunLazy(n, k, oracle)
+	}
+	k, err := validate(n, k)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Selected: make([]int, 0, k), Gains: make([]float64, 0, k)}
+
+	// Phase 1: sharded initial sweep against the empty set.
+	gains := make([]float64, n)
+	shards := shardBounds(n, workers)
+	var wg sync.WaitGroup
+	for _, bounds := range shards {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			sweepRange(oracle, gains, nil, lo, hi)
+		}(bounds[0], bounds[1])
+	}
+	wg.Wait()
+	res.Evaluations += n
+
+	h := make(celfHeap, 0, n)
+	for u := 0; u < n; u++ {
+		h = append(h, celfItem{u: int32(u), round: 1, gain: gains[u]})
+	}
+	heap.Init(&h)
+
+	// Phase 2: CELF loop with batched stale re-evaluation.
+	batch := make([]celfItem, 0, workers)
+	for round := int32(1); int(round) <= k && h.Len() > 0; {
+		if h[0].round == round {
+			top := heap.Pop(&h).(celfItem)
+			oracle.Update(int(top.u))
+			res.Selected = append(res.Selected, int(top.u))
+			res.Gains = append(res.Gains, top.gain)
+			round++
+			continue
+		}
+		// Pop the stale prefix of the heap, up to one entry per worker. Stop
+		// early if a fresh entry surfaces: everything below it in the heap is
+		// dominated this round and not worth refreshing.
+		batch = batch[:0]
+		for len(batch) < workers && h.Len() > 0 && h[0].round != round {
+			batch = append(batch, heap.Pop(&h).(celfItem))
+		}
+		// Entries beyond the first run on spawned goroutines; the first is
+		// refreshed inline, so a 1-entry batch (the common CELF case) pays
+		// no synchronization at all.
+		for b := 1; b < len(batch); b++ {
+			wg.Add(1)
+			go func(b int) {
+				defer wg.Done()
+				batch[b].gain = oracle.Gain(int(batch[b].u))
+				batch[b].round = round
+			}(b)
+		}
+		batch[0].gain = oracle.Gain(int(batch[0].u))
+		batch[0].round = round
+		wg.Wait()
+		res.Evaluations += len(batch)
+		for _, it := range batch {
+			heap.Push(&h, it)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,146 @@
+package greedy
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// coverOracle is a max-coverage instance whose Gain is a pure read of the
+// covered bitmap — the same concurrency contract index.DTable offers — so it
+// can exercise the parallel drivers.
+type coverOracle struct {
+	sets    [][]int
+	covered []bool
+}
+
+func (o *coverOracle) Gain(u int) float64 {
+	gain := 0
+	for _, v := range o.sets[u] {
+		if !o.covered[v] {
+			gain++
+		}
+	}
+	return float64(gain)
+}
+
+func (o *coverOracle) Update(u int) {
+	for _, v := range o.sets[u] {
+		o.covered[v] = true
+	}
+}
+
+// batchCoverOracle adds the GainBatch fast path.
+type batchCoverOracle struct{ coverOracle }
+
+func (o *batchCoverOracle) GainBatch(us []int, out []float64) []float64 {
+	for _, u := range us {
+		out = append(out, o.Gain(u))
+	}
+	return out
+}
+
+// randomCover builds a deterministic random coverage instance with plenty of
+// gain ties, the case where tie-breaking rules could drift between drivers.
+func randomCover(n, universe int, seed uint64) func() *coverOracle {
+	r := rng.New(seed)
+	sets := make([][]int, n)
+	for u := range sets {
+		size := 1 + r.Intn(12)
+		for j := 0; j < size; j++ {
+			sets[u] = append(sets[u], r.Intn(universe))
+		}
+	}
+	return func() *coverOracle {
+		return &coverOracle{sets: sets, covered: make([]bool, universe)}
+	}
+}
+
+func TestRunWorkersMatchesSerial(t *testing.T) {
+	mk := randomCover(300, 500, 5)
+	const k = 25
+	want, err := Run(300, k, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8, 400} {
+		got, err := RunWorkers(300, k, mk(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Selected, want.Selected) {
+			t.Fatalf("workers=%d: Selected %v != serial %v", workers, got.Selected, want.Selected)
+		}
+		if !reflect.DeepEqual(got.Gains, want.Gains) {
+			t.Fatalf("workers=%d: Gains differ from serial", workers)
+		}
+	}
+}
+
+func TestRunLazyWorkersMatchesSerial(t *testing.T) {
+	mk := randomCover(400, 600, 9)
+	const k = 30
+	want, err := RunLazy(400, k, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		got, err := RunLazyWorkers(400, k, mk(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Selected, want.Selected) {
+			t.Fatalf("workers=%d: Selected %v != serial %v", workers, got.Selected, want.Selected)
+		}
+		if !reflect.DeepEqual(got.Gains, want.Gains) {
+			t.Fatalf("workers=%d: Gains differ from serial", workers)
+		}
+	}
+	// The plain and lazy drivers must still agree with each other.
+	plain, _ := Run(400, k, mk())
+	if !reflect.DeepEqual(plain.Selected, want.Selected) {
+		t.Fatal("lazy and plain drivers disagree on the test instance")
+	}
+}
+
+func TestParallelDriversUseGainBatch(t *testing.T) {
+	mk := randomCover(200, 300, 13)
+	const k = 12
+	want, err := RunLazy(200, k, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		got, err := RunLazyWorkers(200, k, &batchCoverOracle{*mk()}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Selected, want.Selected) {
+			t.Fatalf("batch oracle workers=%d: Selected %v != %v", workers, got.Selected, want.Selected)
+		}
+		gotPlain, err := RunWorkers(200, k, &batchCoverOracle{*mk()}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, _ := Run(200, k, mk())
+		if !reflect.DeepEqual(gotPlain.Selected, plain.Selected) {
+			t.Fatalf("batch oracle plain workers=%d: Selected %v != %v", workers, gotPlain.Selected, plain.Selected)
+		}
+	}
+}
+
+func TestRunLazyWorkersValidation(t *testing.T) {
+	o := &coverOracle{sets: [][]int{{0}}, covered: make([]bool, 1)}
+	if _, err := RunLazyWorkers(0, 1, o, 4); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := RunWorkers(1, -1, o, 4); err == nil {
+		t.Error("negative k accepted")
+	}
+	// k > n clamps, workers > n clamps.
+	res, err := RunLazyWorkers(1, 5, o, 16)
+	if err != nil || len(res.Selected) != 1 {
+		t.Fatalf("clamped run: %v %v", res, err)
+	}
+}

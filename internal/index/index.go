@@ -17,6 +17,22 @@
 // actual first-visit hop and the Problem-2 logic simply ignores the hop
 // (treating every entry as an indicator), which is arithmetically identical
 // and halves memory when both problems are run on the same graph.
+//
+// # Memory layout
+//
+// Both the index and the D-table are stored candidate-major: row (v, i)
+// lives at v·R+i, so the R replicate rows of one node are contiguous. One
+// Gain(u) therefore reads a single contiguous span of index entries
+// (ids[offsets[u·R] : offsets[(u+1)·R]]) and one contiguous D-span
+// (d[u·R : (u+1)·R]) instead of the R scattered rows a replicate-major
+// d[i·n+u] layout costs. The selection loop evaluates Gain over many
+// candidates per round, so this is the hot-path layout; the ablation
+// benchmark in the index test suite quantifies the difference.
+//
+// Gains are pure reads of the D-table between Update calls and accumulate
+// in integers, so GainBatch may be invoked concurrently from any number of
+// goroutines with bit-for-bit identical results — the property the parallel
+// greedy driver in internal/greedy relies on.
 package index
 
 import (
@@ -58,22 +74,35 @@ type Index struct {
 	l int
 	r int
 
-	// Row (i, v) occupies ids[offsets[i*n+v]:offsets[i*n+v+1]] with parallel
-	// first-visit hops in hops. Entries are (source node, hop of first
-	// visit); a source appears at most once per row.
+	// Row (i, v) occupies ids[offsets[v*R+i]:offsets[v*R+i+1]] with parallel
+	// first-visit hops in hops — candidate-major, all R rows of a node
+	// contiguous (see the package comment). Entries are (source node, hop of
+	// first visit); a source appears at most once per row.
 	offsets []int64
 	ids     []int32
 	hops    []uint16
 }
 
 // Build materializes R L-length random walks per node and constructs the
-// inverted index (Algorithm 3), single-threaded. Memory is O(nRL); to avoid
-// a third copy of the walk data during construction, walks are generated
-// twice — once to count row sizes, once to fill rows. Each (node, replicate)
-// walk is seeded independently from the master seed, so regeneration is
-// exact and the parallel builder produces the same walks.
+// inverted index (Algorithm 3), single-threaded. Memory is O(nRL): the
+// final CSR arrays plus, transiently during construction, one buffered copy
+// of the per-walk first visits (6 bytes per entry, the same size as the
+// final ids+hops payload), so each walk is generated exactly once. Each
+// (node, replicate) walk is seeded independently from the master seed, so
+// the parallel builder produces the same walks.
 func Build(g *graph.Graph, L, R int, seed uint64) (*Index, error) {
 	return BuildWorkers(g, L, R, seed, 1)
+}
+
+// walkBuffer holds one worker's buffered walk visits: walk t of the
+// worker's (node, replicate) sequence emitted lens[t] first visits, stored
+// consecutively in vs/hops. Buffering costs one transient copy of the entry
+// data but means the RNG, PickNeighbor and visited-stamp work per walk
+// happens once instead of twice (generate-to-count, regenerate-to-fill).
+type walkBuffer struct {
+	vs   []int32
+	hops []uint16
+	lens []uint16
 }
 
 // BuildWorkers is Build sharded over the given number of goroutines.
@@ -102,28 +131,24 @@ func BuildWorkers(g *graph.Graph, L, R int, seed uint64, workers int) (*Index, e
 	rows := R * n
 	counts := make([]int64, rows+1)
 
-	// walkVisit invokes emit(v, hop) for the first visit of each node other
-	// than the start on the i-th walk of node w. visited is a
-	// generation-stamped scratch array owned by the calling worker.
-	walkVisit := func(visited []uint32, generation *uint32, w, i int, emit func(v int32, hop uint16)) {
-		rnd := rng.New(rng.Mix(seed, uint64(w), uint64(i)))
-		*generation++
-		visited[w] = *generation
-		u := w
-		for j := 1; j <= L; j++ {
-			v := g.PickNeighbor(u, rnd.Float64())
-			if v < 0 {
-				return
-			}
-			if visited[v] != *generation {
-				visited[v] = *generation
-				emit(int32(v), uint16(j))
-			}
-			u = v
+	// Sharded workers collide on row counters and row cursors (rows are
+	// keyed by visited node, not by the source shard). Two schemes:
+	// per-worker private counter/cursor arrays (no atomics, no cache-line
+	// ping-pong between cores — the fast path), or shared arrays with
+	// atomic increments when the private arrays would cost too much
+	// transient memory on huge row spaces.
+	const privateBudget = 1 << 28 // 256 MiB of per-worker counters
+	private := workers > 1 && int64(workers)*int64(rows)*8 <= privateBudget
+	atomicOps := workers > 1 && !private
+	var perWorker [][]int64
+	if private {
+		perWorker = make([][]int64, workers)
+		for wk := range perWorker {
+			perWorker[wk] = make([]int64, rows)
 		}
 	}
 
-	// shard runs fn(w) for every node in a worker-private range.
+	// shard runs fn over worker-private node ranges.
 	shard := func(fn func(worker, lo, hi int)) {
 		if workers == 1 {
 			fn(0, 0, n)
@@ -149,48 +174,128 @@ func BuildWorkers(g *graph.Graph, L, R int, seed uint64, workers int) (*Index, e
 		wg.Wait()
 	}
 
-	// Pass 1: count entries per (i, v) row. Counts are incremented
-	// atomically; contention is negligible because rows are numerous.
-	shard(func(_, lo, hi int) {
+	// Pass 1: generate every walk once, buffering its first visits and
+	// counting row sizes (candidate-major row id v·R+i).
+	bufs := make([]walkBuffer, workers)
+	shard(func(wk, lo, hi int) {
 		visited := make([]uint32, n)
 		var generation uint32
+		var rnd rng.Source
+		var mine []int64
+		if private {
+			mine = perWorker[wk]
+		}
+		buf := walkBuffer{
+			// Start at a quarter of the nRL upper bound; append grows the
+			// rare dense cases.
+			vs:   make([]int32, 0, (hi-lo)*R*(L/4+1)),
+			hops: make([]uint16, 0, (hi-lo)*R*(L/4+1)),
+			lens: make([]uint16, 0, (hi-lo)*R),
+		}
 		for w := lo; w < hi; w++ {
 			for i := 0; i < R; i++ {
-				base := int64(i) * int64(n)
-				walkVisit(visited, &generation, w, i, func(v int32, hop uint16) {
-					atomic.AddInt64(&counts[base+int64(v)+1], 1)
-				})
+				rnd.Seed(rng.Mix(seed, uint64(w), uint64(i)))
+				generation++
+				visited[w] = generation
+				u := w
+				emitted := uint16(0)
+				for j := 1; j <= L; j++ {
+					v := g.PickNeighbor(u, rnd.Float64())
+					if v < 0 {
+						break
+					}
+					if visited[v] != generation {
+						visited[v] = generation
+						buf.vs = append(buf.vs, int32(v))
+						buf.hops = append(buf.hops, uint16(j))
+						emitted++
+						row := int64(v)*int64(R) + int64(i)
+						switch {
+						case mine != nil:
+							mine[row]++
+						case atomicOps:
+							atomic.AddInt64(&counts[row+1], 1)
+						default:
+							counts[row+1]++
+						}
+					}
+					u = v
+				}
+				buf.lens = append(buf.lens, emitted)
 			}
 		}
+		bufs[wk] = buf
 	})
 	ix.offsets = counts
-	for i := 1; i <= rows; i++ {
-		ix.offsets[i] += ix.offsets[i-1]
+	if private {
+		// Merge the private counters into CSR starts, and in the same pass
+		// turn each worker's counter into its absolute write cursor: workers
+		// own disjoint, consecutive sub-ranges of every row, so pass 2 needs
+		// no synchronization at all.
+		run := int64(0)
+		for row := 0; row < rows; row++ {
+			ix.offsets[row] = run
+			for wk := 0; wk < workers; wk++ {
+				c := perWorker[wk][row]
+				perWorker[wk][row] = run
+				run += c
+			}
+		}
+		ix.offsets[rows] = run
+	} else {
+		for i := 1; i <= rows; i++ {
+			ix.offsets[i] += ix.offsets[i-1]
+		}
 	}
 	total := ix.offsets[rows]
 	ix.ids = make([]int32, total)
 	ix.hops = make([]uint16, total)
 
-	// Pass 2: regenerate the identical walks and fill rows, claiming slots
-	// with an atomic cursor per row.
-	cursor := make([]int64, rows)
-	copy(cursor, ix.offsets[:rows])
-	shard(func(_, lo, hi int) {
-		visited := make([]uint32, n)
-		var generation uint32
+	// Pass 2: replay the buffers — a sequential read — and scatter entries
+	// into their rows. On the private path each worker claims slots from its
+	// own cursor array; otherwise slots are claimed directly from offsets
+	// (offsets[row] is the next free slot of its row, atomically when
+	// sharded), and the starts are restored by one shift afterwards,
+	// avoiding a separate cursor array.
+	shard(func(wk, lo, hi int) {
+		buf := bufs[wk]
+		var mine []int64
+		if private {
+			mine = perWorker[wk]
+		}
+		pos, t := 0, 0
 		for w := lo; w < hi; w++ {
 			ww := int32(w)
 			for i := 0; i < R; i++ {
-				base := int64(i) * int64(n)
-				walkVisit(visited, &generation, w, i, func(v int32, hop uint16) {
-					row := base + int64(v)
-					c := atomic.AddInt64(&cursor[row], 1) - 1
+				cnt := int(buf.lens[t])
+				t++
+				for e := 0; e < cnt; e++ {
+					row := int64(buf.vs[pos])*int64(R) + int64(i)
+					var c int64
+					switch {
+					case mine != nil:
+						c = mine[row]
+						mine[row] = c + 1
+					case atomicOps:
+						c = atomic.AddInt64(&ix.offsets[row], 1) - 1
+					default:
+						c = ix.offsets[row]
+						ix.offsets[row] = c + 1
+					}
 					ix.ids[c] = ww
-					ix.hops[c] = hop
-				})
+					ix.hops[c] = buf.hops[pos]
+					pos++
+				}
 			}
 		}
 	})
+	if !private {
+		// offsets[row] now holds the end of its row, i.e. the start of row+1:
+		// shift right to restore the CSR starts (offsets[rows] was never used
+		// as a cursor and still holds the total).
+		copy(ix.offsets[1:], ix.offsets[:rows])
+		ix.offsets[0] = 0
+	}
 	return ix, nil
 }
 
@@ -243,9 +348,9 @@ func BuildFromWalks(g *graph.Graph, L, R int, walks [][][]int32) (*Index, error)
 			return nil, fmt.Errorf("index: node %d has %d walks, want R=%d", w, len(walks[w]), R)
 		}
 		for i := 0; i < R; i++ {
-			base := int64(i) * int64(n)
+			ii := int64(i)
 			if err := firstVisits(w, i, func(v int32, hop uint16) {
-				counts[base+int64(v)+1]++
+				counts[int64(v)*int64(R)+ii+1]++
 			}); err != nil {
 				return nil, err
 			}
@@ -263,9 +368,9 @@ func BuildFromWalks(g *graph.Graph, L, R int, walks [][][]int32) (*Index, error)
 	for w := 0; w < n; w++ {
 		ww := int32(w)
 		for i := 0; i < R; i++ {
-			base := int64(i) * int64(n)
+			ii := int64(i)
 			if err := firstVisits(w, i, func(v int32, hop uint16) {
-				row := base + int64(v)
+				row := int64(v)*int64(R) + ii
 				c := cursor[row]
 				ix.ids[c] = ww
 				ix.hops[c] = hop
@@ -294,7 +399,7 @@ func (ix *Index) Entries() int64 { return ix.offsets[len(ix.offsets)-1] }
 // Row returns the sources that hit node v in replicate i and their
 // first-visit hops. The slices alias index storage and must not be modified.
 func (ix *Index) Row(i, v int) (ids []int32, hops []uint16) {
-	row := int64(i)*int64(ix.g.N()) + int64(v)
+	row := int64(v)*int64(ix.r) + int64(i)
 	lo, hi := ix.offsets[row], ix.offsets[row+1]
 	return ix.ids[lo:hi], ix.hops[lo:hi]
 }
@@ -308,12 +413,19 @@ func (ix *Index) MemoryBytes() int64 {
 // DTable is the mutable D[1:R][1:n] array of Algorithms 4–6, tracking the
 // per-sample hitting estimate of each node's walks under the current set S.
 // A DTable belongs to a single greedy run and is not safe for concurrent
-// mutation.
+// mutation; Gain and GainBatch are pure reads and may run concurrently with
+// each other (but not with Update or EstimateObjective).
 type DTable struct {
 	ix      *Index
 	problem Problem
-	d       []uint16 // row-major: d[i*n+u]
+	d       []uint16 // candidate-major: d[u*R+i], matching the index rows
 	size    int      // |S| so far
+	// sat, Problem 2 only, memoizes nodes whose replicate row is fully
+	// saturated (all R entries 1). Rows are monotone non-decreasing, so a
+	// saturated row stays saturated; EstimateObjective uses it to skip the
+	// O(R) scan. Lazily maintained — false just means "not yet observed
+	// saturated".
+	sat []bool
 }
 
 // NewDTable returns a fresh D-table for the given problem: initialized to L
@@ -329,6 +441,8 @@ func (ix *Index) NewDTable(p Problem) (*DTable, error) {
 		for i := range d.d {
 			d.d[i] = l
 		}
+	} else {
+		d.sat = make([]bool, ix.g.N())
 	}
 	return d, nil
 }
@@ -341,7 +455,12 @@ func (t *DTable) Problem() Problem { return t.problem }
 func (t *DTable) Clone() *DTable {
 	d := make([]uint16, len(t.d))
 	copy(d, t.d)
-	return &DTable{ix: t.ix, problem: t.problem, d: d, size: t.size}
+	var sat []bool
+	if t.sat != nil {
+		sat = make([]bool, len(t.sat))
+		copy(sat, t.sat)
+	}
+	return &DTable{ix: t.ix, problem: t.problem, d: d, size: t.size, sat: sat}
 }
 
 // Size returns the number of Update calls applied, i.e. |S|.
@@ -357,58 +476,87 @@ func (t *DTable) Size() int { return t.size }
 // added node and induce the same argmax, as the paper notes.) For Problem 2
 // it estimates F2(S∪{u}) − F2(S) directly.
 func (t *DTable) Gain(u int) float64 {
-	n := t.ix.g.N()
+	return float64(t.gainInt(u)) / float64(t.ix.r)
+}
+
+// gainInt is Gain before the final division: the integer sum over the R
+// replicates. Integer accumulation makes the value independent of entry
+// order within rows and of how candidates are sharded across goroutines,
+// which is what keeps parallel selections bit-for-bit reproducible.
+//
+// The candidate-major layout makes this a single pass over two contiguous
+// spans: the candidate's own D-row d[u·R : (u+1)·R] and the candidate's
+// index entries ids[offsets[u·R] : offsets[(u+1)·R]].
+func (t *DTable) gainInt(u int) int64 {
+	r := t.ix.r
+	base := u * r
 	var acc int64
 	if t.problem == Problem1 {
-		for i := 0; i < t.ix.r; i++ {
-			base := i * n
-			acc += int64(t.d[base+u])
-			ids, hops := t.ix.Row(i, u)
+		for i := 0; i < r; i++ {
+			acc += int64(t.d[base+i])
+			lo, hi := t.ix.offsets[base+i], t.ix.offsets[base+i+1]
+			ids := t.ix.ids[lo:hi]
+			hops := t.ix.hops[lo:hi]
 			for e, v := range ids {
-				if dv := t.d[base+int(v)]; hops[e] < dv {
+				if dv := t.d[int(v)*r+i]; hops[e] < dv {
 					acc += int64(dv - hops[e])
 				}
 			}
 		}
 	} else {
-		for i := 0; i < t.ix.r; i++ {
-			base := i * n
-			if t.d[base+u] == 0 {
+		for i := 0; i < r; i++ {
+			if t.d[base+i] == 0 {
 				acc++
 			}
-			ids, _ := t.ix.Row(i, u)
-			for _, v := range ids {
-				if t.d[base+int(v)] == 0 {
+			lo, hi := t.ix.offsets[base+i], t.ix.offsets[base+i+1]
+			for _, v := range t.ix.ids[lo:hi] {
+				if t.d[int(v)*r+i] == 0 {
 					acc++
 				}
 			}
 		}
 	}
-	return float64(acc) / float64(t.ix.r)
+	return acc
+}
+
+// GainBatch computes Gain for every candidate in us, appending into (and
+// returning) out, which is grown as needed. It is a pure read of the D-table
+// and safe to invoke concurrently from several goroutines over disjoint or
+// overlapping candidate shards — the batch-capable oracle the parallel
+// greedy driver shards its CELF sweeps over.
+func (t *DTable) GainBatch(us []int, out []float64) []float64 {
+	// Divide (not multiply by a reciprocal) so batch and single-candidate
+	// gains are the same float64 bit pattern.
+	r := float64(t.ix.r)
+	for _, u := range us {
+		out = append(out, float64(t.gainInt(u))/r)
+	}
+	return out
 }
 
 // Update implements Algorithm 5: fold the newly selected node u into the
 // D-table so subsequent Gain calls are relative to S ∪ {u}.
 func (t *DTable) Update(u int) {
-	n := t.ix.g.N()
+	r := t.ix.r
+	base := u * r
 	if t.problem == Problem1 {
-		for i := 0; i < t.ix.r; i++ {
-			base := i * n
-			t.d[base+u] = 0
-			ids, hops := t.ix.Row(i, u)
+		for i := 0; i < r; i++ {
+			t.d[base+i] = 0
+			lo, hi := t.ix.offsets[base+i], t.ix.offsets[base+i+1]
+			ids := t.ix.ids[lo:hi]
+			hops := t.ix.hops[lo:hi]
 			for e, v := range ids {
-				if hops[e] < t.d[base+int(v)] {
-					t.d[base+int(v)] = hops[e]
+				if j := int(v)*r + i; hops[e] < t.d[j] {
+					t.d[j] = hops[e]
 				}
 			}
 		}
 	} else {
-		for i := 0; i < t.ix.r; i++ {
-			base := i * n
-			t.d[base+u] = 1
-			ids, _ := t.ix.Row(i, u)
-			for _, v := range ids {
-				t.d[base+int(v)] = 1
+		for i := 0; i < r; i++ {
+			t.d[base+i] = 1
+			lo, hi := t.ix.offsets[base+i], t.ix.offsets[base+i+1]
+			for _, v := range t.ix.ids[lo:hi] {
+				t.d[int(v)*r+i] = 1
 			}
 		}
 	}
@@ -420,19 +568,35 @@ func (t *DTable) Update(u int) {
 // replicate average (S-members hold D = 0 and are excluded by construction
 // since their D is 0); for Problem 2, F̂2 = Σ_u D̄[u]. The members parameter
 // identifies S for the Problem-1 exclusion.
+//
+// The scan is candidate-major — one contiguous R-span per node — and for
+// Problem 2 a node observed fully saturated (all replicates hit) is
+// memoized in the sat bitmap and skipped on later calls: rows only ever
+// grow toward saturation, and late greedy rounds saturate most of the
+// graph, so repeated objective probes become nearly O(n).
 func (t *DTable) EstimateObjective(members []bool) float64 {
 	n := t.ix.g.N()
+	r := t.ix.r
 	var acc int64
-	for i := 0; i < t.ix.r; i++ {
-		base := i * n
-		for u := 0; u < n; u++ {
-			if t.problem == Problem1 && members[u] {
-				continue
-			}
-			acc += int64(t.d[base+u])
+	for u := 0; u < n; u++ {
+		if t.problem == Problem1 && members[u] {
+			continue
 		}
+		if t.sat != nil && t.sat[u] {
+			acc += int64(r)
+			continue
+		}
+		var row int64
+		base := u * r
+		for i := 0; i < r; i++ {
+			row += int64(t.d[base+i])
+		}
+		if t.sat != nil && row == int64(r) {
+			t.sat[u] = true
+		}
+		acc += row
 	}
-	avg := float64(acc) / float64(t.ix.r)
+	avg := float64(acc) / float64(r)
 	if t.problem == Problem1 {
 		return float64(n)*float64(t.ix.l) - avg
 	}

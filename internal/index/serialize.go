@@ -19,8 +19,11 @@ import (
 // graph is rejected.
 
 const (
-	indexMagic   = "RWDOMIDX"
-	indexVersion = 1
+	indexMagic = "RWDOMIDX"
+	// indexVersion 2 switched the row order from replicate-major (i·n+v) to
+	// candidate-major (v·R+i); version-1 files are rejected rather than
+	// silently misread, forcing a cheap rebuild.
+	indexVersion = 2
 )
 
 // WriteTo serializes the index. It implements io.WriterTo.

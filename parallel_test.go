@@ -1,0 +1,82 @@
+package rwdom
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSelectionsDeterministicAcrossWorkers pins the central guarantee of the
+// parallel selection engine: for both problems, Selected and Gains are
+// bit-for-bit identical for every worker count. Walks are seeded per
+// (node, replicate) so the materialized index is the same set of samples for
+// any sharding, and gains accumulate in integers before one final division,
+// so no floating-point reassociation can creep in.
+func TestSelectionsDeterministicAcrossWorkers(t *testing.T) {
+	g, err := GeneratePowerLaw(3000, 12000, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lazy := range []bool{true, false} {
+		for _, run := range []struct {
+			name string
+			fn   func(*Graph, Options) (*Selection, error)
+		}{
+			{"MinimizeHittingTime", MinimizeHittingTime},
+			{"MaximizeCoverage", MaximizeCoverage},
+		} {
+			base := Options{K: 15, L: 5, R: 30, Seed: 9, Algorithm: AlgorithmApprox, Lazy: lazy, Workers: 1}
+			want, err := run.fn(g, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want.Nodes) != 15 {
+				t.Fatalf("%s: short selection %d", run.name, len(want.Nodes))
+			}
+			for _, workers := range []int{2, 8} {
+				opts := base
+				opts.Workers = workers
+				got, err := run.fn(g, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got.Nodes, want.Nodes) {
+					t.Errorf("%s lazy=%v workers=%d: Nodes %v != workers=1 %v",
+						run.name, lazy, workers, got.Nodes, want.Nodes)
+				}
+				if !reflect.DeepEqual(got.Gains, want.Gains) {
+					t.Errorf("%s lazy=%v workers=%d: Gains differ from workers=1",
+						run.name, lazy, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestSelectWithIndexWorkersDeterministic covers the shared-index entry
+// point: one materialization, selections across worker counts must agree,
+// including the default (Workers = 0 = all cores).
+func TestSelectWithIndexWorkersDeterministic(t *testing.T) {
+	g, err := GeneratePowerLaw(2000, 8000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndex(g, 6, 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Problem{Problem1, Problem2} {
+		want, err := SelectWithIndexWorkers(ix, p, 12, true, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 8} {
+			got, err := SelectWithIndexWorkers(ix, p, 12, true, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Nodes, want.Nodes) || !reflect.DeepEqual(got.Gains, want.Gains) {
+				t.Errorf("%v workers=%d: selection differs from workers=1", p, workers)
+			}
+		}
+	}
+}

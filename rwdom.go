@@ -141,6 +141,13 @@ type Options struct {
 	// approximate algorithms (identical selections, usually far fewer gain
 	// evaluations). Defaults to true for AlgorithmAuto resolution.
 	Lazy bool
+	// Workers shards index construction and the approximate algorithm's
+	// gain evaluations over this many goroutines; zero means
+	// runtime.GOMAXPROCS(0), i.e. all available cores. Selections are
+	// bit-for-bit identical for every worker count — walks are seeded per
+	// (node, replicate) and gains accumulate in integers — so the knob only
+	// changes wall-clock time.
+	Workers int
 }
 
 // DefaultR is the sample size the paper recommends for the approximate
@@ -169,7 +176,7 @@ func (o Options) resolve(g *Graph) (Options, error) {
 }
 
 func (o Options) coreOptions() core.Options {
-	return core.Options{K: o.K, L: o.L, R: o.R, Seed: o.Seed, Lazy: o.Lazy}
+	return core.Options{K: o.K, L: o.L, R: o.R, Seed: o.Seed, Lazy: o.Lazy, Workers: o.Workers}
 }
 
 // MinimizeHittingTime solves Problem 1: select up to K nodes minimizing the
@@ -329,9 +336,18 @@ const (
 )
 
 // SelectWithIndex runs the approximate greedy algorithm on an already-built
-// index, sharing one materialization across problems and budgets.
+// index, sharing one materialization across problems and budgets. Gain
+// evaluations are sharded over all available cores; use
+// SelectWithIndexWorkers to pin the worker count.
 func SelectWithIndex(ix *Index, p Problem, k int, lazy bool) (*Selection, error) {
 	return core.ApproxWithIndex(ix, p, k, lazy)
+}
+
+// SelectWithIndexWorkers is SelectWithIndex with an explicit worker count
+// for the selection loop (0 means all available cores). Selections are
+// bit-for-bit identical for every worker count.
+func SelectWithIndexWorkers(ix *Index, p Problem, k int, lazy bool, workers int) (*Selection, error) {
+	return core.ApproxWithIndexWorkers(ix, p, k, lazy, workers)
 }
 
 // BuildIndexParallel is BuildIndex sharded over the given number of
