@@ -1,38 +1,47 @@
 #!/bin/sh
 # bench.sh — the perf gate for this repo. Runs static checks, the race
 # detector over the packages that shard work across goroutines, and the
-# perf-tracking benchmarks (end-to-end selection, index build, and the
-# design-decision ablations), then writes the parsed results to
-# BENCH_PR1.json so the perf trajectory is recorded from PR 1 onward.
+# perf-tracking benchmarks (end-to-end selection, index build, serving
+# throughput, and the design-decision ablations), then writes the parsed
+# results to a JSON record so the perf trajectory is tracked PR over PR
+# (BENCH_PR1.json, BENCH_PR2.json, ...). cmd/benchcheck compares two such
+# records, and CI gates BenchmarkSelectionEndToEnd against the committed
+# baseline.
 #
 # Usage:
-#   ./bench.sh                # full run, writes BENCH_PR1.json
-#   BENCHTIME=10x ./bench.sh  # longer benchmark iterations
-#   OUT=bench.json ./bench.sh # alternative output file
+#   ./bench.sh                      # writes bench-<git short SHA>.json
+#   LABEL="PR3 foo" OUT=BENCH_PR3.json ./bench.sh
+#   BENCHTIME=10x ./bench.sh        # longer benchmark iterations
 set -eu
 cd "$(dirname "$0")"
 
+SHA="$(git rev-parse --short HEAD 2>/dev/null || echo dev)"
 BENCHTIME="${BENCHTIME:-5x}"
-OUT="${OUT:-BENCH_PR1.json}"
+LABEL="${LABEL:-$SHA}"
+OUT="${OUT:-bench-$SHA.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
 echo "== go vet =="
 go vet ./...
 
-echo "== race detector (index, greedy) =="
-go test -race -count=1 ./internal/index/... ./internal/greedy/...
+echo "== race detector (index, greedy, server) =="
+go test -race -count=1 ./internal/index/... ./internal/greedy/... ./internal/server/...
 
 echo "== benchmarks (benchtime=$BENCHTIME) =="
+# Redirect instead of piping through tee: POSIX sh reports a pipeline's
+# status from its last command, so `go test | tee` would mask bench
+# failures from set -e and this script would write an empty record.
 go test -run '^$' \
-    -bench 'BenchmarkSelectionEndToEnd|BenchmarkIndexBuild$|BenchmarkAblationAliasVsBinarySearch|BenchmarkAblationCSRVsAdjList|BenchmarkAblationVisitedStamp|BenchmarkAblationLazyVsPlainGreedy|BenchmarkAblationIndexVsResample' \
-    -benchtime "$BENCHTIME" -timeout 60m . | tee "$RAW"
+    -bench 'BenchmarkSelectionEndToEnd|BenchmarkIndexBuild$|BenchmarkServingThroughput|BenchmarkAblationAliasVsBinarySearch|BenchmarkAblationCSRVsAdjList|BenchmarkAblationVisitedStamp|BenchmarkAblationLazyVsPlainGreedy|BenchmarkAblationIndexVsResample' \
+    -benchtime "$BENCHTIME" -timeout 60m . > "$RAW" 2>&1 || { cat "$RAW"; exit 1; }
 go test -run '^$' -bench 'BenchmarkAblationDTableLayout' \
-    -benchtime "$BENCHTIME" -timeout 30m ./internal/index/ | tee -a "$RAW"
+    -benchtime "$BENCHTIME" -timeout 30m ./internal/index/ >> "$RAW" 2>&1 || { cat "$RAW"; exit 1; }
+cat "$RAW"
 
-awk -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" '
+awk -v record="$LABEL" -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" '
 BEGIN {
-    printf "{\n  \"record\": \"PR1 parallel batched gain engine\",\n"
+    printf "{\n  \"record\": \"%s\",\n", record
     printf "  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", goversion, benchtime
     first = 1
 }
@@ -44,4 +53,4 @@ BEGIN {
 END { printf "\n  ]\n}\n" }
 ' "$RAW" > "$OUT"
 
-echo "wrote $OUT"
+echo "wrote $OUT (record: $LABEL)"

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement, either parsed from `go test -bench`
+// output or read from a baseline JSON file.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// Baseline mirrors the JSON bench.sh writes (BENCH_PR*.json).
+type Baseline struct {
+	Record     string   `json:"record"`
+	Go         string   `json:"go"`
+	Benchtime  string   `json:"benchtime"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// ParseBaseline decodes a bench.sh JSON file.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("benchcheck: bad baseline JSON: %w", err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchcheck: baseline %q has no benchmarks", b.Record)
+	}
+	return &b, nil
+}
+
+// ParseBenchOutput extracts ns/op measurements from `go test -bench` text
+// output. Lines that are not benchmark results are ignored.
+func ParseBenchOutput(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, Result{Name: fields[0], Iterations: iters, NsPerOp: ns})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchcheck: reading bench output: %w", err)
+	}
+	return out, nil
+}
+
+// procsSuffix matches the trailing "-N" GOMAXPROCS suffix Go appends to
+// benchmark names.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+// normalizeName strips the GOMAXPROCS suffix so a baseline recorded on a
+// 2-core box compares against a run on an 8-core CI runner
+// ("BenchmarkX/F1/workers=1-2" and "...-8" are the same benchmark; the
+// explicit "workers=N" sub-name is untouched, so per-worker-count series
+// stay distinct).
+func normalizeName(name string) string {
+	return procsSuffix.ReplaceAllString(name, "")
+}
+
+// Comparison is one baseline-vs-current pairing.
+type Comparison struct {
+	Name       string // normalized
+	BaselineNs float64
+	CurrentNs  float64
+	Ratio      float64 // CurrentNs / BaselineNs
+	Regression bool    // Ratio exceeds 1 + tolerance
+}
+
+// Compare pairs current results with the baseline by normalized name,
+// restricted to names matching pattern, and flags every current measurement
+// more than tolerance (a fraction, e.g. 0.25 for +25% ns/op) slower than
+// its baseline. Current results without a baseline entry are skipped and
+// returned in `skipped` (the benchmark may be new, or the CI core count may
+// enumerate worker counts the baseline box didn't have). It is an error if
+// nothing at all can be compared — that usually means a pattern typo.
+func Compare(baseline, current []Result, pattern *regexp.Regexp, tolerance float64) (comparisons []Comparison, skipped []string, err error) {
+	if tolerance < 0 {
+		return nil, nil, fmt.Errorf("benchcheck: negative tolerance %v", tolerance)
+	}
+	base := make(map[string]Result, len(baseline))
+	for _, b := range baseline {
+		base[normalizeName(b.Name)] = b
+	}
+	for _, c := range current {
+		name := normalizeName(c.Name)
+		if !pattern.MatchString(name) {
+			continue
+		}
+		b, ok := base[name]
+		if !ok {
+			skipped = append(skipped, name)
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			skipped = append(skipped, name)
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		comparisons = append(comparisons, Comparison{
+			Name:       name,
+			BaselineNs: b.NsPerOp,
+			CurrentNs:  c.NsPerOp,
+			Ratio:      ratio,
+			Regression: ratio > 1+tolerance,
+		})
+	}
+	if len(comparisons) == 0 {
+		return nil, skipped, fmt.Errorf("benchcheck: no current benchmark matching %q has a baseline entry (skipped: %v)", pattern, skipped)
+	}
+	return comparisons, skipped, nil
+}
+
+// Regressions filters the flagged comparisons.
+func Regressions(comparisons []Comparison) []Comparison {
+	var out []Comparison
+	for _, c := range comparisons {
+		if c.Regression {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Render writes a human-readable comparison table.
+func Render(w io.Writer, record string, comparisons []Comparison, skipped []string, tolerance float64) {
+	fmt.Fprintf(w, "baseline: %s (tolerance +%.0f%% ns/op)\n", record, tolerance*100)
+	width := len("benchmark")
+	for _, c := range comparisons {
+		if len(c.Name) > width {
+			width = len(c.Name)
+		}
+	}
+	fmt.Fprintf(w, "%-*s  %14s  %14s  %7s\n", width, "benchmark", "baseline ns/op", "current ns/op", "ratio")
+	for _, c := range comparisons {
+		flag := ""
+		if c.Regression {
+			flag = "  REGRESSION"
+		}
+		fmt.Fprintf(w, "%-*s  %14.0f  %14.0f  %6.2fx%s\n", width, c.Name, c.BaselineNs, c.CurrentNs, c.Ratio, flag)
+	}
+	for _, s := range skipped {
+		fmt.Fprintf(w, "skipped (no baseline entry): %s\n", s)
+	}
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: some CPU @ 2.00GHz
+BenchmarkSelectionEndToEnd/F1/workers=1-8         	       3	330000000 ns/op
+BenchmarkSelectionEndToEnd/F1/workers=2-8         	       3	260000000 ns/op
+BenchmarkSelectionEndToEnd/F2/workers=1-8         	       3	500000000 ns/op
+BenchmarkSelectionEndToEnd/F2/workers=8-8         	       3	100000000 ns/op
+BenchmarkIndexBuild/workers=1-8                   	       3	44000000 ns/op	1234 B/op	5 allocs/op
+--- BENCH: some noise line
+PASS
+ok  	repro	10.000s
+`
+
+const sampleBaseline = `{
+  "record": "PR1 parallel batched gain engine",
+  "go": "go1.24.0",
+  "benchtime": "3x",
+  "benchmarks": [
+    {"name": "BenchmarkSelectionEndToEnd/F1/workers=1-2", "iterations": 3, "ns_per_op": 327175122},
+    {"name": "BenchmarkSelectionEndToEnd/F1/workers=2-2", "iterations": 3, "ns_per_op": 256983079},
+    {"name": "BenchmarkSelectionEndToEnd/F2/workers=1-2", "iterations": 3, "ns_per_op": 329812997},
+    {"name": "BenchmarkIndexBuild/workers=1-2", "iterations": 3, "ns_per_op": 43768968}
+  ]
+}`
+
+func TestParseBenchOutput(t *testing.T) {
+	results, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("parsed %d results, want 5: %+v", len(results), results)
+	}
+	if results[0].Name != "BenchmarkSelectionEndToEnd/F1/workers=1-8" ||
+		results[0].Iterations != 3 || results[0].NsPerOp != 330000000 {
+		t.Fatalf("first result = %+v", results[0])
+	}
+	// Lines with extra -benchmem columns still parse.
+	if results[4].Name != "BenchmarkIndexBuild/workers=1-8" || results[4].NsPerOp != 44000000 {
+		t.Fatalf("benchmem-style result = %+v", results[4])
+	}
+}
+
+func TestParseBaseline(t *testing.T) {
+	b, err := ParseBaseline([]byte(sampleBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Record != "PR1 parallel batched gain engine" || len(b.Benchmarks) != 4 {
+		t.Fatalf("baseline = %+v", b)
+	}
+	if _, err := ParseBaseline([]byte(`{"record":"empty","benchmarks":[]}`)); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+	if _, err := ParseBaseline([]byte(`not json`)); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkSelectionEndToEnd/F1/workers=1-2": "BenchmarkSelectionEndToEnd/F1/workers=1",
+		"BenchmarkSelectionEndToEnd/F1/workers=1-8": "BenchmarkSelectionEndToEnd/F1/workers=1",
+		"BenchmarkIndexBuild-16":                    "BenchmarkIndexBuild",
+		"BenchmarkNoSuffix":                         "BenchmarkNoSuffix",
+	} {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func mustCompare(t *testing.T, pattern string, tolerance float64) ([]Comparison, []string) {
+	t.Helper()
+	b, err := ParseBaseline([]byte(sampleBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparisons, skipped, err := Compare(b.Benchmarks, cur, regexp.MustCompile(pattern), tolerance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comparisons, skipped
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	// F2/workers=1: 500000000 vs 329812997 = 1.52x — beyond +25%.
+	comparisons, skipped := mustCompare(t, "BenchmarkSelectionEndToEnd", 0.25)
+	if len(comparisons) != 3 {
+		t.Fatalf("comparisons = %d, want 3 (workers=8 has no baseline)", len(comparisons))
+	}
+	regs := Regressions(comparisons)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkSelectionEndToEnd/F2/workers=1" {
+		t.Fatalf("regressions = %+v, want exactly F2/workers=1", regs)
+	}
+	if regs[0].Ratio < 1.5 || regs[0].Ratio > 1.53 {
+		t.Fatalf("F2 ratio = %v, want ~1.52", regs[0].Ratio)
+	}
+	// The CI box enumerated workers=8, which the 2-core baseline box never
+	// measured: skipped, not failed.
+	if len(skipped) != 1 || skipped[0] != "BenchmarkSelectionEndToEnd/F2/workers=8" {
+		t.Fatalf("skipped = %v", skipped)
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	// At +60% tolerance even the F2 slowdown passes.
+	comparisons, _ := mustCompare(t, "BenchmarkSelectionEndToEnd", 0.60)
+	if regs := Regressions(comparisons); len(regs) != 0 {
+		t.Fatalf("unexpected regressions at 60%% tolerance: %+v", regs)
+	}
+	// Cross-core-count matching: a faster current run is of course fine.
+	comparisons, _ = mustCompare(t, "BenchmarkIndexBuild", 0.25)
+	if len(comparisons) != 1 || comparisons[0].Regression {
+		t.Fatalf("index build comparison = %+v", comparisons)
+	}
+}
+
+func TestCompareErrorsWhenNothingMatches(t *testing.T) {
+	b, _ := ParseBaseline([]byte(sampleBaseline))
+	cur, _ := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if _, _, err := Compare(b.Benchmarks, cur, regexp.MustCompile("BenchmarkTypo"), 0.25); err == nil {
+		t.Fatal("pattern matching nothing must error (typo guard)")
+	}
+	if _, _, err := Compare(b.Benchmarks, cur, regexp.MustCompile("."), -1); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+}
+
+func TestRenderMentionsRegressionsAndSkips(t *testing.T) {
+	comparisons, skipped := mustCompare(t, "BenchmarkSelectionEndToEnd", 0.25)
+	var buf bytes.Buffer
+	Render(&buf, "PR1", comparisons, skipped, 0.25)
+	out := buf.String()
+	for _, want := range []string{"REGRESSION", "skipped (no baseline entry)", "1.52x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command benchcheck is the CI benchmark-regression gate: it compares a
+// `go test -bench` run against a recorded baseline (the BENCH_PR*.json files
+// bench.sh writes) and exits non-zero if any benchmark regressed beyond the
+// tolerance.
+//
+// Names are compared with the trailing GOMAXPROCS suffix stripped, so a
+// baseline recorded on a 2-core developer box gates runs on CI machines with
+// any core count. Current benchmarks without a baseline entry are reported
+// and skipped, not failed — new benchmarks should not break the gate.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkSelectionEndToEnd -benchtime 3x . |
+//	    go run ./cmd/benchcheck -baseline BENCH_PR1.json -pattern BenchmarkSelectionEndToEnd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "baseline JSON file written by bench.sh (required)")
+		inputPath    = flag.String("input", "-", "go test -bench output to check ('-' = stdin)")
+		patternStr   = flag.String("pattern", "BenchmarkSelectionEndToEnd", "regexp selecting which benchmarks to gate")
+		tolerance    = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression (0.25 = +25%)")
+	)
+	flag.Parse()
+	if *baselinePath == "" {
+		fatal(fmt.Errorf("-baseline is required"))
+	}
+	pattern, err := regexp.Compile(*patternStr)
+	if err != nil {
+		fatal(fmt.Errorf("bad -pattern: %w", err))
+	}
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	baseline, err := ParseBaseline(data)
+	if err != nil {
+		fatal(err)
+	}
+	var in io.Reader = os.Stdin
+	if *inputPath != "-" {
+		f, err := os.Open(*inputPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := ParseBenchOutput(in)
+	if err != nil {
+		fatal(err)
+	}
+	comparisons, skipped, err := Compare(baseline.Benchmarks, current, pattern, *tolerance)
+	if err != nil {
+		fatal(err)
+	}
+	Render(os.Stdout, baseline.Record, comparisons, skipped, *tolerance)
+	if regs := Regressions(comparisons); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d benchmark(s) regressed beyond +%.0f%%\n", len(regs), *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d benchmark(s) within tolerance\n", len(comparisons))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,167 @@
+// Command rwdomd is the random-walk-domination query-serving daemon: it
+// loads graphs once at startup, materializes walk indexes on demand into a
+// refcounted LRU cache, and answers selection/gain/objective queries over
+// HTTP, coalescing identical concurrent work. SIGTERM/SIGINT drain in-flight
+// queries and spill resident indexes to the cache directory so a restart
+// starts warm.
+//
+// Examples:
+//
+//	rwdomd -dataset Epinions:0.2 -listen :7474
+//	rwdomd -graph web=web.txt -graph social=social.txt -spill /var/cache/rwdomd
+//	rwdomd -dataset CAGrQc -cache 4 -evict-every 10m -drain 30s
+//
+// Query it with curl:
+//
+//	curl -s localhost:7474/v1/select -d '{"graph":"Epinions","problem":"coverage","k":10,"L":6}'
+//	curl -s 'localhost:7474/v1/gain?graph=Epinions&L=6&set=1,2&nodes=7,9'
+//	curl -s localhost:7474/stats
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+// stringList is a repeatable flag.
+type stringList []string
+
+func (l *stringList) String() string     { return strings.Join(*l, ",") }
+func (l *stringList) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	var (
+		graphFlags   stringList
+		datasetFlags stringList
+	)
+	flag.Var(&graphFlags, "graph", "serve an edge-list file as name=path (repeatable)")
+	flag.Var(&datasetFlags, "dataset", "serve a paper dataset stand-in as name[:scale] (repeatable; CAGrQc, CAHepPh, Brightkite, Epinions)")
+	var (
+		listen     = flag.String("listen", ":7474", "HTTP listen address")
+		cacheSize  = flag.Int("cache", 8, "max resident walk indexes (<0 = unbounded)")
+		spillDir   = flag.String("spill", "", "directory for evicted/shutdown index spills (empty = disabled)")
+		workers    = flag.Int("workers", 0, "default per-request workers (0 = all cores)")
+		maxWorkers = flag.Int("max-workers", 0, "cap on the per-request workers knob (0 = all cores)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request timeout")
+		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "cap on the per-request timeout knob")
+		drain      = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget for in-flight queries")
+		evictEvery = flag.Duration("evict-every", 0, "evict indexes idle for one full interval (0 = disabled)")
+		maxR       = flag.Int("max-R", 1000, "cap on the per-request sample size R")
+		maxK       = flag.Int("max-k", 10000, "cap on the per-request budget k")
+	)
+	flag.Parse()
+
+	graphs, err := loadGraphs(graphFlags, datasetFlags)
+	if err != nil {
+		fatal(err)
+	}
+	if len(graphs) == 0 {
+		fatal(fmt.Errorf("no graphs to serve: pass at least one -graph or -dataset"))
+	}
+	for name, g := range graphs {
+		log.Printf("graph %q: %v", name, g)
+	}
+
+	s, err := server.New(server.Config{
+		Graphs:         graphs,
+		CacheSize:      *cacheSize,
+		SpillDir:       *spillDir,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		DrainTimeout:   *drain,
+		EvictInterval:  *evictEvery,
+		DefaultWorkers: *workers,
+		MaxWorkers:     *maxWorkers,
+		MaxR:           *maxR,
+		MaxK:           *maxK,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	log.Printf("rwdomd listening on %s (%d graphs, cache %d, spill %q)", *listen, len(graphs), *cacheSize, *spillDir)
+	if err := s.ListenAndServe(ctx, *listen); err != nil {
+		fatal(err)
+	}
+	log.Printf("rwdomd: drained and stopped")
+}
+
+// loadGraphs resolves the -graph and -dataset flags into named graphs.
+func loadGraphs(graphFlags, datasetFlags stringList) (map[string]*graph.Graph, error) {
+	graphs := make(map[string]*graph.Graph)
+	add := func(name string, g *graph.Graph, err error) error {
+		if err != nil {
+			return fmt.Errorf("graph %q: %w", name, err)
+		}
+		if _, dup := graphs[name]; dup {
+			return fmt.Errorf("duplicate graph name %q", name)
+		}
+		graphs[name] = g
+		return nil
+	}
+	for _, spec := range graphFlags {
+		name, path, err := parseGraphSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		g, err := graph.LoadEdgeListFile(path, graph.Undirected)
+		if err := add(name, g, err); err != nil {
+			return nil, err
+		}
+	}
+	for _, spec := range datasetFlags {
+		name, scale, err := parseDatasetSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		g, err := dataset.Load(name, scale)
+		if err := add(name, g, err); err != nil {
+			return nil, err
+		}
+	}
+	return graphs, nil
+}
+
+// parseGraphSpec splits "name=path".
+func parseGraphSpec(spec string) (name, path string, err error) {
+	name, path, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || path == "" {
+		return "", "", fmt.Errorf("bad -graph %q: want name=path", spec)
+	}
+	return name, path, nil
+}
+
+// parseDatasetSpec splits "name[:scale]"; scale defaults to 1.
+func parseDatasetSpec(spec string) (name string, scale float64, err error) {
+	name, scaleStr, has := strings.Cut(spec, ":")
+	if name == "" {
+		return "", 0, fmt.Errorf("bad -dataset %q: want name[:scale]", spec)
+	}
+	scale = 1
+	if has {
+		scale, err = strconv.ParseFloat(scaleStr, 64)
+		if err != nil || scale <= 0 || scale > 1 {
+			return "", 0, fmt.Errorf("bad -dataset %q: scale must be in (0,1]", spec)
+		}
+	}
+	return name, scale, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rwdomd:", err)
+	os.Exit(1)
+}

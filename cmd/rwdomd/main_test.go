@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestParseGraphSpec(t *testing.T) {
+	name, path, err := parseGraphSpec("web=data/web.txt")
+	if err != nil || name != "web" || path != "data/web.txt" {
+		t.Fatalf("parseGraphSpec = %q, %q, %v", name, path, err)
+	}
+	for _, bad := range []string{"", "web", "=path", "name="} {
+		if _, _, err := parseGraphSpec(bad); err == nil {
+			t.Errorf("parseGraphSpec(%q): expected error", bad)
+		}
+	}
+}
+
+func TestParseDatasetSpec(t *testing.T) {
+	name, scale, err := parseDatasetSpec("Epinions:0.2")
+	if err != nil || name != "Epinions" || scale != 0.2 {
+		t.Fatalf("parseDatasetSpec = %q, %v, %v", name, scale, err)
+	}
+	name, scale, err = parseDatasetSpec("CAGrQc")
+	if err != nil || name != "CAGrQc" || scale != 1 {
+		t.Fatalf("parseDatasetSpec default scale = %q, %v, %v", name, scale, err)
+	}
+	for _, bad := range []string{"", ":0.5", "X:0", "X:1.5", "X:nope"} {
+		if _, _, err := parseDatasetSpec(bad); err == nil {
+			t.Errorf("parseDatasetSpec(%q): expected error", bad)
+		}
+	}
+}
+
+func TestLoadGraphsDatasets(t *testing.T) {
+	graphs, err := loadGraphs(nil, stringList{"CAGrQc:0.05"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := graphs["CAGrQc"]; g == nil || g.N() == 0 {
+		t.Fatalf("dataset graph not loaded: %v", graphs)
+	}
+	if _, err := loadGraphs(nil, stringList{"CAGrQc:0.05", "CAGrQc:0.1"}); err == nil {
+		t.Fatal("duplicate names: expected error")
+	}
+	if _, err := loadGraphs(stringList{"x=/does/not/exist"}, nil); err == nil {
+		t.Fatal("missing file: expected error")
+	}
+}

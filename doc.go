@@ -37,8 +37,27 @@
 // (defaulting to all cores). Walks are seeded per (node, replicate) and
 // gains accumulate in integers, so Selected and Gains are bit-for-bit
 // identical for every worker count — parallelism changes wall-clock time
-// only. bench.sh records the perf trajectory (BENCH_PR1.json) and the
-// ablation benchmarks isolate each of these decisions.
+// only. bench.sh records the perf trajectory (BENCH_PR1.json,
+// BENCH_PR2.json, ...) and the ablation benchmarks isolate each of these
+// decisions; cmd/benchcheck gates CI against the recorded baseline.
+//
+// # Serving
+//
+// cmd/rwdomd wraps the selection engine in a long-running HTTP daemon
+// (internal/server): graphs load once at startup, walk indexes are
+// materialized on demand into a refcounted LRU cache keyed by
+// (graph, L, R, seed) — shared across concurrent queries, coalesced so
+// simultaneous misses build once, and spilled to disk on eviction and
+// shutdown so restarts start warm. POST /v1/select answers top-k selections
+// for both problems (plain or CELF-lazy greedy, gain evaluations sharded
+// over a per-request workers knob), GET /v1/gain and GET /v1/objective
+// answer point queries against the same indexes, and GET /healthz plus
+// GET /stats expose liveness, cache traffic and per-endpoint latency
+// histograms. Request timeouts and graceful SIGTERM drain propagate as
+// context cancellation through the greedy drivers (greedy.RunWorkersCtx /
+// core.ApproxWithIndexCtx), so a dying request stops consuming cores within
+// one evaluation stride. The serving experiment (internal/experiments,
+// "serving") measures end-to-end HTTP throughput over the warm cache.
 //
 // # Quick start
 //

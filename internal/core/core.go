@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -113,18 +114,19 @@ func (s *Selection) String() string {
 
 // drive runs the configured greedy driver over the oracle.
 func drive(n, k int, oracle greedy.Oracle, lazy bool) (*greedy.Result, error) {
-	return driveWorkers(n, k, oracle, lazy, 1)
+	return driveWorkers(context.Background(), n, k, oracle, lazy, 1)
 }
 
 // driveWorkers runs the configured greedy driver, sharding gain evaluations
 // over workers goroutines when workers > 1. The oracle must then support
 // concurrent Gain calls between Updates (index.DTable does; the DP and
-// sampling oracles do not and always pass workers = 1).
-func driveWorkers(n, k int, oracle greedy.Oracle, lazy bool, workers int) (*greedy.Result, error) {
+// sampling oracles do not and always pass workers = 1). Cancellation of ctx
+// aborts the selection with ctx's error.
+func driveWorkers(ctx context.Context, n, k int, oracle greedy.Oracle, lazy bool, workers int) (*greedy.Result, error) {
 	if lazy {
-		return greedy.RunLazyWorkers(n, k, oracle, workers)
+		return greedy.RunLazyWorkersCtx(ctx, n, k, oracle, workers)
 	}
-	return greedy.RunWorkers(n, k, oracle, workers)
+	return greedy.RunWorkersCtx(ctx, n, k, oracle, workers)
 }
 
 // ---------------------------------------------------------------------------
@@ -356,6 +358,14 @@ func ApproxWithIndex(ix *index.Index, p index.Problem, k int, lazy bool) (*Selec
 // for the selection loop; workers <= 0 means runtime.GOMAXPROCS(0).
 // Selections are bit-for-bit identical for every worker count.
 func ApproxWithIndexWorkers(ix *index.Index, p index.Problem, k int, lazy bool, workers int) (*Selection, error) {
+	return ApproxWithIndexCtx(context.Background(), ix, p, k, lazy, workers)
+}
+
+// ApproxWithIndexCtx is ApproxWithIndexWorkers with cooperative
+// cancellation: canceling ctx aborts the greedy loop between evaluation
+// strides and returns ctx's error. It is the entry point the query-serving
+// daemon uses to enforce per-request timeouts and graceful drain.
+func ApproxWithIndexCtx(ctx context.Context, ix *index.Index, p index.Problem, k int, lazy bool, workers int) (*Selection, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("core: negative budget K=%d", k)
 	}
@@ -369,7 +379,7 @@ func ApproxWithIndexWorkers(ix *index.Index, p index.Problem, k int, lazy bool, 
 	}
 	build := time.Since(start)
 	start = time.Now()
-	res, err := driveWorkers(ix.Graph().N(), k, dtableOracle{d}, lazy, workers)
+	res, err := driveWorkers(ctx, ix.Graph().N(), k, dtableOracle{d}, lazy, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -78,7 +79,7 @@ func Combined(g *graph.Graph, opts Options, w float64) (*Selection, error) {
 		n:  float64(g.N()),
 	}
 	start = time.Now()
-	res, err := driveWorkers(g.N(), opts.K, oracle, opts.Lazy, workers)
+	res, err := driveWorkers(context.Background(), g.N(), opts.K, oracle, opts.Lazy, workers)
 	if err != nil {
 		return nil, err
 	}

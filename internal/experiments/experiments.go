@@ -208,6 +208,7 @@ func All() []Runner {
 		{"ablations", "Design-decision ablations (DESIGN.md §6)", Ablations},
 		{"extra1", "Empirical validation of the greedy approximation guarantee", Extra1OptimalityRatio},
 		{"extra2", "Estimator accuracy vs Hoeffding sample-size bounds", Extra2EstimatorAccuracy},
+		{"serving", "Query-serving throughput (rwdomd HTTP engine)", Serving},
 	}
 }
 

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+// Serving measures the query-serving layer the batch experiments don't
+// cover: end-to-end HTTP throughput of rwdomd's selection engine over a warm
+// index cache, swept over client concurrency, for three request mixes:
+//
+//   - identical: every client issues the same selection, so the singleflight
+//     layer coalesces them into (at most) one computation per wave;
+//   - distinct: clients issue different budgets against the same index, so
+//     each pays its own greedy loop but shares the materialized walks;
+//   - gain: lightweight point queries for per-node marginal gains.
+//
+// The expected shape — identical >> distinct, gain >> both, and one single
+// index-cache miss for the whole run — is what makes the daemon viable in
+// front of heavy traffic: index construction amortizes across every request
+// and duplicate bursts collapse to one selection.
+func Serving(cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	g, err := dataset.Load("CAGrQc", cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Config{
+		Graphs:         map[string]*graph.Graph{"CAGrQc": g},
+		DefaultWorkers: cfg.workers(),
+		MaxWorkers:     cfg.workers(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const (
+		L = 6
+		R = 50
+	)
+	requestsPer := 24
+	concurrency := []float64{1, 2, 4, 8}
+
+	post := func(body string) error {
+		resp, err := http.Post(ts.URL+"/v1/select", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var e struct {
+				Error string `json:"error"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			return fmt.Errorf("select: %d %s", resp.StatusCode, e.Error)
+		}
+		return nil
+	}
+	get := func(path string) error {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		return nil
+	}
+
+	// Cold request: pays the one index build of the whole experiment.
+	coldStart := time.Now()
+	if err := post(fmt.Sprintf(`{"graph":"CAGrQc","k":10,"L":%d,"R":%d}`, L, R)); err != nil {
+		return nil, err
+	}
+	coldMS := float64(time.Since(coldStart)) / float64(time.Millisecond)
+
+	// sweep issues total requests across c clients and returns queries/sec.
+	sweep := func(c int, total int, request func(client, i int) error) (float64, error) {
+		var wg sync.WaitGroup
+		errs := make([]error, c)
+		t0 := time.Now()
+		for cl := 0; cl < c; cl++ {
+			wg.Add(1)
+			go func(cl int) {
+				defer wg.Done()
+				for i := cl; i < total; i += c {
+					if err := request(cl, i); err != nil {
+						errs[cl] = err
+						return
+					}
+				}
+			}(cl)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return float64(total) / time.Since(t0).Seconds(), nil
+	}
+
+	identical := Series{Name: "identical select qps"}
+	distinct := Series{Name: "distinct select qps"}
+	gain := Series{Name: "gain qps"}
+	for _, c := range concurrency {
+		qps, err := sweep(int(c), requestsPer, func(_, _ int) error {
+			return post(fmt.Sprintf(`{"graph":"CAGrQc","k":10,"L":%d,"R":%d}`, L, R))
+		})
+		if err != nil {
+			return nil, err
+		}
+		identical.Y = append(identical.Y, qps)
+
+		qps, err = sweep(int(c), requestsPer, func(_, i int) error {
+			return post(fmt.Sprintf(`{"graph":"CAGrQc","k":%d,"L":%d,"R":%d}`, 2+i%8, L, R))
+		})
+		if err != nil {
+			return nil, err
+		}
+		distinct.Y = append(distinct.Y, qps)
+
+		qps, err = sweep(int(c), requestsPer, func(_, i int) error {
+			return get(fmt.Sprintf("/v1/gain?graph=CAGrQc&L=%d&R=%d&set=1,2&nodes=%d", L, R, i%g.N()))
+		})
+		if err != nil {
+			return nil, err
+		}
+		gain.Y = append(gain.Y, qps)
+	}
+
+	cs := srv.Cache().Stats()
+	return &Report{
+		ID: "serving", Title: "Query-serving throughput (rwdomd HTTP engine)",
+		Params: fmt.Sprintf("n=%d m=%d L=%d R=%d workers=%d requests/level=%d",
+			g.N(), g.M(), L, R, cfg.workers(), requestsPer),
+		Panels: []Panel{{
+			Title:  "Throughput vs client concurrency (warm index cache)",
+			XLabel: "clients",
+			X:      concurrency,
+			Series: []Series{identical, distinct, gain},
+		}},
+		Notes: []string{
+			fmt.Sprintf("cold first select (index build + selection): %.1f ms", coldMS),
+			fmt.Sprintf("index cache: %d misses, %d hits over the whole run (build amortized across every request)", cs.Misses, cs.Hits),
+			"identical selections coalesce (singleflight), distinct ones share the materialized index",
+			"timings are wall-clock and machine-dependent; the invariant is misses == 1",
+		},
+		Elapsed: time.Since(start),
+	}, nil
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestServingReport(t *testing.T) {
+	rep, err := Serving(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Panels) != 1 {
+		t.Fatalf("serving panels = %d, want 1", len(rep.Panels))
+	}
+	p := rep.Panels[0]
+	if len(p.Series) != 3 {
+		t.Fatalf("serving series = %d, want 3", len(p.Series))
+	}
+	for _, s := range p.Series {
+		if len(s.Y) != len(p.X) {
+			t.Fatalf("%s: %d points over %d concurrency levels", s.Name, len(s.Y), len(p.X))
+		}
+		for i, qps := range s.Y {
+			if qps <= 0 {
+				t.Fatalf("%s: non-positive qps at level %v", s.Name, p.X[i])
+			}
+		}
+	}
+	// The whole sweep must amortize one single index build.
+	found := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "1 misses") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected exactly one index-cache miss noted, got notes %q", rep.Notes)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "identical select qps") {
+		t.Fatal("rendered report missing series")
+	}
+}

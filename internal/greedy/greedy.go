@@ -20,6 +20,7 @@ package greedy
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 )
 
@@ -68,9 +69,23 @@ func validate(n, k int) (int, error) {
 	return k, nil
 }
 
+// cancelCheckStride is how many gain evaluations a driver performs between
+// context checks. Cancellation latency is therefore bounded by the cost of
+// one stride of evaluations (or one Update), not by a whole round over a
+// large candidate set.
+const cancelCheckStride = 1024
+
 // Run executes plain greedy: k rounds, each scanning all remaining
 // candidates (Algorithm 1 verbatim). O(kn) Gain calls.
 func Run(n, k int, oracle Oracle) (*Result, error) {
+	return RunCtx(context.Background(), n, k, oracle)
+}
+
+// RunCtx is Run with cooperative cancellation: the scan checks ctx every
+// cancelCheckStride evaluations and the driver returns ctx's error (and no
+// result) once it is observed canceled. The oracle is left mid-selection and
+// must be discarded.
+func RunCtx(ctx context.Context, n, k int, oracle Oracle) (*Result, error) {
 	k, err := validate(n, k)
 	if err != nil {
 		return nil, err
@@ -80,6 +95,9 @@ func Run(n, k int, oracle Oracle) (*Result, error) {
 	for round := 0; round < k; round++ {
 		best, bestGain := -1, 0.0
 		for u := 0; u < n; u++ {
+			if u%cancelCheckStride == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			if selected[u] {
 				continue
 			}
@@ -137,6 +155,12 @@ func (h *celfHeap) Pop() interface{} {
 // fresh top-of-heap gain that still dominates every cached gain is
 // guaranteed optimal for the round. Typically O(n + k·small) Gain calls.
 func RunLazy(n, k int, oracle Oracle) (*Result, error) {
+	return RunLazyCtx(context.Background(), n, k, oracle)
+}
+
+// RunLazyCtx is RunLazy with cooperative cancellation; see RunCtx for the
+// contract.
+func RunLazyCtx(ctx context.Context, n, k int, oracle Oracle) (*Result, error) {
 	k, err := validate(n, k)
 	if err != nil {
 		return nil, err
@@ -146,11 +170,19 @@ func RunLazy(n, k int, oracle Oracle) (*Result, error) {
 	// The initial sweep is evaluated against the empty set, which is the
 	// state of round 1, so the entries are born fresh for the first pick.
 	for u := 0; u < n; u++ {
+		if u%cancelCheckStride == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		h = append(h, celfItem{u: int32(u), round: 1, gain: oracle.Gain(u)})
 		res.Evaluations++
 	}
 	heap.Init(&h)
 	for round := int32(1); int(round) <= k && h.Len() > 0; {
+		// One heap step costs at least a Gain or an Update, so a per-step
+		// check keeps cancellation latency bounded without measurable cost.
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		top := h[0]
 		if top.round == round {
 			// Fresh this round: by submodularity no other candidate can beat

@@ -2,6 +2,7 @@ package greedy
 
 import (
 	"container/heap"
+	"context"
 	"sync"
 )
 
@@ -20,21 +21,36 @@ type BatchOracle interface {
 }
 
 // sweepRange evaluates gains[lo:hi] for candidates lo..hi-1 against the
-// oracle's current committed set, using one GainBatch call when available.
-// It returns the (possibly grown) candidate-id scratch buffer so callers
-// can reuse it across rounds. GainBatch appends into gains[lo:lo], whose
-// capacity covers [lo, hi), so the results land in place.
-func sweepRange(oracle Oracle, gains []float64, us []int, lo, hi int) []int {
-	if bo, ok := oracle.(BatchOracle); ok {
-		us = us[:0]
-		for u := lo; u < hi; u++ {
-			us = append(us, u)
+// oracle's current committed set, using GainBatch calls when available. It
+// returns the (possibly grown) candidate-id scratch buffer so callers can
+// reuse it across rounds. GainBatch appends into gains[c:c], whose capacity
+// covers [c, hi), so the results land in place.
+//
+// The range is processed in cancelCheckStride chunks with a ctx check
+// between chunks; on cancellation the remaining gains are left stale, which
+// is fine because every caller abandons the round (and the result) once it
+// observes ctx canceled after the sweep.
+func sweepRange(ctx context.Context, oracle Oracle, gains []float64, us []int, lo, hi int) []int {
+	bo, batch := oracle.(BatchOracle)
+	for c := lo; c < hi; c += cancelCheckStride {
+		if ctx.Err() != nil {
+			return us
 		}
-		bo.GainBatch(us, gains[lo:lo])
-		return us
-	}
-	for u := lo; u < hi; u++ {
-		gains[u] = oracle.Gain(u)
+		ch := c + cancelCheckStride
+		if ch > hi {
+			ch = hi
+		}
+		if batch {
+			us = us[:0]
+			for u := c; u < ch; u++ {
+				us = append(us, u)
+			}
+			bo.GainBatch(us, gains[c:c])
+			continue
+		}
+		for u := c; u < ch; u++ {
+			gains[u] = oracle.Gain(u)
+		}
 	}
 	return us
 }
@@ -60,11 +76,19 @@ func shardBounds(n, workers int) [][2]int {
 // every worker count. The oracle's Gain must be safe for concurrent calls
 // (see BatchOracle); workers <= 1 falls back to the serial driver.
 func RunWorkers(n, k int, oracle Oracle, workers int) (*Result, error) {
+	return RunWorkersCtx(context.Background(), n, k, oracle, workers)
+}
+
+// RunWorkersCtx is RunWorkers with cooperative cancellation: workers check
+// ctx between evaluation strides and the driver returns ctx's error (and no
+// result) at the next synchronization point after cancellation. The oracle
+// is left mid-selection and must be discarded.
+func RunWorkersCtx(ctx context.Context, n, k int, oracle Oracle, workers int) (*Result, error) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		return Run(n, k, oracle)
+		return RunCtx(ctx, n, k, oracle)
 	}
 	k, err := validate(n, k)
 	if err != nil {
@@ -81,10 +105,13 @@ func RunWorkers(n, k int, oracle Oracle, workers int) (*Result, error) {
 			wg.Add(1)
 			go func(s, lo, hi int) {
 				defer wg.Done()
-				usBufs[s] = sweepRange(oracle, gains, usBufs[s], lo, hi)
+				usBufs[s] = sweepRange(ctx, oracle, gains, usBufs[s], lo, hi)
 			}(s, bounds[0], bounds[1])
 		}
 		wg.Wait()
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		best, bestGain := -1, 0.0
 		for u := 0; u < n; u++ {
 			if selected[u] {
@@ -123,11 +150,17 @@ func RunWorkers(n, k int, oracle Oracle, workers int) (*Result, error) {
 // The oracle's Gain/GainBatch must be safe for concurrent invocation between
 // Updates (see BatchOracle). workers <= 1 falls back to the serial driver.
 func RunLazyWorkers(n, k int, oracle Oracle, workers int) (*Result, error) {
+	return RunLazyWorkersCtx(context.Background(), n, k, oracle, workers)
+}
+
+// RunLazyWorkersCtx is RunLazyWorkers with cooperative cancellation; see
+// RunWorkersCtx for the contract.
+func RunLazyWorkersCtx(ctx context.Context, n, k int, oracle Oracle, workers int) (*Result, error) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		return RunLazy(n, k, oracle)
+		return RunLazyCtx(ctx, n, k, oracle)
 	}
 	k, err := validate(n, k)
 	if err != nil {
@@ -143,10 +176,13 @@ func RunLazyWorkers(n, k int, oracle Oracle, workers int) (*Result, error) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			sweepRange(oracle, gains, nil, lo, hi)
+			sweepRange(ctx, oracle, gains, nil, lo, hi)
 		}(bounds[0], bounds[1])
 	}
 	wg.Wait()
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
 	res.Evaluations += n
 
 	h := make(celfHeap, 0, n)
@@ -155,9 +191,14 @@ func RunLazyWorkers(n, k int, oracle Oracle, workers int) (*Result, error) {
 	}
 	heap.Init(&h)
 
-	// Phase 2: CELF loop with batched stale re-evaluation.
+	// Phase 2: CELF loop with batched stale re-evaluation. One loop step
+	// costs at least a Gain or an Update, so a per-step ctx check keeps
+	// cancellation latency bounded.
 	batch := make([]celfItem, 0, workers)
 	for round := int32(1); int(round) <= k && h.Len() > 0; {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		if h[0].round == round {
 			top := heap.Pop(&h).(celfItem)
 			oracle.Update(int(top.u))

@@ -1,0 +1,421 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Cache is a refcounted LRU of built indexes, the shared-state core of the
+// query-serving daemon: many concurrent requests against the same
+// (graph, L, R, seed) tuple share one materialized index, concurrent misses
+// for the same key coalesce into a single build (singleflight), and evicted
+// indexes are optionally spilled to disk in the v2 serialization format so a
+// later miss — or a daemon restart — reloads them instead of re-walking the
+// graph.
+//
+// Entries are only evicted when no handle references them, so an index can
+// never disappear under an in-flight query; a handle therefore pins at most
+// one entry and must be Released when the query finishes.
+type Cache struct {
+	mu       sync.Mutex
+	max      int
+	spillDir string
+	entries  map[CacheKey]*cacheEntry
+	clock    int64 // logical LRU clock, bumped on every Acquire
+	stats    CacheStats
+	// spillWG tracks in-flight background spills so SpillAll (shutdown)
+	// does not race past them.
+	spillWG sync.WaitGroup
+}
+
+// CacheKey identifies one materialized index: the logical graph name plus
+// the build parameters. Two graphs with the same name are assumed identical
+// (the daemon loads each named graph once); the spill loader still verifies
+// the graph fingerprint, so a stale spill file from a renamed graph is
+// rejected rather than misused.
+type CacheKey struct {
+	Graph string
+	L     int
+	R     int
+	Seed  uint64
+}
+
+func (k CacheKey) String() string {
+	return fmt.Sprintf("%s/L=%d/R=%d/seed=%d", k.Graph, k.L, k.R, k.Seed)
+}
+
+// CacheStats counts cache traffic. Snapshot via Cache.Stats.
+type CacheStats struct {
+	// Hits counts Acquires served by a resident index; Coalesced counts the
+	// subset that attached to a build already in flight.
+	Hits      int64
+	Coalesced int64
+	// Misses counts Acquires that started a build (or a spill load).
+	Misses int64
+	// SpillLoads counts misses served from the spill directory instead of a
+	// fresh build; SpillSaves counts evictions persisted to it.
+	SpillLoads int64
+	SpillSaves int64
+	// Evictions counts entries dropped from the cache (spilled or not).
+	Evictions int64
+	// BuildErrors counts failed builds (failed Acquires hold no entry).
+	BuildErrors int64
+	// Resident is the number of entries at snapshot time; ResidentBytes the
+	// sum of their approximate heap footprints.
+	Resident      int
+	ResidentBytes int64
+}
+
+type cacheEntry struct {
+	key     CacheKey
+	ready   chan struct{} // closed once ix/err are set
+	ix      *Index
+	err     error
+	refs    int
+	lastUse int64
+}
+
+// Handle pins one cached index. Callers must Release exactly once; Release
+// after the first is a no-op.
+type Handle struct {
+	c    *Cache
+	e    *cacheEntry
+	once sync.Once
+}
+
+// Index returns the pinned index.
+func (h *Handle) Index() *Index { return h.e.ix }
+
+// Key returns the cache key the handle was acquired under.
+func (h *Handle) Key() CacheKey { return h.e.key }
+
+// Release unpins the index, making its entry eligible for eviction.
+func (h *Handle) Release() {
+	h.once.Do(func() {
+		h.c.mu.Lock()
+		h.e.refs--
+		victims := h.c.collectOverCapacityLocked()
+		h.c.mu.Unlock()
+		h.c.spillAsync(victims)
+	})
+}
+
+// NewCache returns a cache holding at most max indexes (max <= 0 means
+// unbounded). If spillDir is non-empty it is created if needed; evicted
+// indexes are serialized there and misses check it before building.
+func NewCache(max int, spillDir string) (*Cache, error) {
+	if spillDir != "" {
+		if err := os.MkdirAll(spillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("index: cache spill dir: %w", err)
+		}
+	}
+	return &Cache{max: max, spillDir: spillDir, entries: make(map[CacheKey]*cacheEntry)}, nil
+}
+
+// Acquire returns a handle on the index for key, building it at most once
+// per residency: a resident entry is returned immediately, a build in flight
+// is awaited (coalescing), and otherwise the caller's build function runs —
+// after first consulting the spill directory. g must be the graph key.Graph
+// names; it binds spill-loaded indexes and validates their fingerprint.
+//
+// The returned values follow func-call convention: on error the handle is
+// nil and nothing needs releasing.
+func (c *Cache) Acquire(key CacheKey, g *graph.Graph, build func() (*Index, error)) (*Handle, error) {
+	c.mu.Lock()
+	c.clock++
+	if e, ok := c.entries[key]; ok {
+		e.refs++
+		e.lastUse = c.clock
+		select {
+		case <-e.ready:
+			c.stats.Hits++
+		default:
+			c.stats.Hits++
+			c.stats.Coalesced++
+		}
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			// The build leader failed and removed the entry; drop our ref on
+			// the orphaned entry (no eviction bookkeeping needed).
+			c.mu.Lock()
+			e.refs--
+			c.mu.Unlock()
+			return nil, e.err
+		}
+		return &Handle{c: c, e: e}, nil
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{}), refs: 1, lastUse: c.clock}
+	c.entries[key] = e
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	ix, spilled, err := c.loadOrBuild(key, g, build)
+
+	c.mu.Lock()
+	e.ix, e.err = ix, err
+	var victims []*cacheEntry
+	if err != nil {
+		c.stats.BuildErrors++
+		e.refs--
+		delete(c.entries, key)
+	} else {
+		if spilled {
+			c.stats.SpillLoads++
+		}
+		victims = c.collectOverCapacityLocked()
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	c.spillAsync(victims)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{c: c, e: e}, nil
+}
+
+// loadOrBuild tries the spill directory, then falls back to build.
+func (c *Cache) loadOrBuild(key CacheKey, g *graph.Graph, build func() (*Index, error)) (*Index, bool, error) {
+	if c.spillDir != "" {
+		if ix, err := LoadFile(c.spillPath(key), g); err == nil {
+			if ix.L() == key.L && ix.R() == key.R {
+				return ix, true, nil
+			}
+			// A hash collision between distinct keys: ignore the file.
+		}
+	}
+	ix, err := build()
+	return ix, false, err
+}
+
+// spillPath names the spill file for a key: a readable prefix plus an FNV-1a
+// hash of the full key so arbitrary graph names cannot escape the directory.
+func (c *Cache) spillPath(key CacheKey) string {
+	h := fnv.New64a()
+	fmt.Fprint(h, key.String())
+	return filepath.Join(c.spillDir, fmt.Sprintf("idx-%016x.rwdomidx", h.Sum64()))
+}
+
+// collectOverCapacityLocked removes least-recently-used unreferenced entries
+// from the map until the cache is within capacity, returning the victims for
+// the caller to spill after releasing the lock (writing a large index to
+// disk must not block other Acquires). Entries still building or still
+// referenced are never evicted.
+func (c *Cache) collectOverCapacityLocked() []*cacheEntry {
+	if c.max <= 0 {
+		return nil
+	}
+	var victims []*cacheEntry
+	for len(c.entries) > c.max {
+		v := c.popVictimLocked(func(*cacheEntry) bool { return true })
+		if v == nil {
+			break
+		}
+		victims = append(victims, v)
+	}
+	return victims
+}
+
+// popVictimLocked removes and returns the LRU ready entry with refs == 0
+// matching ok, or nil if none qualifies.
+func (c *Cache) popVictimLocked(ok func(*cacheEntry) bool) *cacheEntry {
+	var victim *cacheEntry
+	for _, e := range c.entries {
+		select {
+		case <-e.ready:
+		default:
+			continue // still building
+		}
+		if e.refs > 0 || e.err != nil || !ok(e) {
+			continue
+		}
+		if victim == nil || e.lastUse < victim.lastUse {
+			victim = e
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	delete(c.entries, victim.key)
+	c.stats.Evictions++
+	return victim
+}
+
+// saveAtomic writes ix to path via a temp file + rename, so concurrent
+// spill-loads never observe a partially written index and two spillers of
+// the same key cannot interleave.
+func saveAtomic(ix *Index, path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := ix.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("index: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("index: %w", err)
+	}
+	return nil
+}
+
+// spill persists evicted entries to the spill directory, when configured.
+func (c *Cache) spill(victims []*cacheEntry) {
+	if c.spillDir == "" || len(victims) == 0 {
+		return
+	}
+	saved := int64(0)
+	for _, v := range victims {
+		if err := saveAtomic(v.ix, c.spillPath(v.key)); err == nil {
+			saved++
+		}
+	}
+	c.mu.Lock()
+	c.stats.SpillSaves += saved
+	c.mu.Unlock()
+}
+
+// spillAsync runs spill in the background: serializing a large evicted
+// index must not sit on the latency of whichever request happened to tip
+// the cache over capacity. saveAtomic's temp+rename keeps concurrent
+// readers and duplicate spillers of the same key safe.
+func (c *Cache) spillAsync(victims []*cacheEntry) {
+	if c.spillDir == "" || len(victims) == 0 {
+		return
+	}
+	c.spillWG.Add(1)
+	go func() {
+		defer c.spillWG.Done()
+		c.spill(victims)
+	}()
+}
+
+// EvictIdle evicts every unreferenced entry whose last use is not newer than
+// olderThan on the logical clock (see Clock and StartEvictor) and returns
+// how many were evicted.
+func (c *Cache) EvictIdle(olderThan int64) int {
+	c.mu.Lock()
+	var victims []*cacheEntry
+	for {
+		v := c.popVictimLocked(func(e *cacheEntry) bool { return e.lastUse <= olderThan })
+		if v == nil {
+			break
+		}
+		victims = append(victims, v)
+	}
+	c.mu.Unlock()
+	c.spill(victims)
+	return len(victims)
+}
+
+// Clock returns the current logical LRU clock (bumped on every Acquire).
+func (c *Cache) Clock() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clock
+}
+
+// StartEvictor launches a goroutine that every interval evicts entries not
+// acquired since the previous tick — the background eviction that keeps a
+// long-idle daemon's heap proportional to its working set rather than its
+// history. The returned stop function terminates the goroutine and must be
+// called before the cache is abandoned.
+func (c *Cache) StartEvictor(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		mark := c.Clock()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				c.EvictIdle(mark)
+				mark = c.Clock()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// SpillAll persists every resident index to the spill directory without
+// evicting it — called at daemon shutdown so a restart starts warm. It is a
+// no-op without a spill directory.
+func (c *Cache) SpillAll() error {
+	if c.spillDir == "" {
+		return nil
+	}
+	c.spillWG.Wait() // let in-flight background spills land first
+	c.mu.Lock()
+	resident := make([]*cacheEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				resident = append(resident, e)
+			}
+		default:
+		}
+	}
+	c.mu.Unlock()
+	var errs []error
+	saved := int64(0)
+	for _, e := range resident {
+		if err := saveAtomic(e.ix, c.spillPath(e.key)); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", e.key, err))
+		} else {
+			saved++
+		}
+	}
+	c.mu.Lock()
+	c.stats.SpillSaves += saved
+	c.mu.Unlock()
+	return errors.Join(errs...)
+}
+
+// Stats returns a snapshot of the traffic counters plus current residency.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Resident = len(c.entries)
+	for _, e := range c.entries {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				s.ResidentBytes += e.ix.MemoryBytes()
+			}
+		default:
+		}
+	}
+	return s
+}
+
+// Keys returns the resident keys sorted by string form, for /stats output.
+func (c *Cache) Keys() []CacheKey {
+	c.mu.Lock()
+	keys := make([]CacheKey, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	c.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
+}

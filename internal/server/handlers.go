@@ -1,0 +1,629 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+// ---------------------------------------------------------------------------
+// JSON plumbing
+// ---------------------------------------------------------------------------
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// statusFor maps computation errors to HTTP statuses: timeouts to 504,
+// cancellation (drain/hard-stop/client gone) to 503, the rest to 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errUnknownGraph marks requests naming a graph the daemon doesn't serve.
+var errUnknownGraph = errors.New("unknown graph")
+
+// writeRequestError maps parameter-resolution errors: unknown graph to 404,
+// everything else to 400.
+func writeRequestError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if errors.Is(err, errUnknownGraph) {
+		status = http.StatusNotFound
+	}
+	writeError(w, status, err)
+}
+
+// parseProblem accepts 1/2, f1/f2, hitting/coverage (case-insensitive).
+func parseProblem(s string) (index.Problem, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "1", "f1", "hitting":
+		return index.Problem1, nil
+	case "", "2", "f2", "coverage":
+		return index.Problem2, nil
+	default:
+		return 0, fmt.Errorf("unknown problem %q (want 1/hitting or 2/coverage)", s)
+	}
+}
+
+// problemJSON lets /v1/select bodies write "problem": 2 or "problem":
+// "coverage" interchangeably.
+type problemJSON struct{ p index.Problem }
+
+func (p *problemJSON) UnmarshalJSON(b []byte) error {
+	var asString string
+	if err := json.Unmarshal(b, &asString); err != nil {
+		var asInt int
+		if err := json.Unmarshal(b, &asInt); err != nil {
+			return fmt.Errorf("problem must be a number or string, got %s", b)
+		}
+		asString = strconv.Itoa(asInt)
+	}
+	parsed, err := parseProblem(asString)
+	if err != nil {
+		return err
+	}
+	p.p = parsed
+	return nil
+}
+
+// parseNodeList parses "1,5,9" into validated node ids for g.
+func parseNodeList(s string, g *graph.Graph) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	nodes := make([]int, 0, len(parts))
+	for _, part := range parts {
+		u, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad node id %q", part)
+		}
+		if u < 0 || u >= g.N() {
+			return nil, fmt.Errorf("node %d outside [0, %d)", u, g.N())
+		}
+		nodes = append(nodes, u)
+	}
+	return nodes, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared index/parameter resolution
+// ---------------------------------------------------------------------------
+
+// indexParams are the request knobs that identify one materialized index.
+type indexParams struct {
+	graphName string
+	g         *graph.Graph
+	L, R      int
+	seed      uint64
+}
+
+func (s *Server) resolveIndexParams(graphName string, L, R int, seed uint64) (indexParams, error) {
+	g, ok := s.graph(graphName)
+	if !ok {
+		return indexParams{}, fmt.Errorf("%w %q", errUnknownGraph, graphName)
+	}
+	if L < 1 || L > 1<<16-1 {
+		return indexParams{}, fmt.Errorf("L=%d outside [1, %d]", L, 1<<16-1)
+	}
+	if R == 0 {
+		R = 100 // the paper's recommended sample size
+	}
+	if R < 1 || R > s.cfg.MaxR {
+		return indexParams{}, fmt.Errorf("R=%d outside [1, %d]", R, s.cfg.MaxR)
+	}
+	return indexParams{graphName: graphName, g: g, L: L, R: R, seed: seed}, nil
+}
+
+func (p indexParams) cacheKey() index.CacheKey {
+	return index.CacheKey{Graph: p.graphName, L: p.L, R: p.R, Seed: p.seed}
+}
+
+// acquireIndex fetches (or builds) the index for p, reporting whether this
+// call triggered the build.
+func (s *Server) acquireIndex(p indexParams, workers int) (h *index.Handle, built bool, err error) {
+	h, err = s.cache.Acquire(p.cacheKey(), p.g, func() (*index.Index, error) {
+		built = true
+		return index.BuildWorkers(p.g, p.L, p.R, p.seed, workers)
+	})
+	return h, built, err
+}
+
+// acquired is one acquireIndex outcome.
+type acquired struct {
+	h     *index.Handle
+	built bool
+	err   error
+}
+
+// acquireIndexCtx is acquireIndex bounded by ctx. Index construction itself
+// cannot be canceled mid-flight, so on ctx death the request gets its
+// timeout/drain error immediately while the build detaches, finishes in the
+// background, and still populates the cache for the next request (its
+// handle is released there).
+func (s *Server) acquireIndexCtx(ctx context.Context, p indexParams, workers int) (*index.Handle, bool, error) {
+	done := make(chan acquired, 1)
+	go func() {
+		h, built, err := s.acquireIndex(p, workers)
+		done <- acquired{h: h, built: built, err: err}
+	}()
+	select {
+	case a := <-done:
+		return a.h, a.built, a.err
+	case <-ctx.Done():
+		go func() {
+			if a := <-done; a.err == nil {
+				a.h.Release()
+			}
+		}()
+		return nil, false, ctx.Err()
+	}
+}
+
+func (s *Server) clampWorkers(workers int) int {
+	if workers <= 0 {
+		return s.cfg.DefaultWorkers
+	}
+	if workers > s.cfg.MaxWorkers {
+		return s.cfg.MaxWorkers
+	}
+	return workers
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/select
+// ---------------------------------------------------------------------------
+
+// SelectRequest is the /v1/select body.
+type SelectRequest struct {
+	// Graph names one of the graphs the daemon was started with.
+	Graph string `json:"graph"`
+	// Problem is 1/"hitting" or 2/"coverage" (default 2).
+	Problem problemJSON `json:"problem"`
+	// K is the selection budget.
+	K int `json:"k"`
+	// L is the walk-length bound; R the per-node sample size (default 100).
+	L int `json:"L"`
+	R int `json:"R"`
+	// Seed fixes the walk sampling (default 1); part of the index identity.
+	Seed *uint64 `json:"seed"`
+	// Algorithm picks the greedy driver: "lazy" (CELF, the default) or
+	// "plain". Both shard gain evaluations over Workers goroutines.
+	Algorithm string `json:"algorithm"`
+	// Workers shards index construction and gain evaluation (0 = server
+	// default; capped at the server max). Selections are identical for
+	// every value.
+	Workers int `json:"workers"`
+	// TimeoutMS bounds the request (0 = server default). A request whose
+	// budget expires during an index build gets its 504 immediately while
+	// the build detaches and still warms the cache; an expired selection
+	// loop is canceled outright.
+	TimeoutMS int `json:"timeout_ms"`
+}
+
+// SelectResponse is the /v1/select reply.
+type SelectResponse struct {
+	Graph       string    `json:"graph"`
+	Problem     string    `json:"problem"`
+	K           int       `json:"k"`
+	L           int       `json:"L"`
+	R           int       `json:"R"`
+	Seed        uint64    `json:"seed"`
+	Algorithm   string    `json:"algorithm"`
+	Workers     int       `json:"workers"`
+	Nodes       []int     `json:"nodes"`
+	Gains       []float64 `json:"gains"`
+	Objective   float64   `json:"objective"`
+	Evaluations int       `json:"evaluations"`
+	BuildMS     float64   `json:"build_ms"`
+	SelectMS    float64   `json:"select_ms"`
+	// IndexCached reports that the walk index was already materialized (or
+	// loaded from spill) rather than built for this request; Coalesced that
+	// the whole selection was shared with an identical concurrent request.
+	IndexCached bool `json:"index_cached"`
+	Coalesced   bool `json:"coalesced"`
+}
+
+// selectResult is what one de-duplicated selection computation produces.
+type selectResult struct {
+	sel         *core.Selection
+	indexCached bool
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req SelectRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	seed := uint64(1)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	params, err := s.resolveIndexParams(req.Graph, req.L, req.R, seed)
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	if req.K < 1 || req.K > s.cfg.MaxK {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("k=%d outside [1, %d]", req.K, s.cfg.MaxK))
+		return
+	}
+	var lazy bool
+	switch strings.ToLower(req.Algorithm) {
+	case "", "lazy":
+		lazy = true
+	case "plain":
+		lazy = false
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q (want lazy or plain)", req.Algorithm))
+		return
+	}
+	workers := s.clampWorkers(req.Workers)
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+
+	waitCtx, cancel := s.requestCtx(r, timeout)
+	defer cancel()
+
+	// Identical selections (same graph, problem, budget and index identity)
+	// coalesce into one computation; workers and timeout deliberately stay
+	// out of the key because they cannot change the selected nodes, only
+	// wall-clock cost — the leader's knobs drive the shared run. The
+	// computation context descends from the server lifecycle, not any one
+	// client connection, but is canceled early (via the singleflight stop
+	// channel) once every interested client is gone, so abandoned
+	// selections stop burning cores.
+	key := fmt.Sprintf("%s|%s|k=%d|lazy=%t", params.cacheKey(), req.Problem.problem(), req.K, lazy)
+	compute := func(stop <-chan struct{}) (any, error) {
+		ctx, cancel := s.computeCtx(timeout)
+		defer cancel()
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-stop:
+				cancel()
+			case <-watchDone:
+			}
+		}()
+		return s.runSelect(ctx, params, req.Problem.problem(), req.K, lazy, workers)
+	}
+	v, err, shared := s.sf.Do(waitCtx, key, compute)
+	if shared && err != nil && waitCtx.Err() == nil &&
+		(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+		// The shared run died on the leader's budget (or the leader walked
+		// away), but this request's own budget is intact — rerun with our
+		// own knobs, coalescing with any other retriers.
+		v, err, shared = s.sf.Do(waitCtx, key, compute)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) && errors.Is(waitCtx.Err(), context.DeadlineExceeded) {
+			// The deadline and the last-waiter-gone abort race when this
+			// request's own budget expires; report the timeout, not the
+			// cancellation it caused.
+			err = context.DeadlineExceeded
+		}
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if shared {
+		s.selectsCoalesced.Add(1)
+	}
+	res := v.(*selectResult)
+	writeJSON(w, http.StatusOK, SelectResponse{
+		Graph:       req.Graph,
+		Problem:     req.Problem.problem().String(),
+		K:           req.K,
+		L:           params.L,
+		R:           params.R,
+		Seed:        seed,
+		Algorithm:   map[bool]string{true: "lazy", false: "plain"}[lazy],
+		Workers:     workers,
+		Nodes:       res.sel.Nodes,
+		Gains:       res.sel.Gains,
+		Objective:   res.sel.Objective(),
+		Evaluations: res.sel.Evaluations,
+		BuildMS:     durationMS(res.sel.BuildTime),
+		SelectMS:    durationMS(res.sel.SelectTime),
+		IndexCached: res.indexCached,
+		Coalesced:   shared,
+	})
+}
+
+// runSelect executes one de-duplicated selection under the caller-supplied
+// computation context.
+func (s *Server) runSelect(ctx context.Context, params indexParams, p index.Problem, k int, lazy bool, workers int) (*selectResult, error) {
+	h, built, err := s.acquireIndexCtx(ctx, params, workers)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Release()
+	sel, err := core.ApproxWithIndexCtx(ctx, h.Index(), p, k, lazy, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &selectResult{sel: sel, indexCached: !built}, nil
+}
+
+func (p problemJSON) problem() index.Problem {
+	if p.p == 0 {
+		return index.Problem2
+	}
+	return p.p
+}
+
+func durationMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// ---------------------------------------------------------------------------
+// GET /v1/gain
+// ---------------------------------------------------------------------------
+
+// GainResponse is the /v1/gain reply: Gains[i] is the marginal gain of
+// adding Nodes[i] to the current set.
+//
+// Cost note: each gain/objective request materializes a fresh n·R D-table
+// and replays the set's updates before reading gains — cheap at the graph
+// sizes the daemon currently serves, but O(n·R) memory per request; at
+// million-node scale these endpoints want a memoized (index, problem, set)
+// D-table cache (see ROADMAP).
+type GainResponse struct {
+	Graph       string    `json:"graph"`
+	Problem     string    `json:"problem"`
+	Set         []int     `json:"set"`
+	Nodes       []int     `json:"nodes"`
+	Gains       []float64 `json:"gains"`
+	IndexCached bool      `json:"index_cached"`
+}
+
+// queryIndexParams parses the common graph/L/R/seed/problem query
+// parameters of the GET endpoints.
+func (s *Server) queryIndexParams(r *http.Request) (indexParams, index.Problem, error) {
+	q := r.URL.Query()
+	p, err := parseProblem(q.Get("problem"))
+	if err != nil {
+		return indexParams{}, 0, err
+	}
+	atoi := func(key string, def int) (int, error) {
+		v := q.Get(key)
+		if v == "" {
+			return def, nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("bad %s=%q", key, v)
+		}
+		return n, nil
+	}
+	L, err := atoi("L", 0)
+	if err != nil {
+		return indexParams{}, 0, err
+	}
+	R, err := atoi("R", 0)
+	if err != nil {
+		return indexParams{}, 0, err
+	}
+	seed := uint64(1)
+	if v := q.Get("seed"); v != "" {
+		seed, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return indexParams{}, 0, fmt.Errorf("bad seed=%q", v)
+		}
+	}
+	params, err := s.resolveIndexParams(q.Get("graph"), L, R, seed)
+	return params, p, err
+}
+
+func (s *Server) handleGain(w http.ResponseWriter, r *http.Request) {
+	params, p, err := s.queryIndexParams(r)
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	nodes, err := parseNodeList(r.URL.Query().Get("nodes"), params.g)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(nodes) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("nodes parameter is required (comma-separated ids)"))
+		return
+	}
+	set, err := parseNodeList(r.URL.Query().Get("set"), params.g)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, 0)
+	defer cancel()
+	h, built, err := s.acquireIndexCtx(ctx, params, s.cfg.DefaultWorkers)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	defer h.Release()
+	d, err := h.Index().NewDTable(p)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	for _, u := range set {
+		d.Update(u)
+	}
+	gains := d.GainBatch(nodes, make([]float64, 0, len(nodes)))
+	writeJSON(w, http.StatusOK, GainResponse{
+		Graph:       params.graphName,
+		Problem:     p.String(),
+		Set:         set,
+		Nodes:       nodes,
+		Gains:       gains,
+		IndexCached: !built,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// GET /v1/objective
+// ---------------------------------------------------------------------------
+
+// ObjectiveResponse is the /v1/objective reply.
+type ObjectiveResponse struct {
+	Graph       string  `json:"graph"`
+	Problem     string  `json:"problem"`
+	Set         []int   `json:"set"`
+	Objective   float64 `json:"objective"`
+	IndexCached bool    `json:"index_cached"`
+}
+
+func (s *Server) handleObjective(w http.ResponseWriter, r *http.Request) {
+	params, p, err := s.queryIndexParams(r)
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	set, err := parseNodeList(r.URL.Query().Get("set"), params.g)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, 0)
+	defer cancel()
+	h, built, err := s.acquireIndexCtx(ctx, params, s.cfg.DefaultWorkers)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	defer h.Release()
+	d, err := h.Index().NewDTable(p)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	members := make([]bool, params.g.N())
+	for _, u := range set {
+		if !members[u] {
+			members[u] = true
+			d.Update(u)
+		}
+	}
+	writeJSON(w, http.StatusOK, ObjectiveResponse{
+		Graph:       params.graphName,
+		Problem:     p.String(),
+		Set:         set,
+		Objective:   d.EstimateObjective(members),
+		IndexCached: !built,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// GET /healthz and GET /stats
+// ---------------------------------------------------------------------------
+
+// HealthResponse is the /healthz reply.
+type HealthResponse struct {
+	Status  string  `json:"status"` // "ok" or "draining"
+	UptimeS float64 `json:"uptime_s"`
+	Graphs  int     `json:"graphs"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{
+		Status:  "ok",
+		UptimeS: time.Since(s.start).Seconds(),
+		Graphs:  len(s.cfg.Graphs),
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// CacheStatsJSON mirrors index.CacheStats for /stats.
+type CacheStatsJSON struct {
+	Hits          int64    `json:"hits"`
+	Coalesced     int64    `json:"coalesced_builds"`
+	Misses        int64    `json:"misses"`
+	SpillLoads    int64    `json:"spill_loads"`
+	SpillSaves    int64    `json:"spill_saves"`
+	Evictions     int64    `json:"evictions"`
+	BuildErrors   int64    `json:"build_errors"`
+	Resident      int      `json:"resident"`
+	ResidentBytes int64    `json:"resident_bytes"`
+	Keys          []string `json:"keys"`
+}
+
+// StatsResponse is the /stats reply.
+type StatsResponse struct {
+	UptimeS          float64                     `json:"uptime_s"`
+	Draining         bool                        `json:"draining"`
+	InFlight         int64                       `json:"in_flight"`
+	SelectsCoalesced int64                       `json:"selects_coalesced"`
+	Cache            CacheStatsJSON              `json:"cache"`
+	Endpoints        map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	withBuckets := r.URL.Query().Get("buckets") != "0"
+	cs := s.cache.Stats()
+	keys := s.cache.Keys()
+	keyStrings := make([]string, len(keys))
+	for i, k := range keys {
+		keyStrings[i] = k.String()
+	}
+	endpoints := make(map[string]EndpointSnapshot, len(s.endpoints))
+	for name, m := range s.endpoints {
+		endpoints[name] = m.Snapshot(withBuckets)
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeS:          time.Since(s.start).Seconds(),
+		Draining:         s.draining.Load(),
+		InFlight:         s.inFlight.Load(),
+		SelectsCoalesced: s.selectsCoalesced.Load(),
+		Cache: CacheStatsJSON{
+			Hits:          cs.Hits,
+			Coalesced:     cs.Coalesced,
+			Misses:        cs.Misses,
+			SpillLoads:    cs.SpillLoads,
+			SpillSaves:    cs.SpillSaves,
+			Evictions:     cs.Evictions,
+			BuildErrors:   cs.BuildErrors,
+			Resident:      cs.Resident,
+			ResidentBytes: cs.ResidentBytes,
+			Keys:          keyStrings,
+		},
+		Endpoints: endpoints,
+	})
+}

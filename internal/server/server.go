@@ -1,0 +1,308 @@
+// Package server implements rwdomd's HTTP query-serving layer: long-running
+// selection service over graphs loaded at startup, with random-walk indexes
+// built on demand, shared across requests through a refcounted LRU cache
+// (internal/index.Cache), and identical selection queries coalesced into one
+// computation.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/select     top-k seed selection (Problem 1 or 2; plain or lazy
+//	                    greedy, sharded over per-request workers)
+//	GET  /v1/gain       marginal gain of candidate nodes against a seed set
+//	GET  /v1/objective  estimated objective value of a seed set
+//	GET  /healthz       liveness (503 while draining)
+//	GET  /stats         cache traffic, in-flight gauge, per-endpoint latency
+//	                    histograms
+//
+// Shutdown is graceful: Serve stops accepting connections, lets in-flight
+// queries finish within the drain budget, hard-cancels stragglers through
+// the context plumbed into the greedy drivers, and spills resident indexes
+// to disk so a restart starts warm.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+// Config configures a Server. Graphs is required; zero values elsewhere get
+// the documented defaults.
+type Config struct {
+	// Graphs maps the logical names requests use to loaded graphs.
+	Graphs map[string]*graph.Graph
+	// CacheSize bounds the number of resident indexes (default 8; < 0 means
+	// unbounded).
+	CacheSize int
+	// SpillDir, when non-empty, persists evicted and shutdown-resident
+	// indexes so later misses and restarts skip the build.
+	SpillDir string
+	// DefaultTimeout bounds a request that doesn't set timeout_ms (default
+	// 30s). MaxTimeout caps what a request may ask for (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// DrainTimeout bounds graceful shutdown: in-flight queries get this long
+	// to finish before their contexts are hard-canceled (default 15s).
+	DrainTimeout time.Duration
+	// EvictInterval enables background eviction of indexes not used for one
+	// full interval (0 disables it).
+	EvictInterval time.Duration
+	// DefaultWorkers is the per-request worker default; MaxWorkers caps the
+	// request knob. Both default to runtime.GOMAXPROCS(0).
+	DefaultWorkers int
+	MaxWorkers     int
+	// MaxR and MaxK cap per-request sample size and budget as a defense
+	// against accidental resource exhaustion (defaults 1000 and 10000).
+	MaxR int
+	MaxK int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 8
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
+	if c.DefaultWorkers <= 0 {
+		c.DefaultWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxR <= 0 {
+		c.MaxR = 1000
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 10000
+	}
+	return c
+}
+
+// Server serves selection queries over a fixed set of graphs. Create with
+// New, expose via Handler or Serve, release resources with Close.
+type Server struct {
+	cfg   Config
+	cache *index.Cache
+	sf    singleflight
+
+	start    time.Time
+	inFlight atomic.Int64
+	draining atomic.Bool
+	// selectsCoalesced counts /v1/select responses served from another
+	// request's computation.
+	selectsCoalesced atomic.Int64
+
+	// lifecycle is canceled at hard-stop; every request's computation
+	// context descends from it so drain-timeout and Close abort stragglers.
+	lifecycle context.Context
+	hardStop  context.CancelFunc
+
+	mux         *http.ServeMux
+	endpoints   map[string]*endpointMetrics
+	stopEvictor func()
+	closeOnce   sync.Once
+	closeErr    error
+}
+
+// New validates cfg and returns a ready-to-serve Server.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Graphs) == 0 {
+		return nil, errors.New("server: no graphs configured")
+	}
+	for name, g := range cfg.Graphs {
+		if g == nil || g.N() == 0 {
+			return nil, fmt.Errorf("server: graph %q is empty", name)
+		}
+	}
+	cfg = cfg.withDefaults()
+	cache, err := index.NewCache(cfg.CacheSize, cfg.SpillDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		cache:     cache,
+		start:     time.Now(),
+		lifecycle: ctx,
+		hardStop:  cancel,
+		endpoints: make(map[string]*endpointMetrics),
+	}
+	s.mux = http.NewServeMux()
+	s.route("POST /v1/select", "select", s.handleSelect)
+	s.route("GET /v1/gain", "gain", s.handleGain)
+	s.route("GET /v1/objective", "objective", s.handleObjective)
+	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("GET /stats", "stats", s.handleStats)
+	if cfg.EvictInterval > 0 {
+		s.stopEvictor = cache.StartEvictor(cfg.EvictInterval)
+	}
+	return s, nil
+}
+
+// Handler returns the root handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the index cache (for stats and tests).
+func (s *Server) Cache() *index.Cache { return s.cache }
+
+// route registers an instrumented handler: in-flight gauge, latency
+// histogram, error counting, panic containment, and drain refusal.
+func (s *Server) route(pattern, name string, h func(http.ResponseWriter, *http.Request)) {
+	m := &endpointMetrics{}
+	s.endpoints[name] = m
+	alwaysOn := name == "healthz" || name == "stats"
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if !alwaysOn && s.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+			return
+		}
+		s.inFlight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				m.errors.Add(1)
+				writeError(sw, http.StatusInternalServerError, fmt.Errorf("panic: %v", p))
+			}
+			m.requests.Add(1)
+			if sw.status >= 400 {
+				m.errors.Add(1)
+			}
+			m.lat.Observe(time.Since(start))
+			s.inFlight.Add(-1)
+		}()
+		h(sw, r)
+	})
+}
+
+// statusWriter records the response status for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// requestCtx derives the wait/compute context for one request: bounded by
+// the client timeout knob (clamped to MaxTimeout), the connection context,
+// and the server lifecycle (so hard-stop aborts it).
+func (s *Server) requestCtx(r *http.Request, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	stop := context.AfterFunc(s.lifecycle, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// computeCtx derives the context shared selection computations run under:
+// bounded by the leader's timeout and the server lifecycle but NOT by the
+// leader's connection, so one departing client cannot fail the coalesced
+// followers.
+func (s *Server) computeCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(s.lifecycle, timeout)
+}
+
+// Serve accepts connections on ln until ctx is canceled, then shuts down
+// gracefully: new requests are refused, in-flight requests get
+// cfg.DrainTimeout to finish, stragglers are hard-canceled through their
+// computation contexts, and the index cache is spilled to disk. It returns
+// nil after a clean (possibly forced) shutdown.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	err := srv.Shutdown(drainCtx)
+	cancel()
+	if err != nil {
+		// Drain budget exhausted: abort remaining computations and give the
+		// handlers a short moment to observe cancellation and respond.
+		s.hardStop()
+		forceCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = srv.Shutdown(forceCtx)
+		cancel()
+		_ = srv.Close()
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	if cerr := s.Close(); cerr != nil {
+		return cerr
+	}
+	return nil
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Draining reports whether graceful shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close releases server resources: aborts outstanding computations, stops
+// the background evictor, and spills resident indexes to the spill
+// directory. Idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.hardStop()
+		if s.stopEvictor != nil {
+			s.stopEvictor()
+		}
+		s.closeErr = s.cache.SpillAll()
+	})
+	return s.closeErr
+}
+
+func (s *Server) graph(name string) (*graph.Graph, bool) {
+	g, ok := s.cfg.Graphs[name]
+	return g, ok
+}

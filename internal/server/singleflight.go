@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// singleflight coalesces concurrent calls with the same key into one
+// execution of fn — the per-selection deduplication layer above the index
+// cache's per-build coalescing. A trimmed-down reimplementation of the
+// classic golang.org/x/sync/singleflight pattern (this module is
+// dependency-free), with two context-aware twists:
+//
+//   - a follower stops waiting when its request context dies, while the
+//     computation keeps running for the remaining waiters;
+//   - fn receives a stop channel that closes when the last interested
+//     caller is gone, so a computation every client has abandoned can be
+//     aborted instead of burning cores until its own timeout.
+type singleflight struct {
+	mu sync.Mutex
+	m  map[string]*sfCall
+}
+
+type sfCall struct {
+	done    chan struct{} // closed when fn has returned
+	stop    chan struct{} // closed when the last waiter detaches early
+	val     any
+	err     error
+	dups    int  // followers attached over the call's lifetime
+	waiters int  // callers (leader included) still interested
+	stopped bool // stop already closed, guarded by singleflight.mu
+}
+
+// waiters reports how many followers are attached to an in-flight call for
+// key (0 if none in flight) — test observability.
+func (g *singleflight) waiters(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c.dups
+	}
+	return 0
+}
+
+// detach drops one caller's interest in c; the detach that empties the
+// waiter set closes c.stop. The stopped flag makes the close exactly-once:
+// a follower can attach after waiters already hit 0 (the call stays in the
+// map until fn returns) and detach again, which must not re-close. Closing
+// after fn has returned is harmless — nothing selects on stop anymore.
+func (g *singleflight) detach(c *sfCall) {
+	g.mu.Lock()
+	c.waiters--
+	closeStop := c.waiters == 0 && !c.stopped
+	if closeStop {
+		c.stopped = true
+	}
+	g.mu.Unlock()
+	if closeStop {
+		close(c.stop)
+	}
+}
+
+// Do returns the result of fn for key, running fn at most once across
+// concurrent callers. shared reports whether this caller attached to
+// another caller's execution. If ctx dies while waiting on another caller,
+// Do returns ctx's error; once every caller's ctx has died, fn's stop
+// channel closes so the computation can abort early.
+func (g *singleflight) Do(ctx context.Context, key string, fn func(stop <-chan struct{}) (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*sfCall)
+	}
+	if c, ok := g.m[key]; ok {
+		c.dups++
+		c.waiters++
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			g.detach(c)
+			return nil, ctx.Err(), true
+		}
+	}
+	c := &sfCall{done: make(chan struct{}), stop: make(chan struct{}), waiters: 1}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	// The leader runs fn synchronously, so its loss of interest (client
+	// gone, timeout) is observed via its context instead.
+	stopWatch := context.AfterFunc(ctx, func() { g.detach(c) })
+
+	c.val, c.err = fn(c.stop)
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	stopWatch()
+	return c.val, c.err, false
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSingleflightStopsOrphanedComputation: when the only caller's context
+// dies, fn's stop channel must close so the computation can abort instead of
+// running to its own timeout.
+func TestSingleflightStopsOrphanedComputation(t *testing.T) {
+	var g singleflight
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	stopped := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err, _ := g.Do(ctx, "k", func(stop <-chan struct{}) (any, error) {
+			close(started)
+			select {
+			case <-stop:
+				close(stopped)
+				return nil, context.Canceled
+			case <-time.After(30 * time.Second):
+				return nil, errors.New("stop channel never closed")
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("orphaned computation returned %v, want context.Canceled", err)
+		}
+	}()
+	<-started
+	cancel() // the only interested client walks away
+	select {
+	case <-stopped:
+	case <-time.After(10 * time.Second):
+		t.Fatal("fn's stop channel did not close after the last waiter left")
+	}
+	wg.Wait()
+}
+
+// TestSingleflightLateFollowerAfterStopDoesNotPanic: a follower that
+// attaches after the stop channel already closed (the call lingers in the
+// map until fn returns) and then detaches must not re-close stop.
+func TestSingleflightLateFollowerAfterStopDoesNotPanic(t *testing.T) {
+	var g singleflight
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	stopObserved := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.Do(leaderCtx, "k", func(stop <-chan struct{}) (any, error) {
+			cancelLeader() // last (only) waiter leaves -> stop closes
+			<-stop
+			close(stopObserved)
+			<-release // keep the call in the map while the late follower acts
+			return nil, context.Canceled
+		})
+	}()
+	<-stopObserved
+	// Late follower with an already-dead context: attaches (waiters 0->1),
+	// then detaches (1->0) — the second detach-to-zero must not panic.
+	deadCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err, shared := g.Do(deadCtx, "k", func(<-chan struct{}) (any, error) {
+		return nil, errors.New("late follower must attach, not recompute")
+	})
+	if !shared || !errors.Is(err, context.Canceled) {
+		t.Fatalf("late follower got (err=%v, shared=%t), want canceled shared wait", err, shared)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestSingleflightFollowerKeepsComputationAlive: a departing leader must not
+// abort a computation another caller is still waiting on.
+func TestSingleflightFollowerKeepsComputationAlive(t *testing.T) {
+	var g singleflight
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.Do(leaderCtx, "k", func(stop <-chan struct{}) (any, error) {
+			close(started)
+			select {
+			case <-stop:
+				return nil, errors.New("aborted despite live follower")
+			case <-release:
+				return "ok", nil
+			}
+		})
+	}()
+	<-started
+	followerDone := make(chan struct{})
+	var followerVal any
+	var followerErr error
+	go func() {
+		defer close(followerDone)
+		followerVal, followerErr, _ = g.Do(context.Background(), "k", func(<-chan struct{}) (any, error) {
+			return nil, errors.New("follower must attach, not recompute")
+		})
+	}()
+	for g.waiters("k") == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancelLeader() // leader walks away; follower still waiting
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	<-followerDone
+	if followerErr != nil || followerVal != "ok" {
+		t.Fatalf("follower got (%v, %v), want (ok, nil)", followerVal, followerErr)
+	}
+	wg.Wait()
+}
