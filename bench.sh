@@ -2,11 +2,11 @@
 # bench.sh — the perf gate for this repo. Runs static checks, the race
 # detector over the packages that shard work across goroutines, and the
 # perf-tracking benchmarks (end-to-end selection, index build, serving
-# throughput, and the design-decision ablations), then writes the parsed
-# results to a JSON record so the perf trajectory is tracked PR over PR
-# (BENCH_PR1.json, BENCH_PR2.json, ...). cmd/benchcheck compares two such
-# records, and CI gates BenchmarkSelectionEndToEnd against the committed
-# baseline.
+# throughput, memoized gain serving, and the design-decision ablations),
+# then writes the parsed results to a JSON record so the perf trajectory is
+# tracked PR over PR (BENCH_PR1.json, BENCH_PR2.json, ...). cmd/benchcheck
+# compares two such records; CI gates BenchmarkSelectionEndToEnd with a
+# same-job old-vs-new run (see .github/workflows/ci.yml).
 #
 # Usage:
 #   ./bench.sh                      # writes bench-<git short SHA>.json
@@ -25,15 +25,15 @@ trap 'rm -f "$RAW"' EXIT
 echo "== go vet =="
 go vet ./...
 
-echo "== race detector (index, greedy, server) =="
-go test -race -count=1 ./internal/index/... ./internal/greedy/... ./internal/server/...
+echo "== race detector (index, greedy, server, core) =="
+go test -race -count=1 ./internal/index/... ./internal/greedy/... ./internal/server/... ./internal/core/...
 
 echo "== benchmarks (benchtime=$BENCHTIME) =="
 # Redirect instead of piping through tee: POSIX sh reports a pipeline's
 # status from its last command, so `go test | tee` would mask bench
 # failures from set -e and this script would write an empty record.
 go test -run '^$' \
-    -bench 'BenchmarkSelectionEndToEnd|BenchmarkIndexBuild$|BenchmarkServingThroughput|BenchmarkAblationAliasVsBinarySearch|BenchmarkAblationCSRVsAdjList|BenchmarkAblationVisitedStamp|BenchmarkAblationLazyVsPlainGreedy|BenchmarkAblationIndexVsResample' \
+    -bench 'BenchmarkSelectionEndToEnd|BenchmarkIndexBuild$|BenchmarkServingThroughput|BenchmarkGainServing|BenchmarkWarmGainRequest|BenchmarkAblationAliasVsBinarySearch|BenchmarkAblationCSRVsAdjList|BenchmarkAblationVisitedStamp|BenchmarkAblationLazyVsPlainGreedy|BenchmarkAblationIndexVsResample' \
     -benchtime "$BENCHTIME" -timeout 60m . > "$RAW" 2>&1 || { cat "$RAW"; exit 1; }
 go test -run '^$' -bench 'BenchmarkAblationDTableLayout' \
     -benchtime "$BENCHTIME" -timeout 30m ./internal/index/ >> "$RAW" 2>&1 || { cat "$RAW"; exit 1; }

@@ -11,14 +11,19 @@ package rwdom
 import (
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/graph"
 	"repro/internal/index"
 	"repro/internal/rng"
+	"repro/internal/server"
 	"repro/internal/walk"
 )
 
@@ -397,3 +402,57 @@ func BenchmarkSelectionEndToEnd(b *testing.B) {
 // over a warm index cache at several client concurrencies). It tracks the
 // daemon's request-handling overhead on top of the selection engine.
 func BenchmarkServingThroughput(b *testing.B) { runExperiment(b, experiments.Serving) }
+
+// BenchmarkGainServing runs the memoized-vs-fresh gain-serving experiment
+// end to end (two daemons over one graph, warm-set /v1/gain and
+// /v1/topgains sweeps). The per-request comparison the PR-3 acceptance
+// criterion rests on is BenchmarkWarmGainRequest below.
+func BenchmarkGainServing(b *testing.B) { runExperiment(b, experiments.GainServing) }
+
+// BenchmarkWarmGainRequest measures one warm-set /v1/gain request through
+// the daemon's handler stack (request parsing, index acquire, gain
+// computation, JSON encoding — driven via ServeHTTP so loopback-TCP
+// syscall noise doesn't drown the signal), memoized versus fresh. After the
+// first request for a seed set, the memoized path is a pure read of the
+// frozen cached D-table, while the fresh path re-materializes an n·R table
+// and replays the 16-node set every time — the memo=on/memo=off ratio is
+// the headline number for the PR-3 memoized read path. The graph is
+// paper-sized and R = 200 so the per-request table work is visible at all;
+// the gap only widens with scale.
+func BenchmarkWarmGainRequest(b *testing.B) {
+	g, err := dataset.Load("CAGrQc", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const path = "/v1/gain?graph=CAGrQc&L=6&R=200&set=1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16&nodes=42"
+	for _, memo := range []bool{true, false} {
+		name := "memo=on"
+		if !memo {
+			name = "memo=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			srv, err := server.New(server.Config{
+				Graphs:      map[string]*graph.Graph{"CAGrQc": g},
+				DisableMemo: !memo,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			handler := srv.Handler()
+			get := func() {
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+			get() // warm: index build + (memo side) table population
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				get()
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -36,6 +37,29 @@ func ParseBaseline(data []byte) (*Baseline, error) {
 		return nil, fmt.Errorf("benchcheck: baseline %q has no benchmarks", b.Record)
 	}
 	return &b, nil
+}
+
+// ParseBaselineFormat decodes a baseline in the given format: "json" is a
+// bench.sh record, "bench" is the raw output of a `go test -bench` run (the
+// same-job old-vs-new gate benchmarks the base commit in CI and feeds the
+// output straight in; name labels the synthesized record, conventionally
+// the baseline file path).
+func ParseBaselineFormat(data []byte, format, name string) (*Baseline, error) {
+	switch format {
+	case "json":
+		return ParseBaseline(data)
+	case "bench":
+		results, err := ParseBenchOutput(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		if len(results) == 0 {
+			return nil, fmt.Errorf("benchcheck: baseline %q contains no benchmark results", name)
+		}
+		return &Baseline{Record: name, Benchmarks: results}, nil
+	default:
+		return nil, fmt.Errorf("benchcheck: unknown baseline format %q (want json or bench)", format)
+	}
 }
 
 // ParseBenchOutput extracts ns/op measurements from `go test -bench` text

@@ -67,6 +67,70 @@ func TestParseBaseline(t *testing.T) {
 	}
 }
 
+func TestParseBaselineFormat(t *testing.T) {
+	// json: delegates to ParseBaseline.
+	b, err := ParseBaselineFormat([]byte(sampleBaseline), "json", "BENCH_PR1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Record != "PR1 parallel batched gain engine" {
+		t.Fatalf("json baseline = %+v", b)
+	}
+	// bench: a raw `go test -bench` run becomes the baseline — the same-job
+	// old-vs-new CI gate feeds the base commit's output in directly.
+	b, err = ParseBaselineFormat([]byte(sampleBenchOutput), "bench", "bench-base.out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Record != "bench-base.out" || len(b.Benchmarks) != 5 {
+		t.Fatalf("bench baseline = %+v", b)
+	}
+	if b.Benchmarks[0].Name != "BenchmarkSelectionEndToEnd/F1/workers=1-8" || b.Benchmarks[0].NsPerOp != 330000000 {
+		t.Fatalf("bench baseline first entry = %+v", b.Benchmarks[0])
+	}
+	if _, err := ParseBaselineFormat([]byte("PASS\nok\n"), "bench", "empty.out"); err == nil {
+		t.Fatal("bench baseline with no results accepted")
+	}
+	if _, err := ParseBaselineFormat([]byte(sampleBaseline), "yaml", "x"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+// A bench-format baseline compares against the current run exactly like a
+// JSON one, including GOMAXPROCS normalization across the two runs.
+func TestCompareAgainstBenchFormatBaseline(t *testing.T) {
+	base, err := ParseBaselineFormat([]byte(sampleBenchOutput), "bench", "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A head run 10% slower on one benchmark, measured on a different core
+	// count (suffix -4 vs the baseline's -8).
+	head := `BenchmarkSelectionEndToEnd/F1/workers=1-4 3 363000000 ns/op
+BenchmarkSelectionEndToEnd/F2/workers=1-4 3 500000000 ns/op
+`
+	cur, err := ParseBenchOutput(strings.NewReader(head))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparisons, skipped, err := Compare(base.Benchmarks, cur, regexp.MustCompile("BenchmarkSelectionEndToEnd"), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comparisons) != 2 || len(skipped) != 0 {
+		t.Fatalf("comparisons = %+v, skipped = %v", comparisons, skipped)
+	}
+	if regs := Regressions(comparisons); len(regs) != 0 {
+		t.Fatalf("10%% drift flagged at 25%% tolerance: %+v", regs)
+	}
+	comparisons, _, err = Compare(base.Benchmarks, cur, regexp.MustCompile("BenchmarkSelectionEndToEnd"), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Regressions(comparisons); len(regs) != 1 || regs[0].Name != "BenchmarkSelectionEndToEnd/F1/workers=1" {
+		t.Fatalf("regressions at 5%% tolerance = %+v", regs)
+	}
+}
+
 func TestNormalizeName(t *testing.T) {
 	for in, want := range map[string]string{
 		"BenchmarkSelectionEndToEnd/F1/workers=1-2": "BenchmarkSelectionEndToEnd/F1/workers=1",

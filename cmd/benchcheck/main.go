@@ -1,7 +1,12 @@
 // Command benchcheck is the CI benchmark-regression gate: it compares a
-// `go test -bench` run against a recorded baseline (the BENCH_PR*.json files
-// bench.sh writes) and exits non-zero if any benchmark regressed beyond the
-// tolerance.
+// `go test -bench` run against a baseline and exits non-zero if any
+// benchmark regressed beyond the tolerance. The baseline is either a JSON
+// record written by bench.sh (BENCH_PR*.json, -baseline-format json) or the
+// raw output of a `go test -bench` run (-baseline-format bench) — the
+// latter is what CI uses for same-job old-vs-new gating: check out the base
+// commit, benchmark it on the very runner that benchmarks the head, and
+// compare the two runs, so runner-hardware variance cancels instead of
+// eating into the tolerance.
 //
 // Names are compared with the trailing GOMAXPROCS suffix stripped, so a
 // baseline recorded on a 2-core developer box gates runs on CI machines with
@@ -12,6 +17,9 @@
 //
 //	go test -run '^$' -bench BenchmarkSelectionEndToEnd -benchtime 3x . |
 //	    go run ./cmd/benchcheck -baseline BENCH_PR1.json -pattern BenchmarkSelectionEndToEnd
+//
+//	go run ./cmd/benchcheck -baseline bench-base.out -baseline-format bench \
+//	    -input bench-head.out -tolerance 0.25
 package main
 
 import (
@@ -24,10 +32,11 @@ import (
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "", "baseline JSON file written by bench.sh (required)")
-		inputPath    = flag.String("input", "-", "go test -bench output to check ('-' = stdin)")
-		patternStr   = flag.String("pattern", "BenchmarkSelectionEndToEnd", "regexp selecting which benchmarks to gate")
-		tolerance    = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression (0.25 = +25%)")
+		baselinePath   = flag.String("baseline", "", "baseline file (required): bench.sh JSON or raw bench output, per -baseline-format")
+		baselineFormat = flag.String("baseline-format", "json", "baseline file format: json (bench.sh record) or bench (raw `go test -bench` output)")
+		inputPath      = flag.String("input", "-", "go test -bench output to check ('-' = stdin)")
+		patternStr     = flag.String("pattern", "BenchmarkSelectionEndToEnd", "regexp selecting which benchmarks to gate")
+		tolerance      = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression (0.25 = +25%)")
 	)
 	flag.Parse()
 	if *baselinePath == "" {
@@ -41,7 +50,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	baseline, err := ParseBaseline(data)
+	baseline, err := ParseBaselineFormat(data, *baselineFormat, *baselinePath)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,20 +1,22 @@
 // Command rwdomd is the random-walk-domination query-serving daemon: it
 // loads graphs once at startup, materializes walk indexes on demand into a
-// refcounted LRU cache, and answers selection/gain/objective queries over
-// HTTP, coalescing identical concurrent work. SIGTERM/SIGINT drain in-flight
-// queries and spill resident indexes to the cache directory so a restart
-// starts warm.
+// refcounted LRU cache, memoizes per-set D-tables so repeated gain queries
+// are pure reads, and answers selection/gain/objective/topgains queries
+// over HTTP, coalescing identical concurrent work. SIGTERM/SIGINT drain
+// in-flight queries and spill resident indexes to the cache directory so a
+// restart starts warm.
 //
 // Examples:
 //
 //	rwdomd -dataset Epinions:0.2 -listen :7474
 //	rwdomd -graph web=web.txt -graph social=social.txt -spill /var/cache/rwdomd
-//	rwdomd -dataset CAGrQc -cache 4 -evict-every 10m -drain 30s
+//	rwdomd -dataset CAGrQc -cache 4 -evict-every 10m -drain 30s -memo 256
 //
 // Query it with curl:
 //
 //	curl -s localhost:7474/v1/select -d '{"graph":"Epinions","problem":"coverage","k":10,"L":6}'
 //	curl -s 'localhost:7474/v1/gain?graph=Epinions&L=6&set=1,2&nodes=7,9'
+//	curl -s 'localhost:7474/v1/topgains?graph=Epinions&L=6&set=1,2&b=10'
 //	curl -s localhost:7474/stats
 package main
 
@@ -60,6 +62,8 @@ func main() {
 		evictEvery = flag.Duration("evict-every", 0, "evict indexes idle for one full interval (0 = disabled)")
 		maxR       = flag.Int("max-R", 1000, "cap on the per-request sample size R")
 		maxK       = flag.Int("max-k", 10000, "cap on the per-request budget k")
+		memoSize   = flag.Int("memo", 128, "max memoized per-set D-tables for the gain read path (<0 = unbounded)")
+		noMemo     = flag.Bool("no-memo", false, "disable the memoized gain read path (every gain/objective/topgains request replays its set)")
 	)
 	flag.Parse()
 
@@ -86,6 +90,8 @@ func main() {
 		MaxWorkers:     *maxWorkers,
 		MaxR:           *maxR,
 		MaxK:           *maxK,
+		MemoSize:       *memoSize,
+		DisableMemo:    *noMemo,
 	})
 	if err != nil {
 		fatal(err)

@@ -50,14 +50,29 @@
 // simultaneous misses build once, and spilled to disk on eviction and
 // shutdown so restarts start warm. POST /v1/select answers top-k selections
 // for both problems (plain or CELF-lazy greedy, gain evaluations sharded
-// over a per-request workers knob), GET /v1/gain and GET /v1/objective
-// answer point queries against the same indexes, and GET /healthz plus
-// GET /stats expose liveness, cache traffic and per-endpoint latency
-// histograms. Request timeouts and graceful SIGTERM drain propagate as
+// over a per-request workers knob); GET /v1/gain, GET /v1/objective and
+// GET /v1/topgains answer point queries against the same indexes; and
+// GET /healthz plus GET /stats expose liveness, index/memo cache traffic
+// and per-endpoint latency histograms.
+//
+// The gain read path is memoized (this is where the paper's index pays off
+// at serving time — a marginal gain should be a read, not a rebuild):
+// empty-set answers come straight off a per-problem gain vector memoized on
+// the index itself (Index.EmptySetGains, zero D-table work), and non-empty
+// seed sets hit a refcounted LRU cache of frozen D-tables keyed by
+// (graph, L, R, seed, problem, canonical set). A set's table is
+// materialized at most once — extending the longest cached prefix of the
+// set via DTable.Snapshot/ExtendFrom, so only the delta is replayed — and
+// every later gain/objective/topgains request for it is a pure read.
+// Memoized and fresh answers are bit-for-bit identical; the server parity
+// test suite locks the two paths together across both problems, set shapes
+// (empty/singleton/large/unsorted/duplicated) and greedy selection
+// prefixes. Request timeouts and graceful SIGTERM drain propagate as
 // context cancellation through the greedy drivers (greedy.RunWorkersCtx /
 // core.ApproxWithIndexCtx), so a dying request stops consuming cores within
-// one evaluation stride. The serving experiment (internal/experiments,
-// "serving") measures end-to-end HTTP throughput over the warm cache.
+// one evaluation stride. The serving experiments (internal/experiments,
+// "serving" and "gainserving") measure end-to-end HTTP throughput over the
+// warm caches, memoized versus fresh.
 //
 // # Quick start
 //

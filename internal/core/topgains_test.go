@@ -1,0 +1,167 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+// referenceTop is the obviously-correct O(n log n) selection: sort all
+// non-excluded candidates by (gain desc, id asc) and truncate.
+func referenceTop(gains []float64, exclude []bool, b int) ([]int, []float64) {
+	var ids []int
+	for u := range gains {
+		if exclude != nil && exclude[u] {
+			continue
+		}
+		ids = append(ids, u)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		gi, gj := gains[ids[i]], gains[ids[j]]
+		if gi != gj {
+			return gi > gj
+		}
+		return ids[i] < ids[j]
+	})
+	if b > len(ids) {
+		b = len(ids)
+	}
+	ids = ids[:b]
+	top := make([]float64, len(ids))
+	for i, u := range ids {
+		top[i] = gains[u]
+	}
+	return ids, top
+}
+
+func TestTopOfGainsMatchesSortReference(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rnd.Intn(50)
+		gains := make([]float64, n)
+		for i := range gains {
+			// Coarse values force plenty of ties, exercising the id
+			// tie-break at the heap boundary.
+			gains[i] = float64(rnd.Intn(5))
+		}
+		var exclude []bool
+		if rnd.Intn(2) == 0 {
+			exclude = make([]bool, n)
+			for i := range exclude {
+				exclude[i] = rnd.Intn(4) == 0
+			}
+		}
+		b := rnd.Intn(n + 3)
+		gotN, gotG := TopOfGains(gains, exclude, b)
+		wantN, wantG := referenceTop(gains, exclude, b)
+		if len(gotN) != len(wantN) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(gotN), len(wantN))
+		}
+		for i := range wantN {
+			if gotN[i] != wantN[i] || math.Float64bits(gotG[i]) != math.Float64bits(wantG[i]) {
+				t.Fatalf("trial %d (n=%d b=%d): got %v/%v want %v/%v", trial, n, b, gotN, gotG, wantN, wantG)
+			}
+		}
+	}
+}
+
+func TestTopOfGainsEdgeCases(t *testing.T) {
+	if n, g := TopOfGains(nil, nil, 5); len(n) != 0 || len(g) != 0 {
+		t.Fatalf("empty gains: %v %v", n, g)
+	}
+	if n, _ := TopOfGains([]float64{1, 2}, nil, 0); len(n) != 0 {
+		t.Fatalf("b=0: %v", n)
+	}
+	all := []bool{true, true, true}
+	if n, _ := TopOfGains([]float64{1, 2, 3}, all, 2); len(n) != 0 {
+		t.Fatalf("all excluded: %v", n)
+	}
+}
+
+func TestTopGainsDeterministicAcrossWorkers(t *testing.T) {
+	g, err := graph.BarabasiAlbert(500, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := index.Build(g, 5, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []index.Problem{index.Problem1, index.Problem2} {
+		d, err := ix.NewDTable(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Update(3)
+		d.Update(77)
+		exclude := make([]bool, g.N())
+		exclude[3], exclude[77] = true, true
+
+		refN, refG, err := TopGains(context.Background(), d, 12, exclude, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(refN) != 12 {
+			t.Fatalf("%v: %d results, want 12", p, len(refN))
+		}
+		for i := 1; i < len(refG); i++ {
+			if refG[i] > refG[i-1] {
+				t.Fatalf("%v: gains not descending: %v", p, refG)
+			}
+		}
+		for _, u := range refN {
+			if exclude[u] {
+				t.Fatalf("%v: excluded node %d in results", p, u)
+			}
+		}
+		for _, workers := range []int{2, 4, 7} {
+			gotN, gotG, err := TopGains(context.Background(), d, 12, exclude, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range refN {
+				if gotN[i] != refN[i] || math.Float64bits(gotG[i]) != math.Float64bits(refG[i]) {
+					t.Fatalf("%v workers=%d: got %v/%v want %v/%v", p, workers, gotN, gotG, refN, refG)
+				}
+			}
+		}
+		// Cross-check the winner against a brute-force argmax.
+		bestU, bestG := -1, 0.0
+		for u := 0; u < g.N(); u++ {
+			if exclude[u] {
+				continue
+			}
+			if gu := d.Gain(u); bestU == -1 || gu > bestG {
+				bestU, bestG = u, gu
+			}
+		}
+		if refN[0] != bestU {
+			t.Fatalf("%v: top-1 = %d, brute force argmax = %d", p, refN[0], bestU)
+		}
+	}
+}
+
+func TestTopGainsValidation(t *testing.T) {
+	g, _ := graph.BarabasiAlbert(50, 2, 1)
+	ix, _ := index.Build(g, 4, 5, 1)
+	d, _ := ix.NewDTable(index.Problem2)
+	if _, _, err := TopGains(context.Background(), nil, 3, nil, 1); err == nil {
+		t.Fatal("nil table accepted")
+	}
+	if _, _, err := TopGains(context.Background(), d, -1, nil, 1); err == nil {
+		t.Fatal("negative b accepted")
+	}
+	if _, _, err := TopGains(context.Background(), d, 3, make([]bool, 2), 1); err == nil {
+		t.Fatal("short exclude mask accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := TopGains(ctx, d, 3, nil, 1); err != context.Canceled {
+		t.Fatalf("canceled ctx: err = %v", err)
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGainServingReport(t *testing.T) {
+	rep, err := GainServing(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Panels) != 1 {
+		t.Fatalf("gainserving panels = %d, want 1", len(rep.Panels))
+	}
+	p := rep.Panels[0]
+	if len(p.Series) != 3 {
+		t.Fatalf("gainserving series = %d, want 3", len(p.Series))
+	}
+	for _, s := range p.Series {
+		if len(s.Y) != len(p.X) {
+			t.Fatalf("%s: %d points over %d concurrency levels", s.Name, len(s.Y), len(p.X))
+		}
+		for i, qps := range s.Y {
+			if qps <= 0 {
+				t.Fatalf("%s: non-positive qps at level %v", s.Name, p.X[i])
+			}
+		}
+	}
+	// One miss per (problem, set) served: the warm set is populated exactly
+	// once across the whole memoized sweep.
+	found := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "1 misses") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected exactly one memo miss noted, got notes %q", rep.Notes)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "memoized gain qps") {
+		t.Fatal("rendered report missing series")
+	}
+}

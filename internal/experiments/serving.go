@@ -1,12 +1,8 @@
 package experiments
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
-	"net/http"
 	"net/http/httptest"
-	"sync"
 	"time"
 
 	"repro/internal/dataset"
@@ -56,88 +52,35 @@ func Serving(cfg Config) (*Report, error) {
 	requestsPer := 24
 	concurrency := []float64{1, 2, 4, 8}
 
-	post := func(body string) error {
-		resp, err := http.Post(ts.URL+"/v1/select", "application/json", bytes.NewBufferString(body))
-		if err != nil {
-			return err
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			var e struct {
-				Error string `json:"error"`
-			}
-			_ = json.NewDecoder(resp.Body).Decode(&e)
-			return fmt.Errorf("select: %d %s", resp.StatusCode, e.Error)
-		}
-		return nil
-	}
-	get := func(path string) error {
-		resp, err := http.Get(ts.URL + path)
-		if err != nil {
-			return err
-		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("%s: status %d", path, resp.StatusCode)
-		}
-		return nil
-	}
-
 	// Cold request: pays the one index build of the whole experiment.
 	coldStart := time.Now()
-	if err := post(fmt.Sprintf(`{"graph":"CAGrQc","k":10,"L":%d,"R":%d}`, L, R)); err != nil {
+	if err := httpPostJSON(ts.URL, "/v1/select", fmt.Sprintf(`{"graph":"CAGrQc","k":10,"L":%d,"R":%d}`, L, R)); err != nil {
 		return nil, err
 	}
 	coldMS := float64(time.Since(coldStart)) / float64(time.Millisecond)
-
-	// sweep issues total requests across c clients and returns queries/sec.
-	sweep := func(c int, total int, request func(client, i int) error) (float64, error) {
-		var wg sync.WaitGroup
-		errs := make([]error, c)
-		t0 := time.Now()
-		for cl := 0; cl < c; cl++ {
-			wg.Add(1)
-			go func(cl int) {
-				defer wg.Done()
-				for i := cl; i < total; i += c {
-					if err := request(cl, i); err != nil {
-						errs[cl] = err
-						return
-					}
-				}
-			}(cl)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return 0, err
-			}
-		}
-		return float64(total) / time.Since(t0).Seconds(), nil
-	}
 
 	identical := Series{Name: "identical select qps"}
 	distinct := Series{Name: "distinct select qps"}
 	gain := Series{Name: "gain qps"}
 	for _, c := range concurrency {
-		qps, err := sweep(int(c), requestsPer, func(_, _ int) error {
-			return post(fmt.Sprintf(`{"graph":"CAGrQc","k":10,"L":%d,"R":%d}`, L, R))
+		qps, err := qpsSweep(int(c), requestsPer, func(_ int) error {
+			return httpPostJSON(ts.URL, "/v1/select", fmt.Sprintf(`{"graph":"CAGrQc","k":10,"L":%d,"R":%d}`, L, R))
 		})
 		if err != nil {
 			return nil, err
 		}
 		identical.Y = append(identical.Y, qps)
 
-		qps, err = sweep(int(c), requestsPer, func(_, i int) error {
-			return post(fmt.Sprintf(`{"graph":"CAGrQc","k":%d,"L":%d,"R":%d}`, 2+i%8, L, R))
+		qps, err = qpsSweep(int(c), requestsPer, func(i int) error {
+			return httpPostJSON(ts.URL, "/v1/select", fmt.Sprintf(`{"graph":"CAGrQc","k":%d,"L":%d,"R":%d}`, 2+i%8, L, R))
 		})
 		if err != nil {
 			return nil, err
 		}
 		distinct.Y = append(distinct.Y, qps)
 
-		qps, err = sweep(int(c), requestsPer, func(_, i int) error {
-			return get(fmt.Sprintf("/v1/gain?graph=CAGrQc&L=%d&R=%d&set=1,2&nodes=%d", L, R, i%g.N()))
+		qps, err = qpsSweep(int(c), requestsPer, func(i int) error {
+			return httpGet(ts.URL, fmt.Sprintf("/v1/gain?graph=CAGrQc&L=%d&R=%d&set=1,2&nodes=%d", L, R, i%g.N()))
 		})
 		if err != nil {
 			return nil, err

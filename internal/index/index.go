@@ -81,6 +81,13 @@ type Index struct {
 	offsets []int64
 	ids     []int32
 	hops    []uint16
+
+	// emptyGains memoizes the per-problem empty-set gain vectors (slot 0:
+	// Problem 1, slot 1: Problem 2), computed lazily by EmptySetGains. The
+	// sync.Once slots make the index safe to share across concurrent
+	// EmptySetGains callers; everything else stays immutable after Build.
+	emptyOnce  [2]sync.Once
+	emptyGains [2][]float64
 }
 
 // Build materializes R L-length random walks per node and constructs the
@@ -426,6 +433,10 @@ type DTable struct {
 	// O(R) scan. Lazily maintained — false just means "not yet observed
 	// saturated".
 	sat []bool
+	// muts counts semantic mutations (Update, ExtendFrom) so Snapshot can
+	// detect that its aliased view of the table went stale. sat memoization
+	// is not a semantic mutation and does not bump it.
+	muts uint64
 }
 
 // NewDTable returns a fresh D-table for the given problem: initialized to L
@@ -561,6 +572,7 @@ func (t *DTable) Update(u int) {
 		}
 	}
 	t.size++
+	t.muts++
 }
 
 // EstimateObjective returns the sampled objective value implied by the

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"testing"
+)
+
+// FuzzCanonicalSet asserts the set-normalization invariants the memo cache's
+// correctness rests on: the canonical key is insensitive to input order and
+// duplication, the canonical form is strictly increasing, and
+// canonicalization is idempotent. (Injectivity across distinct sets is
+// checked exhaustively in TestSetKeyInjectiveSmallUniverse.)
+func FuzzCanonicalSet(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 1, 1})
+	f.Add([]byte{5, 3, 5, 0, 250, 3})
+	f.Add([]byte{255, 254, 253, 0, 1, 2, 128})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Each byte is one node id (small universe maximizes duplicate and
+		// adjacency collisions); the byte string doubles as a permutation
+		// driver below.
+		set := make([]int, len(data))
+		for i, b := range data {
+			set[i] = int(b)
+		}
+		canon, key := canonicalSet(set)
+
+		for i := 1; i < len(canon); i++ {
+			if canon[i] <= canon[i-1] {
+				t.Fatalf("canonical form not strictly increasing: %v", canon)
+			}
+		}
+		if (len(canon) == 0) != (key == "") {
+			t.Fatalf("empty-set key mismatch: canon=%v key=%q", canon, key)
+		}
+
+		// Idempotence: canonicalizing the canonical form changes nothing.
+		canon2, key2 := canonicalSet(canon)
+		if key2 != key || len(canon2) != len(canon) {
+			t.Fatalf("not idempotent: %v/%q vs %v/%q", canon, key, canon2, key2)
+		}
+
+		// Order-insensitivity: a deterministic data-derived shuffle with
+		// every element doubled must produce the identical key.
+		shuffled := make([]int, 0, 2*len(set))
+		for i := range set {
+			j := int(data[i]) % len(set)
+			shuffled = append(shuffled, set[len(set)-1-i], set[j])
+		}
+		_, key3 := canonicalSet(shuffled)
+		if key3 != key {
+			t.Fatalf("key depends on order/duplication: %q (from %v) vs %q (from %v)",
+				key, set, key3, shuffled)
+		}
+
+		// Membership round-trip: the canonical form holds exactly the
+		// distinct input values.
+		inSet := map[int]bool{}
+		for _, u := range set {
+			inSet[u] = true
+		}
+		if len(inSet) != len(canon) {
+			t.Fatalf("canonical form has %d elements, input has %d distinct: %v vs %v",
+				len(canon), len(inSet), canon, set)
+		}
+		for _, u := range canon {
+			if !inSet[u] {
+				t.Fatalf("canonical form invented element %d: %v from %v", u, canon, set)
+			}
+		}
+	})
+}

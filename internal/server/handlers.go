@@ -394,11 +394,14 @@ func durationMS(d time.Duration) float64 {
 // GainResponse is the /v1/gain reply: Gains[i] is the marginal gain of
 // adding Nodes[i] to the current set.
 //
-// Cost note: each gain/objective request materializes a fresh n·R D-table
-// and replays the set's updates before reading gains — cheap at the graph
-// sizes the daemon currently serves, but O(n·R) memory per request; at
-// million-node scale these endpoints want a memoized (index, problem, set)
-// D-table cache (see ROADMAP).
+// Cost note: the read path is memoized, so the n·R D-table for a seed set
+// is materialized at most once (reusing the longest cached prefix of the
+// set when one is resident) and every later request for the same set is a
+// pure read of the frozen table; empty-set requests are answered from the
+// index's memoized empty-set gain vector with no D-table work at all. Memo
+// reports which of those paths served this request (see the memo* status
+// constants); "off" means the daemon runs with memoization disabled and
+// paid a fresh table replay.
 type GainResponse struct {
 	Graph       string    `json:"graph"`
 	Problem     string    `json:"problem"`
@@ -406,6 +409,7 @@ type GainResponse struct {
 	Nodes       []int     `json:"nodes"`
 	Gains       []float64 `json:"gains"`
 	IndexCached bool      `json:"index_cached"`
+	Memo        string    `json:"memo"`
 }
 
 // queryIndexParams parses the common graph/L/R/seed/problem query
@@ -446,6 +450,28 @@ func (s *Server) queryIndexParams(r *http.Request) (indexParams, index.Problem, 
 	return params, p, err
 }
 
+// memoizedTable resolves the serving D-table for a non-empty canonical set:
+// the memo cache when enabled, a fresh replay otherwise. The returned
+// release func must be called once the table has been read; status is the
+// memo* constant describing which path served it.
+func (s *Server) memoizedTable(params indexParams, p index.Problem, canon []int, setKey string, ix *index.Index) (d *index.DTable, release func(), status string, err error) {
+	if s.memo != nil {
+		mh, status, err := s.memo.acquire(memoKey{idx: params.cacheKey(), problem: p, set: setKey}, canon, ix)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return mh.Table(), mh.Release, status, nil
+	}
+	d, err = ix.NewDTable(p)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	for _, u := range canon {
+		d.Update(u)
+	}
+	return d, func() {}, memoOff, nil
+}
+
 func (s *Server) handleGain(w http.ResponseWriter, r *http.Request) {
 	params, p, err := s.queryIndexParams(r)
 	if err != nil {
@@ -474,15 +500,33 @@ func (s *Server) handleGain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer h.Release()
-	d, err := h.Index().NewDTable(p)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+	canon, setKey := canonicalSet(set)
+	var gains []float64
+	var status string
+	if s.memo != nil && len(canon) == 0 {
+		// Set-free gains come straight off the index: no D-table exists on
+		// this path at all.
+		all, err := h.Index().EmptySetGains(p)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		gains = make([]float64, 0, len(nodes))
+		for _, u := range nodes {
+			gains = append(gains, all[u])
+		}
+		status = memoEmpty
+		s.memo.noteEmptyHit()
+	} else {
+		d, release, st, err := s.memoizedTable(params, p, canon, setKey, h.Index())
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		gains = d.GainBatch(nodes, make([]float64, 0, len(nodes)))
+		release()
+		status = st
 	}
-	for _, u := range set {
-		d.Update(u)
-	}
-	gains := d.GainBatch(nodes, make([]float64, 0, len(nodes)))
 	writeJSON(w, http.StatusOK, GainResponse{
 		Graph:       params.graphName,
 		Problem:     p.String(),
@@ -490,6 +534,7 @@ func (s *Server) handleGain(w http.ResponseWriter, r *http.Request) {
 		Nodes:       nodes,
 		Gains:       gains,
 		IndexCached: !built,
+		Memo:        status,
 	})
 }
 
@@ -504,6 +549,7 @@ type ObjectiveResponse struct {
 	Set         []int   `json:"set"`
 	Objective   float64 `json:"objective"`
 	IndexCached bool    `json:"index_cached"`
+	Memo        string  `json:"memo"`
 }
 
 func (s *Server) handleObjective(w http.ResponseWriter, r *http.Request) {
@@ -525,24 +571,157 @@ func (s *Server) handleObjective(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer h.Release()
-	d, err := h.Index().NewDTable(p)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	members := make([]bool, params.g.N())
-	for _, u := range set {
-		if !members[u] {
-			members[u] = true
-			d.Update(u)
+	canon, setKey := canonicalSet(set)
+	var objective float64
+	var status string
+	switch {
+	case s.memo != nil && len(canon) == 0:
+		objective, err = h.Index().EmptySetObjective(p)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
 		}
+		status = memoEmpty
+		s.memo.noteEmptyHit()
+	case s.memo != nil:
+		// The objective is computed once at population time (the D-table
+		// scan memoizes saturation state, so it must not run on the shared
+		// frozen table) and served as a stored scalar afterwards.
+		mh, st, err := s.memo.acquire(memoKey{idx: params.cacheKey(), problem: p, set: setKey}, canon, h.Index())
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		objective = mh.Objective()
+		mh.Release()
+		status = st
+	default:
+		d, err := h.Index().NewDTable(p)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		members := make([]bool, params.g.N())
+		for _, u := range set {
+			if !members[u] {
+				members[u] = true
+				d.Update(u)
+			}
+		}
+		objective = d.EstimateObjective(members)
+		status = memoOff
 	}
 	writeJSON(w, http.StatusOK, ObjectiveResponse{
 		Graph:       params.graphName,
 		Problem:     p.String(),
 		Set:         set,
-		Objective:   d.EstimateObjective(members),
+		Objective:   objective,
 		IndexCached: !built,
+		Memo:        status,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// GET /v1/topgains
+// ---------------------------------------------------------------------------
+
+// TopGainsResponse is the /v1/topgains reply: the B best candidates by
+// marginal gain against the given seed set (set members excluded), gain
+// descending with ties broken by ascending node id.
+type TopGainsResponse struct {
+	Graph       string    `json:"graph"`
+	Problem     string    `json:"problem"`
+	Set         []int     `json:"set"`
+	B           int       `json:"b"`
+	Nodes       []int     `json:"nodes"`
+	Gains       []float64 `json:"gains"`
+	IndexCached bool      `json:"index_cached"`
+	Memo        string    `json:"memo"`
+}
+
+func (s *Server) handleTopGains(w http.ResponseWriter, r *http.Request) {
+	params, p, err := s.queryIndexParams(r)
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	q := r.URL.Query()
+	// Default B is 10, clamped so a tighter operator-configured MaxK bounds
+	// the no-param path too.
+	b := 10
+	if b > s.cfg.MaxK {
+		b = s.cfg.MaxK
+	}
+	if v := q.Get("b"); v != "" {
+		b, err = strconv.Atoi(v)
+		if err != nil || b < 1 || b > s.cfg.MaxK {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("b=%q outside [1, %d]", v, s.cfg.MaxK))
+			return
+		}
+	}
+	workers := s.cfg.DefaultWorkers
+	if v := q.Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad workers=%q", v))
+			return
+		}
+		workers = s.clampWorkers(n)
+	}
+	set, err := parseNodeList(q.Get("set"), params.g)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, 0)
+	defer cancel()
+	h, built, err := s.acquireIndexCtx(ctx, params, workers)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	defer h.Release()
+	canon, setKey := canonicalSet(set)
+	var nodes []int
+	var gains []float64
+	var status string
+	if s.memo != nil && len(canon) == 0 {
+		// Empty set: rank the index's memoized gain vector directly.
+		all, err := h.Index().EmptySetGains(p)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		nodes, gains = core.TopOfGains(all, nil, b)
+		status = memoEmpty
+		s.memo.noteEmptyHit()
+	} else {
+		d, release, st, err := s.memoizedTable(params, p, canon, setKey, h.Index())
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		exclude := make([]bool, params.g.N())
+		for _, u := range canon {
+			exclude[u] = true
+		}
+		nodes, gains, err = core.TopGains(ctx, d, b, exclude, workers)
+		release()
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		status = st
+	}
+	writeJSON(w, http.StatusOK, TopGainsResponse{
+		Graph:       params.graphName,
+		Problem:     p.String(),
+		Set:         set,
+		B:           b,
+		Nodes:       nodes,
+		Gains:       gains,
+		IndexCached: !built,
+		Memo:        status,
 	})
 }
 
@@ -571,6 +750,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
+// MemoStatsJSON mirrors MemoStats for /stats, plus whether the memoized
+// read path is enabled at all.
+type MemoStatsJSON struct {
+	Enabled        bool  `json:"enabled"`
+	Hits           int64 `json:"hits"`
+	Coalesced      int64 `json:"coalesced_populates"`
+	Misses         int64 `json:"misses"`
+	PrefixExtended int64 `json:"prefix_extended"`
+	EmptyHits      int64 `json:"empty_hits"`
+	Evictions      int64 `json:"evictions"`
+	PopulateErrors int64 `json:"populate_errors"`
+	Resident       int   `json:"resident"`
+	ResidentBytes  int64 `json:"resident_bytes"`
+}
+
 // CacheStatsJSON mirrors index.CacheStats for /stats.
 type CacheStatsJSON struct {
 	Hits          int64    `json:"hits"`
@@ -592,6 +786,7 @@ type StatsResponse struct {
 	InFlight         int64                       `json:"in_flight"`
 	SelectsCoalesced int64                       `json:"selects_coalesced"`
 	Cache            CacheStatsJSON              `json:"cache"`
+	Memo             MemoStatsJSON               `json:"memo"`
 	Endpoints        map[string]EndpointSnapshot `json:"endpoints"`
 }
 
@@ -607,11 +802,28 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for name, m := range s.endpoints {
 		endpoints[name] = m.Snapshot(withBuckets)
 	}
+	var memo MemoStatsJSON
+	if s.memo != nil {
+		ms := s.memo.Stats()
+		memo = MemoStatsJSON{
+			Enabled:        true,
+			Hits:           ms.Hits,
+			Coalesced:      ms.Coalesced,
+			Misses:         ms.Misses,
+			PrefixExtended: ms.PrefixExtended,
+			EmptyHits:      ms.EmptyHits,
+			Evictions:      ms.Evictions,
+			PopulateErrors: ms.PopulateErrors,
+			Resident:       ms.Resident,
+			ResidentBytes:  ms.ResidentBytes,
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeS:          time.Since(s.start).Seconds(),
 		Draining:         s.draining.Load(),
 		InFlight:         s.inFlight.Load(),
 		SelectsCoalesced: s.selectsCoalesced.Load(),
+		Memo:             memo,
 		Cache: CacheStatsJSON{
 			Hits:          cs.Hits,
 			Coalesced:     cs.Coalesced,

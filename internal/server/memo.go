@@ -1,0 +1,372 @@
+package server
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/index"
+)
+
+// This file implements the memoized gain read path: a refcounted LRU cache
+// of D-tables keyed by (index identity, problem, canonical seed set). The
+// paper's whole point is that the walk index makes marginal-gain evaluation
+// cheap — the index is built once and every gain is a read — yet the naive
+// serving path re-materialized an n·R table and replayed the whole set on
+// every /v1/gain and /v1/objective request. With the memo, the first request
+// for a set pays one table materialization (extending the longest cached
+// prefix of the set when one is resident, so only the delta is replayed) and
+// every later request is a pure read of the frozen table.
+//
+// Frozen means exactly that: once an entry is published (its ready channel
+// closed), its table is never mutated again. Gain/GainBatch/TopGains are
+// pure reads, so any number of requests can share the table concurrently;
+// the objective — whose D-table scan memoizes saturation state and is
+// therefore NOT a pure read — is computed once during population and stored
+// as a plain float64. Entries are only evicted when unreferenced, so a
+// table can never be freed under an in-flight request.
+
+// canonicalSet returns the sorted, duplicate-free form of nodes together
+// with its canonical key string. Two node lists denote the same seed set —
+// and therefore the same D-table — iff their canonical keys are equal:
+// D-table state is order-independent (Update min-folds hop values for
+// Problem 1 and writes indicators for Problem 2, both commutative) and
+// duplicate-insensitive (Update is idempotent on table state).
+func canonicalSet(nodes []int) ([]int, string) {
+	canon := append([]int(nil), nodes...)
+	sort.Ints(canon)
+	w := 0
+	for i, u := range canon {
+		if i > 0 && u == canon[w-1] {
+			continue
+		}
+		canon[w] = u
+		w++
+	}
+	canon = canon[:w]
+	return canon, setKeyOf(canon)
+}
+
+// setKeyOf renders a canonical (sorted, deduplicated) set as its exact key:
+// decimal ids joined by commas. On canonical input the encoding is
+// injective — distinct sets always get distinct keys — so a key match can
+// never serve the wrong table (no hashing, no collisions to reason about).
+func setKeyOf(set []int) string {
+	if len(set) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, u := range set {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(u))
+	}
+	return b.String()
+}
+
+// isPrefix reports whether p is a proper leading prefix of set (both
+// canonical, so element-wise comparison suffices).
+func isPrefix(p, set []int) bool {
+	if len(p) >= len(set) {
+		return false
+	}
+	for i, u := range p {
+		if set[i] != u {
+			return false
+		}
+	}
+	return true
+}
+
+// memoKey identifies one cached D-table.
+type memoKey struct {
+	idx     index.CacheKey
+	problem index.Problem
+	set     string // canonical set key (setKeyOf)
+}
+
+// memoEntry is one cached table. d, objective and bytes are written once
+// before ready is closed and immutable afterwards.
+type memoEntry struct {
+	key       memoKey
+	set       []int         // canonical set, for prefix extension
+	ready     chan struct{} // closed once d/err are set
+	d         *index.DTable // frozen after publication
+	objective float64
+	bytes     int64
+	err       error
+	refs      int
+	lastUse   int64
+}
+
+// memoHandle pins one cached table. Callers must Release exactly once;
+// Release after the first is a no-op.
+type memoHandle struct {
+	c    *memoCache
+	e    *memoEntry
+	once sync.Once
+}
+
+// Table returns the pinned frozen table. Callers may read gains from it
+// (Gain/GainBatch/TopGains) but must not mutate it.
+func (h *memoHandle) Table() *index.DTable { return h.e.d }
+
+// Objective returns the set's estimated objective, computed once at
+// population time.
+func (h *memoHandle) Objective() float64 { return h.e.objective }
+
+// Release unpins the table, making its entry eligible for eviction.
+func (h *memoHandle) Release() {
+	h.once.Do(func() {
+		h.c.mu.Lock()
+		h.e.refs--
+		h.c.evictOverCapacityLocked()
+		h.c.mu.Unlock()
+	})
+}
+
+// MemoStats counts memo-cache traffic. Hits + Misses equals the number of
+// non-empty-set memoized lookups; EmptyHits counts set-free requests served
+// straight off the index's memoized empty-set vectors (no table at all).
+type MemoStats struct {
+	// Hits counts acquires served by a resident table; Coalesced the subset
+	// that attached to a population already in flight.
+	Hits      int64
+	Coalesced int64
+	// Misses counts acquires that populated a new table; PrefixExtended the
+	// subset that extended the longest cached prefix of the requested set
+	// instead of replaying it from scratch.
+	Misses         int64
+	PrefixExtended int64
+	// EmptyHits counts empty-set requests answered from the index's
+	// memoized empty-set gain vector / objective, with no D-table involved.
+	EmptyHits int64
+	// Evictions counts entries dropped by the LRU bound; PopulateErrors
+	// counts failed populations (which hold no entry).
+	Evictions      int64
+	PopulateErrors int64
+	// Resident is the number of cached tables at snapshot time;
+	// ResidentBytes the sum of their heap footprints.
+	Resident      int
+	ResidentBytes int64
+}
+
+// memoCache is the refcounted LRU of frozen D-tables. Like index.Cache it
+// coalesces concurrent populations of the same key and never evicts a
+// referenced entry; unlike it there is no spill — a lost table costs one
+// replay against a resident index, not a walk rematerialization.
+type memoCache struct {
+	mu      sync.Mutex
+	max     int // <= 0 means unbounded
+	entries map[memoKey]*memoEntry
+	clock   int64
+	stats   MemoStats
+}
+
+func newMemoCache(max int) *memoCache {
+	return &memoCache{max: max, entries: make(map[memoKey]*memoEntry)}
+}
+
+// Memo acquire outcomes, echoed in response bodies so clients (and the
+// parity/stress tests) can see which path served them.
+const (
+	memoHit      = "hit"      // resident frozen table
+	memoMiss     = "miss"     // populated by full replay
+	memoExtended = "extended" // populated by extending a cached prefix
+	memoEmpty    = "empty"    // empty set, served off the index itself
+	memoOff      = "off"      // memoization disabled, fresh-table path
+)
+
+// acquire returns a pinned handle on the table for (key, set), populating
+// it at most once across concurrent callers. ix is the resident index to
+// materialize from on a miss; set must be canonical and non-empty. The
+// returned status is memoHit, memoMiss or memoExtended.
+func (c *memoCache) acquire(key memoKey, set []int, ix *index.Index) (*memoHandle, string, error) {
+	c.mu.Lock()
+	c.clock++
+	if e, ok := c.entries[key]; ok {
+		e.refs++
+		e.lastUse = c.clock
+		c.stats.Hits++
+		select {
+		case <-e.ready:
+		default:
+			c.stats.Coalesced++
+		}
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			// The population leader failed and removed the entry; drop our
+			// ref on the orphaned entry.
+			c.mu.Lock()
+			e.refs--
+			c.mu.Unlock()
+			return nil, "", e.err
+		}
+		return &memoHandle{c: c, e: e}, memoHit, nil
+	}
+	e := &memoEntry{key: key, set: set, ready: make(chan struct{}), refs: 1, lastUse: c.clock}
+	c.entries[key] = e
+	c.stats.Misses++
+	// Pin the longest ready prefix of set (if any) so eviction cannot free
+	// it while we extend from its snapshot. Scanning the resident entries is
+	// O(resident·|set|), bounded by the cache size — probing the map for
+	// every prefix key would cost O(|set|²) string building per miss, which
+	// an attacker-sized set turns into a DoS.
+	var prefix *memoEntry
+	for _, pe := range c.entries {
+		if pe == e || pe.key.idx != key.idx || pe.key.problem != key.problem {
+			continue
+		}
+		if len(pe.set) >= len(set) || (prefix != nil && len(pe.set) <= len(prefix.set)) {
+			continue
+		}
+		select {
+		case <-pe.ready:
+		default:
+			continue // still populating; not worth waiting for
+		}
+		if pe.err != nil || !isPrefix(pe.set, set) {
+			continue
+		}
+		prefix = pe
+	}
+	if prefix != nil {
+		prefix.refs++
+	}
+	c.mu.Unlock()
+
+	d, objective, err := populateTable(ix, key.problem, set, prefix)
+
+	c.mu.Lock()
+	if prefix != nil {
+		prefix.refs--
+	}
+	e.d, e.objective, e.err = d, objective, err
+	if err != nil {
+		c.stats.PopulateErrors++
+		e.refs--
+		delete(c.entries, key)
+	} else {
+		e.bytes = d.MemoryBytes()
+		if prefix != nil {
+			c.stats.PrefixExtended++
+		}
+		c.evictOverCapacityLocked()
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	if err != nil {
+		return nil, "", err
+	}
+	status := memoMiss
+	if prefix != nil {
+		status = memoExtended
+	}
+	return &memoHandle{c: c, e: e}, status, nil
+}
+
+// populateTable materializes the frozen table for set: from the longest
+// cached prefix when one is pinned (one array copy plus a replay of only
+// the delta), otherwise by full replay. The objective is computed here,
+// before publication, because EstimateObjective memoizes saturation state
+// in the table and therefore must not run on a shared frozen table.
+func populateTable(ix *index.Index, p index.Problem, set []int, prefix *memoEntry) (*index.DTable, float64, error) {
+	base := ix
+	if prefix != nil {
+		// Extend against the prefix table's own index instance: it is the
+		// same (graph, L, R, seed) identity — walks are seeded per (node,
+		// replicate), so any instance holds identical entries — but
+		// ExtendFrom correctly refuses to mix table state across *Index
+		// pointers, and the index cache may have rebuilt the key since the
+		// prefix was cached.
+		base = prefix.d.Index()
+	}
+	d, err := base.NewDTable(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	if prefix != nil {
+		if err := d.ExtendFrom(prefix.d.Snapshot(), set[len(prefix.set):]...); err != nil {
+			return nil, 0, err
+		}
+	} else {
+		for _, u := range set {
+			d.Update(u)
+		}
+	}
+	members := make([]bool, base.Graph().N())
+	for _, u := range set {
+		members[u] = true
+	}
+	return d, d.EstimateObjective(members), nil
+}
+
+// evictOverCapacityLocked drops least-recently-used unreferenced entries
+// until the cache is within its bound. Entries still populating or still
+// referenced are never evicted.
+func (c *memoCache) evictOverCapacityLocked() {
+	if c.max <= 0 {
+		return
+	}
+	for len(c.entries) > c.max {
+		var victim *memoEntry
+		for _, e := range c.entries {
+			select {
+			case <-e.ready:
+			default:
+				continue // still populating
+			}
+			if e.refs > 0 || e.err != nil {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(c.entries, victim.key)
+		c.stats.Evictions++
+	}
+}
+
+// noteEmptyHit records an empty-set request served off the index.
+func (c *memoCache) noteEmptyHit() {
+	c.mu.Lock()
+	c.stats.EmptyHits++
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the traffic counters plus current residency.
+func (c *memoCache) Stats() MemoStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Resident = len(c.entries)
+	for _, e := range c.entries {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				s.ResidentBytes += e.bytes
+			}
+		default:
+		}
+	}
+	return s
+}
+
+// pinnedRefs returns the total refcount across resident entries — test
+// observability for "no table is still pinned once traffic stops".
+func (c *memoCache) pinnedRefs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, e := range c.entries {
+		total += e.refs
+	}
+	return total
+}

@@ -10,9 +10,18 @@
 //	                    greedy, sharded over per-request workers)
 //	GET  /v1/gain       marginal gain of candidate nodes against a seed set
 //	GET  /v1/objective  estimated objective value of a seed set
+//	GET  /v1/topgains   top-B candidates by marginal gain against a seed set
 //	GET  /healthz       liveness (503 while draining)
-//	GET  /stats         cache traffic, in-flight gauge, per-endpoint latency
-//	                    histograms
+//	GET  /stats         index/memo cache traffic, in-flight gauge,
+//	                    per-endpoint latency histograms
+//
+// The gain read path is memoized: empty-set answers come straight off the
+// walk index (a per-problem gain vector memoized on the index, zero D-table
+// work), and non-empty sets hit a refcounted LRU cache of frozen D-tables
+// keyed by (graph, L, R, seed, problem, canonical set), populated at most
+// once per set via singleflight and extended from the longest cached prefix
+// when one is resident. Memoized and fresh answers are bit-for-bit
+// identical — the parity test suite locks the two paths together.
 //
 // Shutdown is graceful: Serve stops accepting connections, lets in-flight
 // queries finish within the drain budget, hard-cancels stragglers through
@@ -64,6 +73,13 @@ type Config struct {
 	// against accidental resource exhaustion (defaults 1000 and 10000).
 	MaxR int
 	MaxK int
+	// MemoSize bounds the number of memoized D-tables the gain read path
+	// keeps resident (default 128; < 0 means unbounded). DisableMemo turns
+	// the memoized read path off entirely, so every /v1/gain, /v1/objective
+	// and /v1/topgains request materializes a fresh table — the pre-memo
+	// behavior, kept for parity testing and A/B benchmarking.
+	MemoSize    int
+	DisableMemo bool
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxK <= 0 {
 		c.MaxK = 10000
 	}
+	if c.MemoSize == 0 {
+		c.MemoSize = 128
+	}
 	return c
 }
 
@@ -99,7 +118,10 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	cache *index.Cache
-	sf    singleflight
+	// memo is the memoized D-table cache behind /v1/gain, /v1/objective and
+	// /v1/topgains; nil when cfg.DisableMemo.
+	memo *memoCache
+	sf   singleflight
 
 	start    time.Time
 	inFlight atomic.Int64
@@ -144,10 +166,14 @@ func New(cfg Config) (*Server, error) {
 		hardStop:  cancel,
 		endpoints: make(map[string]*endpointMetrics),
 	}
+	if !cfg.DisableMemo {
+		s.memo = newMemoCache(cfg.MemoSize)
+	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/select", "select", s.handleSelect)
 	s.route("GET /v1/gain", "gain", s.handleGain)
 	s.route("GET /v1/objective", "objective", s.handleObjective)
+	s.route("GET /v1/topgains", "topgains", s.handleTopGains)
 	s.route("GET /healthz", "healthz", s.handleHealthz)
 	s.route("GET /stats", "stats", s.handleStats)
 	if cfg.EvictInterval > 0 {
@@ -161,6 +187,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Cache exposes the index cache (for stats and tests).
 func (s *Server) Cache() *index.Cache { return s.cache }
+
+// MemoStats snapshots the memoized-gain cache counters; the zero value when
+// memoization is disabled.
+func (s *Server) MemoStats() MemoStats {
+	if s.memo == nil {
+		return MemoStats{}
+	}
+	return s.memo.Stats()
+}
 
 // route registers an instrumented handler: in-flight gauge, latency
 // histogram, error counting, panic containment, and drain refusal.
@@ -178,8 +213,13 @@ func (s *Server) route(pattern, name string, h func(http.ResponseWriter, *http.R
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if p := recover(); p != nil {
-				m.errors.Add(1)
 				writeError(sw, http.StatusInternalServerError, fmt.Errorf("panic: %v", p))
+				if sw.status < 400 {
+					// The handler wrote a success status before panicking, so
+					// the status check below won't see the failure; count it
+					// here (and only here, so panics aren't double-counted).
+					m.errors.Add(1)
+				}
 			}
 			m.requests.Add(1)
 			if sw.status >= 400 {
