@@ -11,6 +11,7 @@
 //	rwdomd -dataset Epinions:0.2 -listen :7474
 //	rwdomd -graph web=web.txt -graph social=social.txt -spill /var/cache/rwdomd
 //	rwdomd -dataset CAGrQc -cache 4 -evict-every 10m -drain 30s -memo 256
+//	rwdomd -dataset Epinions -index-bytes 2GiB -memo-bytes 256MiB
 //
 // Query it with curl:
 //
@@ -43,6 +44,48 @@ type stringList []string
 func (l *stringList) String() string     { return strings.Join(*l, ",") }
 func (l *stringList) Set(v string) error { *l = append(*l, v); return nil }
 
+// byteSize is a memory-budget flag: a non-negative integer with an optional
+// binary suffix (KiB/MiB/GiB/TiB, or the lazy forms K/M/G/T), e.g. "2GiB",
+// "512MiB", "1048576". 0 means unbounded.
+type byteSize int64
+
+func (b *byteSize) String() string { return strconv.FormatInt(int64(*b), 10) }
+
+func (b *byteSize) Set(v string) error {
+	n, err := parseByteSize(v)
+	if err != nil {
+		return err
+	}
+	*b = byteSize(n)
+	return nil
+}
+
+// parseByteSize parses "512MiB"-style sizes into bytes.
+func parseByteSize(v string) (int64, error) {
+	s := strings.TrimSpace(v)
+	shift := 0
+	for _, u := range []struct {
+		suffix string
+		shift  int
+	}{
+		{"KiB", 10}, {"MiB", 20}, {"GiB", 30}, {"TiB", 40},
+		{"K", 10}, {"M", 20}, {"G", 30}, {"T", 40},
+	} {
+		if strings.HasSuffix(s, u.suffix) {
+			s, shift = strings.TrimSuffix(s, u.suffix), u.shift
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad size %q: want a non-negative integer with optional KiB/MiB/GiB/TiB suffix", v)
+	}
+	if n > (1<<63-1)>>shift {
+		return 0, fmt.Errorf("size %q overflows", v)
+	}
+	return n << shift, nil
+}
+
 func main() {
 	var (
 		graphFlags   stringList
@@ -65,6 +108,9 @@ func main() {
 		memoSize   = flag.Int("memo", 128, "max memoized per-set D-tables for the gain read path (<0 = unbounded)")
 		noMemo     = flag.Bool("no-memo", false, "disable the memoized gain read path (every gain/objective/topgains request replays its set)")
 	)
+	var indexBytes, memoBytes byteSize
+	flag.Var(&indexBytes, "index-bytes", "heap budget for resident walk indexes, e.g. 2GiB or 512MiB (0 = unbounded)")
+	flag.Var(&memoBytes, "memo-bytes", "heap budget for memoized D-tables, e.g. 256MiB (0 = unbounded)")
 	flag.Parse()
 
 	graphs, err := loadGraphs(graphFlags, datasetFlags)
@@ -81,6 +127,7 @@ func main() {
 	s, err := server.New(server.Config{
 		Graphs:         graphs,
 		CacheSize:      *cacheSize,
+		IndexBytes:     int64(indexBytes),
 		SpillDir:       *spillDir,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
@@ -91,6 +138,7 @@ func main() {
 		MaxR:           *maxR,
 		MaxK:           *maxK,
 		MemoSize:       *memoSize,
+		MemoBytes:      int64(memoBytes),
 		DisableMemo:    *noMemo,
 	})
 	if err != nil {

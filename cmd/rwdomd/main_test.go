@@ -30,6 +30,33 @@ func TestParseDatasetSpec(t *testing.T) {
 	}
 }
 
+func TestParseByteSize(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0},
+		{"1048576", 1 << 20},
+		{"2KiB", 2 << 10},
+		{"512MiB", 512 << 20},
+		{"2GiB", 2 << 30},
+		{"1TiB", 1 << 40},
+		{"512M", 512 << 20},
+		{"3G", 3 << 30},
+		{" 4K ", 4 << 10},
+	} {
+		got, err := parseByteSize(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("parseByteSize(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "-1", "x", "1XB", "9999999999GiB", "1.5GiB"} {
+		if _, err := parseByteSize(bad); err == nil {
+			t.Errorf("parseByteSize(%q): expected error", bad)
+		}
+	}
+}
+
 func TestLoadGraphsDatasets(t *testing.T) {
 	graphs, err := loadGraphs(nil, stringList{"CAGrQc:0.05"})
 	if err != nil {

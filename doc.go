@@ -67,7 +67,18 @@
 // Memoized and fresh answers are bit-for-bit identical; the server parity
 // test suite locks the two paths together across both problems, set shapes
 // (empty/singleton/large/unsorted/duplicated) and greedy selection
-// prefixes. Request timeouts and graceful SIGTERM drain propagate as
+// prefixes.
+//
+// Both caches run on one shared refcounted-LRU core (internal/cache):
+// singleflight population, refcounts so nothing is freed under an in-flight
+// request, and entry-count plus bytes budgets (rwdomd -cache/-index-bytes
+// and -memo/-memo-bytes) that evict least-recently-used entries once
+// exceeded. The caches are linked: evicting an index drops the memoized
+// D-tables built from it (tables still mid-read are orphaned and released
+// with their last reader), so an eviction actually returns the index's heap
+// instead of leaving it pinned by dependents — daemon memory tracks the
+// working set, not traffic history. Request timeouts and graceful SIGTERM
+// drain propagate as
 // context cancellation through the greedy drivers (greedy.RunWorkersCtx /
 // core.ApproxWithIndexCtx), so a dying request stops consuming cores within
 // one evaluation stride. The serving experiments (internal/experiments,

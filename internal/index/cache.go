@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/graph"
 )
 
@@ -17,23 +18,32 @@ import (
 // query-serving daemon: many concurrent requests against the same
 // (graph, L, R, seed) tuple share one materialized index, concurrent misses
 // for the same key coalesce into a single build (singleflight), and evicted
-// indexes are optionally spilled to disk in the v2 serialization format so a
-// later miss — or a daemon restart — reloads them instead of re-walking the
-// graph.
+// indexes are optionally spilled to disk in the current serialization format
+// so a later miss — or a daemon restart — reloads them instead of re-walking
+// the graph.
+//
+// The refs/ready/LRU machinery itself lives in the generic internal/cache
+// core (shared with the serving layer's memo cache); this type adds the
+// index-specific policy: spill-to-disk on eviction, spill-before-build on
+// miss (with L/R/seed verification so a stale or colliding spill file can
+// never impersonate a different build), and an eviction hook the serving
+// layer uses to drop memoized D-tables when the index they were built from
+// leaves the cache.
 //
 // Entries are only evicted when no handle references them, so an index can
 // never disappear under an in-flight query; a handle therefore pins at most
 // one entry and must be Released when the query finishes.
 type Cache struct {
-	mu       sync.Mutex
-	max      int
+	core     *cache.Cache[CacheKey, *Index]
 	spillDir string
-	entries  map[CacheKey]*cacheEntry
-	clock    int64 // logical LRU clock, bumped on every Acquire
-	stats    CacheStats
 	// spillWG tracks in-flight background spills so SpillAll (shutdown)
 	// does not race past them.
 	spillWG sync.WaitGroup
+
+	mu         sync.Mutex
+	spillLoads int64
+	spillSaves int64
+	evictHook  func([]CacheKey)
 }
 
 // CacheKey identifies one materialized index: the logical graph name plus
@@ -66,7 +76,9 @@ type CacheStats struct {
 	SpillSaves int64
 	// Evictions counts entries dropped from the cache (spilled or not).
 	Evictions int64
-	// BuildErrors counts failed builds (failed Acquires hold no entry).
+	// BuildErrors counts failed Acquires: the failed build itself plus every
+	// waiter that coalesced onto it (failed Acquires hold no entry and are
+	// not hits — the hit rate stays truthful when builds are failing).
 	BuildErrors int64
 	// Resident is the number of entries at snapshot time; ResidentBytes the
 	// sum of their approximate heap footprints.
@@ -74,50 +86,71 @@ type CacheStats struct {
 	ResidentBytes int64
 }
 
-type cacheEntry struct {
-	key     CacheKey
-	ready   chan struct{} // closed once ix/err are set
-	ix      *Index
-	err     error
-	refs    int
-	lastUse int64
-}
-
 // Handle pins one cached index. Callers must Release exactly once; Release
 // after the first is a no-op.
 type Handle struct {
-	c    *Cache
-	e    *cacheEntry
-	once sync.Once
+	h *cache.Handle[CacheKey, *Index]
 }
 
 // Index returns the pinned index.
-func (h *Handle) Index() *Index { return h.e.ix }
+func (h *Handle) Index() *Index { return h.h.Value() }
 
 // Key returns the cache key the handle was acquired under.
-func (h *Handle) Key() CacheKey { return h.e.key }
+func (h *Handle) Key() CacheKey { return h.h.Key() }
 
 // Release unpins the index, making its entry eligible for eviction.
-func (h *Handle) Release() {
-	h.once.Do(func() {
-		h.c.mu.Lock()
-		h.e.refs--
-		victims := h.c.collectOverCapacityLocked()
-		h.c.mu.Unlock()
-		h.c.spillAsync(victims)
-	})
-}
+func (h *Handle) Release() { h.h.Release() }
 
-// NewCache returns a cache holding at most max indexes (max <= 0 means
-// unbounded). If spillDir is non-empty it is created if needed; evicted
-// indexes are serialized there and misses check it before building.
-func NewCache(max int, spillDir string) (*Cache, error) {
+// NewCache returns a cache holding at most maxEntries indexes (<= 0 means
+// unbounded) totaling at most maxBytes of index heap (<= 0 means unbounded;
+// the budget is soft while every candidate victim is pinned — the cache
+// never frees an index in use). If spillDir is non-empty it is created if
+// needed; evicted indexes are serialized there and misses check it before
+// building.
+func NewCache(maxEntries int, maxBytes int64, spillDir string) (*Cache, error) {
 	if spillDir != "" {
 		if err := os.MkdirAll(spillDir, 0o755); err != nil {
 			return nil, fmt.Errorf("index: cache spill dir: %w", err)
 		}
 	}
-	return &Cache{max: max, spillDir: spillDir, entries: make(map[CacheKey]*cacheEntry)}, nil
+	c := &Cache{spillDir: spillDir}
+	c.core = cache.New(cache.Config[CacheKey, *Index]{
+		MaxEntries: maxEntries,
+		MaxBytes:   maxBytes,
+		OnEvict:    c.onEvict,
+	})
+	return c, nil
+}
+
+// OnEviction registers fn to be called with the keys of every batch of
+// evicted indexes (capacity, bytes budget, or idle eviction — not SpillAll,
+// which evicts nothing). The serving layer uses it to drop memoized
+// D-tables built from an evicted index, so the eviction actually releases
+// the index's heap instead of leaving it pinned by its dependents. fn runs
+// on the goroutine that triggered the eviction, without any cache lock
+// held (so it may call back into this or another cache), and should stay
+// cheap — long work belongs on a background goroutine.
+func (c *Cache) OnEviction(fn func([]CacheKey)) {
+	c.mu.Lock()
+	c.evictHook = fn
+	c.mu.Unlock()
+}
+
+// onEvict is the core's eviction hook: notify the cross-cache linkage
+// synchronously (dropping dependent memo tables is cheap map work), then
+// spill the victims in the background.
+func (c *Cache) onEvict(victims []cache.Entry[CacheKey, *Index]) {
+	c.mu.Lock()
+	hook := c.evictHook
+	c.mu.Unlock()
+	if hook != nil {
+		keys := make([]CacheKey, len(victims))
+		for i, v := range victims {
+			keys[i] = v.Key
+		}
+		hook(keys)
+	}
+	c.spillAsync(victims)
 }
 
 // Acquire returns a handle on the index for key, building it at most once
@@ -129,67 +162,40 @@ func NewCache(max int, spillDir string) (*Cache, error) {
 // The returned values follow func-call convention: on error the handle is
 // nil and nothing needs releasing.
 func (c *Cache) Acquire(key CacheKey, g *graph.Graph, build func() (*Index, error)) (*Handle, error) {
-	c.mu.Lock()
-	c.clock++
-	if e, ok := c.entries[key]; ok {
-		e.refs++
-		e.lastUse = c.clock
-		select {
-		case <-e.ready:
-			c.stats.Hits++
-		default:
-			c.stats.Hits++
-			c.stats.Coalesced++
+	spilled := false
+	h, err := c.core.Acquire(key, func() (*Index, int64, error) {
+		ix, sp, err := c.loadOrBuild(key, g, build)
+		if err != nil {
+			return nil, 0, err
 		}
-		c.mu.Unlock()
-		<-e.ready
-		if e.err != nil {
-			// The build leader failed and removed the entry; drop our ref on
-			// the orphaned entry (no eviction bookkeeping needed).
-			c.mu.Lock()
-			e.refs--
-			c.mu.Unlock()
-			return nil, e.err
-		}
-		return &Handle{c: c, e: e}, nil
-	}
-	e := &cacheEntry{key: key, ready: make(chan struct{}), refs: 1, lastUse: c.clock}
-	c.entries[key] = e
-	c.stats.Misses++
-	c.mu.Unlock()
-
-	ix, spilled, err := c.loadOrBuild(key, g, build)
-
-	c.mu.Lock()
-	e.ix, e.err = ix, err
-	var victims []*cacheEntry
-	if err != nil {
-		c.stats.BuildErrors++
-		e.refs--
-		delete(c.entries, key)
-	} else {
-		if spilled {
-			c.stats.SpillLoads++
-		}
-		victims = c.collectOverCapacityLocked()
-	}
-	c.mu.Unlock()
-	close(e.ready)
-	c.spillAsync(victims)
+		spilled = sp
+		return ix, ix.MemoryBytes(), nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &Handle{c: c, e: e}, nil
+	if spilled {
+		c.mu.Lock()
+		c.spillLoads++
+		c.mu.Unlock()
+	}
+	return &Handle{h: h}, nil
 }
 
-// loadOrBuild tries the spill directory, then falls back to build.
+// loadOrBuild tries the spill directory, then falls back to build. A spill
+// file is only trusted if every build parameter matches the key — L, R and
+// the build seed (serialized in the spill header) — on top of the graph
+// fingerprint LoadFile already verifies, so an FNV path collision or a
+// stale file can never warm-load an index built with different parameters
+// and silently change every answer.
 func (c *Cache) loadOrBuild(key CacheKey, g *graph.Graph, build func() (*Index, error)) (*Index, bool, error) {
 	if c.spillDir != "" {
 		if ix, err := LoadFile(c.spillPath(key), g); err == nil {
-			if ix.L() == key.L && ix.R() == key.R {
+			if ix.L() == key.L && ix.R() == key.R && ix.Seed() == key.Seed {
 				return ix, true, nil
 			}
-			// A hash collision between distinct keys: ignore the file.
+			// A hash collision between distinct keys (or a stale file from
+			// an older build): ignore it.
 		}
 	}
 	ix, err := build()
@@ -202,51 +208,6 @@ func (c *Cache) spillPath(key CacheKey) string {
 	h := fnv.New64a()
 	fmt.Fprint(h, key.String())
 	return filepath.Join(c.spillDir, fmt.Sprintf("idx-%016x.rwdomidx", h.Sum64()))
-}
-
-// collectOverCapacityLocked removes least-recently-used unreferenced entries
-// from the map until the cache is within capacity, returning the victims for
-// the caller to spill after releasing the lock (writing a large index to
-// disk must not block other Acquires). Entries still building or still
-// referenced are never evicted.
-func (c *Cache) collectOverCapacityLocked() []*cacheEntry {
-	if c.max <= 0 {
-		return nil
-	}
-	var victims []*cacheEntry
-	for len(c.entries) > c.max {
-		v := c.popVictimLocked(func(*cacheEntry) bool { return true })
-		if v == nil {
-			break
-		}
-		victims = append(victims, v)
-	}
-	return victims
-}
-
-// popVictimLocked removes and returns the LRU ready entry with refs == 0
-// matching ok, or nil if none qualifies.
-func (c *Cache) popVictimLocked(ok func(*cacheEntry) bool) *cacheEntry {
-	var victim *cacheEntry
-	for _, e := range c.entries {
-		select {
-		case <-e.ready:
-		default:
-			continue // still building
-		}
-		if e.refs > 0 || e.err != nil || !ok(e) {
-			continue
-		}
-		if victim == nil || e.lastUse < victim.lastUse {
-			victim = e
-		}
-	}
-	if victim == nil {
-		return nil
-	}
-	delete(c.entries, victim.key)
-	c.stats.Evictions++
-	return victim
 }
 
 // saveAtomic writes ix to path via a temp file + rename, so concurrent
@@ -275,26 +236,27 @@ func saveAtomic(ix *Index, path string) error {
 }
 
 // spill persists evicted entries to the spill directory, when configured.
-func (c *Cache) spill(victims []*cacheEntry) {
+func (c *Cache) spill(victims []cache.Entry[CacheKey, *Index]) {
 	if c.spillDir == "" || len(victims) == 0 {
 		return
 	}
 	saved := int64(0)
 	for _, v := range victims {
-		if err := saveAtomic(v.ix, c.spillPath(v.key)); err == nil {
+		if err := saveAtomic(v.Value, c.spillPath(v.Key)); err == nil {
 			saved++
 		}
 	}
 	c.mu.Lock()
-	c.stats.SpillSaves += saved
+	c.spillSaves += saved
 	c.mu.Unlock()
 }
 
 // spillAsync runs spill in the background: serializing a large evicted
 // index must not sit on the latency of whichever request happened to tip
-// the cache over capacity. saveAtomic's temp+rename keeps concurrent
-// readers and duplicate spillers of the same key safe.
-func (c *Cache) spillAsync(victims []*cacheEntry) {
+// the cache over capacity, nor stall the background evictor's tick.
+// saveAtomic's temp+rename keeps concurrent readers and duplicate spillers
+// of the same key safe.
+func (c *Cache) spillAsync(victims []cache.Entry[CacheKey, *Index]) {
 	if c.spillDir == "" || len(victims) == 0 {
 		return
 	}
@@ -307,28 +269,15 @@ func (c *Cache) spillAsync(victims []*cacheEntry) {
 
 // EvictIdle evicts every unreferenced entry whose last use is not newer than
 // olderThan on the logical clock (see Clock and StartEvictor) and returns
-// how many were evicted.
+// how many were evicted. Victims are spilled asynchronously (through the
+// same eviction hook every other eviction uses), so one slow disk write
+// cannot stall the eviction tick.
 func (c *Cache) EvictIdle(olderThan int64) int {
-	c.mu.Lock()
-	var victims []*cacheEntry
-	for {
-		v := c.popVictimLocked(func(e *cacheEntry) bool { return e.lastUse <= olderThan })
-		if v == nil {
-			break
-		}
-		victims = append(victims, v)
-	}
-	c.mu.Unlock()
-	c.spill(victims)
-	return len(victims)
+	return c.core.EvictIdle(olderThan)
 }
 
 // Clock returns the current logical LRU clock (bumped on every Acquire).
-func (c *Cache) Clock() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.clock
-}
+func (c *Cache) Clock() int64 { return c.core.Clock() }
 
 // StartEvictor launches a goroutine that every interval evicts entries not
 // acquired since the previous tick — the background eviction that keeps a
@@ -336,23 +285,7 @@ func (c *Cache) Clock() int64 {
 // history. The returned stop function terminates the goroutine and must be
 // called before the cache is abandoned.
 func (c *Cache) StartEvictor(interval time.Duration) (stop func()) {
-	done := make(chan struct{})
-	var once sync.Once
-	go func() {
-		t := time.NewTicker(interval)
-		defer t.Stop()
-		mark := c.Clock()
-		for {
-			select {
-			case <-done:
-				return
-			case <-t.C:
-				c.EvictIdle(mark)
-				mark = c.Clock()
-			}
-		}
-	}()
-	return func() { once.Do(func() { close(done) }) }
+	return c.core.StartEvictor(interval)
 }
 
 // SpillAll persists every resident index to the spill directory without
@@ -363,59 +296,43 @@ func (c *Cache) SpillAll() error {
 		return nil
 	}
 	c.spillWG.Wait() // let in-flight background spills land first
-	c.mu.Lock()
-	resident := make([]*cacheEntry, 0, len(c.entries))
-	for _, e := range c.entries {
-		select {
-		case <-e.ready:
-			if e.err == nil {
-				resident = append(resident, e)
-			}
-		default:
-		}
-	}
-	c.mu.Unlock()
 	var errs []error
 	saved := int64(0)
-	for _, e := range resident {
-		if err := saveAtomic(e.ix, c.spillPath(e.key)); err != nil {
-			errs = append(errs, fmt.Errorf("%s: %w", e.key, err))
+	for _, e := range c.core.Resident() {
+		if err := saveAtomic(e.Value, c.spillPath(e.Key)); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", e.Key, err))
 		} else {
 			saved++
 		}
 	}
 	c.mu.Lock()
-	c.stats.SpillSaves += saved
+	c.spillSaves += saved
 	c.mu.Unlock()
 	return errors.Join(errs...)
 }
 
 // Stats returns a snapshot of the traffic counters plus current residency.
 func (c *Cache) Stats() CacheStats {
+	cs := c.core.Stats()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Resident = len(c.entries)
-	for _, e := range c.entries {
-		select {
-		case <-e.ready:
-			if e.err == nil {
-				s.ResidentBytes += e.ix.MemoryBytes()
-			}
-		default:
-		}
+	loads, saves := c.spillLoads, c.spillSaves
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:          cs.Hits,
+		Coalesced:     cs.Coalesced,
+		Misses:        cs.Misses,
+		SpillLoads:    loads,
+		SpillSaves:    saves,
+		Evictions:     cs.Evictions,
+		BuildErrors:   cs.PopulateErrors,
+		Resident:      cs.Resident,
+		ResidentBytes: cs.ResidentBytes,
 	}
-	return s
 }
 
 // Keys returns the resident keys sorted by string form, for /stats output.
 func (c *Cache) Keys() []CacheKey {
-	c.mu.Lock()
-	keys := make([]CacheKey, 0, len(c.entries))
-	for k := range c.entries {
-		keys = append(keys, k)
-	}
-	c.mu.Unlock()
+	keys := c.core.Keys()
 	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
 	return keys
 }

@@ -41,7 +41,7 @@ func buildFor(g *graph.Graph, key CacheKey, builds *atomic.Int64) func() (*Index
 
 func TestCacheCoalescesConcurrentBuilds(t *testing.T) {
 	g := cacheTestGraph(t, 1)
-	c, err := NewCache(4, "")
+	c, err := NewCache(4, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestCacheCoalescesConcurrentBuilds(t *testing.T) {
 
 func TestCacheLRUEvictionRespectsRefs(t *testing.T) {
 	g := cacheTestGraph(t, 2)
-	c, err := NewCache(2, "")
+	c, err := NewCache(2, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestCacheLRUEvictionRespectsRefs(t *testing.T) {
 func TestCacheSpillRoundTrip(t *testing.T) {
 	g := cacheTestGraph(t, 3)
 	dir := t.TempDir()
-	c, err := NewCache(1, dir)
+	c, err := NewCache(1, 0, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestCacheSpillRoundTrip(t *testing.T) {
 func TestCacheWarmRestartViaSpillAll(t *testing.T) {
 	g := cacheTestGraph(t, 4)
 	dir := t.TempDir()
-	c, err := NewCache(4, dir)
+	c, err := NewCache(4, 0, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestCacheWarmRestartViaSpillAll(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A "restarted daemon": fresh cache over the same spill dir.
-	c2, err := NewCache(4, dir)
+	c2, err := NewCache(4, 0, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestCacheSpillRejectsDifferentGraph(t *testing.T) {
 	g := cacheTestGraph(t, 5)
 	other := cacheTestGraph(t, 6)
 	dir := t.TempDir()
-	c, err := NewCache(4, dir)
+	c, err := NewCache(4, 0, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestCacheSpillRejectsDifferentGraph(t *testing.T) {
 	}
 	// Same key, structurally different graph: the fingerprint check must
 	// reject the spill file and fall back to the build.
-	c2, err := NewCache(4, dir)
+	c2, err := NewCache(4, 0, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,9 +234,120 @@ func TestCacheSpillRejectsDifferentGraph(t *testing.T) {
 	}
 }
 
+// A spill file whose path matches a key but whose build seed differs (an
+// FNV path collision, or a file left by an older daemon) must be rejected
+// by the header check, not warm-loaded — a wrong-seed index silently
+// changes every answer.
+func TestCacheSpillRejectsDifferentSeed(t *testing.T) {
+	g := cacheTestGraph(t, 9)
+	dir := t.TempDir()
+	c, err := NewCache(4, 0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongSeed, err := Build(g, 4, 10, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant the wrong-seed index at exactly the path the colliding key maps
+	// to: same graph, L and R, so only the (newly serialized) seed header
+	// field can expose the mismatch.
+	key := CacheKey{Graph: "g", L: 4, R: 10, Seed: 1}
+	if err := wrongSeed.SaveFile(c.spillPath(key)); err != nil {
+		t.Fatal(err)
+	}
+	var builds atomic.Int64
+	h, err := c.Acquire(key, g, buildFor(g, key, &builds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if builds.Load() != 1 {
+		t.Fatal("wrong-seed spill file was warm-loaded instead of rebuilt")
+	}
+	if got := h.Index().Seed(); got != 1 {
+		t.Fatalf("acquired index has seed %d, want 1", got)
+	}
+	if s := c.Stats(); s.SpillLoads != 0 {
+		t.Fatalf("spill loads = %d, want 0", s.SpillLoads)
+	}
+}
+
+// The bytes budget evicts LRU indexes once their summed MemoryBytes exceeds
+// it, independent of the entry-count cap.
+func TestCacheBytesBudget(t *testing.T) {
+	g := cacheTestGraph(t, 10)
+	probe, err := Build(g, 4, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := probe.MemoryBytes() + probe.MemoryBytes()/2 // fits 1, not 2
+	c, err := NewCache(0, budget, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var builds atomic.Int64
+	for seed := uint64(1); seed <= 3; seed++ {
+		key := CacheKey{Graph: "g", L: 4, R: 12, Seed: seed}
+		h, err := c.Acquire(key, g, buildFor(g, key, &builds))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	s := c.Stats()
+	if s.ResidentBytes > budget {
+		t.Fatalf("resident bytes %d over the %d budget", s.ResidentBytes, budget)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("bytes budget never evicted")
+	}
+	// The newest index survived.
+	keys := c.Keys()
+	if len(keys) == 0 {
+		t.Fatal("budget evicted everything")
+	}
+	for _, k := range keys {
+		if k.Seed == 1 {
+			t.Fatalf("LRU entry survived bytes pressure: %v", keys)
+		}
+	}
+}
+
+// Evictions must reach the registered eviction hook with their keys — the
+// linkage the serving layer uses to drop dependent memo tables.
+func TestCacheEvictionHook(t *testing.T) {
+	g := cacheTestGraph(t, 11)
+	c, err := NewCache(1, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var notified []CacheKey
+	c.OnEviction(func(keys []CacheKey) {
+		mu.Lock()
+		notified = append(notified, keys...)
+		mu.Unlock()
+	})
+	var builds atomic.Int64
+	for seed := uint64(1); seed <= 2; seed++ {
+		key := CacheKey{Graph: "g", L: 3, R: 8, Seed: seed}
+		h, err := c.Acquire(key, g, buildFor(g, key, &builds))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(notified) != 1 || notified[0].Seed != 1 {
+		t.Fatalf("eviction hook saw %v, want the seed-1 key", notified)
+	}
+}
+
 func TestCacheBuildErrorPropagatesToAllWaiters(t *testing.T) {
 	g := cacheTestGraph(t, 7)
-	c, err := NewCache(4, "")
+	c, err := NewCache(4, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +383,7 @@ func TestCacheBuildErrorPropagatesToAllWaiters(t *testing.T) {
 
 func TestCacheEvictIdle(t *testing.T) {
 	g := cacheTestGraph(t, 8)
-	c, err := NewCache(0, "")
+	c, err := NewCache(0, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +419,7 @@ func TestCacheKeyString(t *testing.T) {
 	if got, want := k.String(), "epinions/L=6/R=100/seed=42"; got != want {
 		t.Fatalf("key string = %q, want %q", got, want)
 	}
-	c, err := NewCache(0, t.TempDir())
+	c, err := NewCache(0, 0, t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}

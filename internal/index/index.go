@@ -73,6 +73,11 @@ type Index struct {
 	g *graph.Graph
 	l int
 	r int
+	// seed is the master walk seed the index was built from (0 for indexes
+	// assembled by BuildFromWalks, which samples nothing). It is part of the
+	// serialized identity: the cache's spill loader verifies it so a stale
+	// or colliding spill file can never impersonate a different build.
+	seed uint64
 
 	// Row (i, v) occupies ids[offsets[v*R+i]:offsets[v*R+i+1]] with parallel
 	// first-visit hops in hops — candidate-major, all R rows of a node
@@ -134,7 +139,7 @@ func BuildWorkers(g *graph.Graph, L, R int, seed uint64, workers int) (*Index, e
 	if workers > n {
 		workers = n
 	}
-	ix := &Index{g: g, l: L, r: R}
+	ix := &Index{g: g, l: L, r: R, seed: seed}
 	rows := R * n
 	counts := make([]int64, rows+1)
 
@@ -398,6 +403,10 @@ func (ix *Index) L() int { return ix.l }
 
 // R returns the number of sample replicates per node.
 func (ix *Index) R() int { return ix.r }
+
+// Seed returns the master walk seed the index was built from; 0 for indexes
+// assembled from explicit walks (BuildFromWalks).
+func (ix *Index) Seed() uint64 { return ix.seed }
 
 // Entries returns the number of materialized (source, first-visit) pairs;
 // it is bounded by nRL.

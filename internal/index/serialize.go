@@ -21,9 +21,12 @@ import (
 const (
 	indexMagic = "RWDOMIDX"
 	// indexVersion 2 switched the row order from replicate-major (i·n+v) to
-	// candidate-major (v·R+i); version-1 files are rejected rather than
-	// silently misread, forcing a cheap rebuild.
-	indexVersion = 2
+	// candidate-major (v·R+i); version 3 added the build seed to the header
+	// so a loader can verify the full build identity (previously only L and
+	// R were recoverable, letting a stale or path-colliding spill file
+	// impersonate an index built with a different seed). Older versions are
+	// rejected rather than silently misread, forcing a cheap rebuild.
+	indexVersion = 3
 )
 
 // WriteTo serializes the index. It implements io.WriterTo.
@@ -47,6 +50,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		uint64(ix.g.N()),
 		uint64(ix.l),
 		uint64(ix.r),
+		ix.seed,
 		uint64(len(ix.ids)),
 	}
 	for _, h := range header {
@@ -77,13 +81,13 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 	if string(magic) != indexMagic {
 		return nil, fmt.Errorf("index: bad magic %q", magic)
 	}
-	var header [6]uint64
+	var header [7]uint64
 	for i := range header {
 		if err := binary.Read(br, binary.LittleEndian, &header[i]); err != nil {
 			return nil, fmt.Errorf("index: read header: %w", err)
 		}
 	}
-	version, fp, n, l, rr, entries := header[0], header[1], header[2], header[3], header[4], header[5]
+	version, fp, n, l, rr, seed, entries := header[0], header[1], header[2], header[3], header[4], header[5], header[6]
 	if version != indexVersion {
 		return nil, fmt.Errorf("index: unsupported version %d (want %d)", version, indexVersion)
 	}
@@ -105,6 +109,7 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 		g:       g,
 		l:       int(l),
 		r:       int(rr),
+		seed:    seed,
 		offsets: make([]int64, rows+1),
 		ids:     make([]int32, entries),
 		hops:    make([]uint16, entries),

@@ -30,6 +30,9 @@ func TestIndexRoundTrip(t *testing.T) {
 	if back.L() != orig.L() || back.R() != orig.R() || back.Entries() != orig.Entries() {
 		t.Fatalf("metadata mismatch after round trip")
 	}
+	if back.Seed() != 42 {
+		t.Fatalf("seed after round trip = %d, want 42", back.Seed())
+	}
 	for i := range orig.ids {
 		if orig.ids[i] != back.ids[i] || orig.hops[i] != back.hops[i] {
 			t.Fatal("payload mismatch after round trip")
@@ -106,10 +109,10 @@ func TestCorruptStreamsRejected(t *testing.T) {
 		t.Error("truncated stream accepted")
 	}
 	// Corrupted entry: flip a node id byte deep in the payload to an
-	// out-of-range value. Locate the ids section: header is 8 + 6*8 bytes,
+	// out-of-range value. Locate the ids section: header is 8 + 7*8 bytes,
 	// then offsets (rows+1)*8 bytes.
 	rows := ix.R()*g.N() + 1
-	idsStart := 8 + 6*8 + rows*8
+	idsStart := 8 + 7*8 + rows*8
 	if idsStart+4 < len(raw) {
 		bad = append([]byte(nil), raw...)
 		bad[idsStart] = 0xFF

@@ -760,6 +760,7 @@ type MemoStatsJSON struct {
 	PrefixExtended int64 `json:"prefix_extended"`
 	EmptyHits      int64 `json:"empty_hits"`
 	Evictions      int64 `json:"evictions"`
+	Invalidated    int64 `json:"invalidated"`
 	PopulateErrors int64 `json:"populate_errors"`
 	Resident       int   `json:"resident"`
 	ResidentBytes  int64 `json:"resident_bytes"`
@@ -813,6 +814,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			PrefixExtended: ms.PrefixExtended,
 			EmptyHits:      ms.EmptyHits,
 			Evictions:      ms.Evictions,
+			Invalidated:    ms.Invalidated,
 			PopulateErrors: ms.PopulateErrors,
 			Resident:       ms.Resident,
 			ResidentBytes:  ms.ResidentBytes,

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+// The regression this PR exists for: memo entries hold *index.Index
+// references, so before cross-cache invalidation an index evicted from the
+// index cache stayed on the heap until every dependent D-table happened to
+// be evicted too — daemon memory was bounded by traffic history, not the
+// working set. Evicting an index must now drop its dependent memo tables
+// and actually return the index's heap to the collector.
+func TestIndexEvictionDropsMemoTablesAndReleasesHeap(t *testing.T) {
+	g := testGraph(t, 300, 5)
+	s := newTestServer(t, Config{Graphs: map[string]*graph.Graph{"test": g}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, set := range []string{"1", "1,2", "7,9"} {
+		resp, err := http.Get(ts.URL + "/v1/gain?graph=test&L=4&R=10&nodes=0&set=" + set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("gain set=%s: status %d", set, resp.StatusCode)
+		}
+	}
+	if ms := s.MemoStats(); ms.Resident != 3 || ms.ResidentBytes == 0 {
+		t.Fatalf("memo after traffic: %+v, want 3 resident tables", ms)
+	}
+
+	// Pin the resident index just long enough to attach a finalizer — the
+	// witness that its heap really becomes collectable. The closure scope
+	// keeps the *Index off this frame's locals so only the caches can be
+	// left referencing it.
+	fin := make(chan struct{})
+	func() {
+		key := index.CacheKey{Graph: "test", L: 4, R: 10, Seed: 1}
+		h, err := s.cache.Acquire(key, g, func() (*index.Index, error) {
+			return nil, errors.New("index must already be resident")
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runtime.SetFinalizer(h.Index(), func(*index.Index) { close(fin) })
+		h.Release()
+	}()
+
+	if got := s.cache.EvictIdle(s.cache.Clock()); got != 1 {
+		t.Fatalf("EvictIdle evicted %d indexes, want 1", got)
+	}
+	ms := s.MemoStats()
+	if ms.Invalidated != 3 {
+		t.Fatalf("invalidated = %d, want all 3 dependent tables: %+v", ms.Invalidated, ms)
+	}
+	if ms.Resident != 0 || ms.ResidentBytes != 0 {
+		t.Fatalf("memo still resident after index eviction: %+v", ms)
+	}
+
+	// /stats serializes the linkage counter.
+	var stats StatsResponse
+	if resp := getJSONT(t, ts.URL+"/stats?buckets=0", &stats); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/stats: %d", resp.StatusCode)
+	}
+	if stats.Memo.Invalidated != 3 || stats.Memo.ResidentBytes != 0 {
+		t.Fatalf("/stats memo = %+v, want invalidated=3 resident_bytes=0", stats.Memo)
+	}
+
+	// With the tables dropped, nothing references the index: the finalizer
+	// must fire. (Finalizers can need more than one GC cycle; poll briefly.)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-fin:
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("evicted index still reachable: its memo tables pin the heap")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// A memo table pinned by an in-flight request when its index is evicted is
+// orphaned, not freed: the holder keeps reading a valid frozen table, no
+// new request can acquire it, and its memory goes with the last release.
+func TestIndexEvictionOrphansPinnedMemoTable(t *testing.T) {
+	g := testGraph(t, 300, 6)
+	s := newTestServer(t, Config{Graphs: map[string]*graph.Graph{"test": g}})
+
+	key := index.CacheKey{Graph: "test", L: 4, R: 10, Seed: 1}
+	h, err := s.cache.Acquire(key, g, func() (*index.Index, error) {
+		return index.BuildWorkers(g, key.L, key.R, key.Seed, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := memoKey{idx: key, problem: index.Problem2, set: "1,2"}
+	mh, status, err := s.memo.acquire(mk, []int{1, 2}, h.Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != memoMiss {
+		t.Fatalf("first acquire status %q, want %q", status, memoMiss)
+	}
+	want := mh.Table().Gain(5)
+	h.Release()
+
+	// Evict the index while the memo handle is still held.
+	if got := s.cache.EvictIdle(s.cache.Clock()); got != 1 {
+		t.Fatalf("EvictIdle evicted %d, want 1", got)
+	}
+	ms := s.MemoStats()
+	if ms.Invalidated != 1 || ms.Resident != 0 {
+		t.Fatalf("memo after eviction: %+v, want 1 invalidated, 0 resident", ms)
+	}
+	// The orphaned table still serves identical reads.
+	if got := mh.Table().Gain(5); got != want {
+		t.Fatalf("orphaned table gain = %v, want %v", got, want)
+	}
+	mh.Release()
+	if refs := s.memo.pinnedRefs(); refs != 0 {
+		t.Fatalf("%d refs pinned after release", refs)
+	}
+
+	// A later request for the same set repopulates from scratch (the orphan
+	// is unreachable), against a freshly built index.
+	h2, err := s.cache.Acquire(key, g, func() (*index.Index, error) {
+		return index.BuildWorkers(g, key.L, key.R, key.Seed, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Release()
+	mh2, status, err := s.memo.acquire(mk, []int{1, 2}, h2.Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mh2.Release()
+	if status != memoMiss {
+		t.Fatalf("post-invalidation acquire status %q, want %q (fresh population)", status, memoMiss)
+	}
+	// Same walks (same build identity), so the repopulated table agrees.
+	if got := mh2.Table().Gain(5); got != want {
+		t.Fatalf("repopulated table gain = %v, want %v", got, want)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/cache"
 	"repro/internal/index"
 )
 
@@ -26,6 +27,15 @@ import (
 // therefore NOT a pure read — is computed once during population and stored
 // as a plain float64. Entries are only evicted when unreferenced, so a
 // table can never be freed under an in-flight request.
+//
+// The refs/ready/LRU machinery lives in the generic internal/cache core
+// (shared with internal/index.Cache); this file adds the memo-specific
+// policy: canonical-set keying, longest-prefix pinning and extension, the
+// stored objective, and index-eviction linkage — when the index cache
+// evicts an index, dropIndex removes every table built under that key so
+// the evicted index's heap is actually released instead of staying pinned
+// by its dependent tables (tables still mid-read are orphaned and released
+// with their last handle).
 
 // canonicalSet returns the sorted, duplicate-free form of nodes together
 // with its canonical key string. Two node lists denote the same seed set —
@@ -87,49 +97,37 @@ type memoKey struct {
 	set     string // canonical set key (setKeyOf)
 }
 
-// memoEntry is one cached table. d, objective and bytes are written once
-// before ready is closed and immutable afterwards.
-type memoEntry struct {
-	key       memoKey
+// memoValue is one cached table: written once at population and immutable
+// afterwards.
+type memoValue struct {
 	set       []int         // canonical set, for prefix extension
-	ready     chan struct{} // closed once d/err are set
 	d         *index.DTable // frozen after publication
 	objective float64
-	bytes     int64
-	err       error
-	refs      int
-	lastUse   int64
 }
 
 // memoHandle pins one cached table. Callers must Release exactly once;
 // Release after the first is a no-op.
 type memoHandle struct {
-	c    *memoCache
-	e    *memoEntry
-	once sync.Once
+	h *cache.Handle[memoKey, memoValue]
 }
 
 // Table returns the pinned frozen table. Callers may read gains from it
 // (Gain/GainBatch/TopGains) but must not mutate it.
-func (h *memoHandle) Table() *index.DTable { return h.e.d }
+func (h *memoHandle) Table() *index.DTable { return h.h.Value().d }
 
 // Objective returns the set's estimated objective, computed once at
 // population time.
-func (h *memoHandle) Objective() float64 { return h.e.objective }
+func (h *memoHandle) Objective() float64 { return h.h.Value().objective }
 
 // Release unpins the table, making its entry eligible for eviction.
-func (h *memoHandle) Release() {
-	h.once.Do(func() {
-		h.c.mu.Lock()
-		h.e.refs--
-		h.c.evictOverCapacityLocked()
-		h.c.mu.Unlock()
-	})
-}
+func (h *memoHandle) Release() { h.h.Release() }
 
 // MemoStats counts memo-cache traffic. Hits + Misses equals the number of
-// non-empty-set memoized lookups; EmptyHits counts set-free requests served
-// straight off the index's memoized empty-set vectors (no table at all).
+// non-empty-set memoized lookups minus waiters that coalesced onto a failed
+// population (a failed population is counted as a miss plus a populate
+// error; its waiters as populate errors only). EmptyHits counts set-free
+// requests served straight off the index's memoized empty-set vectors (no
+// table at all).
 type MemoStats struct {
 	// Hits counts acquires served by a resident table; Coalesced the subset
 	// that attached to a population already in flight.
@@ -143,9 +141,13 @@ type MemoStats struct {
 	// EmptyHits counts empty-set requests answered from the index's
 	// memoized empty-set gain vector / objective, with no D-table involved.
 	EmptyHits int64
-	// Evictions counts entries dropped by the LRU bound; PopulateErrors
-	// counts failed populations (which hold no entry).
+	// Evictions counts entries dropped by the entry/bytes budgets;
+	// Invalidated counts tables dropped because the index they were built
+	// from was evicted from the index cache; PopulateErrors counts failed
+	// populations and the waiters that coalesced onto them (which hold no
+	// entry and are not hits).
 	Evictions      int64
+	Invalidated    int64
 	PopulateErrors int64
 	// Resident is the number of cached tables at snapshot time;
 	// ResidentBytes the sum of their heap footprints.
@@ -158,15 +160,20 @@ type MemoStats struct {
 // referenced entry; unlike it there is no spill — a lost table costs one
 // replay against a resident index, not a walk rematerialization.
 type memoCache struct {
-	mu      sync.Mutex
-	max     int // <= 0 means unbounded
-	entries map[memoKey]*memoEntry
-	clock   int64
-	stats   MemoStats
+	core *cache.Cache[memoKey, memoValue]
+
+	mu             sync.Mutex
+	prefixExtended int64
+	emptyHits      int64
 }
 
-func newMemoCache(max int) *memoCache {
-	return &memoCache{max: max, entries: make(map[memoKey]*memoEntry)}
+// newMemoCache returns a memo cache bounded by maxEntries tables (<= 0
+// means unbounded) and maxBytes of table heap (<= 0 means unbounded).
+func newMemoCache(maxEntries int, maxBytes int64) *memoCache {
+	return &memoCache{core: cache.New(cache.Config[memoKey, memoValue]{
+		MaxEntries: maxEntries,
+		MaxBytes:   maxBytes,
+	})}
 }
 
 // Memo acquire outcomes, echoed in response bodies so clients (and the
@@ -184,96 +191,59 @@ const (
 // materialize from on a miss; set must be canonical and non-empty. The
 // returned status is memoHit, memoMiss or memoExtended.
 func (c *memoCache) acquire(key memoKey, set []int, ix *index.Index) (*memoHandle, string, error) {
-	c.mu.Lock()
-	c.clock++
-	if e, ok := c.entries[key]; ok {
-		e.refs++
-		e.lastUse = c.clock
-		c.stats.Hits++
-		select {
-		case <-e.ready:
-		default:
-			c.stats.Coalesced++
-		}
-		c.mu.Unlock()
-		<-e.ready
-		if e.err != nil {
-			// The population leader failed and removed the entry; drop our
-			// ref on the orphaned entry.
-			c.mu.Lock()
-			e.refs--
-			c.mu.Unlock()
-			return nil, "", e.err
-		}
-		return &memoHandle{c: c, e: e}, memoHit, nil
-	}
-	e := &memoEntry{key: key, set: set, ready: make(chan struct{}), refs: 1, lastUse: c.clock}
-	c.entries[key] = e
-	c.stats.Misses++
-	// Pin the longest ready prefix of set (if any) so eviction cannot free
-	// it while we extend from its snapshot. Scanning the resident entries is
-	// O(resident·|set|), bounded by the cache size — probing the map for
-	// every prefix key would cost O(|set|²) string building per miss, which
-	// an attacker-sized set turns into a DoS.
-	var prefix *memoEntry
-	for _, pe := range c.entries {
-		if pe == e || pe.key.idx != key.idx || pe.key.problem != key.problem {
-			continue
-		}
-		if len(pe.set) >= len(set) || (prefix != nil && len(pe.set) <= len(prefix.set)) {
-			continue
-		}
-		select {
-		case <-pe.ready:
-		default:
-			continue // still populating; not worth waiting for
-		}
-		if pe.err != nil || !isPrefix(pe.set, set) {
-			continue
-		}
-		prefix = pe
-	}
-	if prefix != nil {
-		prefix.refs++
-	}
-	c.mu.Unlock()
-
-	d, objective, err := populateTable(ix, key.problem, set, prefix)
-
-	c.mu.Lock()
-	if prefix != nil {
-		prefix.refs--
-	}
-	e.d, e.objective, e.err = d, objective, err
-	if err != nil {
-		c.stats.PopulateErrors++
-		e.refs--
-		delete(c.entries, key)
-	} else {
-		e.bytes = d.MemoryBytes()
+	populated, extended := false, false
+	h, err := c.core.Acquire(key, func() (memoValue, int64, error) {
+		populated = true
+		// Pin the longest ready proper prefix of set (if any) so eviction
+		// cannot free it while we extend from its snapshot. The scan is
+		// O(resident·|set|), bounded by the cache size — probing the map for
+		// every prefix key would cost O(|set|²) string building per miss,
+		// which an attacker-sized set turns into a DoS.
+		prefix := c.core.PinBest(func(k memoKey, v memoValue) int {
+			if k.idx != key.idx || k.problem != key.problem {
+				return 0
+			}
+			if !isPrefix(v.set, set) {
+				return 0
+			}
+			return len(v.set) // longest prefix wins; always >= 1 (only non-empty sets are cached)
+		})
+		var prefixD *index.DTable
+		prefixLen := 0
 		if prefix != nil {
-			c.stats.PrefixExtended++
+			defer prefix.Release()
+			prefixD, prefixLen = prefix.Value().d, len(prefix.Value().set)
+			extended = true
 		}
-		c.evictOverCapacityLocked()
-	}
-	c.mu.Unlock()
-	close(e.ready)
+		d, objective, err := populateTable(ix, key.problem, set, prefixD, prefixLen)
+		if err != nil {
+			return memoValue{}, 0, err
+		}
+		return memoValue{set: set, d: d, objective: objective}, d.MemoryBytes(), nil
+	})
 	if err != nil {
 		return nil, "", err
 	}
-	status := memoMiss
-	if prefix != nil {
-		status = memoExtended
+	status := memoHit
+	if populated {
+		status = memoMiss
+		if extended {
+			status = memoExtended
+			c.mu.Lock()
+			c.prefixExtended++
+			c.mu.Unlock()
+		}
 	}
-	return &memoHandle{c: c, e: e}, status, nil
+	return &memoHandle{h: h}, status, nil
 }
 
 // populateTable materializes the frozen table for set: from the longest
 // cached prefix when one is pinned (one array copy plus a replay of only
-// the delta), otherwise by full replay. The objective is computed here,
-// before publication, because EstimateObjective memoizes saturation state
-// in the table and therefore must not run on a shared frozen table.
-func populateTable(ix *index.Index, p index.Problem, set []int, prefix *memoEntry) (*index.DTable, float64, error) {
+// the delta of set past prefixLen), otherwise by full replay. The objective
+// is computed here, before publication, because EstimateObjective memoizes
+// saturation state in the table and therefore must not run on a shared
+// frozen table.
+func populateTable(ix *index.Index, p index.Problem, set []int, prefix *index.DTable, prefixLen int) (*index.DTable, float64, error) {
 	base := ix
 	if prefix != nil {
 		// Extend against the prefix table's own index instance: it is the
@@ -282,14 +252,14 @@ func populateTable(ix *index.Index, p index.Problem, set []int, prefix *memoEntr
 		// ExtendFrom correctly refuses to mix table state across *Index
 		// pointers, and the index cache may have rebuilt the key since the
 		// prefix was cached.
-		base = prefix.d.Index()
+		base = prefix.Index()
 	}
 	d, err := base.NewDTable(p)
 	if err != nil {
 		return nil, 0, err
 	}
 	if prefix != nil {
-		if err := d.ExtendFrom(prefix.d.Snapshot(), set[len(prefix.set):]...); err != nil {
+		if err := d.ExtendFrom(prefix.Snapshot(), set[prefixLen:]...); err != nil {
 			return nil, 0, err
 		}
 	} else {
@@ -304,69 +274,52 @@ func populateTable(ix *index.Index, p index.Problem, set []int, prefix *memoEntr
 	return d, d.EstimateObjective(members), nil
 }
 
-// evictOverCapacityLocked drops least-recently-used unreferenced entries
-// until the cache is within its bound. Entries still populating or still
-// referenced are never evicted.
-func (c *memoCache) evictOverCapacityLocked() {
-	if c.max <= 0 {
-		return
+// dropIndexes removes every memoized table built under one of the given
+// index keys — the index cache's eviction hook, which is what lets an index
+// eviction actually release the index heap instead of leaving it pinned by
+// dependent tables. Tables still pinned by an in-flight request are
+// orphaned (no new request can reach them; their memory goes with the last
+// release); tables mid-population are untouched, which is safe because a
+// populating request holds a handle on its index, so that index cannot be
+// the one being evicted. Returns the number of tables dropped.
+func (c *memoCache) dropIndexes(keys []index.CacheKey) int {
+	if len(keys) == 0 {
+		return 0
 	}
-	for len(c.entries) > c.max {
-		var victim *memoEntry
-		for _, e := range c.entries {
-			select {
-			case <-e.ready:
-			default:
-				continue // still populating
-			}
-			if e.refs > 0 || e.err != nil {
-				continue
-			}
-			if victim == nil || e.lastUse < victim.lastUse {
-				victim = e
-			}
-		}
-		if victim == nil {
-			return
-		}
-		delete(c.entries, victim.key)
-		c.stats.Evictions++
+	evicted := make(map[index.CacheKey]bool, len(keys))
+	for _, k := range keys {
+		evicted[k] = true
 	}
+	return c.core.Invalidate(func(k memoKey) bool { return evicted[k.idx] })
 }
 
 // noteEmptyHit records an empty-set request served off the index.
 func (c *memoCache) noteEmptyHit() {
 	c.mu.Lock()
-	c.stats.EmptyHits++
+	c.emptyHits++
 	c.mu.Unlock()
 }
 
 // Stats returns a snapshot of the traffic counters plus current residency.
 func (c *memoCache) Stats() MemoStats {
+	cs := c.core.Stats()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Resident = len(c.entries)
-	for _, e := range c.entries {
-		select {
-		case <-e.ready:
-			if e.err == nil {
-				s.ResidentBytes += e.bytes
-			}
-		default:
-		}
+	extended, empty := c.prefixExtended, c.emptyHits
+	c.mu.Unlock()
+	return MemoStats{
+		Hits:           cs.Hits,
+		Coalesced:      cs.Coalesced,
+		Misses:         cs.Misses,
+		PrefixExtended: extended,
+		EmptyHits:      empty,
+		Evictions:      cs.Evictions,
+		Invalidated:    cs.Invalidated,
+		PopulateErrors: cs.PopulateErrors,
+		Resident:       cs.Resident,
+		ResidentBytes:  cs.ResidentBytes,
 	}
-	return s
 }
 
 // pinnedRefs returns the total refcount across resident entries — test
 // observability for "no table is still pinned once traffic stops".
-func (c *memoCache) pinnedRefs() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	total := 0
-	for _, e := range c.entries {
-		total += e.refs
-	}
-	return total
-}
+func (c *memoCache) pinnedRefs() int { return c.core.PinnedRefs() }

@@ -98,6 +98,51 @@ func TestMemoEvictionBound(t *testing.T) {
 	}
 }
 
+// The memo bytes budget evicts LRU tables once their summed footprint
+// exceeds it, keeping /stats resident_bytes under the configured budget.
+func TestMemoBytesBudget(t *testing.T) {
+	g := testGraph(t, 300, 7)
+	// Measure one table's footprint on an unbudgeted server, then budget a
+	// second server for two and a half tables.
+	probe := newTestServer(t, Config{Graphs: map[string]*graph.Graph{"test": g}})
+	tsProbe := httptest.NewServer(probe.Handler())
+	defer tsProbe.Close()
+	resp, err := http.Get(tsProbe.URL + "/v1/gain?graph=test&L=4&R=10&nodes=0&set=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	per := probe.MemoStats().ResidentBytes
+	if per <= 0 {
+		t.Fatalf("probe table bytes = %d", per)
+	}
+
+	budget := 2*per + per/2
+	s := newTestServer(t, Config{Graphs: map[string]*graph.Graph{"test": g}, MemoBytes: budget})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, set := range []string{"1", "2", "3", "4", "5"} {
+		resp, err := http.Get(ts.URL + "/v1/gain?graph=test&L=4&R=10&nodes=0&set=" + set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("gain set=%s: status %d", set, resp.StatusCode)
+		}
+	}
+	ms := s.MemoStats()
+	if ms.ResidentBytes > budget {
+		t.Fatalf("resident bytes %d over the %d budget", ms.ResidentBytes, budget)
+	}
+	if ms.Resident != 2 || ms.Evictions != 3 {
+		t.Fatalf("stats = %+v, want 2 resident tables and 3 evictions", ms)
+	}
+	if s.memo.pinnedRefs() != 0 {
+		t.Fatalf("%d refs still pinned after traffic stopped", s.memo.pinnedRefs())
+	}
+}
+
 // TestMemoConcurrentStress floods one graph with mixed gain / objective /
 // topgains / select traffic from many goroutines (run under -race in CI and
 // bench.sh). Afterwards every refcount must be back to zero — no table was

@@ -50,8 +50,11 @@ type Config struct {
 	// Graphs maps the logical names requests use to loaded graphs.
 	Graphs map[string]*graph.Graph
 	// CacheSize bounds the number of resident indexes (default 8; < 0 means
-	// unbounded).
-	CacheSize int
+	// unbounded). IndexBytes additionally bounds their summed heap footprint
+	// (0 means unbounded); the budget is soft while every resident index is
+	// pinned by an in-flight request — nothing is ever freed in use.
+	CacheSize  int
+	IndexBytes int64
 	// SpillDir, when non-empty, persists evicted and shutdown-resident
 	// indexes so later misses and restarts skip the build.
 	SpillDir string
@@ -74,11 +77,14 @@ type Config struct {
 	MaxR int
 	MaxK int
 	// MemoSize bounds the number of memoized D-tables the gain read path
-	// keeps resident (default 128; < 0 means unbounded). DisableMemo turns
-	// the memoized read path off entirely, so every /v1/gain, /v1/objective
-	// and /v1/topgains request materializes a fresh table — the pre-memo
-	// behavior, kept for parity testing and A/B benchmarking.
+	// keeps resident (default 128; < 0 means unbounded); MemoBytes
+	// additionally bounds their summed heap footprint (0 means unbounded,
+	// soft while tables are pinned). DisableMemo turns the memoized read
+	// path off entirely, so every /v1/gain, /v1/objective and /v1/topgains
+	// request materializes a fresh table — the pre-memo behavior, kept for
+	// parity testing and A/B benchmarking.
 	MemoSize    int
+	MemoBytes   int64
 	DisableMemo bool
 }
 
@@ -153,7 +159,7 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	cfg = cfg.withDefaults()
-	cache, err := index.NewCache(cfg.CacheSize, cfg.SpillDir)
+	cache, err := index.NewCache(cfg.CacheSize, cfg.IndexBytes, cfg.SpillDir)
 	if err != nil {
 		return nil, err
 	}
@@ -167,7 +173,14 @@ func New(cfg Config) (*Server, error) {
 		endpoints: make(map[string]*endpointMetrics),
 	}
 	if !cfg.DisableMemo {
-		s.memo = newMemoCache(cfg.MemoSize)
+		s.memo = newMemoCache(cfg.MemoSize, cfg.MemoBytes)
+		// Link the two caches: when an index is evicted, every memoized
+		// table built under its key is dropped (or orphaned until its last
+		// in-flight reader releases it), so the eviction actually returns
+		// the index's heap — without this, memo entries' *Index references
+		// keep evicted indexes alive and daemon memory is bounded by
+		// traffic history instead of the working set.
+		cache.OnEviction(func(keys []index.CacheKey) { s.memo.dropIndexes(keys) })
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/select", "select", s.handleSelect)
