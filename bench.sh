@@ -25,15 +25,15 @@ trap 'rm -f "$RAW"' EXIT
 echo "== go vet =="
 go vet ./...
 
-echo "== race detector (index, greedy, server, core) =="
-go test -race -count=1 ./internal/index/... ./internal/greedy/... ./internal/server/... ./internal/core/...
+echo "== race detector (cache, index, greedy, engine, server, client, core) =="
+go test -race -count=1 ./internal/cache/... ./internal/index/... ./internal/greedy/... ./internal/engine/... ./internal/server/... ./client/... ./internal/core/...
 
 echo "== benchmarks (benchtime=$BENCHTIME) =="
 # Redirect instead of piping through tee: POSIX sh reports a pipeline's
 # status from its last command, so `go test | tee` would mask bench
 # failures from set -e and this script would write an empty record.
 go test -run '^$' \
-    -bench 'BenchmarkSelectionEndToEnd|BenchmarkIndexBuild$|BenchmarkServingThroughput|BenchmarkGainServing|BenchmarkWarmGainRequest|BenchmarkAblationAliasVsBinarySearch|BenchmarkAblationCSRVsAdjList|BenchmarkAblationVisitedStamp|BenchmarkAblationLazyVsPlainGreedy|BenchmarkAblationIndexVsResample' \
+    -bench 'BenchmarkSelectionEndToEnd|BenchmarkIndexBuild$|BenchmarkServingThroughput|BenchmarkGainServing|BenchmarkWarmGainRequest|BenchmarkEngineWarmGain|BenchmarkTopGainsRepeat|BenchmarkAblationAliasVsBinarySearch|BenchmarkAblationCSRVsAdjList|BenchmarkAblationVisitedStamp|BenchmarkAblationLazyVsPlainGreedy|BenchmarkAblationIndexVsResample' \
     -benchtime "$BENCHTIME" -timeout 60m . > "$RAW" 2>&1 || { cat "$RAW"; exit 1; }
 go test -run '^$' -bench 'BenchmarkAblationDTableLayout' \
     -benchtime "$BENCHTIME" -timeout 30m ./internal/index/ >> "$RAW" 2>&1 || { cat "$RAW"; exit 1; }

@@ -9,6 +9,7 @@ package rwdom
 // first benchmark iteration.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/index"
@@ -408,6 +410,94 @@ func BenchmarkServingThroughput(b *testing.B) { runExperiment(b, experiments.Ser
 // /v1/topgains sweeps). The per-request comparison the PR-3 acceptance
 // criterion rests on is BenchmarkWarmGainRequest below.
 func BenchmarkGainServing(b *testing.B) { runExperiment(b, experiments.GainServing) }
+
+// BenchmarkEngineWarmGain measures one warm-set gain request at the engine
+// layer — the exact computation BenchmarkWarmGainRequest measures through
+// the HTTP handler stack, minus the codec. It exists to prove the
+// handler→engine extraction added no per-request overhead: CI's same-job
+// bench gate compares it against the base commit's handler-level
+// BenchmarkWarmGainRequest numbers (benchcheck
+// -map BenchmarkEngineWarmGain=BenchmarkWarmGainRequest), so the engine
+// path must be at least as fast as the old in-handler path.
+func BenchmarkEngineWarmGain(b *testing.B) {
+	g, err := dataset.Load("CAGrQc", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	for _, memo := range []bool{true, false} {
+		name := "memo=on"
+		if !memo {
+			name = "memo=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng, err := engine.New(engine.Config{
+				Graphs:      map[string]*graph.Graph{"CAGrQc": g},
+				DisableMemo: !memo,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			ctx := context.Background()
+			req := engine.GainRequest{Graph: "CAGrQc", L: 6, R: 200, Seed: 1, Set: set, Nodes: []int{42}}
+			get := func() {
+				if _, err := eng.Gain(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+			get() // warm: index build + (memo side) table population
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				get()
+			}
+		})
+	}
+}
+
+// BenchmarkTopGainsRepeat measures repeated same-set /v1/topgains requests
+// against a warm daemon — the traffic shape the ROADMAP's per-entry top-B
+// memo question is about. Without that memo every request re-sweeps all n
+// candidates (a pure read, but O(n·R) of them); with it a repeat is an O(B)
+// copy of the stored winners. memo=off is the fresh-table baseline for
+// scale.
+func BenchmarkTopGainsRepeat(b *testing.B) {
+	g, err := dataset.Load("CAGrQc", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const path = "/v1/topgains?graph=CAGrQc&L=6&R=200&set=1,2,3,4,5,6,7,8&b=10"
+	for _, memo := range []bool{true, false} {
+		name := "memo=on"
+		if !memo {
+			name = "memo=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			srv, err := server.New(server.Config{
+				Graphs:      map[string]*graph.Graph{"CAGrQc": g},
+				DisableMemo: !memo,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			handler := srv.Handler()
+			get := func() {
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+			get() // warm: index build + (memo side) table population
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				get()
+			}
+		})
+	}
+}
 
 // BenchmarkWarmGainRequest measures one warm-set /v1/gain request through
 // the daemon's handler stack (request parsing, index acquire, gain

@@ -1,0 +1,330 @@
+// Package client is the typed Go SDK for the rwdomd random-walk-domination
+// daemon: request/response structs mirroring the v1 wire contract, typed
+// errors carrying the daemon's stable machine-readable codes, automatic
+// retry when the daemon is draining, and a streaming iterator for selects.
+//
+//	c, err := client.New("http://localhost:7474")
+//	if err != nil { ... }
+//	res, err := c.Select(ctx, client.SelectRequest{Graph: "web", K: 50, L: 6})
+//	if err != nil { ... }
+//	fmt.Println(res.Nodes)
+//
+// Streaming a selection round by round:
+//
+//	st, err := c.SelectStream(ctx, client.SelectRequest{Graph: "web", K: 50, L: 6})
+//	if err != nil { ... }
+//	defer st.Close()
+//	for st.Next() {
+//		rd := st.Round()
+//		fmt.Printf("round %d: node %d (objective %.1f)\n", rd.Round, rd.Node, rd.Objective)
+//	}
+//	res, err := st.Result() // the blocking-shape reply, bit-identical nodes/gains
+//
+// Errors returned by every method are (*Error) when the daemon produced a
+// structured failure; Code carries the stable code (CodeBadRequest,
+// CodeNotFound, CodeDraining, CodeTimeout, CodeInternal) from the shared
+// JSON envelope {"error":{"code","message"}}.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Stable error codes, shared verbatim with the daemon's error envelope.
+const (
+	CodeBadRequest = "bad_request"
+	CodeNotFound   = "not_found"
+	CodeDraining   = "draining"
+	CodeTimeout    = "timeout"
+	CodeInternal   = "internal"
+)
+
+// Error is a structured daemon error.
+type Error struct {
+	// Code is one of the stable Code* constants.
+	Code string
+	// Message is the human-readable explanation.
+	Message string
+	// HTTPStatus is the status the daemon answered with.
+	HTTPStatus int
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("rwdomd: %s (%s)", e.Message, e.Code)
+}
+
+// Temporary reports whether retrying later may succeed (the daemon was
+// draining — a rolling restart's window).
+func (e *Error) Temporary() bool { return e.Code == CodeDraining }
+
+// CodeOf extracts the stable code from any client method error, or
+// CodeInternal if it carries none (transport failures etc.).
+func CodeOf(err error) string {
+	var ce *Error
+	if errors.As(err, &ce) {
+		return ce.Code
+	}
+	return CodeInternal
+}
+
+// envelope is the daemon's JSON error shape.
+type envelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// Client talks to one rwdomd base URL. It is safe for concurrent use.
+type Client struct {
+	base    *url.URL
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transport, instrumentation). The default is http.DefaultClient.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetry sets how many times a request is retried when the daemon
+// reports it is draining (503 with code "draining"), and the base backoff
+// between attempts (doubled each retry). The default is 3 retries starting
+// at 200ms; WithRetry(0, 0) disables retrying.
+func WithRetry(retries int, backoff time.Duration) Option {
+	return func(c *Client) { c.retries, c.backoff = retries, backoff }
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://localhost:7474").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q needs scheme and host", baseURL)
+	}
+	c := &Client{base: u, hc: http.DefaultClient, retries: 3, backoff: 200 * time.Millisecond}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// do issues the request built by build, retrying on drain errors. build is
+// called per attempt so bodies are fresh.
+func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
+	backoff := c.backoff
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.hc.Do(req.WithContext(ctx))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusOK {
+			return resp, nil
+		}
+		apiErr := decodeError(resp)
+		if apiErr.Code != CodeDraining || attempt >= c.retries {
+			return nil, apiErr
+		}
+		if backoff > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+			backoff *= 2
+		}
+	}
+}
+
+// decodeError turns a non-200 response into a typed *Error, consuming and
+// closing the body.
+func decodeError(resp *http.Response) *Error {
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error.Code != "" {
+		return &Error{Code: env.Error.Code, Message: env.Error.Message, HTTPStatus: resp.StatusCode}
+	}
+	return &Error{
+		Code:       CodeInternal,
+		Message:    fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw))),
+		HTTPStatus: resp.StatusCode,
+	}
+}
+
+// getJSON issues a GET and decodes a 200 into out.
+func (c *Client) getJSON(ctx context.Context, path string, query url.Values, out any) error {
+	u := c.base.JoinPath(path)
+	if query != nil {
+		u.RawQuery = query.Encode()
+	}
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, u.String(), nil)
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// postJSON issues a POST with a JSON body and decodes a 200 into out.
+func (c *Client) postJSON(ctx context.Context, path string, query url.Values, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	u := c.base.JoinPath(path)
+	if query != nil {
+		u.RawQuery = query.Encode()
+	}
+	resp, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, u.String(), bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// nodeList renders ids as the comma-separated wire form.
+func nodeList(nodes []int) string {
+	if len(nodes) == 0 {
+		return ""
+	}
+	parts := make([]string, len(nodes))
+	for i, u := range nodes {
+		parts[i] = strconv.Itoa(u)
+	}
+	return strings.Join(parts, ",")
+}
+
+// readQuery builds the shared query parameters of the GET endpoints.
+func readQuery(graph, problem string, L, R int, seed *uint64, set []int) url.Values {
+	q := url.Values{}
+	q.Set("graph", graph)
+	if problem != "" {
+		q.Set("problem", problem)
+	}
+	q.Set("L", strconv.Itoa(L))
+	if R > 0 {
+		q.Set("R", strconv.Itoa(R))
+	}
+	if seed != nil {
+		q.Set("seed", strconv.FormatUint(*seed, 10))
+	}
+	if len(set) > 0 {
+		q.Set("set", nodeList(set))
+	}
+	return q
+}
+
+// Select runs one blocking top-k selection.
+func (c *Client) Select(ctx context.Context, req SelectRequest) (*SelectResponse, error) {
+	var out SelectResponse
+	if err := c.postJSON(ctx, "/v1/select", nil, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Gain returns the marginal gains of req.Nodes against req.Set.
+func (c *Client) Gain(ctx context.Context, req GainRequest) (*GainResponse, error) {
+	q := readQuery(req.Graph, req.Problem, req.L, req.R, req.Seed, req.Set)
+	q.Set("nodes", nodeList(req.Nodes))
+	var out GainResponse
+	if err := c.getJSON(ctx, "/v1/gain", q, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Objective returns the estimated objective value of req.Set.
+func (c *Client) Objective(ctx context.Context, req ObjectiveRequest) (*ObjectiveResponse, error) {
+	q := readQuery(req.Graph, req.Problem, req.L, req.R, req.Seed, req.Set)
+	var out ObjectiveResponse
+	if err := c.getJSON(ctx, "/v1/objective", q, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TopGains returns the best candidates by marginal gain against req.Set.
+func (c *Client) TopGains(ctx context.Context, req TopGainsRequest) (*TopGainsResponse, error) {
+	q := readQuery(req.Graph, req.Problem, req.L, req.R, req.Seed, req.Set)
+	if req.B > 0 {
+		q.Set("b", strconv.Itoa(req.B))
+	}
+	if req.Workers > 0 {
+		q.Set("workers", strconv.Itoa(req.Workers))
+	}
+	var out TopGainsResponse
+	if err := c.getJSON(ctx, "/v1/topgains", q, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health returns the daemon's liveness state. A draining daemon answers
+// 503 with a well-formed body, which is NOT an error here: the reply
+// carries Status "draining", and health checks want that state, not a
+// failure. Health never retries; only a malformed reply errors.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	u := c.base.JoinPath("/healthz")
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out Health
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK && out.Status == "" {
+		return nil, &Error{Code: CodeInternal, Message: fmt.Sprintf("HTTP %d", resp.StatusCode), HTTPStatus: resp.StatusCode}
+	}
+	return &out, nil
+}
+
+// Stats returns the daemon's counters.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var out Stats
+	if err := c.getJSON(ctx, "/stats", url.Values{"buckets": {"0"}}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

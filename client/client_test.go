@@ -1,0 +1,273 @@
+package client
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/server"
+)
+
+// The round-trip suite runs the typed client against the real daemon
+// handler (httptest.Server over internal/server), locking the SDK to the
+// same v1 contract the golden files pin.
+
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := graph.BarabasiAlbert(500, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func harness(t testing.TB, cfg server.Config) (*server.Server, *Client) {
+	t.Helper()
+	if cfg.Graphs == nil {
+		cfg.Graphs = map[string]*graph.Graph{"test": testGraph(t)}
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c
+}
+
+func TestSelectRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	_, c := harness(t, server.Config{Graphs: map[string]*graph.Graph{"test": g}})
+	ctx := context.Background()
+
+	seed := uint64(9)
+	res, err := c.Select(ctx, SelectRequest{
+		Graph: "test", Problem: ProblemHitting, K: 6, L: 4, R: 30, Seed: &seed, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := index.Build(g, 4, 30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.ApproxWithIndexWorkers(ix, index.Problem1, 6, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != len(want.Nodes) {
+		t.Fatalf("%d nodes, want %d", len(res.Nodes), len(want.Nodes))
+	}
+	for i := range want.Nodes {
+		if res.Nodes[i] != want.Nodes[i] {
+			t.Fatalf("nodes %v, want %v", res.Nodes, want.Nodes)
+		}
+		if math.Float64bits(res.Gains[i]) != math.Float64bits(want.Gains[i]) {
+			t.Fatalf("gain[%d] diverges", i)
+		}
+	}
+	if res.Problem != "F1" || res.Algorithm != "lazy" || res.Seed != 9 || res.R != 30 {
+		t.Fatalf("echo fields %+v", res)
+	}
+}
+
+func TestReadEndpointsRoundTrip(t *testing.T) {
+	_, c := harness(t, server.Config{})
+	ctx := context.Background()
+
+	gr, err := c.Gain(ctx, GainRequest{Graph: "test", L: 4, R: 20, Set: []int{1, 2}, Nodes: []int{0, 5, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gr.Gains) != 3 || gr.Memo != "miss" {
+		t.Fatalf("first gain %+v", gr)
+	}
+	gr2, err := c.Gain(ctx, GainRequest{Graph: "test", L: 4, R: 20, Set: []int{2, 1}, Nodes: []int{0, 5, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr2.Memo != "hit" {
+		t.Fatalf("repeat gain memo %q, want hit", gr2.Memo)
+	}
+	for i := range gr.Gains {
+		if math.Float64bits(gr.Gains[i]) != math.Float64bits(gr2.Gains[i]) {
+			t.Fatal("memoized gains diverge")
+		}
+	}
+
+	or, err := c.Objective(ctx, ObjectiveRequest{Graph: "test", L: 4, R: 20, Set: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if or.Objective <= 0 {
+		t.Fatalf("objective %v", or.Objective)
+	}
+
+	tg, err := c.TopGains(ctx, TopGainsRequest{Graph: "test", L: 4, R: 20, Set: []int{1}, B: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tg.Nodes) != 5 || tg.B != 5 {
+		t.Fatalf("topgains %+v", tg)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" || h.Graphs != 1 {
+		t.Fatalf("health %+v err %v", h, err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Memo.Enabled || st.Memo.Hits < 1 || st.Cache.Resident != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// The streaming iterator must reassemble bit-identically into the blocking
+// reply — the SDK half of the streaming parity criterion.
+func TestSelectStreamRoundTrip(t *testing.T) {
+	_, c := harness(t, server.Config{})
+	ctx := context.Background()
+	req := SelectRequest{Graph: "test", K: 6, L: 4, R: 25, Algorithm: AlgorithmPlain, Workers: 2}
+
+	blocking, err := c.Select(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.SelectStream(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var rounds []Round
+	for st.Next() {
+		rounds = append(rounds, st.Round())
+	}
+	res, err := st.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != len(blocking.Nodes) {
+		t.Fatalf("%d rounds for %d picks", len(rounds), len(blocking.Nodes))
+	}
+	for i, rd := range rounds {
+		if rd.Round != i+1 || rd.Node != blocking.Nodes[i] {
+			t.Fatalf("round %d: %+v, want node %d", i+1, rd, blocking.Nodes[i])
+		}
+		if math.Float64bits(rd.Gain) != math.Float64bits(blocking.Gains[i]) {
+			t.Fatalf("round %d gain diverges", i+1)
+		}
+	}
+	for i := range blocking.Nodes {
+		if res.Nodes[i] != blocking.Nodes[i] {
+			t.Fatalf("stream result nodes %v, want %v", res.Nodes, blocking.Nodes)
+		}
+	}
+	if math.Float64bits(res.Objective) != math.Float64bits(blocking.Objective) {
+		t.Fatalf("stream objective %v, want %v", res.Objective, blocking.Objective)
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	_, c := harness(t, server.Config{})
+	ctx := context.Background()
+
+	_, err := c.Select(ctx, SelectRequest{Graph: "nope", K: 3, L: 4})
+	if CodeOf(err) != CodeNotFound {
+		t.Fatalf("unknown graph: %v (code %q)", err, CodeOf(err))
+	}
+	var ce *Error
+	if !asError(err, &ce) || ce.HTTPStatus != http.StatusNotFound {
+		t.Fatalf("unknown graph error %#v", err)
+	}
+
+	if _, err := c.Select(ctx, SelectRequest{Graph: "test", K: 0, L: 4}); CodeOf(err) != CodeBadRequest {
+		t.Fatalf("k=0: code %q", CodeOf(err))
+	}
+	if _, err := c.Gain(ctx, GainRequest{Graph: "test", L: 4, Nodes: []int{999999}}); CodeOf(err) != CodeBadRequest {
+		t.Fatalf("out-of-range node: code %q", CodeOf(err))
+	}
+
+	// Draining (emulated at the wire — the real drain window is exercised
+	// in internal/server's lifecycle tests): with retries disabled the
+	// typed, Temporary error surfaces immediately.
+	drain := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":{"code":"draining","message":"server is draining"}}`))
+	}))
+	t.Cleanup(drain.Close)
+	noRetry, err := New(drain.URL, WithRetry(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var de *Error
+	if _, err := noRetry.Select(ctx, SelectRequest{Graph: "test", K: 3, L: 4}); CodeOf(err) != CodeDraining || !asError(err, &de) || !de.Temporary() {
+		t.Fatalf("draining: %#v (code %q)", err, CodeOf(err))
+	}
+}
+
+// A daemon mid-rolling-restart answers 503/draining for a moment; the
+// client must ride it out and succeed against the recovered backend.
+func TestRetryOnDrain(t *testing.T) {
+	g := testGraph(t)
+	s, err := server.New(server.Config{Graphs: map[string]*graph.Graph{"test": g}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	var calls atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":{"code":"draining","message":"server is draining"}}`))
+			return
+		}
+		s.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(flaky.Close)
+
+	c, err := New(flaky.URL, WithRetry(3, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Select(context.Background(), SelectRequest{Graph: "test", K: 3, L: 4, R: 20})
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if len(res.Nodes) != 3 {
+		t.Fatalf("%d nodes", len(res.Nodes))
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("%d attempts, want 3 (2 drains + 1 success)", got)
+	}
+
+	// Retries exhausted: the typed drain error surfaces.
+	calls.Store(-100)
+	if _, err := c.Select(context.Background(), SelectRequest{Graph: "test", K: 3, L: 4, R: 20}); CodeOf(err) != CodeDraining {
+		t.Fatalf("exhausted retries: code %q (%v)", CodeOf(err), err)
+	}
+}
+
+// asError is errors.As specialized to *Error without importing errors.
+func asError(err error, target **Error) bool {
+	ce, ok := err.(*Error)
+	if ok {
+		*target = ce
+	}
+	return ok
+}

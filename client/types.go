@@ -1,0 +1,187 @@
+package client
+
+// Wire types mirroring the rwdomd v1 HTTP contract (which in turn mirrors
+// the engine's request/response types). The client package deliberately
+// depends only on the wire format — it compiles against any rwdomd of the
+// same v1 contract, and the golden-file suite in internal/server pins that
+// contract.
+
+// Problem names accepted by the daemon; numeric forms "1"/"2" also work.
+const (
+	ProblemHitting  = "hitting"  // Problem 1: minimize total hitting time
+	ProblemCoverage = "coverage" // Problem 2: maximize expected coverage
+)
+
+// Greedy driver names for SelectRequest.Algorithm.
+const (
+	AlgorithmLazy  = "lazy"  // CELF lazy greedy (the default)
+	AlgorithmPlain = "plain" // per-round full scan
+)
+
+// SelectRequest is the POST /v1/select body.
+type SelectRequest struct {
+	// Graph names one of the graphs the daemon serves.
+	Graph string `json:"graph"`
+	// Problem is ProblemHitting or ProblemCoverage (default coverage).
+	Problem string `json:"problem,omitempty"`
+	// K is the selection budget.
+	K int `json:"k"`
+	// L is the walk-length bound; R the per-node sample size (default 100).
+	L int `json:"L"`
+	R int `json:"R,omitempty"`
+	// Seed fixes the walk sampling (daemon default 1); part of the index
+	// identity. Nil means "server default".
+	Seed *uint64 `json:"seed,omitempty"`
+	// Algorithm is AlgorithmLazy (default) or AlgorithmPlain.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Workers shards index construction and gain evaluation (0 = server
+	// default). Selections are identical for every value.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS bounds the request (0 = server default).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// SelectResponse is the /v1/select reply.
+type SelectResponse struct {
+	Graph       string    `json:"graph"`
+	Problem     string    `json:"problem"`
+	K           int       `json:"k"`
+	L           int       `json:"L"`
+	R           int       `json:"R"`
+	Seed        uint64    `json:"seed"`
+	Algorithm   string    `json:"algorithm"`
+	Workers     int       `json:"workers"`
+	Nodes       []int     `json:"nodes"`
+	Gains       []float64 `json:"gains"`
+	Objective   float64   `json:"objective"`
+	Evaluations int       `json:"evaluations"`
+	BuildMS     float64   `json:"build_ms"`
+	SelectMS    float64   `json:"select_ms"`
+	IndexCached bool      `json:"index_cached"`
+	Coalesced   bool      `json:"coalesced"`
+}
+
+// Round is one NDJSON round event of POST /v1/select?stream=1: the node
+// picked in this greedy round, its marginal gain, and the objective so far.
+type Round struct {
+	Round     int     `json:"round"`
+	Node      int     `json:"node"`
+	Gain      float64 `json:"gain"`
+	Objective float64 `json:"objective"`
+}
+
+// GainRequest identifies a GET /v1/gain query.
+type GainRequest struct {
+	Graph   string
+	Problem string
+	L, R    int
+	Seed    *uint64
+	// Set is the committed seed set; Nodes the candidates to evaluate.
+	Set   []int
+	Nodes []int
+}
+
+// GainResponse is the /v1/gain reply: Gains[i] is the marginal gain of
+// adding Nodes[i] to Set. Memo reports which memoized path served it
+// ("hit", "miss", "extended", "empty", or "off").
+type GainResponse struct {
+	Graph       string    `json:"graph"`
+	Problem     string    `json:"problem"`
+	Set         []int     `json:"set"`
+	Nodes       []int     `json:"nodes"`
+	Gains       []float64 `json:"gains"`
+	IndexCached bool      `json:"index_cached"`
+	Memo        string    `json:"memo"`
+}
+
+// ObjectiveRequest identifies a GET /v1/objective query.
+type ObjectiveRequest struct {
+	Graph   string
+	Problem string
+	L, R    int
+	Seed    *uint64
+	Set     []int
+}
+
+// ObjectiveResponse is the /v1/objective reply.
+type ObjectiveResponse struct {
+	Graph       string  `json:"graph"`
+	Problem     string  `json:"problem"`
+	Set         []int   `json:"set"`
+	Objective   float64 `json:"objective"`
+	IndexCached bool    `json:"index_cached"`
+	Memo        string  `json:"memo"`
+}
+
+// TopGainsRequest identifies a GET /v1/topgains query.
+type TopGainsRequest struct {
+	Graph   string
+	Problem string
+	L, R    int
+	Seed    *uint64
+	Set     []int
+	// B is the number of winners (0 = server default of 10).
+	B int
+	// Workers shards the candidate sweep (0 = server default).
+	Workers int
+}
+
+// TopGainsResponse is the /v1/topgains reply, gain descending with ties
+// broken by ascending node id; set members are excluded.
+type TopGainsResponse struct {
+	Graph       string    `json:"graph"`
+	Problem     string    `json:"problem"`
+	Set         []int     `json:"set"`
+	B           int       `json:"b"`
+	Nodes       []int     `json:"nodes"`
+	Gains       []float64 `json:"gains"`
+	IndexCached bool      `json:"index_cached"`
+	Memo        string    `json:"memo"`
+}
+
+// Health is the /healthz reply.
+type Health struct {
+	Status  string  `json:"status"` // "ok" or "draining"
+	UptimeS float64 `json:"uptime_s"`
+	Graphs  int     `json:"graphs"`
+}
+
+// CacheStats mirrors the /stats "cache" block.
+type CacheStats struct {
+	Hits          int64    `json:"hits"`
+	Coalesced     int64    `json:"coalesced_builds"`
+	Misses        int64    `json:"misses"`
+	SpillLoads    int64    `json:"spill_loads"`
+	SpillSaves    int64    `json:"spill_saves"`
+	Evictions     int64    `json:"evictions"`
+	BuildErrors   int64    `json:"build_errors"`
+	Resident      int      `json:"resident"`
+	ResidentBytes int64    `json:"resident_bytes"`
+	Keys          []string `json:"keys"`
+}
+
+// MemoStats mirrors the /stats "memo" block.
+type MemoStats struct {
+	Enabled        bool  `json:"enabled"`
+	Hits           int64 `json:"hits"`
+	Coalesced      int64 `json:"coalesced_populates"`
+	Misses         int64 `json:"misses"`
+	PrefixExtended int64 `json:"prefix_extended"`
+	EmptyHits      int64 `json:"empty_hits"`
+	Evictions      int64 `json:"evictions"`
+	Invalidated    int64 `json:"invalidated"`
+	PopulateErrors int64 `json:"populate_errors"`
+	Resident       int   `json:"resident"`
+	ResidentBytes  int64 `json:"resident_bytes"`
+}
+
+// Stats is the /stats reply (endpoint latency histograms are left to raw
+// consumers; see the daemon's /stats documentation).
+type Stats struct {
+	UptimeS          float64    `json:"uptime_s"`
+	Draining         bool       `json:"draining"`
+	InFlight         int64      `json:"in_flight"`
+	SelectsCoalesced int64      `json:"selects_coalesced"`
+	Cache            CacheStats `json:"cache"`
+	Memo             MemoStats  `json:"memo"`
+}

@@ -111,14 +111,56 @@ type Comparison struct {
 	Regression bool    // Ratio exceeds 1 + tolerance
 }
 
-// Compare pairs current results with the baseline by normalized name,
-// restricted to names matching pattern, and flags every current measurement
-// more than tolerance (a fraction, e.g. 0.25 for +25% ns/op) slower than
-// its baseline. Current results without a baseline entry are skipped and
-// returned in `skipped` (the benchmark may be new, or the CI core count may
-// enumerate worker counts the baseline box didn't have). It is an error if
-// nothing at all can be compared — that usually means a pattern typo.
-func Compare(baseline, current []Result, pattern *regexp.Regexp, tolerance float64) (comparisons []Comparison, skipped []string, err error) {
+// RenameMap maps current benchmark name prefixes onto the baseline names
+// they should be gated against — how a renamed (or extracted) benchmark
+// proves itself against its predecessor's numbers in the same-job gate.
+// Keys and values are name prefixes up to a "/" sub-benchmark boundary:
+// "BenchmarkEngineWarmGain=BenchmarkWarmGainRequest" pairs
+// BenchmarkEngineWarmGain/memo=on with BenchmarkWarmGainRequest/memo=on.
+type RenameMap map[string]string
+
+// ParseRenameMap parses a comma-separated list of new=old pairs.
+func ParseRenameMap(s string) (RenameMap, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	m := make(RenameMap)
+	for _, pair := range strings.Split(s, ",") {
+		newName, oldName, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || newName == "" || oldName == "" {
+			return nil, fmt.Errorf("benchcheck: bad -map entry %q (want new=old)", pair)
+		}
+		m[newName] = oldName
+	}
+	return m, nil
+}
+
+// apply rewrites a normalized current name onto its baseline name, if a
+// prefix mapping matches.
+func (m RenameMap) apply(name string) string {
+	if m == nil {
+		return name
+	}
+	prefix, rest, hasSub := strings.Cut(name, "/")
+	old, ok := m[prefix]
+	if !ok {
+		return name
+	}
+	if hasSub {
+		return old + "/" + rest
+	}
+	return old
+}
+
+// Compare pairs current results with the baseline by normalized name
+// (after applying renames), restricted to names matching pattern, and flags
+// every current measurement more than tolerance (a fraction, e.g. 0.25 for
+// +25% ns/op) slower than its baseline. Current results without a baseline
+// entry are skipped and returned in `skipped` (the benchmark may be new, or
+// the CI core count may enumerate worker counts the baseline box didn't
+// have). It is an error if nothing at all can be compared — that usually
+// means a pattern typo.
+func Compare(baseline, current []Result, pattern *regexp.Regexp, tolerance float64, renames RenameMap) (comparisons []Comparison, skipped []string, err error) {
 	if tolerance < 0 {
 		return nil, nil, fmt.Errorf("benchcheck: negative tolerance %v", tolerance)
 	}
@@ -131,7 +173,7 @@ func Compare(baseline, current []Result, pattern *regexp.Regexp, tolerance float
 		if !pattern.MatchString(name) {
 			continue
 		}
-		b, ok := base[name]
+		b, ok := base[renames.apply(name)]
 		if !ok {
 			skipped = append(skipped, name)
 			continue

@@ -112,7 +112,7 @@ BenchmarkSelectionEndToEnd/F2/workers=1-4 3 500000000 ns/op
 	if err != nil {
 		t.Fatal(err)
 	}
-	comparisons, skipped, err := Compare(base.Benchmarks, cur, regexp.MustCompile("BenchmarkSelectionEndToEnd"), 0.25)
+	comparisons, skipped, err := Compare(base.Benchmarks, cur, regexp.MustCompile("BenchmarkSelectionEndToEnd"), 0.25, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ BenchmarkSelectionEndToEnd/F2/workers=1-4 3 500000000 ns/op
 	if regs := Regressions(comparisons); len(regs) != 0 {
 		t.Fatalf("10%% drift flagged at 25%% tolerance: %+v", regs)
 	}
-	comparisons, _, err = Compare(base.Benchmarks, cur, regexp.MustCompile("BenchmarkSelectionEndToEnd"), 0.05)
+	comparisons, _, err = Compare(base.Benchmarks, cur, regexp.MustCompile("BenchmarkSelectionEndToEnd"), 0.05, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func mustCompare(t *testing.T, pattern string, tolerance float64) ([]Comparison,
 	if err != nil {
 		t.Fatal(err)
 	}
-	comparisons, skipped, err := Compare(b.Benchmarks, cur, regexp.MustCompile(pattern), tolerance)
+	comparisons, skipped, err := Compare(b.Benchmarks, cur, regexp.MustCompile(pattern), tolerance, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,10 +197,10 @@ func TestCompareWithinTolerance(t *testing.T) {
 func TestCompareErrorsWhenNothingMatches(t *testing.T) {
 	b, _ := ParseBaseline([]byte(sampleBaseline))
 	cur, _ := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
-	if _, _, err := Compare(b.Benchmarks, cur, regexp.MustCompile("BenchmarkTypo"), 0.25); err == nil {
+	if _, _, err := Compare(b.Benchmarks, cur, regexp.MustCompile("BenchmarkTypo"), 0.25, nil); err == nil {
 		t.Fatal("pattern matching nothing must error (typo guard)")
 	}
-	if _, _, err := Compare(b.Benchmarks, cur, regexp.MustCompile("."), -1); err == nil {
+	if _, _, err := Compare(b.Benchmarks, cur, regexp.MustCompile("."), -1, nil); err == nil {
 		t.Fatal("negative tolerance accepted")
 	}
 }
@@ -214,5 +214,43 @@ func TestRenderMentionsRegressionsAndSkips(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("rendered output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestCompareRenameMap(t *testing.T) {
+	base := []Result{
+		{Name: "BenchmarkWarmGainRequest/memo=on-2", NsPerOp: 100},
+		{Name: "BenchmarkWarmGainRequest/memo=off-2", NsPerOp: 1000},
+	}
+	cur := []Result{
+		{Name: "BenchmarkEngineWarmGain/memo=on-8", NsPerOp: 110},
+		{Name: "BenchmarkEngineWarmGain/memo=off-8", NsPerOp: 1400},
+	}
+	m, err := ParseRenameMap(" BenchmarkEngineWarmGain=BenchmarkWarmGainRequest ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparisons, skipped, err := Compare(base, cur, regexp.MustCompile("BenchmarkEngineWarmGain"), 0.25, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comparisons) != 2 || len(skipped) != 0 {
+		t.Fatalf("comparisons %v skipped %v, want 2 paired, 0 skipped", comparisons, skipped)
+	}
+	regs := Regressions(comparisons)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkEngineWarmGain/memo=off" {
+		t.Fatalf("regressions %v, want exactly the memo=off arm", regs)
+	}
+	// Without the map, every renamed benchmark is skipped.
+	comparisons, skipped, err = Compare(base, cur, regexp.MustCompile("BenchmarkEngineWarmGain"), 0.25, nil)
+	if err == nil {
+		t.Fatalf("unmapped compare unexpectedly paired: %v (skipped %v)", comparisons, skipped)
+	}
+	// Malformed entries are rejected.
+	if _, err := ParseRenameMap("NoEquals"); err == nil {
+		t.Fatal("bad -map entry accepted")
+	}
+	if _, err := ParseRenameMap("a=,b=c"); err == nil {
+		t.Fatal("empty old name accepted")
 	}
 }

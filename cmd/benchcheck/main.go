@@ -37,6 +37,7 @@ func main() {
 		inputPath      = flag.String("input", "-", "go test -bench output to check ('-' = stdin)")
 		patternStr     = flag.String("pattern", "BenchmarkSelectionEndToEnd", "regexp selecting which benchmarks to gate")
 		tolerance      = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression (0.25 = +25%)")
+		mapStr         = flag.String("map", "", "comma-separated new=old benchmark renames: gate a renamed/extracted benchmark against its predecessor's baseline entry (sub-benchmark suffixes carry over)")
 	)
 	flag.Parse()
 	if *baselinePath == "" {
@@ -67,7 +68,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	comparisons, skipped, err := Compare(baseline.Benchmarks, current, pattern, *tolerance)
+	renames, err := ParseRenameMap(*mapStr)
+	if err != nil {
+		fatal(err)
+	}
+	comparisons, skipped, err := Compare(baseline.Benchmarks, current, pattern, *tolerance, renames)
 	if err != nil {
 		fatal(err)
 	}

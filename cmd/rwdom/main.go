@@ -3,15 +3,20 @@
 // It reads an edge list (SNAP format) or generates a named dataset stand-in,
 // runs the chosen selection algorithm, prints the selected nodes and both
 // effectiveness metrics, and optionally writes the selection to a file.
+// Approximate selections run through the rwdom.Open query engine; -stream
+// prints each greedy round as it is decided (same final selection,
+// bit-for-bit).
 //
 // Examples:
 //
 //	rwdom -graph web.txt -k 50 -L 6 -problem coverage
 //	rwdom -dataset Epinions -scale 0.2 -k 100 -L 6 -algorithm approx
+//	rwdom -dataset Epinions -scale 0.2 -k 100 -L 6 -algorithm approx -stream
 //	rwdom -gen powerlaw -n 100000 -m 600000 -k 50 -problem hitting
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +46,7 @@ func main() {
 		indexFile = flag.String("indexfile", "", "cache the walk index here: load if present, else build and save (approx only)")
 		workers   = flag.Int("workers", 0, "goroutines for index construction and gain evaluation (0 = all cores); selections are identical for every value")
 		analyze   = flag.Bool("analyze", false, "print structural statistics (clustering, assortativity, rich club) and exit")
+		stream    = flag.Bool("stream", false, "print each greedy round as it is decided (approx algorithm only; same final selection)")
 	)
 	flag.Parse()
 
@@ -79,11 +85,14 @@ func main() {
 	}
 
 	var sel *rwdom.Selection
-	if *indexFile != "" {
+	switch {
+	case *stream:
+		sel, err = streamSelect(g, prob, opts, *indexFile)
+	case *indexFile != "":
 		sel, err = selectWithCachedIndex(g, prob, opts, *indexFile)
-	} else if prob == rwdom.Problem1 {
+	case prob == rwdom.Problem1:
 		sel, err = rwdom.MinimizeHittingTime(g, opts)
-	} else {
+	default:
 		sel, err = rwdom.MaximizeCoverage(g, opts)
 	}
 	if err != nil {
@@ -118,12 +127,78 @@ func main() {
 	}
 }
 
-// selectWithCachedIndex loads the walk index from path if it exists
-// (validating it against the graph), otherwise builds and saves it, then
-// runs the approximate greedy selection. opts.Workers drives both the build
-// and the selection loop.
+// streamSelect runs the approximate selection through the query engine's
+// streaming path, printing each greedy round as it is decided. The final
+// selection is bit-for-bit what the blocking path returns.
+func streamSelect(g *rwdom.Graph, prob rwdom.Problem, opts rwdom.Options, indexFile string) (*rwdom.Selection, error) {
+	if opts.Algorithm != rwdom.AlgorithmApprox &&
+		!(opts.Algorithm == rwdom.AlgorithmAuto && g.N() > 2000) {
+		return nil, fmt.Errorf("-stream requires the approximate algorithm (got %v for %d nodes); pass -algorithm approx", opts.Algorithm, g.N())
+	}
+	if opts.R == 0 {
+		opts.R = rwdom.DefaultR
+	}
+	en, err := rwdom.Open(g, rwdom.WithWorkers(opts.Workers))
+	if err != nil {
+		return nil, err
+	}
+	defer en.Close()
+	if indexFile != "" {
+		ix, err := loadOrBuildIndex(g, opts, indexFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := en.AdoptIndex(ix); err != nil {
+			return nil, err
+		}
+	}
+	strategy := rwdom.Plain
+	if opts.Lazy {
+		strategy = rwdom.Lazy
+	}
+	res, err := en.SelectStream(context.Background(), rwdom.SelectRequest{
+		Problem:  prob,
+		K:        opts.K,
+		L:        opts.L,
+		R:        opts.R,
+		Seed:     opts.Seed,
+		Strategy: strategy,
+		Workers:  opts.Workers,
+	}, func(rd rwdom.Round) error {
+		fmt.Printf("round %3d: node %7d  gain %12.4f  objective %14.4f\n", rd.Round, rd.Node, rd.Gain, rd.Objective)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	name := "ApproxF1"
+	if prob == rwdom.Problem2 {
+		name = "ApproxF2"
+	}
+	return &rwdom.Selection{
+		Algorithm:   name,
+		Nodes:       res.Nodes,
+		Gains:       res.Gains,
+		Evaluations: res.Evaluations,
+		BuildTime:   res.IndexBuild + res.TableBuild,
+		SelectTime:  res.Select,
+	}, nil
+}
+
+// selectWithCachedIndex resolves the walk index through loadOrBuildIndex,
+// then runs the approximate greedy selection over it. opts.Workers drives
+// both the build and the selection loop.
 func selectWithCachedIndex(g *rwdom.Graph, prob rwdom.Problem, opts rwdom.Options, path string) (*rwdom.Selection, error) {
-	var ix *rwdom.Index
+	ix, err := loadOrBuildIndex(g, opts, path)
+	if err != nil {
+		return nil, err
+	}
+	return rwdom.SelectWithIndexWorkers(ix, prob, opts.K, opts.Lazy, opts.Workers)
+}
+
+// loadOrBuildIndex loads the walk index from path if it exists (validating
+// it against the graph), otherwise builds and saves it.
+func loadOrBuildIndex(g *rwdom.Graph, opts rwdom.Options, path string) (*rwdom.Index, error) {
 	if _, statErr := os.Stat(path); statErr == nil {
 		loaded, err := rwdom.LoadIndexFile(path, g)
 		if err != nil {
@@ -136,25 +211,22 @@ func selectWithCachedIndex(g *rwdom.Graph, prob rwdom.Problem, opts rwdom.Option
 				loaded.L(), loaded.R(), opts.L, opts.R, path)
 		} else {
 			fmt.Printf("loaded index from %s (%d entries)\n", path, loaded.Entries())
-			ix = loaded
+			return loaded, nil
 		}
 	}
-	if ix == nil {
-		workers := opts.Workers
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
-		built, err := rwdom.BuildIndexParallel(g, opts.L, opts.R, opts.Seed, workers)
-		if err != nil {
-			return nil, err
-		}
-		if err := built.SaveFile(path); err != nil {
-			return nil, err
-		}
-		fmt.Printf("built and saved index to %s (%d entries)\n", path, built.Entries())
-		ix = built
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	return rwdom.SelectWithIndexWorkers(ix, prob, opts.K, opts.Lazy, opts.Workers)
+	built, err := rwdom.BuildIndexParallel(g, opts.L, opts.R, opts.Seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := built.SaveFile(path); err != nil {
+		return nil, err
+	}
+	fmt.Printf("built and saved index to %s (%d entries)\n", path, built.Entries())
+	return built, nil
 }
 
 func loadGraph(path, ds string, scale float64, gen string, n, m int, seed uint64) (*rwdom.Graph, error) {

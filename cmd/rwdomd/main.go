@@ -1,10 +1,13 @@
-// Command rwdomd is the random-walk-domination query-serving daemon: it
-// loads graphs once at startup, materializes walk indexes on demand into a
-// refcounted LRU cache, memoizes per-set D-tables so repeated gain queries
-// are pure reads, and answers selection/gain/objective/topgains queries
-// over HTTP, coalescing identical concurrent work. SIGTERM/SIGINT drain
-// in-flight queries and spill resident indexes to the cache directory so a
-// restart starts warm.
+// Command rwdomd is the random-walk-domination query-serving daemon: a
+// thin HTTP codec over the transport-agnostic query engine
+// (internal/engine). It loads graphs once at startup; the engine
+// materializes walk indexes on demand into a refcounted LRU cache,
+// memoizes per-set D-tables so repeated gain queries are pure reads, and
+// coalesces identical concurrent selections. SIGTERM/SIGINT drain in-flight
+// queries and spill resident indexes to the cache directory so a restart
+// starts warm. Errors share one machine-readable JSON envelope
+// ({"error":{"code","message"}}) on every path; the repro/client package
+// is the typed Go SDK for this daemon.
 //
 // Examples:
 //
@@ -16,6 +19,7 @@
 // Query it with curl:
 //
 //	curl -s localhost:7474/v1/select -d '{"graph":"Epinions","problem":"coverage","k":10,"L":6}'
+//	curl -sN 'localhost:7474/v1/select?stream=1' -d '{"graph":"Epinions","k":10,"L":6}'   # NDJSON round events
 //	curl -s 'localhost:7474/v1/gain?graph=Epinions&L=6&set=1,2&nodes=7,9'
 //	curl -s 'localhost:7474/v1/topgains?graph=Epinions&L=6&set=1,2&b=10'
 //	curl -s localhost:7474/stats

@@ -41,19 +41,52 @@
 // BENCH_PR2.json, ...) and the ablation benchmarks isolate each of these
 // decisions; cmd/benchcheck gates CI against the recorded baseline.
 //
+// # The query Engine
+//
+// Open binds a graph to a query Engine — the transport-agnostic serving
+// core (internal/engine) that owns the whole cache stack — and is the
+// recommended API for everything the approximate algorithm serves:
+//
+//	en, err := rwdom.Open(g)           // options: WithWorkers, WithSpillDir, ...
+//	defer en.Close()
+//	res, err := en.Select(ctx, rwdom.SelectRequest{Problem: rwdom.Problem2, K: 50, L: 6})
+//	gains, err := en.Gain(ctx, rwdom.GainRequest{L: 6, Set: res.Nodes[:3], Nodes: []int{7, 9}})
+//
+// Every method takes a context and a typed request. Walk indexes build at
+// most once per (L, R, seed) and are shared across calls and problems;
+// identical concurrent Selects coalesce into one computation; repeated
+// Gain/Objective/TopGains calls for a seed set are pure reads of a frozen
+// memoized D-table. SelectStream emits each greedy round (node, gain,
+// objective-so-far) as it is decided, and the emitted rounds reassemble
+// bit-identically into the blocking Select result. Errors carry stable
+// machine-readable codes (ErrorCodeOf: bad_request, not_found, draining,
+// timeout, internal) shared with the HTTP daemon and the client SDK.
+//
+// The original free functions (MinimizeHittingTime, MaximizeCoverage,
+// SelectWithIndex, ...) remain as deprecated shims over a default Engine:
+// they compile, return bit-identical selections, and point migrators at
+// the Engine equivalents. The DP, sampling and baseline algorithms are
+// reachable only through them.
+//
 // # Serving
 //
-// cmd/rwdomd wraps the selection engine in a long-running HTTP daemon
-// (internal/server): graphs load once at startup, walk indexes are
-// materialized on demand into a refcounted LRU cache keyed by
-// (graph, L, R, seed) — shared across concurrent queries, coalesced so
-// simultaneous misses build once, and spilled to disk on eviction and
-// shutdown so restarts start warm. POST /v1/select answers top-k selections
-// for both problems (plain or CELF-lazy greedy, gain evaluations sharded
-// over a per-request workers knob); GET /v1/gain, GET /v1/objective and
+// cmd/rwdomd wraps the same engine in a long-running HTTP daemon
+// (internal/server, a thin codec: decode → engine call → encode): graphs
+// load once at startup, walk indexes are materialized on demand into a
+// refcounted LRU cache keyed by (graph, L, R, seed) — shared across
+// concurrent queries, coalesced so simultaneous misses build once, and
+// spilled to disk on eviction and shutdown so restarts start warm.
+// POST /v1/select answers top-k selections for both problems (plain or
+// CELF-lazy greedy, gain evaluations sharded over a per-request workers
+// knob; with ?stream=1 the reply is NDJSON round events and a final
+// blocking-shape result); GET /v1/gain, GET /v1/objective and
 // GET /v1/topgains answer point queries against the same indexes; and
 // GET /healthz plus GET /stats expose liveness, index/memo cache traffic
-// and per-endpoint latency histograms.
+// and per-endpoint latency histograms. Every error path shares one JSON
+// envelope {"error":{"code","message"}} with the stable codes above, and
+// the repro/client package is the typed Go SDK over the whole contract —
+// mirrored requests/responses, typed errors, retry while the daemon
+// drains, and a streaming iterator for selects.
 //
 // The gain read path is memoized (this is where the paper's index pays off
 // at serving time — a marginal gain should be a read, not a rebuild):
@@ -89,7 +122,10 @@
 //
 //	g, err := rwdom.GeneratePowerLaw(10000, 50000, 1)
 //	if err != nil { ... }
-//	sel, err := rwdom.MaximizeCoverage(g, rwdom.Options{K: 50, L: 6, R: 100})
+//	en, err := rwdom.Open(g)
+//	if err != nil { ... }
+//	defer en.Close()
+//	sel, err := en.Select(ctx, rwdom.SelectRequest{K: 50, L: 6, R: 100})
 //	if err != nil { ... }
 //	fmt.Println(sel.Nodes) // the 50 selected targets
 //	m, _ := rwdom.EvaluateExact(g, sel.Nodes, 6)
@@ -97,6 +133,7 @@
 //
 // The examples directory contains runnable programs for the paper's three
 // motivating applications (item placement in social networks, Ads
-// placement, and P2P resource placement), and internal/experiments
-// regenerates every table and figure of the paper's evaluation section.
+// placement, and P2P resource placement) plus the daemon+client pair
+// (examples/serving), and internal/experiments regenerates every table and
+// figure of the paper's evaluation section.
 package rwdom

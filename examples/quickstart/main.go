@@ -1,13 +1,15 @@
 // Quickstart: the smallest end-to-end use of the rwdom public API.
 //
-// It builds a small power-law graph, selects 10 target nodes for each of the
-// paper's two problems with the approximate greedy algorithm, and compares
+// It builds a small power-law graph, opens a query Engine over it, selects
+// 10 target nodes for each of the paper's two problems with the approximate
+// greedy algorithm (sharing one walk index between them), and compares
 // their effectiveness (and the two baselines') under both metrics.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,19 +28,40 @@ func main() {
 		k = 10 // budget: how many nodes we may target
 		L = 6  // users browse at most 6 hops
 	)
-	opts := rwdom.Options{K: k, L: L, R: 100, Seed: 1, Algorithm: rwdom.AlgorithmApprox, Lazy: true}
+
+	// The Engine owns the walk-index cache: both problems below share one
+	// materialization of the (L, R, seed) index, and repeated gain queries
+	// would be memoized reads.
+	en, err := rwdom.Open(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer en.Close()
+	ctx := context.Background()
 
 	// Problem 1: make every user reach a target as quickly as possible.
-	p1, err := rwdom.MinimizeHittingTime(g, opts)
+	p1, err := en.Select(ctx, rwdom.SelectRequest{Problem: rwdom.Problem1, K: k, L: L, R: 100, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Problem 2: maximize how many users reach any target at all.
-	p2, err := rwdom.MaximizeCoverage(g, opts)
+	// Problem 2: maximize how many users reach any target at all. Streamed,
+	// to show picks as the greedy loop decides them — the final selection is
+	// bit-for-bit what the blocking call returns.
+	fmt.Println("\ncoverage selection, round by round:")
+	p2, err := en.SelectStream(ctx, rwdom.SelectRequest{Problem: rwdom.Problem2, K: k, L: L, R: 100, Seed: 1},
+		func(rd rwdom.Round) error {
+			fmt.Printf("  round %2d: node %4d covers %6.1f more users (total %8.1f)\n",
+				rd.Round, rd.Node, rd.Gain, rd.Objective)
+			return nil
+		})
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Baselines for contrast.
+	if !p2.IndexCached {
+		log.Fatal("the two problems should have shared one walk index")
+	}
+
+	// Baselines for contrast (no walk index involved).
 	deg, err := rwdom.MinimizeHittingTime(g, rwdom.Options{K: k, L: L, Algorithm: rwdom.AlgorithmDegree})
 	if err != nil {
 		log.Fatal(err)
@@ -49,12 +72,20 @@ func main() {
 	}
 
 	fmt.Printf("\n%-22s %-12s %-12s\n", "selection", "AHT (lower+)", "EHN (higher+)")
-	for _, sel := range []*rwdom.Selection{p1, p2, deg, dom} {
-		m, err := rwdom.EvaluateExact(g, sel.Nodes, L)
+	for _, row := range []struct {
+		name  string
+		nodes []int
+	}{
+		{"ApproxF1 (engine)", p1.Nodes},
+		{"ApproxF2 (engine)", p2.Nodes},
+		{deg.Algorithm, deg.Nodes},
+		{dom.Algorithm, dom.Nodes},
+	} {
+		m, err := rwdom.EvaluateExact(g, row.nodes, L)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-22s %-12.4f %-12.1f\n", sel.Algorithm, m.AHT, m.EHN)
+		fmt.Printf("%-22s %-12.4f %-12.1f\n", row.name, m.AHT, m.EHN)
 	}
 	fmt.Printf("\nProblem-1 targets: %v\n", p1.Nodes)
 	fmt.Printf("Problem-2 targets: %v\n", p2.Nodes)

@@ -123,10 +123,16 @@ func drive(n, k int, oracle greedy.Oracle, lazy bool) (*greedy.Result, error) {
 // sampling oracles do not and always pass workers = 1). Cancellation of ctx
 // aborts the selection with ctx's error.
 func driveWorkers(ctx context.Context, n, k int, oracle greedy.Oracle, lazy bool, workers int) (*greedy.Result, error) {
+	return driveStream(ctx, n, k, oracle, lazy, workers, nil)
+}
+
+// driveStream is driveWorkers with a per-pick observer threaded through to
+// the greedy drivers.
+func driveStream(ctx context.Context, n, k int, oracle greedy.Oracle, lazy bool, workers int, obs greedy.PickObserver) (*greedy.Result, error) {
 	if lazy {
-		return greedy.RunLazyWorkersCtx(ctx, n, k, oracle, workers)
+		return greedy.RunLazyWorkersStream(ctx, n, k, oracle, workers, obs)
 	}
-	return greedy.RunWorkersCtx(ctx, n, k, oracle, workers)
+	return greedy.RunWorkersStream(ctx, n, k, oracle, workers, obs)
 }
 
 // ---------------------------------------------------------------------------
@@ -364,8 +370,29 @@ func ApproxWithIndexWorkers(ix *index.Index, p index.Problem, k int, lazy bool, 
 // ApproxWithIndexCtx is ApproxWithIndexWorkers with cooperative
 // cancellation: canceling ctx aborts the greedy loop between evaluation
 // strides and returns ctx's error. It is the entry point the query-serving
-// daemon uses to enforce per-request timeouts and graceful drain.
+// engine uses to enforce per-request timeouts and graceful drain.
 func ApproxWithIndexCtx(ctx context.Context, ix *index.Index, p index.Problem, k int, lazy bool, workers int) (*Selection, error) {
+	return ApproxWithIndexStream(ctx, ix, p, k, lazy, workers, nil)
+}
+
+// Pick is one streamed greedy round: the node committed in round Round
+// (1-based), its recorded marginal gain, and the objective value after the
+// round — the running telescoped sum of gains, accumulated in selection
+// order so that the last round's Total is bit-for-bit Selection.Objective().
+type Pick struct {
+	Round int
+	Node  int
+	Gain  float64
+	Total float64
+}
+
+// ApproxWithIndexStream is ApproxWithIndexCtx with a per-round observer:
+// onPick (may be nil) is called with each committed pick as it is decided,
+// before the next round begins. The observer cannot perturb the selection —
+// picks are reported after being committed — so the returned Selection is
+// bit-for-bit identical to the blocking path's for every worker count; a
+// non-nil observer error aborts the run and is returned as-is.
+func ApproxWithIndexStream(ctx context.Context, ix *index.Index, p index.Problem, k int, lazy bool, workers int, onPick func(Pick) error) (*Selection, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("core: negative budget K=%d", k)
 	}
@@ -379,7 +406,16 @@ func ApproxWithIndexCtx(ctx context.Context, ix *index.Index, p index.Problem, k
 	}
 	build := time.Since(start)
 	start = time.Now()
-	res, err := driveWorkers(ctx, ix.Graph().N(), k, dtableOracle{d}, lazy, workers)
+	var obs greedy.PickObserver
+	if onPick != nil {
+		round, total := 0, 0.0
+		obs = func(u int, gain float64) error {
+			round++
+			total += gain
+			return onPick(Pick{Round: round, Node: u, Gain: gain, Total: total})
+		}
+	}
+	res, err := driveStream(ctx, ix.Graph().N(), k, dtableOracle{d}, lazy, workers, obs)
 	if err != nil {
 		return nil, err
 	}

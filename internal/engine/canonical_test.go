@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestCanonicalSet(t *testing.T) {
+	for _, tc := range []struct {
+		in   []int
+		want []int
+		key  string
+	}{
+		{nil, []int{}, ""},
+		{[]int{}, []int{}, ""},
+		{[]int{5}, []int{5}, "5"},
+		{[]int{5, 5, 5}, []int{5}, "5"},
+		{[]int{9, 1, 5}, []int{1, 5, 9}, "1,5,9"},
+		{[]int{3, 1, 3, 2, 1}, []int{1, 2, 3}, "1,2,3"},
+	} {
+		canon, key := canonicalSet(tc.in)
+		if key != tc.key {
+			t.Errorf("canonicalSet(%v): key %q, want %q", tc.in, key, tc.key)
+		}
+		if len(canon) != len(tc.want) {
+			t.Errorf("canonicalSet(%v) = %v, want %v", tc.in, canon, tc.want)
+			continue
+		}
+		for i := range tc.want {
+			if canon[i] != tc.want[i] {
+				t.Errorf("canonicalSet(%v) = %v, want %v", tc.in, canon, tc.want)
+				break
+			}
+		}
+	}
+	// The input slice must not be mutated (handlers echo it back).
+	in := []int{9, 1, 5, 1}
+	canonicalSet(in)
+	if in[0] != 9 || in[3] != 1 {
+		t.Fatalf("canonicalSet mutated its input: %v", in)
+	}
+}
+
+// Distinct canonical sets must get distinct keys — exhaustively over every
+// subset of a 12-node universe (4096 sets), so a key match can never serve
+// the wrong cached table.
+func TestSetKeyInjectiveSmallUniverse(t *testing.T) {
+	const universe = 12
+	seen := make(map[string][]int, 1<<universe)
+	for mask := 0; mask < 1<<universe; mask++ {
+		var set []int
+		for u := 0; u < universe; u++ {
+			if mask&(1<<u) != 0 {
+				set = append(set, u)
+			}
+		}
+		_, key := canonicalSet(set)
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("key collision: %v and %v both map to %q", prev, set, key)
+		}
+		seen[key] = set
+	}
+}

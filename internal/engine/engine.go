@@ -1,0 +1,432 @@
+// Package engine is the transport-agnostic query-serving brain of the
+// random-walk-domination system: it owns the cache stack the paper's
+// materialized walk index makes worthwhile — the refcounted LRU of built
+// indexes (internal/index.Cache) and the memoized per-set D-table cache —
+// and exposes context-first, request/response methods over it:
+//
+//	Select       top-k seed selection (Problem 1 or 2, plain or CELF-lazy
+//	             greedy), identical concurrent selections coalesced into one
+//	             computation
+//	SelectStream Select that emits each greedy round's pick (node, gain,
+//	             objective-so-far) as it is decided; the reassembled rounds
+//	             are bit-for-bit the blocking Select result
+//	Gain         marginal gains of candidate nodes against a seed set
+//	Objective    estimated objective value of a seed set
+//	TopGains     the top-B candidates by marginal gain against a seed set
+//
+// Every transport — the HTTP daemon (internal/server), the public embedded
+// API (rwdom.Open), the typed Go client's server side, future gRPC or batch
+// front ends — is a thin codec over this one type, so each of them gets the
+// whole serving stack (index sharing, build coalescing, memoized reads,
+// prefix extension, spill-to-disk, byte budgets) for free instead of
+// reimplementing it per transport.
+//
+// Errors carry stable machine-readable codes (*Error with CodeBadRequest,
+// CodeNotFound, CodeDraining, CodeTimeout, CodeInternal) so codecs can map
+// them mechanically — the HTTP layer to statuses and its JSON error
+// envelope, the client SDK back to typed errors.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+// Config configures an Engine. Graphs is required; zero values elsewhere get
+// the documented defaults.
+type Config struct {
+	// Graphs maps the logical names requests use to loaded graphs.
+	Graphs map[string]*graph.Graph
+	// CacheSize bounds the number of resident walk indexes (default 8;
+	// < 0 means unbounded). IndexBytes additionally bounds their summed heap
+	// footprint (0 means unbounded); the budget is soft while every resident
+	// index is pinned by an in-flight request.
+	CacheSize  int
+	IndexBytes int64
+	// SpillDir, when non-empty, persists evicted and Close-resident indexes
+	// so later misses and restarts skip the build.
+	SpillDir string
+	// EvictInterval enables background eviction of indexes not used for one
+	// full interval (0 disables it).
+	EvictInterval time.Duration
+	// DefaultTimeout bounds a selection computation whose request does not
+	// set its own timeout; MaxTimeout caps what a request may ask for. Zero
+	// means unbounded — the caller's context is then the only bound, the
+	// right default for embedded library use. The HTTP daemon sets both.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// DefaultWorkers is the per-request worker default; MaxWorkers caps the
+	// request knob. Both default to runtime.GOMAXPROCS(0).
+	DefaultWorkers int
+	MaxWorkers     int
+	// MaxR and MaxK cap per-request sample size and budget as a defense
+	// against accidental resource exhaustion (defaults 1000 and 10000).
+	MaxR int
+	MaxK int
+	// MemoSize bounds the number of memoized D-tables the gain read path
+	// keeps resident (default 128; < 0 means unbounded); MemoBytes
+	// additionally bounds their summed heap footprint (0 means unbounded,
+	// soft while tables are pinned). DisableMemo turns the memoized read
+	// path off entirely, so every Gain, Objective and TopGains request
+	// materializes a fresh table — kept for parity testing and A/B
+	// benchmarking.
+	MemoSize    int
+	MemoBytes   int64
+	DisableMemo bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 8
+	}
+	if c.DefaultWorkers <= 0 {
+		c.DefaultWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxR <= 0 {
+		c.MaxR = 1000
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 10000
+	}
+	if c.MemoSize == 0 {
+		c.MemoSize = 128
+	}
+	return c
+}
+
+// Engine answers selection and gain queries over a fixed set of graphs,
+// sharing one cache stack across every transport. Create with New, release
+// resources with Close. All methods are safe for concurrent use.
+type Engine struct {
+	cfg   Config
+	cache *index.Cache
+	// memo is the memoized D-table cache behind Gain, Objective and
+	// TopGains; nil when cfg.DisableMemo.
+	memo *memoCache
+	sf   singleflight
+
+	// selectsCoalesced counts Select results served from another request's
+	// computation.
+	selectsCoalesced atomic.Int64
+
+	// lifecycle is canceled by Abort/Close; every computation context
+	// descends from it so shutdown aborts stragglers.
+	lifecycle context.Context
+	abort     context.CancelFunc
+
+	stopEvictor func()
+	closeOnce   sync.Once
+	closeErr    error
+}
+
+// New validates cfg and returns a ready Engine.
+func New(cfg Config) (*Engine, error) {
+	if len(cfg.Graphs) == 0 {
+		return nil, &Error{Code: CodeBadRequest, Message: "engine: no graphs configured"}
+	}
+	for name, g := range cfg.Graphs {
+		if g == nil || g.N() == 0 {
+			return nil, &Error{Code: CodeBadRequest, Message: fmt.Sprintf("engine: graph %q is empty", name)}
+		}
+	}
+	cfg = cfg.withDefaults()
+	cache, err := index.NewCache(cfg.CacheSize, cfg.IndexBytes, cfg.SpillDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		cfg:       cfg,
+		cache:     cache,
+		lifecycle: ctx,
+		abort:     cancel,
+	}
+	if !cfg.DisableMemo {
+		e.memo = newMemoCache(cfg.MemoSize, cfg.MemoBytes)
+		// Link the two caches: when an index is evicted, every memoized
+		// table built under its key is dropped (or orphaned until its last
+		// in-flight reader releases it), so the eviction actually returns
+		// the index's heap.
+		cache.OnEviction(func(keys []index.CacheKey) { e.memo.dropIndexes(keys) })
+	}
+	if cfg.EvictInterval > 0 {
+		e.stopEvictor = cache.StartEvictor(cfg.EvictInterval)
+	}
+	return e, nil
+}
+
+// Graph returns the named graph, or the engine's sole graph when name is
+// empty and exactly one is configured (the embedded single-graph case).
+func (e *Engine) Graph(name string) (*graph.Graph, bool) {
+	if name == "" && len(e.cfg.Graphs) == 1 {
+		for _, g := range e.cfg.Graphs {
+			return g, true
+		}
+	}
+	g, ok := e.cfg.Graphs[name]
+	return g, ok
+}
+
+// Graphs returns the number of configured graphs.
+func (e *Engine) Graphs() int { return len(e.cfg.Graphs) }
+
+// Cache exposes the index cache (for stats, adoption and tests).
+func (e *Engine) Cache() *index.Cache { return e.cache }
+
+// AdoptIndex inserts a caller-materialized index into the cache under the
+// given graph name (resolved like Graph) so selections against its
+// (L, R, seed) identity are served from it instead of rebuilding.
+func (e *Engine) AdoptIndex(name string, ix *index.Index) error {
+	if ix == nil {
+		return &Error{Code: CodeBadRequest, Message: "engine: adopt nil index"}
+	}
+	if name == "" && len(e.cfg.Graphs) == 1 {
+		for only := range e.cfg.Graphs {
+			name = only
+		}
+	}
+	g, ok := e.cfg.Graphs[name]
+	if !ok {
+		return &Error{Code: CodeNotFound, Message: fmt.Sprintf("unknown graph %q", name)}
+	}
+	if g != ix.Graph() {
+		return &Error{Code: CodeBadRequest, Message: fmt.Sprintf("engine: index was built on a different graph than %q", name)}
+	}
+	key := index.CacheKey{Graph: name, L: ix.L(), R: ix.R(), Seed: ix.Seed()}
+	return e.cache.Adopt(key, ix)
+}
+
+// MemoStats snapshots the memoized-gain cache counters; the zero value when
+// memoization is disabled.
+func (e *Engine) MemoStats() MemoStats {
+	if e.memo == nil {
+		return MemoStats{}
+	}
+	return e.memo.Stats()
+}
+
+// MemoEnabled reports whether the memoized gain read path is on.
+func (e *Engine) MemoEnabled() bool { return e.memo != nil }
+
+// MemoPinnedRefs returns the total refcount across resident memo tables —
+// test observability for "no table is still pinned once traffic stops".
+// Zero when memoization is disabled.
+func (e *Engine) MemoPinnedRefs() int {
+	if e.memo == nil {
+		return 0
+	}
+	return e.memo.pinnedRefs()
+}
+
+// Stats snapshots the engine-level counters: index-cache and memo traffic
+// plus coalesced selections.
+type Stats struct {
+	Cache            index.CacheStats
+	Memo             MemoStats
+	MemoEnabled      bool
+	SelectsCoalesced int64
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Cache:            e.cache.Stats(),
+		MemoEnabled:      e.memo != nil,
+		SelectsCoalesced: e.selectsCoalesced.Load(),
+	}
+	if e.memo != nil {
+		s.Memo = e.memo.Stats()
+	}
+	return s
+}
+
+// Abort cancels every in-flight computation (their contexts descend from
+// the engine lifecycle). The engine remains usable for new requests; the
+// HTTP layer calls this when its drain budget runs out.
+func (e *Engine) Abort() { e.abort() }
+
+// Close releases engine resources: aborts outstanding computations, stops
+// the background evictor, and spills resident indexes to the spill
+// directory. Idempotent.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() {
+		e.abort()
+		if e.stopEvictor != nil {
+			e.stopEvictor()
+		}
+		e.closeErr = e.cache.SpillAll()
+	})
+	return e.closeErr
+}
+
+// clampTimeout resolves a per-request timeout knob against the configured
+// default and cap. Zero in, zero defaults out means unbounded.
+func (e *Engine) clampTimeout(timeout time.Duration) time.Duration {
+	if timeout <= 0 {
+		timeout = e.cfg.DefaultTimeout
+	}
+	if e.cfg.MaxTimeout > 0 && timeout > e.cfg.MaxTimeout {
+		timeout = e.cfg.MaxTimeout
+	}
+	return timeout
+}
+
+// Context derives the wait context for one request: bounded by the
+// (clamped) timeout knob when one applies, by parent, and by the engine
+// lifecycle so Abort/Close cancel it. Transports wrap their per-request
+// contexts with it before calling engine methods.
+func (e *Engine) Context(parent context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	timeout = e.clampTimeout(timeout)
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(parent, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(parent)
+	}
+	stop := context.AfterFunc(e.lifecycle, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// computeCtx derives the context shared selection computations run under:
+// bounded by the leader's timeout and the engine lifecycle but NOT by the
+// leader's own request context, so one departing client cannot fail the
+// coalesced followers.
+func (e *Engine) computeCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	timeout = e.clampTimeout(timeout)
+	if timeout > 0 {
+		return context.WithTimeout(e.lifecycle, timeout)
+	}
+	return context.WithCancel(e.lifecycle)
+}
+
+// resolveWorkers clamps the per-request workers knob.
+func (e *Engine) resolveWorkers(workers int) int {
+	if workers <= 0 {
+		return e.cfg.DefaultWorkers
+	}
+	if workers > e.cfg.MaxWorkers {
+		return e.cfg.MaxWorkers
+	}
+	return workers
+}
+
+// params are the validated request knobs that identify one materialized
+// index.
+type params struct {
+	graphName string
+	g         *graph.Graph
+	L, R      int
+	seed      uint64
+}
+
+func (p params) cacheKey() index.CacheKey {
+	return index.CacheKey{Graph: p.graphName, L: p.L, R: p.R, Seed: p.seed}
+}
+
+// resolveParams validates the shared graph/L/R/seed knobs. R defaults to the
+// paper's recommended 100 when zero.
+func (e *Engine) resolveParams(graphName string, L, R int, seed uint64) (params, error) {
+	g, ok := e.Graph(graphName)
+	if !ok {
+		return params{}, &Error{Code: CodeNotFound, Message: fmt.Sprintf("unknown graph %q", graphName)}
+	}
+	if graphName == "" {
+		// Sole-graph shorthand resolved by Graph above: key the cache under
+		// the real name so explicit and shorthand requests share indexes.
+		for only := range e.cfg.Graphs {
+			graphName = only
+		}
+	}
+	// L = 0 (zero-hop walks) is degenerate but legal for embedded use; the
+	// HTTP codec enforces its stricter L >= 1 contract before reaching here.
+	if L < 0 || L > 1<<16-1 {
+		return params{}, badRequestf("L=%d outside [0, %d]", L, 1<<16-1)
+	}
+	if R == 0 {
+		R = 100 // the paper's recommended sample size
+	}
+	if R < 1 || R > e.cfg.MaxR {
+		return params{}, badRequestf("R=%d outside [1, %d]", R, e.cfg.MaxR)
+	}
+	return params{graphName: graphName, g: g, L: L, R: R, seed: seed}, nil
+}
+
+// resolveProblem validates the problem knob; zero means Problem 2 (the
+// coverage problem), matching the HTTP default.
+func resolveProblem(p index.Problem) (index.Problem, error) {
+	switch p {
+	case 0, index.Problem2:
+		return index.Problem2, nil
+	case index.Problem1:
+		return index.Problem1, nil
+	default:
+		return 0, badRequestf("unknown problem %d (want 1 or 2)", int(p))
+	}
+}
+
+// validateSet checks node ids against the graph.
+func validateSet(field string, nodes []int, g *graph.Graph) error {
+	for _, u := range nodes {
+		if u < 0 || u >= g.N() {
+			return badRequestf("%s: node %d outside [0, %d)", field, u, g.N())
+		}
+	}
+	return nil
+}
+
+// acquireIndex fetches (or builds) the index for p, reporting whether this
+// call triggered the build and how long the build (or spill load) took.
+func (e *Engine) acquireIndex(p params, workers int) (h *index.Handle, built bool, buildTime time.Duration, err error) {
+	start := time.Now()
+	h, err = e.cache.Acquire(p.cacheKey(), p.g, func() (*index.Index, error) {
+		built = true
+		return index.BuildWorkers(p.g, p.L, p.R, p.seed, workers)
+	})
+	if built {
+		buildTime = time.Since(start)
+	}
+	return h, built, buildTime, err
+}
+
+// acquired is one acquireIndex outcome.
+type acquired struct {
+	h     *index.Handle
+	built bool
+	build time.Duration
+	err   error
+}
+
+// acquireIndexCtx is acquireIndex bounded by ctx. Index construction itself
+// cannot be canceled mid-flight, so on ctx death the request gets its
+// timeout/cancel error immediately while the build detaches, finishes in
+// the background, and still populates the cache for the next request (its
+// handle is released there).
+func (e *Engine) acquireIndexCtx(ctx context.Context, p params, workers int) (*index.Handle, bool, time.Duration, error) {
+	done := make(chan acquired, 1)
+	go func() {
+		h, built, build, err := e.acquireIndex(p, workers)
+		done <- acquired{h: h, built: built, build: build, err: err}
+	}()
+	select {
+	case a := <-done:
+		return a.h, a.built, a.build, a.err
+	case <-ctx.Done():
+		go func() {
+			if a := <-done; a.err == nil {
+				a.h.Release()
+			}
+		}()
+		return nil, false, 0, ctx.Err()
+	}
+}

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Code is a stable machine-readable error code, shared verbatim across
+// every transport: the engine attaches them to errors, the HTTP layer
+// serializes them in its JSON error envelope
+// ({"error":{"code","message"}}), and the client SDK surfaces them as typed
+// errors. Codes are append-only — transports and clients switch on them.
+type Code string
+
+// The stable error codes.
+const (
+	// CodeBadRequest marks invalid request parameters.
+	CodeBadRequest Code = "bad_request"
+	// CodeNotFound marks requests naming a graph the engine doesn't serve.
+	CodeNotFound Code = "not_found"
+	// CodeDraining marks work refused or aborted because the serving
+	// process is shutting down (or the computation was canceled from
+	// outside the request, which at serving time means drain/hard-stop).
+	CodeDraining Code = "draining"
+	// CodeTimeout marks a request that exhausted its compute budget.
+	CodeTimeout Code = "timeout"
+	// CodeInternal marks everything else.
+	CodeInternal Code = "internal"
+)
+
+// Error is an engine error with a stable code. It wraps the underlying
+// cause when there is one, so errors.Is(err, context.DeadlineExceeded)
+// and friends keep working through it.
+type Error struct {
+	Code    Code
+	Message string
+	cause   error
+}
+
+func (e *Error) Error() string { return e.Message }
+
+// Unwrap exposes the cause for errors.Is/As chains.
+func (e *Error) Unwrap() error { return e.cause }
+
+// badRequestf builds a CodeBadRequest error.
+func badRequestf(format string, args ...any) *Error {
+	return &Error{Code: CodeBadRequest, Message: fmt.Sprintf(format, args...)}
+}
+
+// wrapCompute classifies a computation error: context deadline exhaustion
+// is a timeout, cancellation is drain/shutdown (at serving time nothing
+// else cancels a computation context), engine errors pass through, and the
+// rest is internal. Returns nil for nil.
+func wrapCompute(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ee *Error
+	if errors.As(err, &ee) {
+		return err
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &Error{Code: CodeTimeout, Message: err.Error(), cause: err}
+	case errors.Is(err, context.Canceled):
+		return &Error{Code: CodeDraining, Message: err.Error(), cause: err}
+	default:
+		return &Error{Code: CodeInternal, Message: err.Error(), cause: err}
+	}
+}
+
+// CodeOf extracts the stable code from any error returned by an engine
+// method (CodeInternal for errors that carry none).
+func CodeOf(err error) Code {
+	var ee *Error
+	if errors.As(err, &ee) {
+		return ee.Code
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeTimeout
+	case errors.Is(err, context.Canceled):
+		return CodeDraining
+	default:
+		return CodeInternal
+	}
+}
+
+// HTTPStatus maps a code to its HTTP status: the contract the server codec
+// and the client SDK share.
+func HTTPStatus(code Code) int {
+	switch code {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeDraining:
+		return http.StatusServiceUnavailable
+	case CodeTimeout:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+func testGraph(t testing.TB, n int, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := graph.BarabasiAlbert(n, 3, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newTestEngine(t testing.TB, cfg Config) *Engine {
+	t.Helper()
+	if cfg.Graphs == nil {
+		cfg.Graphs = map[string]*graph.Graph{"test": testGraph(t, 600, 1)}
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// A memo table pinned by an in-flight request when its index is evicted is
+// orphaned, not freed: the holder keeps reading a valid frozen table, no
+// new request can acquire it, and its memory goes with the last release.
+func TestIndexEvictionOrphansPinnedMemoTable(t *testing.T) {
+	g := testGraph(t, 300, 6)
+	e := newTestEngine(t, Config{Graphs: map[string]*graph.Graph{"test": g}})
+
+	key := index.CacheKey{Graph: "test", L: 4, R: 10, Seed: 1}
+	h, err := e.cache.Acquire(key, g, func() (*index.Index, error) {
+		return index.BuildWorkers(g, key.L, key.R, key.Seed, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := memoKey{idx: key, problem: index.Problem2, set: "1,2"}
+	mh, status, err := e.memo.acquire(mk, []int{1, 2}, h.Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != MemoMiss {
+		t.Fatalf("first acquire status %q, want %q", status, MemoMiss)
+	}
+	want := mh.Table().Gain(5)
+	h.Release()
+
+	// Evict the index while the memo handle is still held.
+	if got := e.cache.EvictIdle(e.cache.Clock()); got != 1 {
+		t.Fatalf("EvictIdle evicted %d, want 1", got)
+	}
+	ms := e.MemoStats()
+	if ms.Invalidated != 1 || ms.Resident != 0 {
+		t.Fatalf("memo after eviction: %+v, want 1 invalidated, 0 resident", ms)
+	}
+	// The orphaned table still serves identical reads.
+	if got := mh.Table().Gain(5); got != want {
+		t.Fatalf("orphaned table gain = %v, want %v", got, want)
+	}
+	mh.Release()
+	if refs := e.MemoPinnedRefs(); refs != 0 {
+		t.Fatalf("%d refs pinned after release", refs)
+	}
+
+	// A later request for the same set repopulates from scratch (the orphan
+	// is unreachable), against a freshly built index.
+	h2, err := e.cache.Acquire(key, g, func() (*index.Index, error) {
+		return index.BuildWorkers(g, key.L, key.R, key.Seed, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Release()
+	mh2, status, err := e.memo.acquire(mk, []int{1, 2}, h2.Index())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mh2.Release()
+	if status != MemoMiss {
+		t.Fatalf("post-invalidation acquire status %q, want %q (fresh population)", status, MemoMiss)
+	}
+	// Same walks (same build identity), so the repopulated table agrees.
+	if got := mh2.Table().Gain(5); got != want {
+		t.Fatalf("repopulated table gain = %v, want %v", got, want)
+	}
+}

@@ -1,4 +1,4 @@
-package server
+package engine
 
 import (
 	"sort"
@@ -98,11 +98,62 @@ type memoKey struct {
 }
 
 // memoValue is one cached table: written once at population and immutable
-// afterwards.
+// afterwards, except for the attached top-B result memo, which has its own
+// lock.
 type memoValue struct {
 	set       []int         // canonical set, for prefix extension
 	d         *index.DTable // frozen after publication
 	objective float64
+	top       *topMemo // per-entry top-B winners, lazily filled
+}
+
+// topMemo caches TopGains results per budget B for one frozen table. The
+// table never changes after publication, so a stored result is valid for
+// the entry's whole lifetime; the map is bounded (topMemoMaxBudgets) so an
+// adversary sweeping B values cannot grow it without bound. Eviction of the
+// entry drops the memo with it.
+type topMemo struct {
+	mu  sync.Mutex
+	byB map[int]topResult
+}
+
+type topResult struct {
+	nodes []int
+	gains []float64
+}
+
+// topMemoMaxBudgets bounds how many distinct B values one table caches.
+const topMemoMaxBudgets = 16
+
+// get returns a copy of the cached winners for budget b, if present.
+// Copying at the memo boundary (both directions — see put) keeps callers
+// free to mutate their results without corrupting every later answer.
+func (t *topMemo) get(b int) ([]int, []float64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.byB[b]
+	if !ok {
+		return nil, nil, false
+	}
+	return append([]int(nil), r.nodes...), append([]float64(nil), r.gains...), true
+}
+
+// put stores a copy of the winners for budget b, unless the budget cap is
+// reached (concurrent computes of the same b store identical results, so
+// last-write is harmless).
+func (t *topMemo) put(b int, nodes []int, gains []float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.byB == nil {
+		t.byB = make(map[int]topResult, 4)
+	}
+	if _, ok := t.byB[b]; !ok && len(t.byB) >= topMemoMaxBudgets {
+		return
+	}
+	t.byB[b] = topResult{
+		nodes: append([]int(nil), nodes...),
+		gains: append([]float64(nil), gains...),
+	}
 }
 
 // memoHandle pins one cached table. Callers must Release exactly once;
@@ -118,6 +169,18 @@ func (h *memoHandle) Table() *index.DTable { return h.h.Value().d }
 // Objective returns the set's estimated objective, computed once at
 // population time.
 func (h *memoHandle) Objective() float64 { return h.h.Value().objective }
+
+// CachedTop returns the memoized top-B winners for this table, if a prior
+// request already paid the candidate sweep for budget b.
+func (h *memoHandle) CachedTop(b int) ([]int, []float64, bool) {
+	return h.h.Value().top.get(b)
+}
+
+// StoreTop memoizes the top-B winners so repeated same-set topgains
+// requests become O(B) reads instead of O(n) sweeps.
+func (h *memoHandle) StoreTop(b int, nodes []int, gains []float64) {
+	h.h.Value().top.put(b, nodes, gains)
+}
 
 // Release unpins the table, making its entry eligible for eviction.
 func (h *memoHandle) Release() { h.h.Release() }
@@ -141,6 +204,9 @@ type MemoStats struct {
 	// EmptyHits counts empty-set requests answered from the index's
 	// memoized empty-set gain vector / objective, with no D-table involved.
 	EmptyHits int64
+	// TopHits counts TopGains requests served from a table's per-entry
+	// top-B result memo (an O(B) read instead of an O(n) candidate sweep).
+	TopHits int64
 	// Evictions counts entries dropped by the entry/bytes budgets;
 	// Invalidated counts tables dropped because the index they were built
 	// from was evicted from the index cache; PopulateErrors counts failed
@@ -165,6 +231,7 @@ type memoCache struct {
 	mu             sync.Mutex
 	prefixExtended int64
 	emptyHits      int64
+	topHits        int64
 }
 
 // newMemoCache returns a memo cache bounded by maxEntries tables (<= 0
@@ -176,20 +243,22 @@ func newMemoCache(maxEntries int, maxBytes int64) *memoCache {
 	})}
 }
 
-// Memo acquire outcomes, echoed in response bodies so clients (and the
-// parity/stress tests) can see which path served them.
+// Memo acquire outcomes, echoed through every transport (the HTTP "memo"
+// response field, the client SDK, the result types below) so clients and
+// the parity/stress tests can see which path served them. Untyped string
+// constants so codecs compare them against plain string fields.
 const (
-	memoHit      = "hit"      // resident frozen table
-	memoMiss     = "miss"     // populated by full replay
-	memoExtended = "extended" // populated by extending a cached prefix
-	memoEmpty    = "empty"    // empty set, served off the index itself
-	memoOff      = "off"      // memoization disabled, fresh-table path
+	MemoHit      = "hit"      // resident frozen table
+	MemoMiss     = "miss"     // populated by full replay
+	MemoExtended = "extended" // populated by extending a cached prefix
+	MemoEmpty    = "empty"    // empty set, served off the index itself
+	MemoOff      = "off"      // memoization disabled, fresh-table path
 )
 
 // acquire returns a pinned handle on the table for (key, set), populating
 // it at most once across concurrent callers. ix is the resident index to
 // materialize from on a miss; set must be canonical and non-empty. The
-// returned status is memoHit, memoMiss or memoExtended.
+// returned status is MemoHit, MemoMiss or MemoExtended.
 func (c *memoCache) acquire(key memoKey, set []int, ix *index.Index) (*memoHandle, string, error) {
 	populated, extended := false, false
 	h, err := c.core.Acquire(key, func() (memoValue, int64, error) {
@@ -219,16 +288,16 @@ func (c *memoCache) acquire(key memoKey, set []int, ix *index.Index) (*memoHandl
 		if err != nil {
 			return memoValue{}, 0, err
 		}
-		return memoValue{set: set, d: d, objective: objective}, d.MemoryBytes(), nil
+		return memoValue{set: set, d: d, objective: objective, top: &topMemo{}}, d.MemoryBytes(), nil
 	})
 	if err != nil {
 		return nil, "", err
 	}
-	status := memoHit
+	status := MemoHit
 	if populated {
-		status = memoMiss
+		status = MemoMiss
 		if extended {
-			status = memoExtended
+			status = MemoExtended
 			c.mu.Lock()
 			c.prefixExtended++
 			c.mu.Unlock()
@@ -300,11 +369,18 @@ func (c *memoCache) noteEmptyHit() {
 	c.mu.Unlock()
 }
 
+// noteTopHit records a TopGains request served from a per-entry top memo.
+func (c *memoCache) noteTopHit() {
+	c.mu.Lock()
+	c.topHits++
+	c.mu.Unlock()
+}
+
 // Stats returns a snapshot of the traffic counters plus current residency.
 func (c *memoCache) Stats() MemoStats {
 	cs := c.core.Stats()
 	c.mu.Lock()
-	extended, empty := c.prefixExtended, c.emptyHits
+	extended, empty, top := c.prefixExtended, c.emptyHits, c.topHits
 	c.mu.Unlock()
 	return MemoStats{
 		Hits:           cs.Hits,
@@ -312,6 +388,7 @@ func (c *memoCache) Stats() MemoStats {
 		Misses:         cs.Misses,
 		PrefixExtended: extended,
 		EmptyHits:      empty,
+		TopHits:        top,
 		Evictions:      cs.Evictions,
 		Invalidated:    cs.Invalidated,
 		PopulateErrors: cs.PopulateErrors,

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/index"
+)
+
+// resolveSelect validates a SelectRequest against the engine limits.
+func (e *Engine) resolveSelect(req SelectRequest) (p params, prob index.Problem, workers int, err error) {
+	prob, err = resolveProblem(req.Problem)
+	if err != nil {
+		return params{}, 0, 0, err
+	}
+	p, err = e.resolveParams(req.Graph, req.L, req.R, req.Seed)
+	if err != nil {
+		return params{}, 0, 0, err
+	}
+	// K = 0 yields an empty selection, the library's historical behavior;
+	// the HTTP codec enforces its stricter k >= 1 contract before reaching
+	// here.
+	if req.K < 0 || req.K > e.cfg.MaxK {
+		return params{}, 0, 0, badRequestf("k=%d outside [0, %d]", req.K, e.cfg.MaxK)
+	}
+	return p, prob, e.resolveWorkers(req.Workers), nil
+}
+
+// Select runs one top-K selection. Identical selections (same graph,
+// problem, budget and index identity) coalesce into one computation;
+// workers and timeout deliberately stay out of the coalescing key because
+// they cannot change the selected nodes, only wall-clock cost — the
+// leader's knobs drive the shared run. The computation context descends
+// from the engine lifecycle, not any one caller's context, but is canceled
+// early once every interested caller is gone, so abandoned selections stop
+// burning cores.
+//
+// ctx bounds this caller's wait (and is additionally clamped by the
+// request/engine timeout); Abort/Close cancel the computation itself.
+func (e *Engine) Select(ctx context.Context, req SelectRequest) (*SelectResult, error) {
+	p, prob, workers, err := e.resolveSelect(req)
+	if err != nil {
+		return nil, err
+	}
+	waitCtx, cancel := e.Context(ctx, req.Timeout)
+	defer cancel()
+
+	key := fmt.Sprintf("%s|%s|k=%d|lazy=%t", p.cacheKey(), prob, req.K, req.Strategy.lazy())
+	compute := func(stop <-chan struct{}) (any, error) {
+		cctx, cancel := e.computeCtx(req.Timeout)
+		defer cancel()
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-stop:
+				cancel()
+			case <-watchDone:
+			}
+		}()
+		return e.runSelect(cctx, p, prob, req.K, req.Strategy.lazy(), workers, nil)
+	}
+	v, err, shared := e.sf.Do(waitCtx, key, compute)
+	if shared && err != nil && waitCtx.Err() == nil &&
+		(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+		// The shared run died on the leader's budget (or the leader walked
+		// away), but this request's own budget is intact — rerun with our
+		// own knobs, coalescing with any other retriers.
+		v, err, shared = e.sf.Do(waitCtx, key, compute)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) && errors.Is(waitCtx.Err(), context.DeadlineExceeded) {
+			// The deadline and the last-waiter-gone abort race when this
+			// request's own budget expires; report the timeout, not the
+			// cancellation it caused.
+			err = context.DeadlineExceeded
+		}
+		return nil, wrapCompute(err)
+	}
+	if shared {
+		e.selectsCoalesced.Add(1)
+	}
+	// Per-caller copy so the shared result's Coalesced flag stays truthful
+	// for each of them (the slices are read-only and safely shared).
+	res := *(v.(*SelectResult))
+	res.Coalesced = shared
+	return &res, nil
+}
+
+// SelectStream is Select that emits each greedy round's pick as it is
+// decided: emit is called with Round events in round order, from the
+// goroutine running the selection, and a non-nil emit error aborts the run
+// and is returned. The returned SelectResult — and the concatenation of the
+// emitted rounds — is bit-for-bit identical to the blocking Select result
+// for the same request, for every worker count.
+//
+// Streams do not coalesce with each other or with blocking Selects: a
+// follower attaching mid-run would have missed the early rounds. The
+// computation runs under this caller's context (clamped by the
+// request/engine timeout and the engine lifecycle).
+func (e *Engine) SelectStream(ctx context.Context, req SelectRequest, emit func(Round) error) (*SelectResult, error) {
+	p, prob, workers, err := e.resolveSelect(req)
+	if err != nil {
+		return nil, err
+	}
+	runCtx, cancel := e.Context(ctx, req.Timeout)
+	defer cancel()
+	res, err := e.runSelect(runCtx, p, prob, req.K, req.Strategy.lazy(), workers, emit)
+	if err != nil {
+		return nil, wrapCompute(err)
+	}
+	return res, nil
+}
+
+// runSelect executes one selection under the caller-supplied computation
+// context, streaming rounds to onRound when non-nil.
+func (e *Engine) runSelect(ctx context.Context, p params, prob index.Problem, k int, lazy bool, workers int, onRound func(Round) error) (*SelectResult, error) {
+	h, built, indexBuild, err := e.acquireIndexCtx(ctx, p, workers)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Release()
+	var onPick func(core.Pick) error
+	if onRound != nil {
+		onPick = func(pk core.Pick) error {
+			return onRound(Round{Round: pk.Round, Node: pk.Node, Gain: pk.Gain, Objective: pk.Total})
+		}
+	}
+	sel, err := core.ApproxWithIndexStream(ctx, h.Index(), prob, k, lazy, workers, onPick)
+	if err != nil {
+		return nil, err
+	}
+	return &SelectResult{
+		Nodes:       sel.Nodes,
+		Gains:       sel.Gains,
+		Evaluations: sel.Evaluations,
+		L:           p.L,
+		R:           p.R,
+		Workers:     workers,
+		Lazy:        lazy,
+		IndexBuild:  indexBuild,
+		TableBuild:  sel.BuildTime,
+		Select:      sel.SelectTime,
+		IndexCached: !built,
+	}, nil
+}

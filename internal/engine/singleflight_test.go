@@ -1,4 +1,4 @@
-package server
+package engine
 
 import (
 	"context"
@@ -121,4 +121,48 @@ func TestSingleflightFollowerKeepsComputationAlive(t *testing.T) {
 		t.Fatalf("follower got (%v, %v), want (ok, nil)", followerVal, followerErr)
 	}
 	wg.Wait()
+}
+
+func TestSelectCoalescingSharesOneComputation(t *testing.T) {
+	var sf singleflight
+
+	// Deterministic coalescing check at the singleflight layer: a leader
+	// blocks in fn until a follower is waiting on the same key.
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	var leaderVal, followerVal any
+	var followerShared bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leaderVal, _, _ = sf.Do(context.Background(), "k", func(<-chan struct{}) (any, error) {
+			close(leaderIn)
+			<-release
+			return 42, nil
+		})
+	}()
+	<-leaderIn
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		followerVal, _, followerShared = sf.Do(context.Background(), "k", func(<-chan struct{}) (any, error) {
+			t.Error("follower executed fn despite in-flight leader")
+			return nil, nil
+		})
+	}()
+	// The follower must be attached to the leader's call before we release
+	// it; otherwise the leader could finish first and the follower would
+	// start a fresh (non-shared) computation.
+	for sf.waiters("k") == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+	wg.Wait()
+	if !followerShared {
+		t.Fatal("follower did not report shared result")
+	}
+	if leaderVal != 42 || followerVal != 42 {
+		t.Fatalf("leader/follower values = %v/%v, want 42/42", leaderVal, followerVal)
+	}
 }

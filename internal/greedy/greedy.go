@@ -75,6 +75,25 @@ func validate(n, k int) (int, error) {
 // large candidate set.
 const cancelCheckStride = 1024
 
+// PickObserver is notified of each committed pick, in selection order,
+// immediately after the driver has applied it to the oracle — the hook the
+// streaming selection path rides on. A non-nil error aborts the run: the
+// driver returns that error and no result, leaving the oracle
+// mid-selection. A nil PickObserver is valid and observes nothing.
+//
+// The observer cannot change what is selected: picks are reported after
+// being committed, so a run with an observer selects bit-for-bit what the
+// same run without one selects.
+type PickObserver func(u int, gain float64) error
+
+// observe reports one committed pick to obs, if any.
+func (obs PickObserver) observe(u int, gain float64) error {
+	if obs == nil {
+		return nil
+	}
+	return obs(u, gain)
+}
+
 // Run executes plain greedy: k rounds, each scanning all remaining
 // candidates (Algorithm 1 verbatim). O(kn) Gain calls.
 func Run(n, k int, oracle Oracle) (*Result, error) {
@@ -86,6 +105,11 @@ func Run(n, k int, oracle Oracle) (*Result, error) {
 // result) once it is observed canceled. The oracle is left mid-selection and
 // must be discarded.
 func RunCtx(ctx context.Context, n, k int, oracle Oracle) (*Result, error) {
+	return RunStream(ctx, n, k, oracle, nil)
+}
+
+// RunStream is RunCtx with a per-pick observer; see PickObserver.
+func RunStream(ctx context.Context, n, k int, oracle Oracle, obs PickObserver) (*Result, error) {
 	k, err := validate(n, k)
 	if err != nil {
 		return nil, err
@@ -114,6 +138,9 @@ func RunCtx(ctx context.Context, n, k int, oracle Oracle) (*Result, error) {
 		oracle.Update(best)
 		res.Selected = append(res.Selected, best)
 		res.Gains = append(res.Gains, bestGain)
+		if err := obs.observe(best, bestGain); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }
@@ -161,6 +188,11 @@ func RunLazy(n, k int, oracle Oracle) (*Result, error) {
 // RunLazyCtx is RunLazy with cooperative cancellation; see RunCtx for the
 // contract.
 func RunLazyCtx(ctx context.Context, n, k int, oracle Oracle) (*Result, error) {
+	return RunLazyStream(ctx, n, k, oracle, nil)
+}
+
+// RunLazyStream is RunLazyCtx with a per-pick observer; see PickObserver.
+func RunLazyStream(ctx context.Context, n, k int, oracle Oracle, obs PickObserver) (*Result, error) {
 	k, err := validate(n, k)
 	if err != nil {
 		return nil, err
@@ -191,6 +223,9 @@ func RunLazyCtx(ctx context.Context, n, k int, oracle Oracle) (*Result, error) {
 			oracle.Update(int(top.u))
 			res.Selected = append(res.Selected, int(top.u))
 			res.Gains = append(res.Gains, top.gain)
+			if err := obs.observe(int(top.u), top.gain); err != nil {
+				return nil, err
+			}
 			round++
 			continue
 		}

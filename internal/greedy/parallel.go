@@ -84,11 +84,18 @@ func RunWorkers(n, k int, oracle Oracle, workers int) (*Result, error) {
 // result) at the next synchronization point after cancellation. The oracle
 // is left mid-selection and must be discarded.
 func RunWorkersCtx(ctx context.Context, n, k int, oracle Oracle, workers int) (*Result, error) {
+	return RunWorkersStream(ctx, n, k, oracle, workers, nil)
+}
+
+// RunWorkersStream is RunWorkersCtx with a per-pick observer (see
+// PickObserver); the observer runs on the driver goroutine, never
+// concurrently with itself or with gain evaluation.
+func RunWorkersStream(ctx context.Context, n, k int, oracle Oracle, workers int, obs PickObserver) (*Result, error) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		return RunCtx(ctx, n, k, oracle)
+		return RunStream(ctx, n, k, oracle, obs)
 	}
 	k, err := validate(n, k)
 	if err != nil {
@@ -129,6 +136,9 @@ func RunWorkersCtx(ctx context.Context, n, k int, oracle Oracle, workers int) (*
 		oracle.Update(best)
 		res.Selected = append(res.Selected, best)
 		res.Gains = append(res.Gains, bestGain)
+		if err := obs.observe(best, bestGain); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }
@@ -156,11 +166,18 @@ func RunLazyWorkers(n, k int, oracle Oracle, workers int) (*Result, error) {
 // RunLazyWorkersCtx is RunLazyWorkers with cooperative cancellation; see
 // RunWorkersCtx for the contract.
 func RunLazyWorkersCtx(ctx context.Context, n, k int, oracle Oracle, workers int) (*Result, error) {
+	return RunLazyWorkersStream(ctx, n, k, oracle, workers, nil)
+}
+
+// RunLazyWorkersStream is RunLazyWorkersCtx with a per-pick observer (see
+// PickObserver); the observer runs on the driver goroutine, never
+// concurrently with itself or with gain evaluation.
+func RunLazyWorkersStream(ctx context.Context, n, k int, oracle Oracle, workers int, obs PickObserver) (*Result, error) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		return RunLazyCtx(ctx, n, k, oracle)
+		return RunLazyStream(ctx, n, k, oracle, obs)
 	}
 	k, err := validate(n, k)
 	if err != nil {
@@ -204,6 +221,9 @@ func RunLazyWorkersCtx(ctx context.Context, n, k int, oracle Oracle, workers int
 			oracle.Update(int(top.u))
 			res.Selected = append(res.Selected, int(top.u))
 			res.Gains = append(res.Gains, top.gain)
+			if err := obs.observe(int(top.u), top.gain); err != nil {
+				return nil, err
+			}
 			round++
 			continue
 		}

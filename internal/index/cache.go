@@ -182,6 +182,32 @@ func (c *Cache) Acquire(key CacheKey, g *graph.Graph, build func() (*Index, erro
 	return &Handle{h: h}, nil
 }
 
+// Adopt inserts an already-built index into the cache under its own build
+// parameters (L, R, seed) and the given graph name, without pinning it:
+// later Acquires for that key are hits. If the key is already resident or
+// mid-population the cache keeps what it has — the two indexes are
+// interchangeable, since walks are fully determined by (graph, L, R, seed).
+// The engine uses this to serve selections over caller-materialized indexes
+// (the old SelectWithIndex facade path) through the same cache stack as
+// everything else.
+func (c *Cache) Adopt(key CacheKey, ix *Index) error {
+	if ix == nil {
+		return errors.New("index: adopt nil index")
+	}
+	if key.L != ix.L() || key.R != ix.R() || key.Seed != ix.Seed() {
+		return fmt.Errorf("index: adopt key %s does not match index build (L=%d R=%d seed=%d)",
+			key, ix.L(), ix.R(), ix.Seed())
+	}
+	h, err := c.core.Acquire(key, func() (*Index, int64, error) {
+		return ix, ix.MemoryBytes(), nil
+	})
+	if err != nil {
+		return err
+	}
+	h.Release()
+	return nil
+}
+
 // loadOrBuild tries the spill directory, then falls back to build. A spill
 // file is only trusted if every build parameter matches the key — L, R and
 // the build seed (serialized in the spill header) — on top of the graph

@@ -1,27 +1,43 @@
 package server
 
 import (
-	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/graph"
+	"repro/internal/engine"
 	"repro/internal/index"
 )
 
 // ---------------------------------------------------------------------------
-// JSON plumbing
+// JSON plumbing: one error envelope for every path
 // ---------------------------------------------------------------------------
 
-type errorResponse struct {
-	Error string `json:"error"`
+// ErrorBody is the machine-readable error payload: a stable code
+// (engine.Code) plus a human-readable message.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
+
+// ErrorResponse is the JSON error envelope every endpoint shares:
+// {"error":{"code":"...","message":"..."}}. The client package decodes the
+// same shape into typed errors.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// Memo status constants re-exported for the parity tests and handlers.
+const (
+	memoHit      = engine.MemoHit
+	memoMiss     = engine.MemoMiss
+	memoExtended = engine.MemoExtended
+	memoEmpty    = engine.MemoEmpty
+	memoOff      = engine.MemoOff
+)
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -31,34 +47,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+// writeErrorCode writes the envelope for an explicit code.
+func writeErrorCode(w http.ResponseWriter, code engine.Code, message string) {
+	writeJSON(w, engine.HTTPStatus(code), ErrorResponse{Error: ErrorBody{Code: string(code), Message: message}})
 }
 
-// statusFor maps computation errors to HTTP statuses: timeouts to 504,
-// cancellation (drain/hard-stop/client gone) to 503, the rest to 500.
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusInternalServerError
-	}
+// writeEngineError maps any engine method error onto the envelope: the
+// engine's stable code picks both the HTTP status and the serialized code.
+func writeEngineError(w http.ResponseWriter, err error) {
+	writeErrorCode(w, engine.CodeOf(err), err.Error())
 }
 
-// errUnknownGraph marks requests naming a graph the daemon doesn't serve.
-var errUnknownGraph = errors.New("unknown graph")
-
-// writeRequestError maps parameter-resolution errors: unknown graph to 404,
-// everything else to 400.
-func writeRequestError(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
-	if errors.Is(err, errUnknownGraph) {
-		status = http.StatusNotFound
-	}
-	writeError(w, status, err)
+// writeBadRequest writes a bad_request envelope for codec-level decode
+// failures.
+func writeBadRequest(w http.ResponseWriter, err error) {
+	writeErrorCode(w, engine.CodeBadRequest, err.Error())
 }
 
 // parseProblem accepts 1/2, f1/f2, hitting/coverage (case-insensitive).
@@ -94,8 +97,16 @@ func (p *problemJSON) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// parseNodeList parses "1,5,9" into validated node ids for g.
-func parseNodeList(s string, g *graph.Graph) ([]int, error) {
+func (p problemJSON) problem() index.Problem {
+	if p.p == 0 {
+		return index.Problem2
+	}
+	return p.p
+}
+
+// parseNodeList parses "1,5,9" into node ids (range-validated by the
+// engine).
+func parseNodeList(s string) ([]int, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return nil, nil
@@ -107,96 +118,13 @@ func parseNodeList(s string, g *graph.Graph) ([]int, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad node id %q", part)
 		}
-		if u < 0 || u >= g.N() {
-			return nil, fmt.Errorf("node %d outside [0, %d)", u, g.N())
-		}
 		nodes = append(nodes, u)
 	}
 	return nodes, nil
 }
 
-// ---------------------------------------------------------------------------
-// Shared index/parameter resolution
-// ---------------------------------------------------------------------------
-
-// indexParams are the request knobs that identify one materialized index.
-type indexParams struct {
-	graphName string
-	g         *graph.Graph
-	L, R      int
-	seed      uint64
-}
-
-func (s *Server) resolveIndexParams(graphName string, L, R int, seed uint64) (indexParams, error) {
-	g, ok := s.graph(graphName)
-	if !ok {
-		return indexParams{}, fmt.Errorf("%w %q", errUnknownGraph, graphName)
-	}
-	if L < 1 || L > 1<<16-1 {
-		return indexParams{}, fmt.Errorf("L=%d outside [1, %d]", L, 1<<16-1)
-	}
-	if R == 0 {
-		R = 100 // the paper's recommended sample size
-	}
-	if R < 1 || R > s.cfg.MaxR {
-		return indexParams{}, fmt.Errorf("R=%d outside [1, %d]", R, s.cfg.MaxR)
-	}
-	return indexParams{graphName: graphName, g: g, L: L, R: R, seed: seed}, nil
-}
-
-func (p indexParams) cacheKey() index.CacheKey {
-	return index.CacheKey{Graph: p.graphName, L: p.L, R: p.R, Seed: p.seed}
-}
-
-// acquireIndex fetches (or builds) the index for p, reporting whether this
-// call triggered the build.
-func (s *Server) acquireIndex(p indexParams, workers int) (h *index.Handle, built bool, err error) {
-	h, err = s.cache.Acquire(p.cacheKey(), p.g, func() (*index.Index, error) {
-		built = true
-		return index.BuildWorkers(p.g, p.L, p.R, p.seed, workers)
-	})
-	return h, built, err
-}
-
-// acquired is one acquireIndex outcome.
-type acquired struct {
-	h     *index.Handle
-	built bool
-	err   error
-}
-
-// acquireIndexCtx is acquireIndex bounded by ctx. Index construction itself
-// cannot be canceled mid-flight, so on ctx death the request gets its
-// timeout/drain error immediately while the build detaches, finishes in the
-// background, and still populates the cache for the next request (its
-// handle is released there).
-func (s *Server) acquireIndexCtx(ctx context.Context, p indexParams, workers int) (*index.Handle, bool, error) {
-	done := make(chan acquired, 1)
-	go func() {
-		h, built, err := s.acquireIndex(p, workers)
-		done <- acquired{h: h, built: built, err: err}
-	}()
-	select {
-	case a := <-done:
-		return a.h, a.built, a.err
-	case <-ctx.Done():
-		go func() {
-			if a := <-done; a.err == nil {
-				a.h.Release()
-			}
-		}()
-		return nil, false, ctx.Err()
-	}
-}
-
-func (s *Server) clampWorkers(workers int) int {
-	if workers <= 0 {
-		return s.cfg.DefaultWorkers
-	}
-	if workers > s.cfg.MaxWorkers {
-		return s.cfg.MaxWorkers
-	}
-	return workers
+func durationMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
 }
 
 // ---------------------------------------------------------------------------
@@ -253,138 +181,88 @@ type SelectResponse struct {
 	Coalesced   bool `json:"coalesced"`
 }
 
-// selectResult is what one de-duplicated selection computation produces.
-type selectResult struct {
-	sel         *core.Selection
-	indexCached bool
-}
-
-func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+// decodeSelect parses and translates the body into the engine request
+// (the daemon's seed default of 1 is applied into ereq.Seed).
+func decodeSelect(r *http.Request, w http.ResponseWriter) (req SelectRequest, ereq engine.SelectRequest, err error) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
-	var req SelectRequest
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return
+		return req, ereq, fmt.Errorf("bad request body: %w", err)
 	}
 	seed := uint64(1)
 	if req.Seed != nil {
 		seed = *req.Seed
 	}
-	params, err := s.resolveIndexParams(req.Graph, req.L, req.R, seed)
-	if err != nil {
-		writeRequestError(w, err)
-		return
-	}
-	if req.K < 1 || req.K > s.cfg.MaxK {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("k=%d outside [1, %d]", req.K, s.cfg.MaxK))
-		return
-	}
-	var lazy bool
+	strategy := engine.Lazy
 	switch strings.ToLower(req.Algorithm) {
 	case "", "lazy":
-		lazy = true
 	case "plain":
-		lazy = false
+		strategy = engine.Plain
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q (want lazy or plain)", req.Algorithm))
-		return
+		return req, ereq, fmt.Errorf("unknown algorithm %q (want lazy or plain)", req.Algorithm)
 	}
-	workers := s.clampWorkers(req.Workers)
-	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	ereq = engine.SelectRequest{
+		Graph:    req.Graph,
+		Problem:  req.Problem.problem(),
+		K:        req.K,
+		L:        req.L,
+		R:        req.R,
+		Seed:     seed,
+		Strategy: strategy,
+		Workers:  req.Workers,
+		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+	}
+	return req, ereq, nil
+}
 
-	waitCtx, cancel := s.requestCtx(r, timeout)
-	defer cancel()
-
-	// Identical selections (same graph, problem, budget and index identity)
-	// coalesce into one computation; workers and timeout deliberately stay
-	// out of the key because they cannot change the selected nodes, only
-	// wall-clock cost — the leader's knobs drive the shared run. The
-	// computation context descends from the server lifecycle, not any one
-	// client connection, but is canceled early (via the singleflight stop
-	// channel) once every interested client is gone, so abandoned
-	// selections stop burning cores.
-	key := fmt.Sprintf("%s|%s|k=%d|lazy=%t", params.cacheKey(), req.Problem.problem(), req.K, lazy)
-	compute := func(stop <-chan struct{}) (any, error) {
-		ctx, cancel := s.computeCtx(timeout)
-		defer cancel()
-		watchDone := make(chan struct{})
-		defer close(watchDone)
-		go func() {
-			select {
-			case <-stop:
-				cancel()
-			case <-watchDone:
-			}
-		}()
-		return s.runSelect(ctx, params, req.Problem.problem(), req.K, lazy, workers)
-	}
-	v, err, shared := s.sf.Do(waitCtx, key, compute)
-	if shared && err != nil && waitCtx.Err() == nil &&
-		(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
-		// The shared run died on the leader's budget (or the leader walked
-		// away), but this request's own budget is intact — rerun with our
-		// own knobs, coalescing with any other retriers.
-		v, err, shared = s.sf.Do(waitCtx, key, compute)
-	}
-	if err != nil {
-		if errors.Is(err, context.Canceled) && errors.Is(waitCtx.Err(), context.DeadlineExceeded) {
-			// The deadline and the last-waiter-gone abort race when this
-			// request's own budget expires; report the timeout, not the
-			// cancellation it caused.
-			err = context.DeadlineExceeded
-		}
-		writeError(w, statusFor(err), err)
-		return
-	}
-	if shared {
-		s.selectsCoalesced.Add(1)
-	}
-	res := v.(*selectResult)
-	writeJSON(w, http.StatusOK, SelectResponse{
+// encodeSelect builds the wire reply from the engine result.
+func encodeSelect(req SelectRequest, ereq engine.SelectRequest, res *engine.SelectResult) SelectResponse {
+	return SelectResponse{
 		Graph:       req.Graph,
-		Problem:     req.Problem.problem().String(),
+		Problem:     ereq.Problem.String(),
 		K:           req.K,
-		L:           params.L,
-		R:           params.R,
-		Seed:        seed,
-		Algorithm:   map[bool]string{true: "lazy", false: "plain"}[lazy],
-		Workers:     workers,
-		Nodes:       res.sel.Nodes,
-		Gains:       res.sel.Gains,
-		Objective:   res.sel.Objective(),
-		Evaluations: res.sel.Evaluations,
-		BuildMS:     durationMS(res.sel.BuildTime),
-		SelectMS:    durationMS(res.sel.SelectTime),
-		IndexCached: res.indexCached,
-		Coalesced:   shared,
-	})
+		L:           res.L,
+		R:           res.R,
+		Seed:        ereq.Seed,
+		Algorithm:   ereq.Strategy.String(),
+		Workers:     res.Workers,
+		Nodes:       res.Nodes,
+		Gains:       res.Gains,
+		Objective:   res.Objective(),
+		Evaluations: res.Evaluations,
+		BuildMS:     durationMS(res.TableBuild),
+		SelectMS:    durationMS(res.Select),
+		IndexCached: res.IndexCached,
+		Coalesced:   res.Coalesced,
+	}
 }
 
-// runSelect executes one de-duplicated selection under the caller-supplied
-// computation context.
-func (s *Server) runSelect(ctx context.Context, params indexParams, p index.Problem, k int, lazy bool, workers int) (*selectResult, error) {
-	h, built, err := s.acquireIndexCtx(ctx, params, workers)
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	req, ereq, err := decodeSelect(r, w)
 	if err != nil {
-		return nil, err
+		writeBadRequest(w, err)
+		return
 	}
-	defer h.Release()
-	sel, err := core.ApproxWithIndexCtx(ctx, h.Index(), p, k, lazy, workers)
+	// The HTTP contract is stricter than the engine's (which allows the
+	// degenerate k = 0 and L = 0 for embedded use): both must be >= 1 here.
+	if req.K < 1 || req.K > s.cfg.MaxK {
+		writeBadRequest(w, fmt.Errorf("k=%d outside [1, %d]", req.K, s.cfg.MaxK))
+		return
+	}
+	if req.L < 1 {
+		writeBadRequest(w, fmt.Errorf("L=%d outside [1, %d]", req.L, 1<<16-1))
+		return
+	}
+	if streaming(r) {
+		s.handleSelectStream(w, r, req, ereq)
+		return
+	}
+	res, err := s.engine.Select(r.Context(), ereq)
 	if err != nil {
-		return nil, err
+		writeEngineError(w, err)
+		return
 	}
-	return &selectResult{sel: sel, indexCached: !built}, nil
-}
-
-func (p problemJSON) problem() index.Problem {
-	if p.p == 0 {
-		return index.Problem2
-	}
-	return p.p
-}
-
-func durationMS(d time.Duration) float64 {
-	return float64(d) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, encodeSelect(req, ereq, res))
 }
 
 // ---------------------------------------------------------------------------
@@ -399,7 +277,7 @@ func durationMS(d time.Duration) float64 {
 // set when one is resident) and every later request for the same set is a
 // pure read of the frozen table; empty-set requests are answered from the
 // index's memoized empty-set gain vector with no D-table work at all. Memo
-// reports which of those paths served this request (see the memo* status
+// reports which of those paths served this request (see the engine.Memo*
 // constants); "off" means the daemon runs with memoization disabled and
 // paid a fresh table replay.
 type GainResponse struct {
@@ -412,13 +290,21 @@ type GainResponse struct {
 	Memo        string    `json:"memo"`
 }
 
-// queryIndexParams parses the common graph/L/R/seed/problem query
-// parameters of the GET endpoints.
-func (s *Server) queryIndexParams(r *http.Request) (indexParams, index.Problem, error) {
+// queryParams parses the common graph/L/R/seed/problem/set query parameters
+// of the GET endpoints.
+type queryParams struct {
+	graph   string
+	problem index.Problem
+	L, R    int
+	seed    uint64
+	set     []int
+}
+
+func parseQueryParams(r *http.Request) (queryParams, error) {
 	q := r.URL.Query()
 	p, err := parseProblem(q.Get("problem"))
 	if err != nil {
-		return indexParams{}, 0, err
+		return queryParams{}, err
 	}
 	atoi := func(key string, def int) (int, error) {
 		v := q.Get(key)
@@ -433,108 +319,62 @@ func (s *Server) queryIndexParams(r *http.Request) (indexParams, index.Problem, 
 	}
 	L, err := atoi("L", 0)
 	if err != nil {
-		return indexParams{}, 0, err
+		return queryParams{}, err
 	}
 	R, err := atoi("R", 0)
 	if err != nil {
-		return indexParams{}, 0, err
+		return queryParams{}, err
 	}
 	seed := uint64(1)
 	if v := q.Get("seed"); v != "" {
 		seed, err = strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			return indexParams{}, 0, fmt.Errorf("bad seed=%q", v)
+			return queryParams{}, fmt.Errorf("bad seed=%q", v)
 		}
 	}
-	params, err := s.resolveIndexParams(q.Get("graph"), L, R, seed)
-	return params, p, err
-}
-
-// memoizedTable resolves the serving D-table for a non-empty canonical set:
-// the memo cache when enabled, a fresh replay otherwise. The returned
-// release func must be called once the table has been read; status is the
-// memo* constant describing which path served it.
-func (s *Server) memoizedTable(params indexParams, p index.Problem, canon []int, setKey string, ix *index.Index) (d *index.DTable, release func(), status string, err error) {
-	if s.memo != nil {
-		mh, status, err := s.memo.acquire(memoKey{idx: params.cacheKey(), problem: p, set: setKey}, canon, ix)
-		if err != nil {
-			return nil, nil, "", err
-		}
-		return mh.Table(), mh.Release, status, nil
-	}
-	d, err = ix.NewDTable(p)
+	set, err := parseNodeList(q.Get("set"))
 	if err != nil {
-		return nil, nil, "", err
+		return queryParams{}, err
 	}
-	for _, u := range canon {
-		d.Update(u)
+	// Stricter than the engine: the HTTP contract requires L >= 1.
+	if L < 1 {
+		return queryParams{}, fmt.Errorf("L=%d outside [1, %d]", L, 1<<16-1)
 	}
-	return d, func() {}, memoOff, nil
+	return queryParams{graph: q.Get("graph"), problem: p, L: L, R: R, seed: seed, set: set}, nil
 }
 
 func (s *Server) handleGain(w http.ResponseWriter, r *http.Request) {
-	params, p, err := s.queryIndexParams(r)
+	qp, err := parseQueryParams(r)
 	if err != nil {
-		writeRequestError(w, err)
+		writeBadRequest(w, err)
 		return
 	}
-	nodes, err := parseNodeList(r.URL.Query().Get("nodes"), params.g)
+	nodes, err := parseNodeList(r.URL.Query().Get("nodes"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeBadRequest(w, err)
 		return
 	}
-	if len(nodes) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("nodes parameter is required (comma-separated ids)"))
-		return
-	}
-	set, err := parseNodeList(r.URL.Query().Get("set"), params.g)
+	res, err := s.engine.Gain(r.Context(), engine.GainRequest{
+		Graph:   qp.graph,
+		Problem: qp.problem,
+		L:       qp.L,
+		R:       qp.R,
+		Seed:    qp.seed,
+		Set:     qp.set,
+		Nodes:   nodes,
+	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeEngineError(w, err)
 		return
-	}
-	ctx, cancel := s.requestCtx(r, 0)
-	defer cancel()
-	h, built, err := s.acquireIndexCtx(ctx, params, s.cfg.DefaultWorkers)
-	if err != nil {
-		writeError(w, statusFor(err), err)
-		return
-	}
-	defer h.Release()
-	canon, setKey := canonicalSet(set)
-	var gains []float64
-	var status string
-	if s.memo != nil && len(canon) == 0 {
-		// Set-free gains come straight off the index: no D-table exists on
-		// this path at all.
-		all, err := h.Index().EmptySetGains(p)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		gains = make([]float64, 0, len(nodes))
-		for _, u := range nodes {
-			gains = append(gains, all[u])
-		}
-		status = memoEmpty
-		s.memo.noteEmptyHit()
-	} else {
-		d, release, st, err := s.memoizedTable(params, p, canon, setKey, h.Index())
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		gains = d.GainBatch(nodes, make([]float64, 0, len(nodes)))
-		release()
-		status = st
 	}
 	writeJSON(w, http.StatusOK, GainResponse{
-		Graph:       params.graphName,
-		Problem:     p.String(),
-		Set:         set,
+		Graph:       qp.graph,
+		Problem:     qp.problem.String(),
+		Set:         qp.set,
 		Nodes:       nodes,
-		Gains:       gains,
-		IndexCached: !built,
-		Memo:        status,
+		Gains:       res.Gains,
+		IndexCached: res.IndexCached,
+		Memo:        res.Memo,
 	})
 }
 
@@ -553,71 +393,30 @@ type ObjectiveResponse struct {
 }
 
 func (s *Server) handleObjective(w http.ResponseWriter, r *http.Request) {
-	params, p, err := s.queryIndexParams(r)
+	qp, err := parseQueryParams(r)
 	if err != nil {
-		writeRequestError(w, err)
+		writeBadRequest(w, err)
 		return
 	}
-	set, err := parseNodeList(r.URL.Query().Get("set"), params.g)
+	res, err := s.engine.Objective(r.Context(), engine.ObjectiveRequest{
+		Graph:   qp.graph,
+		Problem: qp.problem,
+		L:       qp.L,
+		R:       qp.R,
+		Seed:    qp.seed,
+		Set:     qp.set,
+	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeEngineError(w, err)
 		return
-	}
-	ctx, cancel := s.requestCtx(r, 0)
-	defer cancel()
-	h, built, err := s.acquireIndexCtx(ctx, params, s.cfg.DefaultWorkers)
-	if err != nil {
-		writeError(w, statusFor(err), err)
-		return
-	}
-	defer h.Release()
-	canon, setKey := canonicalSet(set)
-	var objective float64
-	var status string
-	switch {
-	case s.memo != nil && len(canon) == 0:
-		objective, err = h.Index().EmptySetObjective(p)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		status = memoEmpty
-		s.memo.noteEmptyHit()
-	case s.memo != nil:
-		// The objective is computed once at population time (the D-table
-		// scan memoizes saturation state, so it must not run on the shared
-		// frozen table) and served as a stored scalar afterwards.
-		mh, st, err := s.memo.acquire(memoKey{idx: params.cacheKey(), problem: p, set: setKey}, canon, h.Index())
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		objective = mh.Objective()
-		mh.Release()
-		status = st
-	default:
-		d, err := h.Index().NewDTable(p)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		members := make([]bool, params.g.N())
-		for _, u := range set {
-			if !members[u] {
-				members[u] = true
-				d.Update(u)
-			}
-		}
-		objective = d.EstimateObjective(members)
-		status = memoOff
 	}
 	writeJSON(w, http.StatusOK, ObjectiveResponse{
-		Graph:       params.graphName,
-		Problem:     p.String(),
-		Set:         set,
-		Objective:   objective,
-		IndexCached: !built,
-		Memo:        status,
+		Graph:       qp.graph,
+		Problem:     qp.problem.String(),
+		Set:         qp.set,
+		Objective:   res.Objective,
+		IndexCached: res.IndexCached,
+		Memo:        res.Memo,
 	})
 }
 
@@ -640,88 +439,56 @@ type TopGainsResponse struct {
 }
 
 func (s *Server) handleTopGains(w http.ResponseWriter, r *http.Request) {
-	params, p, err := s.queryIndexParams(r)
+	qp, err := parseQueryParams(r)
 	if err != nil {
-		writeRequestError(w, err)
+		writeBadRequest(w, err)
 		return
 	}
 	q := r.URL.Query()
-	// Default B is 10, clamped so a tighter operator-configured MaxK bounds
-	// the no-param path too.
-	b := 10
-	if b > s.cfg.MaxK {
-		b = s.cfg.MaxK
-	}
+	b := 0
 	if v := q.Get("b"); v != "" {
 		b, err = strconv.Atoi(v)
-		if err != nil || b < 1 || b > s.cfg.MaxK {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("b=%q outside [1, %d]", v, s.cfg.MaxK))
+		if err != nil {
+			writeBadRequest(w, fmt.Errorf("bad b=%q", v))
+			return
+		}
+		if b == 0 {
+			// Explicit zero is invalid (zero means "default" engine-side).
+			writeBadRequest(w, fmt.Errorf("b=0 outside [1, %d]", s.cfg.MaxK))
 			return
 		}
 	}
-	workers := s.cfg.DefaultWorkers
+	workers := 0
 	if v := q.Get("workers"); v != "" {
-		n, err := strconv.Atoi(v)
+		workers, err = strconv.Atoi(v)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad workers=%q", v))
+			writeBadRequest(w, fmt.Errorf("bad workers=%q", v))
 			return
 		}
-		workers = s.clampWorkers(n)
 	}
-	set, err := parseNodeList(q.Get("set"), params.g)
+	res, err := s.engine.TopGains(r.Context(), engine.TopGainsRequest{
+		Graph:   qp.graph,
+		Problem: qp.problem,
+		L:       qp.L,
+		R:       qp.R,
+		Seed:    qp.seed,
+		Set:     qp.set,
+		B:       b,
+		Workers: workers,
+	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeEngineError(w, err)
 		return
-	}
-	ctx, cancel := s.requestCtx(r, 0)
-	defer cancel()
-	h, built, err := s.acquireIndexCtx(ctx, params, workers)
-	if err != nil {
-		writeError(w, statusFor(err), err)
-		return
-	}
-	defer h.Release()
-	canon, setKey := canonicalSet(set)
-	var nodes []int
-	var gains []float64
-	var status string
-	if s.memo != nil && len(canon) == 0 {
-		// Empty set: rank the index's memoized gain vector directly.
-		all, err := h.Index().EmptySetGains(p)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		nodes, gains = core.TopOfGains(all, nil, b)
-		status = memoEmpty
-		s.memo.noteEmptyHit()
-	} else {
-		d, release, st, err := s.memoizedTable(params, p, canon, setKey, h.Index())
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		exclude := make([]bool, params.g.N())
-		for _, u := range canon {
-			exclude[u] = true
-		}
-		nodes, gains, err = core.TopGains(ctx, d, b, exclude, workers)
-		release()
-		if err != nil {
-			writeError(w, statusFor(err), err)
-			return
-		}
-		status = st
 	}
 	writeJSON(w, http.StatusOK, TopGainsResponse{
-		Graph:       params.graphName,
-		Problem:     p.String(),
-		Set:         set,
-		B:           b,
-		Nodes:       nodes,
-		Gains:       gains,
-		IndexCached: !built,
-		Memo:        status,
+		Graph:       qp.graph,
+		Problem:     qp.problem.String(),
+		Set:         qp.set,
+		B:           res.B,
+		Nodes:       res.Nodes,
+		Gains:       res.Gains,
+		IndexCached: res.IndexCached,
+		Memo:        res.Memo,
 	})
 }
 
@@ -750,8 +517,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
-// MemoStatsJSON mirrors MemoStats for /stats, plus whether the memoized
-// read path is enabled at all.
+// MemoStatsJSON mirrors engine.MemoStats for /stats, plus whether the
+// memoized read path is enabled at all.
 type MemoStatsJSON struct {
 	Enabled        bool  `json:"enabled"`
 	Hits           int64 `json:"hits"`
@@ -759,6 +526,7 @@ type MemoStatsJSON struct {
 	Misses         int64 `json:"misses"`
 	PrefixExtended int64 `json:"prefix_extended"`
 	EmptyHits      int64 `json:"empty_hits"`
+	TopGainsHits   int64 `json:"topgains_hits"`
 	Evictions      int64 `json:"evictions"`
 	Invalidated    int64 `json:"invalidated"`
 	PopulateErrors int64 `json:"populate_errors"`
@@ -793,8 +561,8 @@ type StatsResponse struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	withBuckets := r.URL.Query().Get("buckets") != "0"
-	cs := s.cache.Stats()
-	keys := s.cache.Keys()
+	es := s.engine.Stats()
+	keys := s.Cache().Keys()
 	keyStrings := make([]string, len(keys))
 	for i, k := range keys {
 		keyStrings[i] = k.String()
@@ -804,38 +572,38 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		endpoints[name] = m.Snapshot(withBuckets)
 	}
 	var memo MemoStatsJSON
-	if s.memo != nil {
-		ms := s.memo.Stats()
+	if es.MemoEnabled {
 		memo = MemoStatsJSON{
 			Enabled:        true,
-			Hits:           ms.Hits,
-			Coalesced:      ms.Coalesced,
-			Misses:         ms.Misses,
-			PrefixExtended: ms.PrefixExtended,
-			EmptyHits:      ms.EmptyHits,
-			Evictions:      ms.Evictions,
-			Invalidated:    ms.Invalidated,
-			PopulateErrors: ms.PopulateErrors,
-			Resident:       ms.Resident,
-			ResidentBytes:  ms.ResidentBytes,
+			Hits:           es.Memo.Hits,
+			Coalesced:      es.Memo.Coalesced,
+			Misses:         es.Memo.Misses,
+			PrefixExtended: es.Memo.PrefixExtended,
+			EmptyHits:      es.Memo.EmptyHits,
+			TopGainsHits:   es.Memo.TopHits,
+			Evictions:      es.Memo.Evictions,
+			Invalidated:    es.Memo.Invalidated,
+			PopulateErrors: es.Memo.PopulateErrors,
+			Resident:       es.Memo.Resident,
+			ResidentBytes:  es.Memo.ResidentBytes,
 		}
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeS:          time.Since(s.start).Seconds(),
 		Draining:         s.draining.Load(),
 		InFlight:         s.inFlight.Load(),
-		SelectsCoalesced: s.selectsCoalesced.Load(),
+		SelectsCoalesced: es.SelectsCoalesced,
 		Memo:             memo,
 		Cache: CacheStatsJSON{
-			Hits:          cs.Hits,
-			Coalesced:     cs.Coalesced,
-			Misses:        cs.Misses,
-			SpillLoads:    cs.SpillLoads,
-			SpillSaves:    cs.SpillSaves,
-			Evictions:     cs.Evictions,
-			BuildErrors:   cs.BuildErrors,
-			Resident:      cs.Resident,
-			ResidentBytes: cs.ResidentBytes,
+			Hits:          es.Cache.Hits,
+			Coalesced:     es.Cache.Coalesced,
+			Misses:        es.Cache.Misses,
+			SpillLoads:    es.Cache.SpillLoads,
+			SpillSaves:    es.Cache.SpillSaves,
+			Evictions:     es.Cache.Evictions,
+			BuildErrors:   es.Cache.BuildErrors,
+			Resident:      es.Cache.Resident,
+			ResidentBytes: es.Cache.ResidentBytes,
 			Keys:          keyStrings,
 		},
 		Endpoints: endpoints,

@@ -45,7 +45,7 @@ func TestIndexEvictionDropsMemoTablesAndReleasesHeap(t *testing.T) {
 	fin := make(chan struct{})
 	func() {
 		key := index.CacheKey{Graph: "test", L: 4, R: 10, Seed: 1}
-		h, err := s.cache.Acquire(key, g, func() (*index.Index, error) {
+		h, err := s.Cache().Acquire(key, g, func() (*index.Index, error) {
 			return nil, errors.New("index must already be resident")
 		})
 		if err != nil {
@@ -55,7 +55,7 @@ func TestIndexEvictionDropsMemoTablesAndReleasesHeap(t *testing.T) {
 		h.Release()
 	}()
 
-	if got := s.cache.EvictIdle(s.cache.Clock()); got != 1 {
+	if got := s.Cache().EvictIdle(s.Cache().Clock()); got != 1 {
 		t.Fatalf("EvictIdle evicted %d indexes, want 1", got)
 	}
 	ms := s.MemoStats()
@@ -89,70 +89,5 @@ func TestIndexEvictionDropsMemoTablesAndReleasesHeap(t *testing.T) {
 			t.Fatal("evicted index still reachable: its memo tables pin the heap")
 		}
 		time.Sleep(10 * time.Millisecond)
-	}
-}
-
-// A memo table pinned by an in-flight request when its index is evicted is
-// orphaned, not freed: the holder keeps reading a valid frozen table, no
-// new request can acquire it, and its memory goes with the last release.
-func TestIndexEvictionOrphansPinnedMemoTable(t *testing.T) {
-	g := testGraph(t, 300, 6)
-	s := newTestServer(t, Config{Graphs: map[string]*graph.Graph{"test": g}})
-
-	key := index.CacheKey{Graph: "test", L: 4, R: 10, Seed: 1}
-	h, err := s.cache.Acquire(key, g, func() (*index.Index, error) {
-		return index.BuildWorkers(g, key.L, key.R, key.Seed, 1)
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	mk := memoKey{idx: key, problem: index.Problem2, set: "1,2"}
-	mh, status, err := s.memo.acquire(mk, []int{1, 2}, h.Index())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if status != memoMiss {
-		t.Fatalf("first acquire status %q, want %q", status, memoMiss)
-	}
-	want := mh.Table().Gain(5)
-	h.Release()
-
-	// Evict the index while the memo handle is still held.
-	if got := s.cache.EvictIdle(s.cache.Clock()); got != 1 {
-		t.Fatalf("EvictIdle evicted %d, want 1", got)
-	}
-	ms := s.MemoStats()
-	if ms.Invalidated != 1 || ms.Resident != 0 {
-		t.Fatalf("memo after eviction: %+v, want 1 invalidated, 0 resident", ms)
-	}
-	// The orphaned table still serves identical reads.
-	if got := mh.Table().Gain(5); got != want {
-		t.Fatalf("orphaned table gain = %v, want %v", got, want)
-	}
-	mh.Release()
-	if refs := s.memo.pinnedRefs(); refs != 0 {
-		t.Fatalf("%d refs pinned after release", refs)
-	}
-
-	// A later request for the same set repopulates from scratch (the orphan
-	// is unreachable), against a freshly built index.
-	h2, err := s.cache.Acquire(key, g, func() (*index.Index, error) {
-		return index.BuildWorkers(g, key.L, key.R, key.Seed, 1)
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer h2.Release()
-	mh2, status, err := s.memo.acquire(mk, []int{1, 2}, h2.Index())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer mh2.Release()
-	if status != memoMiss {
-		t.Fatalf("post-invalidation acquire status %q, want %q (fresh population)", status, memoMiss)
-	}
-	// Same walks (same build identity), so the repopulated table agrees.
-	if got := mh2.Table().Gain(5); got != want {
-		t.Fatalf("repopulated table gain = %v, want %v", got, want)
 	}
 }

@@ -1,13 +1,18 @@
-// Package server implements rwdomd's HTTP query-serving layer: long-running
-// selection service over graphs loaded at startup, with random-walk indexes
-// built on demand, shared across requests through a refcounted LRU cache
-// (internal/index.Cache), and identical selection queries coalesced into one
-// computation.
+// Package server is rwdomd's HTTP codec over the transport-agnostic query
+// engine (internal/engine): every handler decodes its request, calls the
+// corresponding Engine method, and encodes the reply. The serving brain —
+// the refcounted LRU index cache, the memoized gain read path, selection
+// coalescing, context plumbing — lives entirely in the engine, so this
+// package owns only what is HTTP: routing, request parsing, the JSON error
+// envelope, per-endpoint metrics, draining, and graceful shutdown.
 //
 // Endpoints (all JSON):
 //
 //	POST /v1/select     top-k seed selection (Problem 1 or 2; plain or lazy
-//	                    greedy, sharded over per-request workers)
+//	                    greedy, sharded over per-request workers); with
+//	                    ?stream=1 the reply is NDJSON round events — one
+//	                    line per greedy pick as it is decided, then a final
+//	                    line carrying the blocking-shape result
 //	GET  /v1/gain       marginal gain of candidate nodes against a seed set
 //	GET  /v1/objective  estimated objective value of a seed set
 //	GET  /v1/topgains   top-B candidates by marginal gain against a seed set
@@ -15,18 +20,18 @@
 //	GET  /stats         index/memo cache traffic, in-flight gauge,
 //	                    per-endpoint latency histograms
 //
-// The gain read path is memoized: empty-set answers come straight off the
-// walk index (a per-problem gain vector memoized on the index, zero D-table
-// work), and non-empty sets hit a refcounted LRU cache of frozen D-tables
-// keyed by (graph, L, R, seed, problem, canonical set), populated at most
-// once per set via singleflight and extended from the longest cached prefix
-// when one is resident. Memoized and fresh answers are bit-for-bit
-// identical — the parity test suite locks the two paths together.
+// Errors share one machine-readable envelope on every path:
+//
+//	{"error":{"code":"bad_request","message":"k=0 outside [1, 10000]"}}
+//
+// with stable codes bad_request, not_found, draining, timeout and internal
+// (engine.Code), always under Content-Type: application/json. The client
+// package decodes the same envelope into typed errors.
 //
 // Shutdown is graceful: Serve stops accepting connections, lets in-flight
 // queries finish within the drain budget, hard-cancels stragglers through
-// the context plumbed into the greedy drivers, and spills resident indexes
-// to disk so a restart starts warm.
+// the engine's lifecycle context, and spills resident indexes to disk so a
+// restart starts warm.
 package server
 
 import (
@@ -35,17 +40,18 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/index"
 )
 
 // Config configures a Server. Graphs is required; zero values elsewhere get
-// the documented defaults.
+// the documented defaults. Most knobs pass straight through to
+// engine.Config — the server adds only the HTTP-level drain budget.
 type Config struct {
 	// Graphs maps the logical names requests use to loaded graphs.
 	Graphs map[string]*graph.Graph
@@ -89,9 +95,6 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.CacheSize == 0 {
-		c.CacheSize = 8
-	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
 	}
@@ -101,51 +104,51 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 15 * time.Second
 	}
-	if c.DefaultWorkers <= 0 {
-		c.DefaultWorkers = runtime.GOMAXPROCS(0)
-	}
-	if c.MaxWorkers <= 0 {
-		c.MaxWorkers = runtime.GOMAXPROCS(0)
-	}
+	// Mirror the engine's request-cap defaults so codec-level validation
+	// messages quote the limits actually enforced.
 	if c.MaxR <= 0 {
 		c.MaxR = 1000
 	}
 	if c.MaxK <= 0 {
 		c.MaxK = 10000
 	}
-	if c.MemoSize == 0 {
-		c.MemoSize = 128
-	}
 	return c
+}
+
+// engineConfig maps the server config onto the engine's.
+func (c Config) engineConfig() engine.Config {
+	return engine.Config{
+		Graphs:         c.Graphs,
+		CacheSize:      c.CacheSize,
+		IndexBytes:     c.IndexBytes,
+		SpillDir:       c.SpillDir,
+		EvictInterval:  c.EvictInterval,
+		DefaultTimeout: c.DefaultTimeout,
+		MaxTimeout:     c.MaxTimeout,
+		DefaultWorkers: c.DefaultWorkers,
+		MaxWorkers:     c.MaxWorkers,
+		MaxR:           c.MaxR,
+		MaxK:           c.MaxK,
+		MemoSize:       c.MemoSize,
+		MemoBytes:      c.MemoBytes,
+		DisableMemo:    c.DisableMemo,
+	}
 }
 
 // Server serves selection queries over a fixed set of graphs. Create with
 // New, expose via Handler or Serve, release resources with Close.
 type Server struct {
-	cfg   Config
-	cache *index.Cache
-	// memo is the memoized D-table cache behind /v1/gain, /v1/objective and
-	// /v1/topgains; nil when cfg.DisableMemo.
-	memo *memoCache
-	sf   singleflight
+	cfg    Config
+	engine *engine.Engine
 
 	start    time.Time
 	inFlight atomic.Int64
 	draining atomic.Bool
-	// selectsCoalesced counts /v1/select responses served from another
-	// request's computation.
-	selectsCoalesced atomic.Int64
 
-	// lifecycle is canceled at hard-stop; every request's computation
-	// context descends from it so drain-timeout and Close abort stragglers.
-	lifecycle context.Context
-	hardStop  context.CancelFunc
-
-	mux         *http.ServeMux
-	endpoints   map[string]*endpointMetrics
-	stopEvictor func()
-	closeOnce   sync.Once
-	closeErr    error
+	mux       *http.ServeMux
+	endpoints map[string]*endpointMetrics
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // New validates cfg and returns a ready-to-serve Server.
@@ -159,28 +162,15 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	cfg = cfg.withDefaults()
-	cache, err := index.NewCache(cfg.CacheSize, cfg.IndexBytes, cfg.SpillDir)
+	eng, err := engine.New(cfg.engineConfig())
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
-		cache:     cache,
+		engine:    eng,
 		start:     time.Now(),
-		lifecycle: ctx,
-		hardStop:  cancel,
 		endpoints: make(map[string]*endpointMetrics),
-	}
-	if !cfg.DisableMemo {
-		s.memo = newMemoCache(cfg.MemoSize, cfg.MemoBytes)
-		// Link the two caches: when an index is evicted, every memoized
-		// table built under its key is dropped (or orphaned until its last
-		// in-flight reader releases it), so the eviction actually returns
-		// the index's heap — without this, memo entries' *Index references
-		// keep evicted indexes alive and daemon memory is bounded by
-		// traffic history instead of the working set.
-		cache.OnEviction(func(keys []index.CacheKey) { s.memo.dropIndexes(keys) })
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/select", "select", s.handleSelect)
@@ -189,26 +179,25 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET /v1/topgains", "topgains", s.handleTopGains)
 	s.route("GET /healthz", "healthz", s.handleHealthz)
 	s.route("GET /stats", "stats", s.handleStats)
-	if cfg.EvictInterval > 0 {
-		s.stopEvictor = cache.StartEvictor(cfg.EvictInterval)
-	}
 	return s, nil
 }
 
 // Handler returns the root handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Engine exposes the underlying query engine (for stats and tests).
+func (s *Server) Engine() *engine.Engine { return s.engine }
+
 // Cache exposes the index cache (for stats and tests).
-func (s *Server) Cache() *index.Cache { return s.cache }
+func (s *Server) Cache() *index.Cache { return s.engine.Cache() }
 
 // MemoStats snapshots the memoized-gain cache counters; the zero value when
 // memoization is disabled.
-func (s *Server) MemoStats() MemoStats {
-	if s.memo == nil {
-		return MemoStats{}
-	}
-	return s.memo.Stats()
-}
+func (s *Server) MemoStats() MemoStats { return s.engine.MemoStats() }
+
+// MemoStats re-exports the engine's memo counters for transports and tests
+// that predate the engine extraction.
+type MemoStats = engine.MemoStats
 
 // route registers an instrumented handler: in-flight gauge, latency
 // histogram, error counting, panic containment, and drain refusal.
@@ -218,7 +207,7 @@ func (s *Server) route(pattern, name string, h func(http.ResponseWriter, *http.R
 	alwaysOn := name == "healthz" || name == "stats"
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		if !alwaysOn && s.draining.Load() {
-			writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+			writeErrorCode(w, engine.CodeDraining, "server is draining")
 			return
 		}
 		s.inFlight.Add(1)
@@ -226,7 +215,7 @@ func (s *Server) route(pattern, name string, h func(http.ResponseWriter, *http.R
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if p := recover(); p != nil {
-				writeError(sw, http.StatusInternalServerError, fmt.Errorf("panic: %v", p))
+				writeErrorCode(sw, engine.CodeInternal, fmt.Sprintf("panic: %v", p))
 				if sw.status < 400 {
 					// The handler wrote a success status before panicking, so
 					// the status check below won't see the failure; count it
@@ -265,40 +254,20 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// requestCtx derives the wait/compute context for one request: bounded by
-// the client timeout knob (clamped to MaxTimeout), the connection context,
-// and the server lifecycle (so hard-stop aborts it).
-func (s *Server) requestCtx(r *http.Request, timeout time.Duration) (context.Context, context.CancelFunc) {
-	if timeout <= 0 {
-		timeout = s.cfg.DefaultTimeout
+// Flush forwards streaming flushes so NDJSON rounds leave the process as
+// they are decided rather than sitting in the response buffer.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
 	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	stop := context.AfterFunc(s.lifecycle, cancel)
-	return ctx, func() { stop(); cancel() }
-}
-
-// computeCtx derives the context shared selection computations run under:
-// bounded by the leader's timeout and the server lifecycle but NOT by the
-// leader's connection, so one departing client cannot fail the coalesced
-// followers.
-func (s *Server) computeCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
-	if timeout <= 0 {
-		timeout = s.cfg.DefaultTimeout
-	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
-	}
-	return context.WithTimeout(s.lifecycle, timeout)
 }
 
 // Serve accepts connections on ln until ctx is canceled, then shuts down
 // gracefully: new requests are refused, in-flight requests get
-// cfg.DrainTimeout to finish, stragglers are hard-canceled through their
-// computation contexts, and the index cache is spilled to disk. It returns
-// nil after a clean (possibly forced) shutdown.
+// cfg.DrainTimeout to finish, stragglers are hard-canceled through the
+// engine lifecycle their computation contexts descend from, and the index
+// cache is spilled to disk. It returns nil after a clean (possibly forced)
+// shutdown.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	srv := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
@@ -316,7 +285,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	if err != nil {
 		// Drain budget exhausted: abort remaining computations and give the
 		// handlers a short moment to observe cancellation and respond.
-		s.hardStop()
+		s.engine.Abort()
 		forceCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		_ = srv.Shutdown(forceCtx)
 		cancel()
@@ -341,21 +310,12 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 // Draining reports whether graceful shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Close releases server resources: aborts outstanding computations, stops
-// the background evictor, and spills resident indexes to the spill
-// directory. Idempotent.
+// Close releases server resources by closing the engine: outstanding
+// computations are aborted, the background evictor stops, and resident
+// indexes spill to the spill directory. Idempotent.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
-		s.hardStop()
-		if s.stopEvictor != nil {
-			s.stopEvictor()
-		}
-		s.closeErr = s.cache.SpillAll()
+		s.closeErr = s.engine.Close()
 	})
 	return s.closeErr
-}
-
-func (s *Server) graph(name string) (*graph.Graph, bool) {
-	g, ok := s.cfg.Graphs[name]
-	return g, ok
 }

@@ -1,0 +1,318 @@
+package rwdom
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+// This file is the context-first public API: Open binds a graph to a
+// query Engine — the same transport-agnostic serving core the rwdomd
+// daemon runs on (internal/engine) — so embedded users get the whole
+// serving stack (shared walk indexes, build coalescing, memoized gain
+// reads with prefix extension, optional spill-to-disk and byte budgets)
+// through plain method calls. The legacy free functions in rwdom.go remain
+// as deprecated shims over a default Engine.
+
+// Engine serves selections and gain queries over one graph. It is safe for
+// concurrent use; identical concurrent Select calls coalesce into one
+// computation and all queries share one materialized walk index per
+// (L, R, seed). Create with Open, release resources with Close.
+type Engine struct {
+	e *engine.Engine
+}
+
+// Request/response types, shared verbatim with the engine (and mirrored by
+// the HTTP wire format and the client package). Graph fields may be left
+// empty: an Engine opened with Open serves exactly one graph.
+type (
+	// SelectRequest asks for a top-K selection; see Engine.Select.
+	SelectRequest = engine.SelectRequest
+	// SelectResult is one completed selection.
+	SelectResult = engine.SelectResult
+	// Round is one streamed greedy round; see Engine.SelectStream.
+	Round = engine.Round
+	// GainRequest asks for marginal gains against a seed set.
+	GainRequest = engine.GainRequest
+	// GainResult carries the requested marginal gains.
+	GainResult = engine.GainResult
+	// ObjectiveRequest asks for the estimated objective of a seed set.
+	ObjectiveRequest = engine.ObjectiveRequest
+	// ObjectiveResult carries the estimate.
+	ObjectiveResult = engine.ObjectiveResult
+	// TopGainsRequest asks for the best candidates against a seed set.
+	TopGainsRequest = engine.TopGainsRequest
+	// TopGainsResult carries the winners, gain descending.
+	TopGainsResult = engine.TopGainsResult
+	// Strategy selects the greedy driver (Lazy or Plain).
+	Strategy = engine.Strategy
+	// EngineStats snapshots the engine's cache and coalescing counters.
+	EngineStats = engine.Stats
+	// ErrorCode is the stable machine-readable code engine errors carry;
+	// inspect it with ErrorCodeOf.
+	ErrorCode = engine.Code
+)
+
+// Greedy strategies for SelectRequest.Strategy; the zero value is Lazy.
+const (
+	Lazy  = engine.Lazy
+	Plain = engine.Plain
+)
+
+// Stable error codes carried by Engine method errors.
+const (
+	ErrBadRequest = engine.CodeBadRequest
+	ErrNotFound   = engine.CodeNotFound
+	ErrDraining   = engine.CodeDraining
+	ErrTimeout    = engine.CodeTimeout
+	ErrInternal   = engine.CodeInternal
+)
+
+// ErrorCodeOf extracts the stable code from any Engine method error.
+func ErrorCodeOf(err error) ErrorCode { return engine.CodeOf(err) }
+
+// Option configures Open.
+type Option func(*engine.Config)
+
+// WithWorkers sets the default worker count for index construction and
+// gain evaluation (0 means all cores; per-request Workers overrides it —
+// Open leaves the worker cap effectively unbounded, like the request
+// caps). Selections are bit-for-bit identical for every value.
+func WithWorkers(n int) Option {
+	return func(c *engine.Config) {
+		if n > 0 {
+			c.DefaultWorkers = n
+		}
+	}
+}
+
+// WithIndexCache bounds the number of resident walk indexes (< 0 means
+// unbounded; default 8).
+func WithIndexCache(entries int) Option {
+	return func(c *engine.Config) { c.CacheSize = entries }
+}
+
+// WithIndexCacheBytes additionally bounds the resident indexes' summed heap
+// footprint (0 means unbounded). The budget is soft while every resident
+// index is pinned by an in-flight call.
+func WithIndexCacheBytes(n int64) Option {
+	return func(c *engine.Config) { c.IndexBytes = n }
+}
+
+// WithMemoCache bounds the number of memoized per-set D-tables the gain
+// read path keeps resident (< 0 means unbounded; default 128).
+func WithMemoCache(entries int) Option {
+	return func(c *engine.Config) { c.MemoSize = entries }
+}
+
+// WithMemoCacheBytes additionally bounds the memoized tables' summed heap
+// footprint (0 means unbounded).
+func WithMemoCacheBytes(n int64) Option {
+	return func(c *engine.Config) { c.MemoBytes = n }
+}
+
+// WithoutMemo disables the memoized gain read path: every Gain, Objective
+// and TopGains call materializes a fresh D-table. Kept for parity testing
+// and A/B benchmarking.
+func WithoutMemo() Option {
+	return func(c *engine.Config) { c.DisableMemo = true }
+}
+
+// WithSpillDir persists evicted and Close-resident walk indexes under dir,
+// so a later Open against the same graph skips their builds.
+func WithSpillDir(dir string) Option {
+	return func(c *engine.Config) { c.SpillDir = dir }
+}
+
+// WithDefaultTimeout bounds calls that don't carry their own timeout
+// (via SelectRequest.Timeout or the context). Open's default is unbounded —
+// embedded callers control lifetimes with contexts.
+func WithDefaultTimeout(d time.Duration) Option {
+	return func(c *engine.Config) { c.DefaultTimeout = d }
+}
+
+// WithEvictInterval evicts walk indexes idle for one full interval, keeping
+// a long-lived Engine's heap proportional to its working set.
+func WithEvictInterval(d time.Duration) Option {
+	return func(c *engine.Config) { c.EvictInterval = d }
+}
+
+// WithLimits caps per-request sample size and budget — the daemon-style
+// defense against resource exhaustion, unbounded by default for embedded
+// use (0 keeps a side's default).
+func WithLimits(maxR, maxK int) Option {
+	return func(c *engine.Config) {
+		if maxR > 0 {
+			c.MaxR = maxR
+		}
+		if maxK > 0 {
+			c.MaxK = maxK
+		}
+	}
+}
+
+// defaultGraphName is the logical name Open registers its graph under; all
+// request Graph fields may be left empty (sole-graph shorthand).
+const defaultGraphName = "default"
+
+// Open binds g to a new query Engine. The zero-option Engine is tuned for
+// embedded use: no implicit timeouts, effectively unbounded request caps,
+// all cores, memoized reads on. The daemon's stricter limits are opt-in
+// through Options.
+func Open(g *Graph, opts ...Option) (*Engine, error) {
+	if g == nil || g.N() == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	cfg := engine.Config{
+		Graphs: map[string]*graph.Graph{defaultGraphName: g},
+		// Embedded callers chose their parameters deliberately; caps exist
+		// for network-facing deployments. (The greedy drivers still clamp
+		// workers to the candidate count.)
+		MaxR:       math.MaxInt32,
+		MaxK:       math.MaxInt32,
+		MaxWorkers: math.MaxInt32,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	e, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{e: e}, nil
+}
+
+// Select runs one top-K selection. Identical concurrent Selects (same
+// problem, budget and index identity) coalesce into a single computation;
+// the walk index is built at most once per (L, R, seed) and shared with
+// every other query. Canceling ctx aborts this caller's wait (and the
+// computation itself once no caller is interested).
+func (e *Engine) Select(ctx context.Context, req SelectRequest) (*SelectResult, error) {
+	return e.e.Select(ctx, req)
+}
+
+// SelectStream is Select that emits each greedy round's pick as it is
+// decided: emit receives Round events in round order and a non-nil emit
+// error aborts the run. The returned result — and the concatenation of the
+// emitted rounds — is bit-for-bit identical to the blocking Select result
+// for the same request, for every worker count.
+func (e *Engine) SelectStream(ctx context.Context, req SelectRequest, emit func(Round) error) (*SelectResult, error) {
+	return e.e.SelectStream(ctx, req, emit)
+}
+
+// Gain returns the marginal gain of each candidate in req.Nodes against the
+// seed set req.Set. After the first call for a set, the answer is a pure
+// read of a frozen memoized D-table; empty-set calls are answered from the
+// index's memoized empty-set gain vector.
+func (e *Engine) Gain(ctx context.Context, req GainRequest) (*GainResult, error) {
+	return e.e.Gain(ctx, req)
+}
+
+// Objective returns the estimated objective value of the seed set req.Set.
+func (e *Engine) Objective(ctx context.Context, req ObjectiveRequest) (*ObjectiveResult, error) {
+	return e.e.Objective(ctx, req)
+}
+
+// TopGains returns the req.B best candidates by marginal gain against
+// req.Set (set members excluded), gain descending, ties by ascending id.
+func (e *Engine) TopGains(ctx context.Context, req TopGainsRequest) (*TopGainsResult, error) {
+	return e.e.TopGains(ctx, req)
+}
+
+// AdoptIndex makes a pre-built index (BuildIndex / LoadIndexFile) servable
+// by this Engine: queries against its (L, R, seed) identity become cache
+// hits instead of rebuilding the walks.
+func (e *Engine) AdoptIndex(ix *Index) error {
+	return e.e.AdoptIndex(defaultGraphName, ix)
+}
+
+// Stats snapshots the Engine's cache and coalescing counters.
+func (e *Engine) Stats() EngineStats { return e.e.Stats() }
+
+// Close releases Engine resources: in-flight computations are aborted and
+// resident indexes spill to the spill directory when one is configured.
+// Idempotent.
+func (e *Engine) Close() error { return e.e.Close() }
+
+// strategyOf maps the legacy Lazy flag onto a Strategy.
+func strategyOf(lazy bool) Strategy {
+	if lazy {
+		return Lazy
+	}
+	return Plain
+}
+
+// defaultEngineSelect routes one legacy facade selection through a
+// throwaway default Engine — the migration shim path. The result is
+// bit-for-bit what the old direct-core path computed (same index builder,
+// same greedy drivers), with the old Selection timing semantics
+// reconstructed from the engine's split timings.
+func defaultEngineSelect(g *Graph, opts Options, p index.Problem) (*Selection, error) {
+	en, err := Open(g, WithWorkers(opts.Workers))
+	if err != nil {
+		return nil, err
+	}
+	defer en.Close()
+	res, err := en.Select(context.Background(), SelectRequest{
+		Problem:  p,
+		K:        opts.K,
+		L:        opts.L,
+		R:        opts.R,
+		Seed:     opts.Seed,
+		Strategy: strategyOf(opts.Lazy),
+		Workers:  opts.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return selectionFromResult(res, p, res.IndexBuild), nil
+}
+
+// selectionFromResult converts an engine result back into the legacy
+// Selection shape. buildTime follows the legacy convention of the call
+// site: index materialization for whole-graph runs, D-table setup for
+// shared-index runs.
+func selectionFromResult(res *SelectResult, p index.Problem, buildTime time.Duration) *Selection {
+	name := "ApproxF1"
+	if p == index.Problem2 {
+		name = "ApproxF2"
+	}
+	return &Selection{
+		Algorithm:   name,
+		Nodes:       res.Nodes,
+		Gains:       res.Gains,
+		Evaluations: res.Evaluations,
+		BuildTime:   buildTime,
+		SelectTime:  res.Select,
+	}
+}
+
+// defaultEngineSelectWithIndex routes a legacy shared-index selection
+// through a default Engine that adopts the caller's index.
+func defaultEngineSelectWithIndex(ix *Index, p Problem, k int, lazy bool, workers int) (*Selection, error) {
+	en, err := Open(ix.Graph(), WithWorkers(workers))
+	if err != nil {
+		return nil, err
+	}
+	defer en.Close()
+	if err := en.AdoptIndex(ix); err != nil {
+		return nil, err
+	}
+	res, err := en.Select(context.Background(), SelectRequest{
+		Problem:  p,
+		K:        k,
+		L:        ix.L(),
+		R:        ix.R(),
+		Seed:     ix.Seed(),
+		Strategy: strategyOf(lazy),
+		Workers:  workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return selectionFromResult(res, p, res.TableBuild), nil
+}

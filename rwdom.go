@@ -182,6 +182,13 @@ func (o Options) coreOptions() core.Options {
 // MinimizeHittingTime solves Problem 1: select up to K nodes minimizing the
 // total expected L-length hitting time from the remaining nodes
 // (equivalently, maximizing F1(S) = nL − Σ_{u∈V\S} h^L_{uS}).
+//
+// Deprecated: use Open and Engine.Select with Problem1 — the context-first
+// API shares walk indexes and memoized reads across calls and problems.
+// This shim routes the approximate algorithm through a throwaway default
+// Engine (selections are bit-for-bit unchanged); the DP, sampling and
+// baseline algorithms have no serving equivalent and keep their direct
+// implementations.
 func MinimizeHittingTime(g *Graph, opts Options) (*Selection, error) {
 	opts, err := opts.resolve(g)
 	if err != nil {
@@ -193,7 +200,7 @@ func MinimizeHittingTime(g *Graph, opts Options) (*Selection, error) {
 	case AlgorithmSampling:
 		return core.SampleF1(g, opts.coreOptions())
 	case AlgorithmApprox:
-		return core.ApproxF1(g, opts.coreOptions())
+		return defaultEngineSelect(g, opts, Problem1)
 	case AlgorithmDegree:
 		return core.Degree(g, opts.K)
 	case AlgorithmDominate:
@@ -208,6 +215,9 @@ func MinimizeHittingTime(g *Graph, opts Options) (*Selection, error) {
 // MaximizeCoverage solves Problem 2: select up to K nodes maximizing the
 // expected number of nodes whose L-length random walk hits the selection
 // (F2(S) = E[Σ_u X^L_{uS}]).
+//
+// Deprecated: use Open and Engine.Select with Problem2; see
+// MinimizeHittingTime for the shim semantics.
 func MaximizeCoverage(g *Graph, opts Options) (*Selection, error) {
 	opts, err := opts.resolve(g)
 	if err != nil {
@@ -219,7 +229,7 @@ func MaximizeCoverage(g *Graph, opts Options) (*Selection, error) {
 	case AlgorithmSampling:
 		return core.SampleF2(g, opts.coreOptions())
 	case AlgorithmApprox:
-		return core.ApproxF2(g, opts.coreOptions())
+		return defaultEngineSelect(g, opts, Problem2)
 	case AlgorithmDegree:
 		return core.Degree(g, opts.K)
 	case AlgorithmDominate:
@@ -339,15 +349,23 @@ const (
 // index, sharing one materialization across problems and budgets. Gain
 // evaluations are sharded over all available cores; use
 // SelectWithIndexWorkers to pin the worker count.
+//
+// Deprecated: use Open, Engine.AdoptIndex and Engine.Select — the Engine
+// keeps the index resident across calls and adds the memoized gain read
+// path on top. This shim routes through a throwaway default Engine that
+// adopts ix; selections are bit-for-bit unchanged.
 func SelectWithIndex(ix *Index, p Problem, k int, lazy bool) (*Selection, error) {
-	return core.ApproxWithIndex(ix, p, k, lazy)
+	return SelectWithIndexWorkers(ix, p, k, lazy, 0)
 }
 
 // SelectWithIndexWorkers is SelectWithIndex with an explicit worker count
 // for the selection loop (0 means all available cores). Selections are
 // bit-for-bit identical for every worker count.
+//
+// Deprecated: use Open, Engine.AdoptIndex and Engine.Select with
+// SelectRequest.Workers; see SelectWithIndex.
 func SelectWithIndexWorkers(ix *Index, p Problem, k int, lazy bool, workers int) (*Selection, error) {
-	return core.ApproxWithIndexWorkers(ix, p, k, lazy, workers)
+	return defaultEngineSelectWithIndex(ix, p, k, lazy, workers)
 }
 
 // BuildIndexParallel is BuildIndex sharded over the given number of
