@@ -22,8 +22,10 @@
 //
 // Errors returned by every method are (*Error) when the daemon produced a
 // structured failure; Code carries the stable code (CodeBadRequest,
-// CodeNotFound, CodeDraining, CodeTimeout, CodeInternal) from the shared
-// JSON envelope {"error":{"code","message"}}.
+// CodeNotFound, CodeDraining, CodeOverloaded, CodeTimeout, CodeInternal)
+// from the shared JSON envelope {"error":{"code","message"}}. Draining and
+// overloaded replies are retried automatically with jittered exponential
+// backoff, honoring the daemon's Retry-After hint when one is present.
 package client
 
 import (
@@ -33,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -45,6 +48,7 @@ const (
 	CodeBadRequest = "bad_request"
 	CodeNotFound   = "not_found"
 	CodeDraining   = "draining"
+	CodeOverloaded = "overloaded"
 	CodeTimeout    = "timeout"
 	CodeInternal   = "internal"
 )
@@ -57,15 +61,22 @@ type Error struct {
 	Message string
 	// HTTPStatus is the status the daemon answered with.
 	HTTPStatus int
+	// RetryAfter is the daemon's Retry-After hint; valid only when
+	// HasRetryAfter is true (the daemon sends "Retry-After: 0" to mean
+	// "retry immediately", which is distinct from no hint at all).
+	RetryAfter time.Duration
+	// HasRetryAfter reports whether the reply carried a Retry-After header.
+	HasRetryAfter bool
 }
 
 func (e *Error) Error() string {
 	return fmt.Sprintf("rwdomd: %s (%s)", e.Message, e.Code)
 }
 
-// Temporary reports whether retrying later may succeed (the daemon was
-// draining — a rolling restart's window).
-func (e *Error) Temporary() bool { return e.Code == CodeDraining }
+// Temporary reports whether retrying later may succeed: the daemon was
+// draining (a rolling restart's window) or overloaded (its admission gate
+// shed the request; capacity frees as in-flight work completes).
+func (e *Error) Temporary() bool { return e.Code == CodeDraining || e.Code == CodeOverloaded }
 
 // CodeOf extracts the stable code from any client method error, or
 // CodeInternal if it carries none (transport failures etc.).
@@ -102,10 +113,15 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
-// WithRetry sets how many times a request is retried when the daemon
-// reports it is draining (503 with code "draining"), and the base backoff
-// between attempts (doubled each retry). The default is 3 retries starting
-// at 200ms; WithRetry(0, 0) disables retrying.
+// WithRetry sets the per-call retry budget — how many times one request is
+// retried when the daemon answers with a Temporary error (503 "draining" or
+// "overloaded") — and the base backoff between attempts. The backoff doubles
+// each retry and is jittered (each sleep is drawn uniformly from
+// [backoff/2, backoff]) so that a fleet of clients shed at the same instant
+// does not retry in lockstep. A Retry-After hint from the daemon overrides
+// the computed backoff for that attempt, including "Retry-After: 0" meaning
+// retry immediately. The default is 3 retries starting at 200ms;
+// WithRetry(0, 0) disables retrying.
 func WithRetry(retries int, backoff time.Duration) Option {
 	return func(c *Client) { c.retries, c.backoff = retries, backoff }
 }
@@ -127,8 +143,9 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 	return c, nil
 }
 
-// do issues the request built by build, retrying on drain errors. build is
-// called per attempt so bodies are fresh.
+// do issues the request built by build, retrying Temporary errors (drain
+// and overload sheds) with jittered exponential backoff up to the per-call
+// retry budget. build is called per attempt so bodies are fresh.
 func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*http.Response, error) {
 	backoff := c.backoff
 	for attempt := 0; ; attempt++ {
@@ -144,36 +161,61 @@ func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) (*
 			return resp, nil
 		}
 		apiErr := decodeError(resp)
-		if apiErr.Code != CodeDraining || attempt >= c.retries {
+		if !apiErr.Temporary() || attempt >= c.retries {
 			return nil, apiErr
 		}
-		if backoff > 0 {
-			t := time.NewTimer(backoff)
+		wait := retryDelay(backoff, apiErr, rand.Float64())
+		if wait > 0 {
+			t := time.NewTimer(wait)
 			select {
 			case <-ctx.Done():
 				t.Stop()
 				return nil, ctx.Err()
 			case <-t.C:
 			}
-			backoff *= 2
 		}
+		backoff *= 2
 	}
 }
 
+// retryDelay computes the sleep before the next attempt. The daemon's
+// Retry-After hint, when present, overrides the client-side backoff — a
+// hint of zero means "a slot frees the moment in-flight work completes, go
+// now". Otherwise the wait is the current backoff jittered into
+// [backoff/2, backoff] by u ∈ [0, 1), decorrelating clients that were shed
+// together.
+func retryDelay(backoff time.Duration, apiErr *Error, u float64) time.Duration {
+	if apiErr.HasRetryAfter {
+		return apiErr.RetryAfter
+	}
+	if backoff <= 0 {
+		return 0
+	}
+	return backoff/2 + time.Duration(u*float64(backoff/2))
+}
+
 // decodeError turns a non-200 response into a typed *Error, consuming and
-// closing the body.
+// closing the body. A Retry-After header (integer seconds or HTTP-date) is
+// parsed into the error's hint fields.
 func decodeError(resp *http.Response) *Error {
 	defer resp.Body.Close()
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	e := &Error{HTTPStatus: resp.StatusCode}
 	var env envelope
 	if err := json.Unmarshal(raw, &env); err == nil && env.Error.Code != "" {
-		return &Error{Code: env.Error.Code, Message: env.Error.Message, HTTPStatus: resp.StatusCode}
+		e.Code, e.Message = env.Error.Code, env.Error.Message
+	} else {
+		e.Code = CodeInternal
+		e.Message = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
 	}
-	return &Error{
-		Code:       CodeInternal,
-		Message:    fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw))),
-		HTTPStatus: resp.StatusCode,
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			e.RetryAfter, e.HasRetryAfter = time.Duration(secs)*time.Second, true
+		} else if at, err := http.ParseTime(ra); err == nil {
+			e.RetryAfter, e.HasRetryAfter = max(0, time.Until(at)), true
+		}
 	}
+	return e
 }
 
 // getJSON issues a GET and decodes a 200 into out.

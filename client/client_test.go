@@ -3,8 +3,10 @@ package client
 import (
 	"context"
 	"math"
+	"math/rand/v2"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/index"
 	"repro/internal/server"
+	"repro/internal/testleak"
 )
 
 // The round-trip suite runs the typed client against the real daemon
@@ -30,6 +33,7 @@ func testGraph(t testing.TB) *graph.Graph {
 
 func harness(t testing.TB, cfg server.Config) (*server.Server, *Client) {
 	t.Helper()
+	testleak.Check(t)
 	if cfg.Graphs == nil {
 		cfg.Graphs = map[string]*graph.Graph{"test": testGraph(t)}
 	}
@@ -260,6 +264,138 @@ func TestRetryOnDrain(t *testing.T) {
 	calls.Store(-100)
 	if _, err := c.Select(context.Background(), SelectRequest{Graph: "test", K: 3, L: 4, R: 20}); CodeOf(err) != CodeDraining {
 		t.Fatalf("exhausted retries: code %q (%v)", CodeOf(err), err)
+	}
+}
+
+// An overload shed carries Retry-After; the client must honor the hint over
+// its own backoff. Here the base backoff is deliberately enormous (10s) and
+// the daemon says "Retry-After: 0" — the call must recover immediately, not
+// after the local schedule.
+func TestRetryOnOverloadHonorsRetryAfterZero(t *testing.T) {
+	testleak.Check(t)
+	g := testGraph(t)
+	s, err := server.New(server.Config{Graphs: map[string]*graph.Graph{"test": g}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	var calls atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":{"code":"overloaded","message":"admission queue full"}}`))
+			return
+		}
+		s.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(flaky.Close)
+
+	c, err := New(flaky.URL, WithRetry(3, 10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	res, err := c.Select(ctx, SelectRequest{Graph: "test", K: 3, L: 4, R: 20})
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if len(res.Nodes) != 3 || calls.Load() != 3 {
+		t.Fatalf("nodes=%d calls=%d, want 3/3", len(res.Nodes), calls.Load())
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("recovery took %v — Retry-After: 0 was not honored over the 10s backoff", elapsed)
+	}
+
+	// Retries exhausted: the typed overloaded error surfaces, Temporary and
+	// carrying the parsed hint.
+	calls.Store(-100)
+	var oe *Error
+	_, err = c.Select(ctx, SelectRequest{Graph: "test", K: 3, L: 4, R: 20})
+	if CodeOf(err) != CodeOverloaded || !asError(err, &oe) || !oe.Temporary() || !oe.HasRetryAfter || oe.RetryAfter != 0 {
+		t.Fatalf("exhausted retries: %#v (code %q)", err, CodeOf(err))
+	}
+}
+
+func TestRetryDelay(t *testing.T) {
+	// A Retry-After hint overrides the local backoff entirely — including a
+	// zero hint, which means retry now.
+	if d := retryDelay(10*time.Second, &Error{HasRetryAfter: true, RetryAfter: 0}, 0.7); d != 0 {
+		t.Fatalf("zero hint: delay %v, want 0", d)
+	}
+	if d := retryDelay(time.Millisecond, &Error{HasRetryAfter: true, RetryAfter: 5 * time.Second}, 0.2); d != 5*time.Second {
+		t.Fatalf("5s hint: delay %v, want 5s", d)
+	}
+	// Without a hint the delay is jittered into [backoff/2, backoff).
+	backoff := 200 * time.Millisecond
+	for _, u := range []float64{0, 0.25, 0.5, 0.999} {
+		d := retryDelay(backoff, &Error{}, u)
+		if d < backoff/2 || d >= backoff {
+			t.Fatalf("u=%v: delay %v outside [%v, %v)", u, d, backoff/2, backoff)
+		}
+	}
+	if d := retryDelay(0, &Error{}, 0.5); d != 0 {
+		t.Fatalf("zero backoff: delay %v, want 0", d)
+	}
+}
+
+// Two clients shed at the same instant must not retry in lockstep — that is
+// the thundering herd the jitter exists to break. Simulate both clients'
+// backoff schedules (each drawing its own jitter, as the real loop does) and
+// assert they diverge; then run two real clients concurrently against an
+// always-overloaded daemon to exercise the same path under the race
+// detector.
+func TestConcurrentRetryingClientsDoNotSynchronize(t *testing.T) {
+	testleak.Check(t)
+	schedule := func() []time.Duration {
+		out := make([]time.Duration, 0, 8)
+		backoff := 200 * time.Millisecond
+		for i := 0; i < 8; i++ {
+			out = append(out, retryDelay(backoff, &Error{Code: CodeOverloaded}, rand.Float64()))
+			backoff *= 2
+		}
+		return out
+	}
+	a, b := schedule(), schedule()
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatalf("two clients drew identical jittered schedules: %v", a)
+	}
+
+	shed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":{"code":"overloaded","message":"admission queue full"}}`))
+	}))
+	t.Cleanup(shed.Close)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := New(shed.URL, WithRetry(4, time.Millisecond))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			_, errs[i] = c.Objective(context.Background(), ObjectiveRequest{Graph: "test", L: 4, Set: []int{1}})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if CodeOf(err) != CodeOverloaded {
+			t.Fatalf("client %d: code %q (%v), want overloaded", i, CodeOf(err), err)
+		}
 	}
 }
 

@@ -83,7 +83,10 @@ type GainRequest struct {
 
 // GainResponse is the /v1/gain reply: Gains[i] is the marginal gain of
 // adding Nodes[i] to Set. Memo reports which memoized path served it
-// ("hit", "miss", "extended", "empty", or "off").
+// ("hit", "miss", "extended", "empty", or "off"). Degraded is true when the
+// walk index was unavailable (its build was shed under overload or failed)
+// and the answer came from an already-memoized gain table — exact values,
+// but a frozen snapshot that cannot extend to new sets.
 type GainResponse struct {
 	Graph       string    `json:"graph"`
 	Problem     string    `json:"problem"`
@@ -92,6 +95,7 @@ type GainResponse struct {
 	Gains       []float64 `json:"gains"`
 	IndexCached bool      `json:"index_cached"`
 	Memo        string    `json:"memo"`
+	Degraded    bool      `json:"degraded,omitempty"`
 }
 
 // ObjectiveRequest identifies a GET /v1/objective query.
@@ -103,7 +107,8 @@ type ObjectiveRequest struct {
 	Set     []int
 }
 
-// ObjectiveResponse is the /v1/objective reply.
+// ObjectiveResponse is the /v1/objective reply. Degraded: see
+// GainResponse.Degraded.
 type ObjectiveResponse struct {
 	Graph       string  `json:"graph"`
 	Problem     string  `json:"problem"`
@@ -111,6 +116,7 @@ type ObjectiveResponse struct {
 	Objective   float64 `json:"objective"`
 	IndexCached bool    `json:"index_cached"`
 	Memo        string  `json:"memo"`
+	Degraded    bool    `json:"degraded,omitempty"`
 }
 
 // TopGainsRequest identifies a GET /v1/topgains query.
@@ -127,7 +133,8 @@ type TopGainsRequest struct {
 }
 
 // TopGainsResponse is the /v1/topgains reply, gain descending with ties
-// broken by ascending node id; set members are excluded.
+// broken by ascending node id; set members are excluded. Degraded: see
+// GainResponse.Degraded.
 type TopGainsResponse struct {
 	Graph       string    `json:"graph"`
 	Problem     string    `json:"problem"`
@@ -137,6 +144,7 @@ type TopGainsResponse struct {
 	Gains       []float64 `json:"gains"`
 	IndexCached bool      `json:"index_cached"`
 	Memo        string    `json:"memo"`
+	Degraded    bool      `json:"degraded,omitempty"`
 }
 
 // Health is the /healthz reply.
@@ -146,18 +154,21 @@ type Health struct {
 	Graphs  int     `json:"graphs"`
 }
 
-// CacheStats mirrors the /stats "cache" block.
+// CacheStats mirrors the /stats "cache" block. SpillLoadErrors counts spill
+// files that existed but failed to load (truncated or corrupt on disk) and
+// were rebuilt from scratch instead.
 type CacheStats struct {
-	Hits          int64    `json:"hits"`
-	Coalesced     int64    `json:"coalesced_builds"`
-	Misses        int64    `json:"misses"`
-	SpillLoads    int64    `json:"spill_loads"`
-	SpillSaves    int64    `json:"spill_saves"`
-	Evictions     int64    `json:"evictions"`
-	BuildErrors   int64    `json:"build_errors"`
-	Resident      int      `json:"resident"`
-	ResidentBytes int64    `json:"resident_bytes"`
-	Keys          []string `json:"keys"`
+	Hits            int64    `json:"hits"`
+	Coalesced       int64    `json:"coalesced_builds"`
+	Misses          int64    `json:"misses"`
+	SpillLoads      int64    `json:"spill_loads"`
+	SpillSaves      int64    `json:"spill_saves"`
+	SpillLoadErrors int64    `json:"spill_load_errors"`
+	Evictions       int64    `json:"evictions"`
+	BuildErrors     int64    `json:"build_errors"`
+	Resident        int      `json:"resident"`
+	ResidentBytes   int64    `json:"resident_bytes"`
+	Keys            []string `json:"keys"`
 }
 
 // MemoStats mirrors the /stats "memo" block.
@@ -168,6 +179,7 @@ type MemoStats struct {
 	Misses         int64 `json:"misses"`
 	PrefixExtended int64 `json:"prefix_extended"`
 	EmptyHits      int64 `json:"empty_hits"`
+	TopGainsHits   int64 `json:"topgains_hits"`
 	Evictions      int64 `json:"evictions"`
 	Invalidated    int64 `json:"invalidated"`
 	PopulateErrors int64 `json:"populate_errors"`
@@ -175,13 +187,32 @@ type MemoStats struct {
 	ResidentBytes  int64 `json:"resident_bytes"`
 }
 
+// AdmissionStats mirrors the /stats "admission" block: the daemon's
+// admission gate (slots, queue bound, traffic counters). Every 503
+// "overloaded" reply corresponds to exactly one Shed tick.
+type AdmissionStats struct {
+	Enabled       bool  `json:"enabled"`
+	MaxConcurrent int   `json:"max_concurrent"`
+	MaxQueue      int   `json:"max_queue"`
+	Admitted      int64 `json:"admitted"`
+	Shed          int64 `json:"shed"`
+	InFlight      int   `json:"in_flight"`
+	QueueDepth    int   `json:"queue_depth"`
+	QueueWaits    int64 `json:"queue_waits"`
+	QueueWaitNS   int64 `json:"queue_wait_ns"`
+}
+
 // Stats is the /stats reply (endpoint latency histograms are left to raw
-// consumers; see the daemon's /stats documentation).
+// consumers; see the daemon's /stats documentation). Degraded counts read
+// answers served from frozen memo tables while the walk index was
+// unavailable.
 type Stats struct {
-	UptimeS          float64    `json:"uptime_s"`
-	Draining         bool       `json:"draining"`
-	InFlight         int64      `json:"in_flight"`
-	SelectsCoalesced int64      `json:"selects_coalesced"`
-	Cache            CacheStats `json:"cache"`
-	Memo             MemoStats  `json:"memo"`
+	UptimeS          float64        `json:"uptime_s"`
+	Draining         bool           `json:"draining"`
+	InFlight         int64          `json:"in_flight"`
+	SelectsCoalesced int64          `json:"selects_coalesced"`
+	Degraded         int64          `json:"degraded"`
+	Admission        AdmissionStats `json:"admission"`
+	Cache            CacheStats     `json:"cache"`
+	Memo             MemoStats      `json:"memo"`
 }

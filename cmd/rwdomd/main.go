@@ -111,6 +111,9 @@ func main() {
 		maxK       = flag.Int("max-k", 10000, "cap on the per-request budget k")
 		memoSize   = flag.Int("memo", 128, "max memoized per-set D-tables for the gain read path (<0 = unbounded)")
 		noMemo     = flag.Bool("no-memo", false, "disable the memoized gain read path (every gain/objective/topgains request replays its set)")
+		maxConc    = flag.Int("max-concurrent", 0, "concurrent heavy computations admitted (0 = 2x cores, <0 = unbounded); excess requests queue then shed with 503 overloaded")
+		maxQueue   = flag.Int("max-queue", 0, "requests allowed to wait for a computation slot (0 = 8x slots)")
+		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed (503 overloaded) responses")
 	)
 	var indexBytes, memoBytes byteSize
 	flag.Var(&indexBytes, "index-bytes", "heap budget for resident walk indexes, e.g. 2GiB or 512MiB (0 = unbounded)")
@@ -144,6 +147,9 @@ func main() {
 		MemoSize:       *memoSize,
 		MemoBytes:      int64(memoBytes),
 		DisableMemo:    *noMemo,
+		MaxConcurrent:  *maxConc,
+		MaxQueue:       *maxQueue,
+		RetryAfterHint: *retryAfter,
 	})
 	if err != nil {
 		fatal(err)

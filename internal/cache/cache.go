@@ -32,6 +32,7 @@
 package cache
 
 import (
+	"fmt"
 	"sync"
 	"time"
 )
@@ -192,7 +193,7 @@ func (c *Cache[K, V]) Acquire(key K, populate func() (V, int64, error)) (*Handle
 	c.stats.Misses++
 	c.mu.Unlock()
 
-	v, bytes, err := populate()
+	v, bytes, err := runPopulate(populate)
 
 	c.mu.Lock()
 	e.value, e.bytes, e.err = v, bytes, err
@@ -214,6 +215,41 @@ func (c *Cache[K, V]) Acquire(key K, populate func() (V, int64, error)) (*Handle
 		return nil, err
 	}
 	return &Handle[K, V]{c: c, e: e}, nil
+}
+
+// runPopulate invokes populate with a panic boundary: a panicking populate
+// becomes a failed populate. Without this, a panic would unwind past the
+// entry's ready-channel close, leaving every coalesced waiter blocked forever
+// on an entry that can neither succeed nor fail — and when population runs on
+// a detached goroutine (the index cache's context-decoupled builds), it would
+// kill the whole process.
+func runPopulate[V any](populate func() (V, int64, error)) (v V, bytes int64, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("cache: populate panicked: %v", p)
+		}
+	}()
+	return populate()
+}
+
+// Peek returns a handle on the ready resident value for key, or nil when the
+// key is absent, still populating, or failed — never blocking and never
+// populating. This is the degraded read path: when new work cannot be
+// admitted or a rebuild fails, a peeked value lets the caller answer from
+// what is already resident. A successful peek pins the entry like Acquire
+// (the caller must Release) and refreshes its LRU position, but is not
+// counted in Hits — degraded traffic should not flatter the hit rate.
+func (c *Cache[K, V]) Peek(key K) *Handle[K, V] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || !e.isReady() || e.err != nil {
+		return nil
+	}
+	c.clock++
+	e.refs++
+	e.lastUse = c.clock
+	return &Handle[K, V]{c: c, e: e}
 }
 
 // PinBest scans the ready resident entries under the lock, scoring each with

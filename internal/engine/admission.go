@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// This file implements admission control for heavy work: selection runs and
+// walk-index builds. The engine previously accepted unbounded concurrent
+// computations — every request got a goroutine and they all fought for the
+// same cores, so under overload everything got slower together until
+// timeouts killed work that had already burned its CPU. The gate inverts
+// that: a fixed number of computation slots, a small bounded wait queue, and
+// immediate load-shedding (a typed CodeOverloaded error carrying a
+// Retry-After hint) for everything beyond both — requests fail fast and
+// cheap instead of slow and expensive, which is what lets a saturated
+// daemon keep answering health checks and cheap memoized reads.
+//
+// What is gated: the selection computation itself (one slot held for the
+// whole greedy run, acquired by the singleflight leader only — coalesced
+// followers ride the leader's slot) and index builds triggered by cache
+// misses (a build inside an already-admitted selection reuses the
+// selection's slot via the context marker instead of deadlocking on a
+// second one). What is not gated: memoized reads, empty-set reads, stats —
+// their cost is microseconds, and shedding them under overload would throw
+// away exactly the traffic the daemon can still serve.
+//
+// Shedding is deadline-aware: a request whose context is already dead is
+// shed without queueing, and one whose deadline expires while queued is shed
+// at that moment — it could not have been admitted before its deadline, so
+// it is overload, not a timeout, and clients should back off rather than
+// retry at the same pace.
+
+// admissionDefaultRetryAfter is the Retry-After hint attached to shed
+// requests when the config does not override it.
+const admissionDefaultRetryAfter = time.Second
+
+// gate is the admission gate. The zero value is unusable; build with
+// newGate. A nil *gate (admission disabled) admits everything.
+type gate struct {
+	sem        chan struct{} // buffered; a held token = a running computation
+	maxQueue   int
+	retryAfter time.Duration
+
+	mu          sync.Mutex
+	queued      int   // current waiters
+	admitted    int64 // total admissions
+	shed        int64 // total rejections
+	queueWaits  int64 // admissions that had to queue first
+	queueWaitNS int64 // cumulative queue time of those admissions
+}
+
+// AdmissionStats snapshots the gate counters for /stats and tests.
+type AdmissionStats struct {
+	// Enabled reports whether admission control is active at all.
+	Enabled bool
+	// MaxConcurrent is the slot count; MaxQueue the wait-queue bound.
+	MaxConcurrent int
+	MaxQueue      int
+	// Admitted counts admissions granted; Shed counts rejections (queue
+	// full, context dead on arrival, or deadline expired while queued) —
+	// every CodeOverloaded error corresponds to exactly one Shed tick.
+	Admitted int64
+	Shed     int64
+	// InFlight is the number of slots currently held; QueueDepth the number
+	// of requests currently waiting for one.
+	InFlight   int
+	QueueDepth int
+	// QueueWaits counts admissions that had to wait; QueueWaitNS their
+	// cumulative wait (ns), so QueueWaitNS/QueueWaits is the mean queue
+	// latency of delayed-but-served requests.
+	QueueWaits  int64
+	QueueWaitNS int64
+}
+
+// newGate builds a gate with maxConcurrent slots and a maxQueue-deep wait
+// queue. Both must be >= 1 and >= 0 respectively (Config.withDefaults
+// resolves the knobs before this runs).
+func newGate(maxConcurrent, maxQueue int, retryAfter time.Duration) *gate {
+	if retryAfter <= 0 {
+		retryAfter = admissionDefaultRetryAfter
+	}
+	return &gate{
+		sem:        make(chan struct{}, maxConcurrent),
+		maxQueue:   maxQueue,
+		retryAfter: retryAfter,
+	}
+}
+
+// overloaded builds the typed shed error, counting the shed.
+func (g *gate) overloaded(msg string) error {
+	g.mu.Lock()
+	g.shed++
+	g.mu.Unlock()
+	return &Error{Code: CodeOverloaded, Message: msg, RetryAfter: g.retryAfter}
+}
+
+// admit acquires one computation slot, waiting in the bounded queue when
+// none is free. It returns a release function exactly when err is nil; the
+// caller must invoke it once the heavy work is done. A nil gate admits
+// immediately (admission disabled).
+func (g *gate) admit(ctx context.Context) (release func(), err error) {
+	if g == nil {
+		return func() {}, nil
+	}
+	// Fast path: a free slot means no queueing and no shed bookkeeping.
+	select {
+	case g.sem <- struct{}{}:
+		g.mu.Lock()
+		g.admitted++
+		g.mu.Unlock()
+		return g.release, nil
+	default:
+	}
+	// Dead on arrival: a request whose deadline has already passed can never
+	// be admitted before it — shed without occupying a queue position.
+	if ctx.Err() != nil {
+		return nil, g.overloaded("overloaded: request deadline expired before admission")
+	}
+	g.mu.Lock()
+	if g.queued >= g.maxQueue {
+		g.mu.Unlock()
+		return nil, g.overloaded("overloaded: admission queue is full")
+	}
+	g.queued++
+	g.mu.Unlock()
+	start := time.Now()
+	select {
+	case g.sem <- struct{}{}:
+		wait := time.Since(start)
+		g.mu.Lock()
+		g.queued--
+		g.admitted++
+		g.queueWaits++
+		g.queueWaitNS += int64(wait)
+		g.mu.Unlock()
+		return g.release, nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		g.queued--
+		g.mu.Unlock()
+		return nil, g.overloaded("overloaded: request deadline expired while queued for admission")
+	}
+}
+
+// release frees one slot.
+func (g *gate) release() { <-g.sem }
+
+// stats snapshots the counters. Safe on a nil gate (admission disabled).
+func (g *gate) stats() AdmissionStats {
+	if g == nil {
+		return AdmissionStats{}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return AdmissionStats{
+		Enabled:       true,
+		MaxConcurrent: cap(g.sem),
+		MaxQueue:      g.maxQueue,
+		Admitted:      g.admitted,
+		Shed:          g.shed,
+		InFlight:      len(g.sem),
+		QueueDepth:    g.queued,
+		QueueWaits:    g.queueWaits,
+		QueueWaitNS:   g.queueWaitNS,
+	}
+}
+
+// admittedKey marks a context as already holding an admission slot, so
+// nested heavy work (the index build inside an admitted selection) rides the
+// outer slot instead of deadlocking on a second acquire.
+type admittedKey struct{}
+
+// markAdmitted returns ctx tagged as holding a slot.
+func markAdmitted(ctx context.Context) context.Context {
+	return context.WithValue(ctx, admittedKey{}, true)
+}
+
+// isAdmitted reports whether ctx already holds a slot.
+func isAdmitted(ctx context.Context) bool {
+	v, _ := ctx.Value(admittedKey{}).(bool)
+	return v
+}

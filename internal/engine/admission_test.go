@@ -1,0 +1,230 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/testleak"
+)
+
+// holdSlot occupies one admission slot directly, simulating a saturated
+// engine, and returns the release.
+func holdSlot(t *testing.T, e *Engine) func() {
+	t.Helper()
+	release, err := e.gate.admit(context.Background())
+	if err != nil {
+		t.Fatalf("holding slot: %v", err)
+	}
+	return release
+}
+
+func TestAdmissionShedsWhenSaturated(t *testing.T) {
+	testleak.Check(t)
+	e := newTestEngine(t, Config{MaxConcurrent: 1, MaxQueue: -1})
+	release := holdSlot(t, e)
+
+	req := SelectRequest{Graph: "test", K: 3, L: 4, R: 20}
+	_, err := e.Select(context.Background(), req)
+	if CodeOf(err) != CodeOverloaded {
+		t.Fatalf("saturated select: code %q (%v), want overloaded", CodeOf(err), err)
+	}
+	if RetryAfterOf(err) != admissionDefaultRetryAfter {
+		t.Fatalf("RetryAfter = %v, want the default hint %v", RetryAfterOf(err), admissionDefaultRetryAfter)
+	}
+	if _, err := e.SelectStream(context.Background(), req, func(Round) error { return nil }); CodeOf(err) != CodeOverloaded {
+		t.Fatalf("saturated stream: code %q (%v)", CodeOf(err), err)
+	}
+	st := e.AdmissionStats()
+	if !st.Enabled || st.MaxConcurrent != 1 || st.MaxQueue != 0 {
+		t.Fatalf("gate shape %+v", st)
+	}
+	if st.Shed != 2 || st.Admitted != 1 || st.InFlight != 1 {
+		t.Fatalf("counters %+v, want shed=2 admitted=1 in-flight=1", st)
+	}
+
+	// A freed slot restores service with no residue.
+	release()
+	res, err := e.Select(context.Background(), req)
+	if err != nil {
+		t.Fatalf("select after release: %v", err)
+	}
+	if len(res.Nodes) != 3 {
+		t.Fatalf("%d nodes", len(res.Nodes))
+	}
+	st = e.AdmissionStats()
+	if st.Shed != 2 || st.InFlight != 0 {
+		t.Fatalf("counters after recovery %+v", st)
+	}
+}
+
+func TestAdmissionQueuedRequestAdmitsWhenSlotFrees(t *testing.T) {
+	testleak.Check(t)
+	e := newTestEngine(t, Config{MaxConcurrent: 1, MaxQueue: 1})
+	release := holdSlot(t, e)
+
+	type out struct {
+		res *SelectResult
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		r, err := e.Select(context.Background(), SelectRequest{Graph: "test", K: 3, L: 4, R: 20})
+		done <- out{r, err}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for e.AdmissionStats().QueueDepth != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("select never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The queue is full now: the next computation (a different R, so it
+	// cannot coalesce with the queued one) sheds immediately.
+	if _, err := e.Select(context.Background(), SelectRequest{Graph: "test", K: 3, L: 4, R: 21}); CodeOf(err) != CodeOverloaded {
+		t.Fatalf("queue-full select: code %q (%v)", CodeOf(err), err)
+	}
+
+	release()
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("queued select failed: %v", o.err)
+	}
+	if len(o.res.Nodes) != 3 {
+		t.Fatalf("%d nodes", len(o.res.Nodes))
+	}
+	st := e.AdmissionStats()
+	if st.QueueWaits != 1 || st.QueueWaitNS <= 0 {
+		t.Fatalf("queue accounting %+v, want one timed wait", st)
+	}
+	if st.Shed != 1 || st.QueueDepth != 0 || st.InFlight != 0 {
+		t.Fatalf("counters %+v", st)
+	}
+}
+
+// A deadline that expires while waiting for a slot is overload, not a
+// timeout: no compute was spent, and the client should back off.
+func TestAdmissionDeadlineExpiredWhileQueuedIsOverload(t *testing.T) {
+	testleak.Check(t)
+	e := newTestEngine(t, Config{MaxConcurrent: 1, MaxQueue: 4})
+	release := holdSlot(t, e)
+	defer release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := e.Select(ctx, SelectRequest{Graph: "test", K: 3, L: 4, R: 20})
+	if CodeOf(err) != CodeOverloaded {
+		t.Fatalf("expired-in-queue select: code %q (%v), want overloaded", CodeOf(err), err)
+	}
+	st := e.AdmissionStats()
+	if st.Shed != 1 || st.QueueDepth != 0 {
+		t.Fatalf("counters %+v", st)
+	}
+}
+
+// The graceful-degradation contract: when the index cannot be acquired (its
+// build shed by a saturated gate), reads whose exact table is already
+// memoized still answer — bit-identically — with the degraded marker, while
+// unmemoized sets surface the shed.
+func TestDegradedReadsServeFrozenMemoWhenIndexUnavailable(t *testing.T) {
+	testleak.Check(t)
+	g := testGraph(t, 400, 3)
+	e := newTestEngine(t, Config{Graphs: map[string]*graph.Graph{"test": g}, MaxConcurrent: 1, MaxQueue: -1})
+
+	// Memoize the table for {1,2} against a hand-built index of the same
+	// identity, without making the index itself resident: the state a daemon
+	// is in when the index was evicted after the memo survived, or (as here)
+	// when every rebuild is being shed.
+	p, err := e.resolveParams("test", 4, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := index.Build(g, 4, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, setKey := canonicalSet([]int{2, 2, 1})
+	mh, _, err := e.memo.acquire(memoKey{idx: p.cacheKey(), problem: index.Problem2, set: setKey}, canon, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh.Release()
+
+	release := holdSlot(t, e)
+	ctx := context.Background()
+
+	dg, err := e.Gain(ctx, GainRequest{Graph: "test", Problem: Problem2, L: 4, R: 20, Seed: 1, Set: []int{1, 2}, Nodes: []int{0, 5, 9}})
+	if err != nil {
+		t.Fatalf("degraded gain: %v", err)
+	}
+	if !dg.Degraded || dg.Memo != MemoHit || dg.IndexCached {
+		t.Fatalf("degraded gain flags %+v", dg)
+	}
+	dobj, err := e.Objective(ctx, ObjectiveRequest{Graph: "test", Problem: Problem2, L: 4, R: 20, Seed: 1, Set: []int{1, 2}})
+	if err != nil {
+		t.Fatalf("degraded objective: %v", err)
+	}
+	if !dobj.Degraded {
+		t.Fatalf("degraded objective flags %+v", dobj)
+	}
+	dtop, err := e.TopGains(ctx, TopGainsRequest{Graph: "test", Problem: Problem2, L: 4, R: 20, Seed: 1, Set: []int{1, 2}, B: 5})
+	if err != nil {
+		t.Fatalf("degraded topgains: %v", err)
+	}
+	if !dtop.Degraded || len(dtop.Nodes) != 5 {
+		t.Fatalf("degraded topgains flags %+v", dtop)
+	}
+
+	// An unmemoized set has no frozen table to fall back on: the shed
+	// surfaces as the typed overloaded error.
+	if _, err := e.Gain(ctx, GainRequest{Graph: "test", Problem: Problem2, L: 4, R: 20, Seed: 1, Set: []int{3, 4}, Nodes: []int{0}}); CodeOf(err) != CodeOverloaded {
+		t.Fatalf("unmemoized set under saturation: code %q (%v), want overloaded", CodeOf(err), err)
+	}
+	if got := e.Stats().Degraded; got != 3 {
+		t.Fatalf("degraded counter %d, want 3", got)
+	}
+
+	// Degraded answers must be exact: the healthy path (slot freed, index
+	// built for real) produces bit-identical values.
+	release()
+	hg, err := e.Gain(ctx, GainRequest{Graph: "test", Problem: Problem2, L: 4, R: 20, Seed: 1, Set: []int{1, 2}, Nodes: []int{0, 5, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hg.Degraded {
+		t.Fatal("healthy gain still marked degraded")
+	}
+	for i := range hg.Gains {
+		if math.Float64bits(hg.Gains[i]) != math.Float64bits(dg.Gains[i]) {
+			t.Fatalf("gain[%d]: degraded %v != healthy %v", i, dg.Gains[i], hg.Gains[i])
+		}
+	}
+	hobj, err := e.Objective(ctx, ObjectiveRequest{Graph: "test", Problem: Problem2, L: 4, R: 20, Seed: 1, Set: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(hobj.Objective) != math.Float64bits(dobj.Objective) {
+		t.Fatalf("objective: degraded %v != healthy %v", dobj.Objective, hobj.Objective)
+	}
+	htop, err := e.TopGains(ctx, TopGainsRequest{Graph: "test", Problem: Problem2, L: 4, R: 20, Seed: 1, Set: []int{1, 2}, B: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range htop.Nodes {
+		if htop.Nodes[i] != dtop.Nodes[i] || math.Float64bits(htop.Gains[i]) != math.Float64bits(dtop.Gains[i]) {
+			t.Fatalf("topgains[%d]: degraded (%d, %v) != healthy (%d, %v)",
+				i, dtop.Nodes[i], dtop.Gains[i], htop.Nodes[i], htop.Gains[i])
+		}
+	}
+
+	if refs := e.MemoPinnedRefs(); refs != 0 {
+		t.Fatalf("%d memo refs still pinned", refs)
+	}
+	if refs := e.cache.PinnedRefs(); refs != 0 {
+		t.Fatalf("%d index refs still pinned", refs)
+	}
+}

@@ -134,6 +134,12 @@ type GainResult struct {
 	// which memo path served the request (the Memo* constants).
 	IndexCached bool
 	Memo        string
+	// Degraded marks an answer served from an already-memoized frozen table
+	// while the index itself was unavailable (its build was shed by admission
+	// control, failed, or out-deadlined). The values are exact — the table was
+	// built from the real index before it went away — but a request for an
+	// unmemoized set would have received the underlying error instead.
+	Degraded bool
 }
 
 // ObjectiveRequest asks for the estimated objective value of Set.
@@ -150,6 +156,8 @@ type ObjectiveResult struct {
 	Objective   float64
 	IndexCached bool
 	Memo        string
+	// Degraded: see GainResult.Degraded.
+	Degraded bool
 }
 
 // TopGainsRequest asks for the B best candidates by marginal gain against
@@ -175,4 +183,6 @@ type TopGainsResult struct {
 	Gains       []float64
 	IndexCached bool
 	Memo        string
+	// Degraded: see GainResult.Degraded.
+	Degraded bool
 }

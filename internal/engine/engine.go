@@ -22,9 +22,16 @@
 // reimplementing it per transport.
 //
 // Errors carry stable machine-readable codes (*Error with CodeBadRequest,
-// CodeNotFound, CodeDraining, CodeTimeout, CodeInternal) so codecs can map
-// them mechanically — the HTTP layer to statuses and its JSON error
-// envelope, the client SDK back to typed errors.
+// CodeNotFound, CodeDraining, CodeOverloaded, CodeTimeout, CodeInternal) so
+// codecs can map them mechanically — the HTTP layer to statuses and its
+// JSON error envelope, the client SDK back to typed errors.
+//
+// Under load the engine degrades instead of collapsing: an admission gate
+// (Config.MaxConcurrent/MaxQueue) bounds concurrent selections and index
+// builds behind a bounded wait queue and sheds the excess with
+// CodeOverloaded plus a Retry-After hint, and the read methods fall back to
+// an already-memoized frozen D-table (result flagged Degraded) when the
+// index itself cannot be acquired.
 package engine
 
 import (
@@ -70,6 +77,16 @@ type Config struct {
 	// against accidental resource exhaustion (defaults 1000 and 10000).
 	MaxR int
 	MaxK int
+	// MaxConcurrent bounds concurrently running heavy computations —
+	// selection runs and walk-index builds — admitted through the gate
+	// (default 2×GOMAXPROCS; < 0 disables admission control entirely).
+	// MaxQueue bounds how many admissions may wait for a slot (default
+	// 8×MaxConcurrent; < 0 means no queue — at capacity, shed immediately).
+	// Work beyond both bounds is shed with a typed CodeOverloaded error
+	// carrying the RetryAfterHint backoff (default 1s).
+	MaxConcurrent  int
+	MaxQueue       int
+	RetryAfterHint time.Duration
 	// MemoSize bounds the number of memoized D-tables the gain read path
 	// keeps resident (default 128; < 0 means unbounded); MemoBytes
 	// additionally bounds their summed heap footprint (0 means unbounded,
@@ -101,6 +118,15 @@ func (c Config) withDefaults() Config {
 	if c.MemoSize == 0 {
 		c.MemoSize = 128
 	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 8 * c.MaxConcurrent
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
 	return c
 }
 
@@ -114,10 +140,15 @@ type Engine struct {
 	// TopGains; nil when cfg.DisableMemo.
 	memo *memoCache
 	sf   singleflight
+	// gate admission-controls heavy work (selection runs, index builds);
+	// nil when cfg.MaxConcurrent < 0 (admission disabled).
+	gate *gate
 
 	// selectsCoalesced counts Select results served from another request's
-	// computation.
+	// computation; degraded counts reads answered from frozen memoized
+	// state because the live index path failed or was shed.
 	selectsCoalesced atomic.Int64
+	degraded         atomic.Int64
 
 	// lifecycle is canceled by Abort/Close; every computation context
 	// descends from it so shutdown aborts stragglers.
@@ -150,6 +181,9 @@ func New(cfg Config) (*Engine, error) {
 		cache:     cache,
 		lifecycle: ctx,
 		abort:     cancel,
+	}
+	if cfg.MaxConcurrent > 0 {
+		e.gate = newGate(cfg.MaxConcurrent, cfg.MaxQueue, cfg.RetryAfterHint)
 	}
 	if !cfg.DisableMemo {
 		e.memo = newMemoCache(cfg.MemoSize, cfg.MemoBytes)
@@ -228,13 +262,18 @@ func (e *Engine) MemoPinnedRefs() int {
 	return e.memo.pinnedRefs()
 }
 
-// Stats snapshots the engine-level counters: index-cache and memo traffic
-// plus coalesced selections.
+// Stats snapshots the engine-level counters: index-cache and memo traffic,
+// coalesced selections, degraded answers, and admission-gate pressure.
 type Stats struct {
 	Cache            index.CacheStats
 	Memo             MemoStats
 	MemoEnabled      bool
 	SelectsCoalesced int64
+	// Degraded counts read requests answered from frozen memoized state
+	// because the live index path failed or was shed.
+	Degraded int64
+	// Admission snapshots the heavy-work gate (zero value when disabled).
+	Admission AdmissionStats
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -243,12 +282,18 @@ func (e *Engine) Stats() Stats {
 		Cache:            e.cache.Stats(),
 		MemoEnabled:      e.memo != nil,
 		SelectsCoalesced: e.selectsCoalesced.Load(),
+		Degraded:         e.degraded.Load(),
+		Admission:        e.gate.stats(),
 	}
 	if e.memo != nil {
 		s.Memo = e.memo.Stats()
 	}
 	return s
 }
+
+// AdmissionStats snapshots the admission gate (test observability; the zero
+// value when admission is disabled).
+func (e *Engine) AdmissionStats() AdmissionStats { return e.gate.stats() }
 
 // Abort cancels every in-flight computation (their contexts descend from
 // the engine lifecycle). The engine remains usable for new requests; the
@@ -387,10 +432,20 @@ func validateSet(field string, nodes []int, g *graph.Graph) error {
 
 // acquireIndex fetches (or builds) the index for p, reporting whether this
 // call triggered the build and how long the build (or spill load) took.
-func (e *Engine) acquireIndex(p params, workers int) (h *index.Handle, built bool, buildTime time.Duration, err error) {
+// Builds are heavy work: unless ctx already holds an admission slot (a
+// build inside an admitted selection), the build waits at the gate and a
+// shed surfaces as CodeOverloaded. Cache hits never touch the gate.
+func (e *Engine) acquireIndex(ctx context.Context, p params, workers int) (h *index.Handle, built bool, buildTime time.Duration, err error) {
 	start := time.Now()
 	h, err = e.cache.Acquire(p.cacheKey(), p.g, func() (*index.Index, error) {
 		built = true
+		if !isAdmitted(ctx) {
+			release, err := e.gate.admit(ctx)
+			if err != nil {
+				return nil, err
+			}
+			defer release()
+		}
 		return index.BuildWorkers(p.g, p.L, p.R, p.seed, workers)
 	})
 	if built {
@@ -415,7 +470,7 @@ type acquired struct {
 func (e *Engine) acquireIndexCtx(ctx context.Context, p params, workers int) (*index.Handle, bool, time.Duration, error) {
 	done := make(chan acquired, 1)
 	go func() {
-		h, built, build, err := e.acquireIndex(p, workers)
+		h, built, build, err := e.acquireIndex(ctx, p, workers)
 		done <- acquired{h: h, built: built, build: build, err: err}
 	}()
 	select {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 )
 
 // Code is a stable machine-readable error code, shared verbatim across
@@ -24,6 +25,12 @@ const (
 	// process is shutting down (or the computation was canceled from
 	// outside the request, which at serving time means drain/hard-stop).
 	CodeDraining Code = "draining"
+	// CodeOverloaded marks heavy work shed by admission control: every
+	// computation slot is busy and the wait queue is full, or the request's
+	// deadline expired before a slot freed up. Unlike CodeTimeout no compute
+	// was spent on the request; clients should back off (the error carries a
+	// Retry-After hint) and retry.
+	CodeOverloaded Code = "overloaded"
 	// CodeTimeout marks a request that exhausted its compute budget.
 	CodeTimeout Code = "timeout"
 	// CodeInternal marks everything else.
@@ -36,7 +43,11 @@ const (
 type Error struct {
 	Code    Code
 	Message string
-	cause   error
+	// RetryAfter, when positive, hints how long the caller should back off
+	// before retrying (set on CodeOverloaded sheds). The HTTP codec
+	// serializes it as a Retry-After header; the client SDK honors it.
+	RetryAfter time.Duration
+	cause      error
 }
 
 func (e *Error) Error() string { return e.Message }
@@ -88,6 +99,16 @@ func CodeOf(err error) Code {
 	}
 }
 
+// RetryAfterOf extracts the backoff hint from any engine error (zero when
+// it carries none) — the value the HTTP codec writes as Retry-After.
+func RetryAfterOf(err error) time.Duration {
+	var ee *Error
+	if errors.As(err, &ee) {
+		return ee.RetryAfter
+	}
+	return 0
+}
+
 // HTTPStatus maps a code to its HTTP status: the contract the server codec
 // and the client SDK share.
 func HTTPStatus(code Code) int {
@@ -96,7 +117,7 @@ func HTTPStatus(code Code) int {
 		return http.StatusBadRequest
 	case CodeNotFound:
 		return http.StatusNotFound
-	case CodeDraining:
+	case CodeDraining, CodeOverloaded:
 		return http.StatusServiceUnavailable
 	case CodeTimeout:
 		return http.StatusGatewayTimeout

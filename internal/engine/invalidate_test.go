@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/index"
+	"repro/internal/testleak"
 )
 
 func testGraph(t testing.TB, n int, seed uint64) *graph.Graph {
@@ -18,6 +19,7 @@ func testGraph(t testing.TB, n int, seed uint64) *graph.Graph {
 
 func newTestEngine(t testing.TB, cfg Config) *Engine {
 	t.Helper()
+	testleak.Check(t)
 	if cfg.Graphs == nil {
 		cfg.Graphs = map[string]*graph.Graph{"test": testGraph(t, 600, 1)}
 	}

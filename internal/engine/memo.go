@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/cache"
+	"repro/internal/faultinject"
 	"repro/internal/index"
 )
 
@@ -263,6 +264,9 @@ func (c *memoCache) acquire(key memoKey, set []int, ix *index.Index) (*memoHandl
 	populated, extended := false, false
 	h, err := c.core.Acquire(key, func() (memoValue, int64, error) {
 		populated = true
+		if err := faultinject.Do(faultinject.SiteMemoPopulate); err != nil {
+			return memoValue{}, 0, err
+		}
 		// Pin the longest ready proper prefix of set (if any) so eviction
 		// cannot free it while we extend from its snapshot. The scan is
 		// O(resident·|set|), bounded by the cache size — probing the map for
@@ -341,6 +345,18 @@ func populateTable(ix *index.Index, p index.Problem, set []int, prefix *index.DT
 		members[u] = true
 	}
 	return d, d.EstimateObjective(members), nil
+}
+
+// peek returns a pinned handle on the resident frozen table for key, or nil
+// — never populating and never blocking. This is the degraded read path:
+// when the index cannot be acquired (build shed, failed, or out-deadlined),
+// an already-memoized table can still answer its exact set.
+func (c *memoCache) peek(key memoKey) *memoHandle {
+	h := c.core.Peek(key)
+	if h == nil {
+		return nil
+	}
+	return &memoHandle{h: h}
 }
 
 // dropIndexes removes every memoized table built under one of the given

@@ -35,6 +35,26 @@ func (e *Engine) memoizedTable(p params, prob index.Problem, canon []int, setKey
 	return d, func() {}, MemoOff, nil
 }
 
+// degradedTable is the graceful-degradation fallback after an index
+// acquisition failure: if the exact (index identity, problem, canonical set)
+// table is already memoized and resident, the request can still be answered
+// — exactly — from that frozen table, without the index. Returns a pinned
+// handle (caller releases) and ticks the engine's degraded counter on
+// success. Empty sets are excluded: their answers come off the index itself,
+// and an index resident enough to serve them would not have failed to
+// acquire in the first place.
+func (e *Engine) degradedTable(p params, prob index.Problem, canon []int, setKey string) (*memoHandle, bool) {
+	if e.memo == nil || len(canon) == 0 {
+		return nil, false
+	}
+	mh := e.memo.peek(memoKey{idx: p.cacheKey(), problem: prob, set: setKey})
+	if mh == nil {
+		return nil, false
+	}
+	e.degraded.Add(1)
+	return mh, true
+}
+
 // resolveRead validates the shared knobs of the read-path requests.
 func (e *Engine) resolveRead(graph string, problem Problem, L, R int, seed uint64, set []int) (params, index.Problem, error) {
 	prob, err := resolveProblem(problem)
@@ -69,12 +89,17 @@ func (e *Engine) Gain(ctx context.Context, req GainRequest) (*GainResult, error)
 	}
 	runCtx, cancel := e.Context(ctx, 0)
 	defer cancel()
+	canon, setKey := canonicalSet(req.Set)
 	h, built, _, err := e.acquireIndexCtx(runCtx, p, e.cfg.DefaultWorkers)
 	if err != nil {
+		if mh, ok := e.degradedTable(p, prob, canon, setKey); ok {
+			gains := mh.Table().GainBatch(req.Nodes, make([]float64, 0, len(req.Nodes)))
+			mh.Release()
+			return &GainResult{Gains: gains, Memo: MemoHit, Degraded: true}, nil
+		}
 		return nil, wrapCompute(err)
 	}
 	defer h.Release()
-	canon, setKey := canonicalSet(req.Set)
 	var gains []float64
 	var status string
 	if e.memo != nil && len(canon) == 0 {
@@ -113,12 +138,17 @@ func (e *Engine) Objective(ctx context.Context, req ObjectiveRequest) (*Objectiv
 	}
 	runCtx, cancel := e.Context(ctx, 0)
 	defer cancel()
+	canon, setKey := canonicalSet(req.Set)
 	h, built, _, err := e.acquireIndexCtx(runCtx, p, e.cfg.DefaultWorkers)
 	if err != nil {
+		if mh, ok := e.degradedTable(p, prob, canon, setKey); ok {
+			objective := mh.Objective()
+			mh.Release()
+			return &ObjectiveResult{Objective: objective, Memo: MemoHit, Degraded: true}, nil
+		}
 		return nil, wrapCompute(err)
 	}
 	defer h.Release()
-	canon, setKey := canonicalSet(req.Set)
 	var objective float64
 	var status string
 	switch {
@@ -178,12 +208,19 @@ func (e *Engine) TopGains(ctx context.Context, req TopGainsRequest) (*TopGainsRe
 	workers := e.resolveWorkers(req.Workers)
 	runCtx, cancel := e.Context(ctx, 0)
 	defer cancel()
+	canon, setKey := canonicalSet(req.Set)
 	h, built, _, err := e.acquireIndexCtx(runCtx, p, workers)
 	if err != nil {
+		if mh, ok := e.degradedTable(p, prob, canon, setKey); ok {
+			nodes, gains, derr := degradedTopGains(mh, b, canon, p.g.N(), workers)
+			mh.Release()
+			if derr == nil {
+				return &TopGainsResult{B: b, Nodes: nodes, Gains: gains, Memo: MemoHit, Degraded: true}, nil
+			}
+		}
 		return nil, wrapCompute(err)
 	}
 	defer h.Release()
-	canon, setKey := canonicalSet(req.Set)
 	var nodes []int
 	var gains []float64
 	var status string
@@ -241,4 +278,25 @@ func (e *Engine) TopGains(ctx context.Context, req TopGainsRequest) (*TopGainsRe
 		status = MemoOff
 	}
 	return &TopGainsResult{B: b, Nodes: nodes, Gains: gains, IndexCached: !built, Memo: status}, nil
+}
+
+// degradedTopGains answers a topgains request purely from a pinned frozen
+// table: the per-entry top-B memo when a prior request paid the sweep, else
+// a fresh candidate sweep over the table. The sweep runs under its own
+// context — the request context is typically already dead on this path, and
+// the sweep is a bounded O(n) read of resident state, not new heavy work.
+func degradedTopGains(mh *memoHandle, b int, canon []int, n, workers int) ([]int, []float64, error) {
+	if nodes, gains, ok := mh.CachedTop(b); ok {
+		return nodes, gains, nil
+	}
+	exclude := make([]bool, n)
+	for _, u := range canon {
+		exclude[u] = true
+	}
+	nodes, gains, err := core.TopGains(context.Background(), mh.Table(), b, exclude, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	mh.StoreTop(b, nodes, gains)
+	return nodes, gains, nil
 }

@@ -60,7 +60,17 @@ func (e *Engine) Select(ctx context.Context, req SelectRequest) (*SelectResult, 
 			case <-watchDone:
 			}
 		}()
-		return e.runSelect(cctx, p, prob, req.K, req.Strategy.lazy(), workers, nil)
+		// Only the singleflight leader reaches this closure: one admission
+		// slot covers the whole coalesced run, and followers inherit the
+		// leader's overloaded error when the gate sheds it. The shed error
+		// deliberately carries no context cause, so the follower retry below
+		// does not re-run a deliberately rejected computation.
+		release, err := e.gate.admit(cctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		return e.runSelect(markAdmitted(cctx), p, prob, req.K, req.Strategy.lazy(), workers, nil)
 	}
 	v, err, shared := e.sf.Do(waitCtx, key, compute)
 	if shared && err != nil && waitCtx.Err() == nil &&
@@ -107,7 +117,14 @@ func (e *Engine) SelectStream(ctx context.Context, req SelectRequest, emit func(
 	}
 	runCtx, cancel := e.Context(ctx, req.Timeout)
 	defer cancel()
-	res, err := e.runSelect(runCtx, p, prob, req.K, req.Strategy.lazy(), workers, emit)
+	// Streams do not coalesce, so each one holds its own admission slot for
+	// the full run.
+	release, err := e.gate.admit(runCtx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	res, err := e.runSelect(markAdmitted(runCtx), p, prob, req.K, req.Strategy.lazy(), workers, emit)
 	if err != nil {
 		return nil, wrapCompute(err)
 	}

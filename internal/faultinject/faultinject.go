@@ -1,0 +1,257 @@
+// Package faultinject is the deterministic fault-injection substrate the
+// chaos tests drive: named sites at the serving stack's failure boundaries
+// (spill I/O, cache population, memo population, greedy strides) consult a
+// seed-driven plan that decides — reproducibly — whether this particular hit
+// fails, stalls, or panics.
+//
+// The package is built for two competing constraints:
+//
+//   - Zero cost in production. Every site starts with a single atomic bool
+//     load; with no plan armed that is the entire cost, so sites can sit on
+//     hot paths (the greedy evaluation stride) without a measurable tax.
+//   - Determinism under concurrency. Faults must be reproducible enough to
+//     debug a chaos-test failure from its seed. Each site keeps its own
+//     atomic hit counter, and the fire/no-fire decision for hit i at site s
+//     is a pure function of (plan seed, s, i) — a splitmix64 stream — so a
+//     given seed always produces the same fault pattern per site, regardless
+//     of how goroutines interleave across sites.
+//
+// Sites choose the strongest primitive their context tolerates:
+//
+//	Do(site)     may sleep, then return an injected error or panic. For
+//	             population/build/IO boundaries whose callers propagate
+//	             errors and whose goroutines contain panics.
+//	Delay(site)  may only sleep. For boundaries inside worker pools where a
+//	             panic would kill the process and an error has no channel —
+//	             the greedy stride uses this to simulate slow compute.
+//
+// Injected errors unwrap to ErrInjected so tests can tell injected failures
+// from organic ones.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel every injected error wraps.
+var ErrInjected = errors.New("injected fault")
+
+// The registered sites. Constants rather than ad-hoc strings so a chaos
+// plan naming a site that no longer exists fails loudly at compile time.
+const (
+	// SiteSpillSave fires inside the atomic index-spill writer, before any
+	// byte reaches the temp file — an injected full/failing disk.
+	SiteSpillSave = "index.spill.save"
+	// SiteSpillLoad fires on the spill-read path of a cache miss; a fired
+	// error makes the load fail like a corrupt/unreadable file, forcing the
+	// rebuild fallback.
+	SiteSpillLoad = "index.spill.load"
+	// SiteIndexPopulate fires at the head of an index-cache population
+	// (after spill consultation, before the walk build).
+	SiteIndexPopulate = "index.cache.populate"
+	// SiteMemoPopulate fires at the head of a memo-table population.
+	SiteMemoPopulate = "engine.memo.populate"
+	// SiteGreedyStride fires between greedy evaluation strides. Latency-only
+	// (Delay): the stride runs inside worker pools where panics are fatal
+	// and errors have no channel.
+	SiteGreedyStride = "greedy.stride"
+)
+
+// Error is an injected failure, carrying the site that produced it.
+type Error struct {
+	Site string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("faultinject: injected failure at %s", e.Site) }
+
+// Unwrap ties every injected error to the ErrInjected sentinel.
+func (e *Error) Unwrap() error { return ErrInjected }
+
+// Fault describes what one site does when its probability fires.
+type Fault struct {
+	// P is the per-hit probability in [0, 1] that this fault fires. A fault
+	// with P = 0 never fires; P = 1 fires on every hit.
+	P float64
+	// Latency is slept before the failure mode (or before returning cleanly
+	// when neither Err nor Panic is set) — injected slow disk / slow stride.
+	Latency time.Duration
+	// Err makes Do return an injected *Error. Ignored by Delay.
+	Err bool
+	// Panic makes Do panic with an *Error. Ignored by Delay. Only register
+	// panic faults at sites whose goroutine has a recover boundary.
+	Panic bool
+}
+
+// Plan arms a set of sites. The zero Seed is a valid seed.
+type Plan struct {
+	Seed  uint64
+	Sites map[string]Fault
+}
+
+// SiteStats counts one site's traffic under the current plan.
+type SiteStats struct {
+	// Hits counts site executions; Fired the subset where the fault fired.
+	Hits  int64
+	Fired int64
+}
+
+// site is the armed per-site state.
+type site struct {
+	fault Fault
+	// streamSeed folds the plan seed with the site name so two sites under
+	// one plan draw independent decision streams.
+	streamSeed uint64
+	hits       atomic.Int64
+	fired      atomic.Int64
+}
+
+var (
+	// enabled is the fast-path guard: false means every site is a no-op
+	// after one atomic load.
+	enabled atomic.Bool
+
+	mu    sync.Mutex
+	armed map[string]*site
+)
+
+// Enable arms plan and returns a disarm function. Enabling replaces any
+// previously armed plan; the disarm function is idempotent and only disarms
+// the plan it armed. Tests should defer the returned function.
+func Enable(plan Plan) (disable func()) {
+	sites := make(map[string]*site, len(plan.Sites))
+	for name, f := range plan.Sites {
+		sites[name] = &site{fault: f, streamSeed: plan.Seed ^ fnv64(name)}
+	}
+	mu.Lock()
+	armed = sites
+	enabled.Store(len(sites) > 0)
+	mu.Unlock()
+	return func() {
+		mu.Lock()
+		if equalMaps(armed, sites) {
+			armed = nil
+			enabled.Store(false)
+		}
+		mu.Unlock()
+	}
+}
+
+// equalMaps reports whether the armed map is the exact one this Enable
+// installed (pointer identity of the site states).
+func equalMaps(a, b map[string]*site) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Enabled reports whether a plan is armed (test observability).
+func Enabled() bool { return enabled.Load() }
+
+// Stats snapshots per-site hit/fire counters for the armed plan; nil when
+// disabled.
+func Stats() map[string]SiteStats {
+	mu.Lock()
+	defer mu.Unlock()
+	if armed == nil {
+		return nil
+	}
+	out := make(map[string]SiteStats, len(armed))
+	for name, s := range armed {
+		out[name] = SiteStats{Hits: s.hits.Load(), Fired: s.fired.Load()}
+	}
+	return out
+}
+
+// lookup resolves the armed site state for name, or nil.
+func lookup(name string) *site {
+	mu.Lock()
+	s := armed[name]
+	mu.Unlock()
+	return s
+}
+
+// fire records one hit at s and decides — deterministically from the plan
+// seed, the site name, and the hit ordinal — whether the fault fires.
+func (s *site) fire() bool {
+	hit := s.hits.Add(1) - 1
+	if s.fault.P <= 0 {
+		return false
+	}
+	// splitmix64 over (streamSeed, hit): a high-quality stateless stream, so
+	// the decision for hit i is independent of goroutine interleaving.
+	x := splitmix64(s.streamSeed + uint64(hit)*0x9E3779B97F4A7C15)
+	if s.fault.P < 1 && float64(x>>11)/(1<<53) >= s.fault.P {
+		return false
+	}
+	s.fired.Add(1)
+	return true
+}
+
+// Do executes the site: returns nil fast when no plan is armed; otherwise
+// may sleep, return an injected error, or panic, per the armed fault.
+func Do(name string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	s := lookup(name)
+	if s == nil || !s.fire() {
+		return nil
+	}
+	if s.fault.Latency > 0 {
+		time.Sleep(s.fault.Latency)
+	}
+	if s.fault.Panic {
+		panic(&Error{Site: name})
+	}
+	if s.fault.Err {
+		return &Error{Site: name}
+	}
+	return nil
+}
+
+// Delay executes the site in latency-only mode: it may sleep but never
+// errors or panics, which makes it safe inside worker pools (a panic there
+// would kill the process) and on paths with no error channel.
+func Delay(name string) {
+	if !enabled.Load() {
+		return
+	}
+	s := lookup(name)
+	if s == nil || !s.fire() {
+		return
+	}
+	if s.fault.Latency > 0 {
+		time.Sleep(s.fault.Latency)
+	}
+}
+
+// splitmix64 is the SplitMix64 output function — one multiply-xor-shift
+// cascade, enough to decorrelate sequential hit ordinals.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// fnv64 hashes a site name (FNV-1a) into the seed fold.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

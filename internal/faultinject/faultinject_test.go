@@ -1,0 +1,176 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoOp(t *testing.T) {
+	if Enabled() {
+		t.Fatal("no plan armed, Enabled() = true")
+	}
+	if err := Do("anything"); err != nil {
+		t.Fatalf("Do with no plan: %v", err)
+	}
+	Delay("anything")
+	if Stats() != nil {
+		t.Fatal("Stats with no plan should be nil")
+	}
+}
+
+func TestDeterministicPattern(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		defer Enable(Plan{Seed: seed, Sites: map[string]Fault{
+			"s": {P: 0.5, Err: true},
+		}})()
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = Do("s") != nil
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 200-hit pattern")
+	}
+}
+
+func TestProbabilityRoughlyHonored(t *testing.T) {
+	defer Enable(Plan{Seed: 7, Sites: map[string]Fault{
+		"half": {P: 0.5, Err: true},
+		"all":  {P: 1, Err: true},
+		"none": {P: 0, Err: true},
+	}})()
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		if Do("half") != nil {
+			fired++
+		}
+		if Do("all") == nil {
+			t.Fatal("P=1 site did not fire")
+		}
+		if Do("none") != nil {
+			t.Fatal("P=0 site fired")
+		}
+	}
+	if fired < 400 || fired > 600 {
+		t.Fatalf("P=0.5 fired %d/1000 times", fired)
+	}
+	st := Stats()
+	if st["all"].Hits != 1000 || st["all"].Fired != 1000 {
+		t.Fatalf("site 'all' stats = %+v, want 1000/1000", st["all"])
+	}
+	if st["half"].Fired != int64(fired) {
+		t.Fatalf("site 'half' Fired = %d, counted %d", st["half"].Fired, fired)
+	}
+}
+
+func TestErrorUnwrapsToSentinel(t *testing.T) {
+	defer Enable(Plan{Sites: map[string]Fault{"s": {P: 1, Err: true}}})()
+	err := Do("s")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error %v does not unwrap to ErrInjected", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Site != "s" {
+		t.Fatalf("injected error %v does not carry its site", err)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	defer Enable(Plan{Sites: map[string]Fault{"s": {P: 1, Panic: true}}})()
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("panic fault did not panic")
+		}
+		if _, ok := p.(*Error); !ok {
+			t.Fatalf("panicked with %T, want *Error", p)
+		}
+	}()
+	_ = Do("s")
+}
+
+func TestDelayNeverErrorsOrPanics(t *testing.T) {
+	defer Enable(Plan{Sites: map[string]Fault{
+		"s": {P: 1, Err: true, Panic: true, Latency: time.Millisecond},
+	}})()
+	start := time.Now()
+	Delay("s") // must neither error nor panic despite Err+Panic armed
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("Delay did not apply the armed latency")
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	defer Enable(Plan{Sites: map[string]Fault{"s": {P: 1, Latency: 5 * time.Millisecond}}})()
+	start := time.Now()
+	if err := Do("s"); err != nil {
+		t.Fatalf("latency-only fault returned error %v", err)
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("slept %v, want >= 5ms", d)
+	}
+}
+
+func TestDisableRestoresNoOp(t *testing.T) {
+	disable := Enable(Plan{Sites: map[string]Fault{"s": {P: 1, Err: true}}})
+	if Do("s") == nil {
+		t.Fatal("armed site did not fire")
+	}
+	disable()
+	if Enabled() {
+		t.Fatal("Enabled() after disable")
+	}
+	if Do("s") != nil {
+		t.Fatal("site fired after disable")
+	}
+	disable() // idempotent
+}
+
+func TestDisableOnlyDisarmsOwnPlan(t *testing.T) {
+	first := Enable(Plan{Sites: map[string]Fault{"a": {P: 1, Err: true}}})
+	second := Enable(Plan{Sites: map[string]Fault{"b": {P: 1, Err: true}}})
+	first() // stale disarm must not kill the second plan
+	if Do("b") == nil {
+		t.Fatal("second plan was disarmed by the first plan's disable func")
+	}
+	second()
+	if Enabled() {
+		t.Fatal("Enabled() after second disable")
+	}
+}
+
+func TestConcurrentHitsRaceFree(t *testing.T) {
+	defer Enable(Plan{Sites: map[string]Fault{"s": {P: 0.3, Err: true}}})()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_ = Do("s")
+			}
+		}()
+	}
+	wg.Wait()
+	st := Stats()
+	if st["s"].Hits != 4000 {
+		t.Fatalf("hits = %d, want 4000", st["s"].Hits)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -129,15 +130,29 @@ func (g *Graph) WriteEdgeList(w io.Writer) error {
 	return nil
 }
 
-// SaveEdgeListFile writes the graph to a file; see WriteEdgeList.
+// SaveEdgeListFile writes the graph to a file; see WriteEdgeList. The write
+// is atomic (temp file in the destination directory, then rename), so a
+// crash, a full disk, or a concurrent reader mid-write can never leave — or
+// observe — a truncated edge list under the final name: the file either
+// keeps its previous content or carries the complete new one.
 func (g *Graph) SaveEdgeListFile(path string) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("graph: %w", err)
 	}
+	tmp := f.Name()
 	if err := g.WriteEdgeList(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("graph: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("graph: %w", err)
+	}
+	return nil
 }

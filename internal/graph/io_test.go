@@ -3,6 +3,7 @@ package graph
 import (
 	"bytes"
 	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -150,5 +151,60 @@ func TestFileRoundTrip(t *testing.T) {
 func TestLoadMissingFile(t *testing.T) {
 	if _, err := LoadEdgeListFile("/nonexistent/file.txt", Undirected); err == nil {
 		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestSaveEdgeListFileIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	first := MustFromEdgeList(3, [][2]int{{0, 1}, {1, 2}})
+	if err := first.SaveEdgeListFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwriting an existing file must fully replace it and leave no temp
+	// litter behind — the rename either happened or it didn't.
+	second := MustFromEdgeList(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	if err := second.SaveEdgeListFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEdgeListFile(path, Undirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 5 || back.M() != 4 {
+		t.Fatalf("overwrite not complete: n=%d m=%d", back.N(), back.M())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "g.txt" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("temp files left behind: %v", names)
+	}
+}
+
+func TestSaveEdgeListFileFailureKeepsOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	orig := MustFromEdgeList(3, [][2]int{{0, 1}, {1, 2}})
+	if err := orig.SaveEdgeListFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// A save into an unwritable directory must fail without touching the
+	// original file (the temp file is created next to the target, so the
+	// failure happens before any rename).
+	if err := orig.SaveEdgeListFile(filepath.Join(dir, "missing-subdir", "g.txt")); err == nil {
+		t.Fatal("expected error saving into a nonexistent directory")
+	}
+	back, err := LoadEdgeListFile(path, Undirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 3 || back.M() != 2 {
+		t.Fatalf("original file disturbed: n=%d m=%d", back.N(), back.M())
 	}
 }

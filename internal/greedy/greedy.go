@@ -22,6 +22,8 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+
+	"repro/internal/faultinject"
 )
 
 // Oracle abstracts an objective over node sets. Gain(u) returns the marginal
@@ -119,8 +121,11 @@ func RunStream(ctx context.Context, n, k int, oracle Oracle, obs PickObserver) (
 	for round := 0; round < k; round++ {
 		best, bestGain := -1, 0.0
 		for u := 0; u < n; u++ {
-			if u%cancelCheckStride == 0 && ctx.Err() != nil {
-				return nil, ctx.Err()
+			if u%cancelCheckStride == 0 {
+				faultinject.Delay(faultinject.SiteGreedyStride)
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
 			}
 			if selected[u] {
 				continue
@@ -202,8 +207,11 @@ func RunLazyStream(ctx context.Context, n, k int, oracle Oracle, obs PickObserve
 	// The initial sweep is evaluated against the empty set, which is the
 	// state of round 1, so the entries are born fresh for the first pick.
 	for u := 0; u < n; u++ {
-		if u%cancelCheckStride == 0 && ctx.Err() != nil {
-			return nil, ctx.Err()
+		if u%cancelCheckStride == 0 {
+			faultinject.Delay(faultinject.SiteGreedyStride)
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 		}
 		h = append(h, celfItem{u: int32(u), round: 1, gain: oracle.Gain(u)})
 		res.Evaluations++
@@ -212,6 +220,7 @@ func RunLazyStream(ctx context.Context, n, k int, oracle Oracle, obs PickObserve
 	for round := int32(1); int(round) <= k && h.Len() > 0; {
 		// One heap step costs at least a Gain or an Update, so a per-step
 		// check keeps cancellation latency bounded without measurable cost.
+		faultinject.Delay(faultinject.SiteGreedyStride)
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}

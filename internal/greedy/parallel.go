@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"context"
 	"sync"
+
+	"repro/internal/faultinject"
 )
 
 // BatchOracle is an Oracle that can evaluate many candidates in one call.
@@ -33,6 +35,11 @@ type BatchOracle interface {
 func sweepRange(ctx context.Context, oracle Oracle, gains []float64, us []int, lo, hi int) []int {
 	bo, batch := oracle.(BatchOracle)
 	for c := lo; c < hi; c += cancelCheckStride {
+		// Latency-only fault site (worker goroutine: a panic here would kill
+		// the process and an error has no channel) — chaos tests use it to
+		// make selections slow enough to pile up against deadlines and the
+		// admission gate. One atomic load when no plan is armed.
+		faultinject.Delay(faultinject.SiteGreedyStride)
 		if ctx.Err() != nil {
 			return us
 		}
@@ -213,6 +220,7 @@ func RunLazyWorkersStream(ctx context.Context, n, k int, oracle Oracle, workers 
 	// cancellation latency bounded.
 	batch := make([]celfItem, 0, workers)
 	for round := int32(1); int(round) <= k && h.Len() > 0; {
+		faultinject.Delay(faultinject.SiteGreedyStride)
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 )
 
@@ -40,10 +42,11 @@ type Cache struct {
 	// does not race past them.
 	spillWG sync.WaitGroup
 
-	mu         sync.Mutex
-	spillLoads int64
-	spillSaves int64
-	evictHook  func([]CacheKey)
+	mu              sync.Mutex
+	spillLoads      int64
+	spillSaves      int64
+	spillLoadErrors int64
+	evictHook       func([]CacheKey)
 }
 
 // CacheKey identifies one materialized index: the logical graph name plus
@@ -74,6 +77,10 @@ type CacheStats struct {
 	// fresh build; SpillSaves counts evictions persisted to it.
 	SpillLoads int64
 	SpillSaves int64
+	// SpillLoadErrors counts spill files that existed but failed to load
+	// (corrupt, truncated, wrong version) — each one fell back to a rebuild.
+	// A missing file is a plain cold miss, not an error.
+	SpillLoadErrors int64
 	// Evictions counts entries dropped from the cache (spilled or not).
 	Evictions int64
 	// BuildErrors counts failed Acquires: the failed build itself plus every
@@ -216,16 +223,36 @@ func (c *Cache) Adopt(key CacheKey, ix *Index) error {
 // and silently change every answer.
 func (c *Cache) loadOrBuild(key CacheKey, g *graph.Graph, build func() (*Index, error)) (*Index, bool, error) {
 	if c.spillDir != "" {
-		if ix, err := LoadFile(c.spillPath(key), g); err == nil {
+		if ferr := faultinject.Do(faultinject.SiteSpillLoad); ferr != nil {
+			// An injected unreadable file: count it and fall through to the
+			// rebuild, exactly like an organic load failure.
+			c.noteSpillLoadError()
+		} else if ix, err := LoadFile(c.spillPath(key), g); err == nil {
 			if ix.L() == key.L && ix.R() == key.R && ix.Seed() == key.Seed {
 				return ix, true, nil
 			}
 			// A hash collision between distinct keys (or a stale file from
 			// an older build): ignore it.
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			// The file was there but would not load (corrupt, truncated, old
+			// version): the rebuild below recovers, but the failure is worth
+			// counting — persistent spill corruption means every restart pays
+			// full build cost while looking warm.
+			c.noteSpillLoadError()
 		}
+	}
+	if err := faultinject.Do(faultinject.SiteIndexPopulate); err != nil {
+		return nil, false, err
 	}
 	ix, err := build()
 	return ix, false, err
+}
+
+// noteSpillLoadError counts one spill file that existed but failed to load.
+func (c *Cache) noteSpillLoadError() {
+	c.mu.Lock()
+	c.spillLoadErrors++
+	c.mu.Unlock()
 }
 
 // spillPath names the spill file for a key: a readable prefix plus an FNV-1a
@@ -240,6 +267,9 @@ func (c *Cache) spillPath(key CacheKey) string {
 // spill-loads never observe a partially written index and two spillers of
 // the same key cannot interleave.
 func saveAtomic(ix *Index, path string) error {
+	if err := faultinject.Do(faultinject.SiteSpillSave); err != nil {
+		return err
+	}
 	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("index: %w", err)
@@ -341,20 +371,25 @@ func (c *Cache) SpillAll() error {
 func (c *Cache) Stats() CacheStats {
 	cs := c.core.Stats()
 	c.mu.Lock()
-	loads, saves := c.spillLoads, c.spillSaves
+	loads, saves, loadErrs := c.spillLoads, c.spillSaves, c.spillLoadErrors
 	c.mu.Unlock()
 	return CacheStats{
-		Hits:          cs.Hits,
-		Coalesced:     cs.Coalesced,
-		Misses:        cs.Misses,
-		SpillLoads:    loads,
-		SpillSaves:    saves,
-		Evictions:     cs.Evictions,
-		BuildErrors:   cs.PopulateErrors,
-		Resident:      cs.Resident,
-		ResidentBytes: cs.ResidentBytes,
+		Hits:            cs.Hits,
+		Coalesced:       cs.Coalesced,
+		Misses:          cs.Misses,
+		SpillLoads:      loads,
+		SpillSaves:      saves,
+		SpillLoadErrors: loadErrs,
+		Evictions:       cs.Evictions,
+		BuildErrors:     cs.PopulateErrors,
+		Resident:        cs.Resident,
+		ResidentBytes:   cs.ResidentBytes,
 	}
 }
+
+// PinnedRefs returns the total refcount across resident entries — test
+// observability for "no index is still pinned once traffic stops".
+func (c *Cache) PinnedRefs() int { return c.core.PinnedRefs() }
 
 // Keys returns the resident keys sorted by string form, for /stats output.
 func (c *Cache) Keys() []CacheKey {

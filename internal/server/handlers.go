@@ -54,7 +54,12 @@ func writeErrorCode(w http.ResponseWriter, code engine.Code, message string) {
 
 // writeEngineError maps any engine method error onto the envelope: the
 // engine's stable code picks both the HTTP status and the serialized code.
+// Shed (overloaded) errors carry a backoff hint, serialized as a standard
+// Retry-After header (integer seconds, rounded up) for clients and proxies.
 func writeEngineError(w http.ResponseWriter, err error) {
+	if ra := engine.RetryAfterOf(err); ra > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt(int64((ra+time.Second-1)/time.Second), 10))
+	}
 	writeErrorCode(w, engine.CodeOf(err), err.Error())
 }
 
@@ -288,6 +293,10 @@ type GainResponse struct {
 	Gains       []float64 `json:"gains"`
 	IndexCached bool      `json:"index_cached"`
 	Memo        string    `json:"memo"`
+	// Degraded marks an answer served from an already-memoized table while
+	// the walk index itself was unavailable (build shed by admission control
+	// or failed); the values are exact, but a cold set would have errored.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // queryParams parses the common graph/L/R/seed/problem/set query parameters
@@ -375,6 +384,7 @@ func (s *Server) handleGain(w http.ResponseWriter, r *http.Request) {
 		Gains:       res.Gains,
 		IndexCached: res.IndexCached,
 		Memo:        res.Memo,
+		Degraded:    res.Degraded,
 	})
 }
 
@@ -390,6 +400,7 @@ type ObjectiveResponse struct {
 	Objective   float64 `json:"objective"`
 	IndexCached bool    `json:"index_cached"`
 	Memo        string  `json:"memo"`
+	Degraded    bool    `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleObjective(w http.ResponseWriter, r *http.Request) {
@@ -417,6 +428,7 @@ func (s *Server) handleObjective(w http.ResponseWriter, r *http.Request) {
 		Objective:   res.Objective,
 		IndexCached: res.IndexCached,
 		Memo:        res.Memo,
+		Degraded:    res.Degraded,
 	})
 }
 
@@ -436,6 +448,7 @@ type TopGainsResponse struct {
 	Gains       []float64 `json:"gains"`
 	IndexCached bool      `json:"index_cached"`
 	Memo        string    `json:"memo"`
+	Degraded    bool      `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleTopGains(w http.ResponseWriter, r *http.Request) {
@@ -489,6 +502,7 @@ func (s *Server) handleTopGains(w http.ResponseWriter, r *http.Request) {
 		Gains:       res.Gains,
 		IndexCached: res.IndexCached,
 		Memo:        res.Memo,
+		Degraded:    res.Degraded,
 	})
 }
 
@@ -536,16 +550,32 @@ type MemoStatsJSON struct {
 
 // CacheStatsJSON mirrors index.CacheStats for /stats.
 type CacheStatsJSON struct {
-	Hits          int64    `json:"hits"`
-	Coalesced     int64    `json:"coalesced_builds"`
-	Misses        int64    `json:"misses"`
-	SpillLoads    int64    `json:"spill_loads"`
-	SpillSaves    int64    `json:"spill_saves"`
-	Evictions     int64    `json:"evictions"`
-	BuildErrors   int64    `json:"build_errors"`
-	Resident      int      `json:"resident"`
-	ResidentBytes int64    `json:"resident_bytes"`
-	Keys          []string `json:"keys"`
+	Hits            int64    `json:"hits"`
+	Coalesced       int64    `json:"coalesced_builds"`
+	Misses          int64    `json:"misses"`
+	SpillLoads      int64    `json:"spill_loads"`
+	SpillSaves      int64    `json:"spill_saves"`
+	SpillLoadErrors int64    `json:"spill_load_errors"`
+	Evictions       int64    `json:"evictions"`
+	BuildErrors     int64    `json:"build_errors"`
+	Resident        int      `json:"resident"`
+	ResidentBytes   int64    `json:"resident_bytes"`
+	Keys            []string `json:"keys"`
+}
+
+// AdmissionStatsJSON mirrors engine.AdmissionStats for /stats: the admission
+// gate's shape (slots and queue bound) plus its traffic counters. Every 503
+// "overloaded" response corresponds to exactly one Shed tick.
+type AdmissionStatsJSON struct {
+	Enabled       bool  `json:"enabled"`
+	MaxConcurrent int   `json:"max_concurrent"`
+	MaxQueue      int   `json:"max_queue"`
+	Admitted      int64 `json:"admitted"`
+	Shed          int64 `json:"shed"`
+	InFlight      int   `json:"in_flight"`
+	QueueDepth    int   `json:"queue_depth"`
+	QueueWaits    int64 `json:"queue_waits"`
+	QueueWaitNS   int64 `json:"queue_wait_ns"`
 }
 
 // StatsResponse is the /stats reply.
@@ -554,6 +584,8 @@ type StatsResponse struct {
 	Draining         bool                        `json:"draining"`
 	InFlight         int64                       `json:"in_flight"`
 	SelectsCoalesced int64                       `json:"selects_coalesced"`
+	Degraded         int64                       `json:"degraded"`
+	Admission        AdmissionStatsJSON          `json:"admission"`
 	Cache            CacheStatsJSON              `json:"cache"`
 	Memo             MemoStatsJSON               `json:"memo"`
 	Endpoints        map[string]EndpointSnapshot `json:"endpoints"`
@@ -593,18 +625,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Draining:         s.draining.Load(),
 		InFlight:         s.inFlight.Load(),
 		SelectsCoalesced: es.SelectsCoalesced,
-		Memo:             memo,
+		Degraded:         es.Degraded,
+		Admission: AdmissionStatsJSON{
+			Enabled:       es.Admission.Enabled,
+			MaxConcurrent: es.Admission.MaxConcurrent,
+			MaxQueue:      es.Admission.MaxQueue,
+			Admitted:      es.Admission.Admitted,
+			Shed:          es.Admission.Shed,
+			InFlight:      es.Admission.InFlight,
+			QueueDepth:    es.Admission.QueueDepth,
+			QueueWaits:    es.Admission.QueueWaits,
+			QueueWaitNS:   es.Admission.QueueWaitNS,
+		},
+		Memo: memo,
 		Cache: CacheStatsJSON{
-			Hits:          es.Cache.Hits,
-			Coalesced:     es.Cache.Coalesced,
-			Misses:        es.Cache.Misses,
-			SpillLoads:    es.Cache.SpillLoads,
-			SpillSaves:    es.Cache.SpillSaves,
-			Evictions:     es.Cache.Evictions,
-			BuildErrors:   es.Cache.BuildErrors,
-			Resident:      es.Cache.Resident,
-			ResidentBytes: es.Cache.ResidentBytes,
-			Keys:          keyStrings,
+			Hits:            es.Cache.Hits,
+			Coalesced:       es.Cache.Coalesced,
+			Misses:          es.Cache.Misses,
+			SpillLoads:      es.Cache.SpillLoads,
+			SpillSaves:      es.Cache.SpillSaves,
+			SpillLoadErrors: es.Cache.SpillLoadErrors,
+			Evictions:       es.Cache.Evictions,
+			BuildErrors:     es.Cache.BuildErrors,
+			Resident:        es.Cache.Resident,
+			ResidentBytes:   es.Cache.ResidentBytes,
+			Keys:            keyStrings,
 		},
 		Endpoints: endpoints,
 	})

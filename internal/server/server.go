@@ -24,9 +24,20 @@
 //
 //	{"error":{"code":"bad_request","message":"k=0 outside [1, 10000]"}}
 //
-// with stable codes bad_request, not_found, draining, timeout and internal
-// (engine.Code), always under Content-Type: application/json. The client
-// package decodes the same envelope into typed errors.
+// with stable codes bad_request, not_found, draining, overloaded, timeout
+// and internal (engine.Code), always under Content-Type: application/json.
+// The client package decodes the same envelope into typed errors, and
+// retries draining and overloaded replies with jittered backoff.
+//
+// Overload is shed, not queued unboundedly: the engine's admission gate
+// (Config.MaxConcurrent / MaxQueue) bounds concurrent heavy work, and a
+// request that finds both the slots and the wait queue full — or whose
+// deadline expires while queued — is rejected with 503 overloaded and a
+// Retry-After header before any compute is spent. While the index for a
+// read is unavailable (its build shed or failed), gain/objective/topgains
+// still answer from an already-memoized frozen table, marked
+// "degraded": true in the reply; /stats counts sheds, queue depth/waits
+// and degraded answers.
 //
 // Shutdown is graceful: Serve stops accepting connections, lets in-flight
 // queries finish within the drain budget, hard-cancels stragglers through
@@ -92,6 +103,16 @@ type Config struct {
 	MemoSize    int
 	MemoBytes   int64
 	DisableMemo bool
+	// MaxConcurrent bounds concurrent heavy computations (selections and
+	// index builds); MaxQueue bounds how many more may wait for a slot.
+	// Requests beyond both are shed immediately with HTTP 503 and code
+	// "overloaded". Defaults and semantics follow engine.Config: 0 means
+	// 2×GOMAXPROCS slots with an 8×slots queue; MaxConcurrent < 0 disables
+	// admission control. RetryAfterHint is the Retry-After value attached to
+	// shed responses (default 1s).
+	MaxConcurrent  int
+	MaxQueue       int
+	RetryAfterHint time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +153,9 @@ func (c Config) engineConfig() engine.Config {
 		MemoSize:       c.MemoSize,
 		MemoBytes:      c.MemoBytes,
 		DisableMemo:    c.DisableMemo,
+		MaxConcurrent:  c.MaxConcurrent,
+		MaxQueue:       c.MaxQueue,
+		RetryAfterHint: c.RetryAfterHint,
 	}
 }
 
@@ -207,6 +231,9 @@ func (s *Server) route(pattern, name string, h func(http.ResponseWriter, *http.R
 	alwaysOn := name == "healthz" || name == "stats"
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		if !alwaysOn && s.draining.Load() {
+			// Hint a short back-off: by the time a client retries, either the
+			// replacement process is up or the connection is refused outright.
+			w.Header().Set("Retry-After", "1")
 			writeErrorCode(w, engine.CodeDraining, "server is draining")
 			return
 		}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/index"
+	"repro/internal/testleak"
 )
 
 func testGraph(t testing.TB, n int, seed uint64) *graph.Graph {
@@ -28,6 +29,7 @@ func testGraph(t testing.TB, n int, seed uint64) *graph.Graph {
 
 func newTestServer(t testing.TB, cfg Config) *Server {
 	t.Helper()
+	testleak.Check(t)
 	if cfg.Graphs == nil {
 		cfg.Graphs = map[string]*graph.Graph{"test": testGraph(t, 600, 1)}
 	}

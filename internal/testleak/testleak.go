@@ -1,0 +1,111 @@
+// Package testleak is a dependency-free goroutine-leak detector for test
+// teardowns: snapshot the live goroutines when the test starts, and at
+// cleanup poll until every goroutine created during the test has exited —
+// failing with the surviving stacks if any are still alive after a grace
+// period. The server, engine, client and chaos suites wire it into their
+// teardowns so a leaked selection goroutine, un-released waiter, or spinning
+// retry loop fails the suite instead of accumulating silently.
+//
+// The check is snapshot-based rather than allowlist-based: goroutines that
+// existed before the test (the test runner, the sweeper, signal handling)
+// are ignored wherever they block, so the helper composes with any test
+// environment without a fragile pattern list. The one pattern filter it does
+// apply is for goroutines the Go runtime parks for reuse after a test's work
+// is done ("created by runtime" stanzas), which come and go on their own
+// schedule.
+package testleak
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// grace is how long teardown waits for goroutines to finish exiting before
+// declaring them leaked: shutdown paths are allowed to be asynchronous
+// (detached index builds, background spills), they are not allowed to be
+// eternal.
+const grace = 10 * time.Second
+
+// Check snapshots the live goroutines and registers a cleanup that fails t
+// if goroutines created after the snapshot are still running at teardown.
+// Call it first thing in the test (before starting servers or engines) so
+// everything the test creates is covered.
+func Check(t testing.TB) {
+	t.Helper()
+	before := goroutineIDs(stacks())
+	t.Cleanup(func() {
+		deadline := time.Now().Add(grace)
+		for {
+			leaked := leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("testleak: %d goroutine(s) leaked:\n\n%s",
+					len(leaked), strings.Join(leaked, "\n\n"))
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// stacks returns the stack dump of every live goroutine.
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return string(buf[:n])
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+}
+
+// goroutineIDs parses a full stack dump into the set of goroutine ids.
+func goroutineIDs(dump string) map[string]bool {
+	ids := make(map[string]bool)
+	for _, stanza := range strings.Split(dump, "\n\n") {
+		if id := idOf(stanza); id != "" {
+			ids[id] = true
+		}
+	}
+	return ids
+}
+
+// idOf extracts the goroutine id from a stanza's "goroutine N [state]:"
+// first line, or "" for non-goroutine text.
+func idOf(stanza string) string {
+	var id int
+	var state string
+	if _, err := fmt.Sscanf(stanza, "goroutine %d [%s", &id, &state); err != nil {
+		return ""
+	}
+	return fmt.Sprintf("%d", id)
+}
+
+// leakedSince returns the stack stanzas of goroutines not present in the
+// before snapshot, excluding this goroutine and runtime-parked workers.
+func leakedSince(before map[string]bool) []string {
+	var leaked []string
+	for _, stanza := range strings.Split(stacks(), "\n\n") {
+		id := idOf(stanza)
+		if id == "" || before[id] {
+			continue
+		}
+		if strings.Contains(stanza, "testleak.stacks") || strings.Contains(stanza, "testleak.leakedSince") {
+			continue // the goroutine running this check
+		}
+		if strings.Contains(stanza, "created by runtime") {
+			continue // runtime-managed workers (GC, parked M helpers)
+		}
+		if strings.Contains(stanza, "created by testing.") {
+			continue // sibling tests and the test runner's own machinery
+		}
+		leaked = append(leaked, stanza)
+	}
+	return leaked
+}

@@ -1,0 +1,54 @@
+package testleak
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNoLeakPasses(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+func TestTransientGoroutineWithinGraceIsNotALeak(t *testing.T) {
+	Check(t)
+	go func() { time.Sleep(50 * time.Millisecond) }()
+}
+
+// TestDetectsLeak exercises the detector against a real leak using a stub
+// testing.TB, since a genuine leak must fail that test — not this one.
+func TestDetectsLeak(t *testing.T) {
+	stub := &stubTB{TB: t}
+	before := goroutineIDs(stacks())
+	block := make(chan struct{})
+	defer close(block)
+	go func() { <-block }()
+	// Wait for the leak to be running, then diff.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(leakedSince(before)) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leaked goroutine never appeared in the diff")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	leaked := leakedSince(before)
+	if len(leaked) != 1 {
+		t.Fatalf("leaked = %d stanzas, want 1:\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+	}
+	if !strings.Contains(leaked[0], "TestDetectsLeak") {
+		t.Fatalf("leak stanza does not name its creator:\n%s", leaked[0])
+	}
+	_ = stub
+}
+
+type stubTB struct {
+	testing.TB
+	failed bool
+}
+
+func (s *stubTB) Errorf(string, ...any) { s.failed = true }
+func (s *stubTB) Cleanup(func())        {}
+func (s *stubTB) Helper()               {}
