@@ -25,8 +25,8 @@ trap 'rm -f "$RAW"' EXIT
 echo "== go vet =="
 go vet ./...
 
-echo "== race detector (cache, index, greedy, engine, server, client, core) =="
-go test -race -count=1 ./internal/cache/... ./internal/index/... ./internal/greedy/... ./internal/engine/... ./internal/server/... ./client/... ./internal/core/...
+echo "== race detector (cache, index, greedy, engine, server, shard, client, core) =="
+go test -race -count=1 ./internal/cache/... ./internal/index/... ./internal/greedy/... ./internal/engine/... ./internal/server/... ./internal/shard/... ./client/... ./internal/core/...
 
 echo "== benchmarks (benchtime=$BENCHTIME) =="
 # Redirect instead of piping through tee: POSIX sh reports a pipeline's
@@ -37,6 +37,8 @@ go test -run '^$' \
     -benchtime "$BENCHTIME" -timeout 60m . > "$RAW" 2>&1 || { cat "$RAW"; exit 1; }
 go test -run '^$' -bench 'BenchmarkAblationDTableLayout' \
     -benchtime "$BENCHTIME" -timeout 30m ./internal/index/ >> "$RAW" 2>&1 || { cat "$RAW"; exit 1; }
+go test -run '^$' -bench 'BenchmarkShardIndexBuild' \
+    -benchtime "$BENCHTIME" -timeout 30m ./internal/shard/ >> "$RAW" 2>&1 || { cat "$RAW"; exit 1; }
 cat "$RAW"
 
 awk -v record="$LABEL" -v benchtime="$BENCHTIME" -v goversion="$(go env GOVERSION)" '

@@ -365,11 +365,11 @@ func BenchmarkSelectionEndToEnd(b *testing.B) {
 		b.Fatal(err)
 	}
 	solvers := []struct {
-		name string
-		fn   func(*Graph, Options) (*Selection, error)
+		name    string
+		problem Problem
 	}{
-		{"F1", MinimizeHittingTime},
-		{"F2", MaximizeCoverage},
+		{"F1", Problem1},
+		{"F2", Problem2},
 	}
 	// workers=1 and workers=2 run on every machine so the CI bench gate
 	// always finds them in the baseline regardless of runner core count; a
@@ -383,7 +383,7 @@ func BenchmarkSelectionEndToEnd(b *testing.B) {
 		for _, workers := range workerCounts {
 			b.Run(fmt.Sprintf("%s/workers=%d", solver.name, workers), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					sel, err := solver.fn(g, Options{
+					sel, err := Solve(g, solver.problem, Options{
 						K: 50, L: 6, R: 50, Seed: uint64(i),
 						Lazy: true, Algorithm: AlgorithmApprox, Workers: workers,
 					})

@@ -337,6 +337,45 @@ func (c *Client) TopGains(ctx context.Context, req TopGainsRequest) (*TopGainsRe
 	return &out, nil
 }
 
+// PartialGain returns the integer gain sums of req.Nodes against req.Set
+// over the replicate range [req.R0, req.R1) — the worker half of
+// replicate-sharded serving.
+func (c *Client) PartialGain(ctx context.Context, req PartialGainRequest) (*PartialGainResponse, error) {
+	q := readQuery(req.Graph, req.Problem, req.L, 0, req.Seed, req.Set)
+	q.Set("r0", strconv.Itoa(req.R0))
+	q.Set("r1", strconv.Itoa(req.R1))
+	if len(req.Nodes) > 0 {
+		q.Set("nodes", nodeList(req.Nodes))
+	}
+	if req.WantObjective {
+		q.Set("objective", "1")
+	}
+	var out PartialGainResponse
+	if err := c.getJSON(ctx, "/v1/partial/gain", q, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PartialTopGains returns the best candidates by integer gain sum over the
+// replicate range [req.R0, req.R1), req.Set members excluded.
+func (c *Client) PartialTopGains(ctx context.Context, req PartialTopGainsRequest) (*PartialTopGainsResponse, error) {
+	q := readQuery(req.Graph, req.Problem, req.L, 0, req.Seed, req.Set)
+	q.Set("r0", strconv.Itoa(req.R0))
+	q.Set("r1", strconv.Itoa(req.R1))
+	if req.B > 0 {
+		q.Set("b", strconv.Itoa(req.B))
+	}
+	if req.Workers > 0 {
+		q.Set("workers", strconv.Itoa(req.Workers))
+	}
+	var out PartialTopGainsResponse
+	if err := c.getJSON(ctx, "/v1/partial/topgains", q, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Health returns the daemon's liveness state. A draining daemon answers
 // 503 with a well-formed body, which is NOT an error here: the reply
 // carries Status "draining", and health checks want that state, not a

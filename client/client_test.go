@@ -1,9 +1,8 @@
-package client
+package client_test
 
 import (
 	"context"
 	"math"
-	"math/rand/v2"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -11,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/client"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/index"
@@ -20,7 +20,9 @@ import (
 
 // The round-trip suite runs the typed client against the real daemon
 // handler (httptest.Server over internal/server), locking the SDK to the
-// same v1 contract the golden files pin.
+// same v1 contract the golden files pin. It is an external test package:
+// internal/server imports this package (via the shard coordinator's remote
+// connections), so in-package tests could not import the server back.
 
 func testGraph(t testing.TB) *graph.Graph {
 	t.Helper()
@@ -31,7 +33,7 @@ func testGraph(t testing.TB) *graph.Graph {
 	return g
 }
 
-func harness(t testing.TB, cfg server.Config) (*server.Server, *Client) {
+func harness(t testing.TB, cfg server.Config) (*server.Server, *client.Client) {
 	t.Helper()
 	testleak.Check(t)
 	if cfg.Graphs == nil {
@@ -44,7 +46,7 @@ func harness(t testing.TB, cfg server.Config) (*server.Server, *Client) {
 	t.Cleanup(func() { s.Close() })
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
-	c, err := New(ts.URL)
+	c, err := client.New(ts.URL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,8 +59,8 @@ func TestSelectRoundTrip(t *testing.T) {
 	ctx := context.Background()
 
 	seed := uint64(9)
-	res, err := c.Select(ctx, SelectRequest{
-		Graph: "test", Problem: ProblemHitting, K: 6, L: 4, R: 30, Seed: &seed, Workers: 1,
+	res, err := c.Select(ctx, client.SelectRequest{
+		Graph: "test", Problem: client.ProblemHitting, K: 6, L: 4, R: 30, Seed: &seed, Workers: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -91,14 +93,14 @@ func TestReadEndpointsRoundTrip(t *testing.T) {
 	_, c := harness(t, server.Config{})
 	ctx := context.Background()
 
-	gr, err := c.Gain(ctx, GainRequest{Graph: "test", L: 4, R: 20, Set: []int{1, 2}, Nodes: []int{0, 5, 9}})
+	gr, err := c.Gain(ctx, client.GainRequest{Graph: "test", L: 4, R: 20, Set: []int{1, 2}, Nodes: []int{0, 5, 9}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(gr.Gains) != 3 || gr.Memo != "miss" {
 		t.Fatalf("first gain %+v", gr)
 	}
-	gr2, err := c.Gain(ctx, GainRequest{Graph: "test", L: 4, R: 20, Set: []int{2, 1}, Nodes: []int{0, 5, 9}})
+	gr2, err := c.Gain(ctx, client.GainRequest{Graph: "test", L: 4, R: 20, Set: []int{2, 1}, Nodes: []int{0, 5, 9}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +113,7 @@ func TestReadEndpointsRoundTrip(t *testing.T) {
 		}
 	}
 
-	or, err := c.Objective(ctx, ObjectiveRequest{Graph: "test", L: 4, R: 20, Set: []int{1, 2}})
+	or, err := c.Objective(ctx, client.ObjectiveRequest{Graph: "test", L: 4, R: 20, Set: []int{1, 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +121,7 @@ func TestReadEndpointsRoundTrip(t *testing.T) {
 		t.Fatalf("objective %v", or.Objective)
 	}
 
-	tg, err := c.TopGains(ctx, TopGainsRequest{Graph: "test", L: 4, R: 20, Set: []int{1}, B: 5})
+	tg, err := c.TopGains(ctx, client.TopGainsRequest{Graph: "test", L: 4, R: 20, Set: []int{1}, B: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +147,7 @@ func TestReadEndpointsRoundTrip(t *testing.T) {
 func TestSelectStreamRoundTrip(t *testing.T) {
 	_, c := harness(t, server.Config{})
 	ctx := context.Background()
-	req := SelectRequest{Graph: "test", K: 6, L: 4, R: 25, Algorithm: AlgorithmPlain, Workers: 2}
+	req := client.SelectRequest{Graph: "test", K: 6, L: 4, R: 25, Algorithm: client.AlgorithmPlain, Workers: 2}
 
 	blocking, err := c.Select(ctx, req)
 	if err != nil {
@@ -156,7 +158,7 @@ func TestSelectStreamRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st.Close()
-	var rounds []Round
+	var rounds []client.Round
 	for st.Next() {
 		rounds = append(rounds, st.Round())
 	}
@@ -189,20 +191,20 @@ func TestTypedErrors(t *testing.T) {
 	_, c := harness(t, server.Config{})
 	ctx := context.Background()
 
-	_, err := c.Select(ctx, SelectRequest{Graph: "nope", K: 3, L: 4})
-	if CodeOf(err) != CodeNotFound {
-		t.Fatalf("unknown graph: %v (code %q)", err, CodeOf(err))
+	_, err := c.Select(ctx, client.SelectRequest{Graph: "nope", K: 3, L: 4})
+	if client.CodeOf(err) != client.CodeNotFound {
+		t.Fatalf("unknown graph: %v (code %q)", err, client.CodeOf(err))
 	}
-	var ce *Error
+	var ce *client.Error
 	if !asError(err, &ce) || ce.HTTPStatus != http.StatusNotFound {
 		t.Fatalf("unknown graph error %#v", err)
 	}
 
-	if _, err := c.Select(ctx, SelectRequest{Graph: "test", K: 0, L: 4}); CodeOf(err) != CodeBadRequest {
-		t.Fatalf("k=0: code %q", CodeOf(err))
+	if _, err := c.Select(ctx, client.SelectRequest{Graph: "test", K: 0, L: 4}); client.CodeOf(err) != client.CodeBadRequest {
+		t.Fatalf("k=0: code %q", client.CodeOf(err))
 	}
-	if _, err := c.Gain(ctx, GainRequest{Graph: "test", L: 4, Nodes: []int{999999}}); CodeOf(err) != CodeBadRequest {
-		t.Fatalf("out-of-range node: code %q", CodeOf(err))
+	if _, err := c.Gain(ctx, client.GainRequest{Graph: "test", L: 4, Nodes: []int{999999}}); client.CodeOf(err) != client.CodeBadRequest {
+		t.Fatalf("out-of-range node: code %q", client.CodeOf(err))
 	}
 
 	// Draining (emulated at the wire — the real drain window is exercised
@@ -214,13 +216,13 @@ func TestTypedErrors(t *testing.T) {
 		w.Write([]byte(`{"error":{"code":"draining","message":"server is draining"}}`))
 	}))
 	t.Cleanup(drain.Close)
-	noRetry, err := New(drain.URL, WithRetry(0, 0))
+	noRetry, err := client.New(drain.URL, client.WithRetry(0, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var de *Error
-	if _, err := noRetry.Select(ctx, SelectRequest{Graph: "test", K: 3, L: 4}); CodeOf(err) != CodeDraining || !asError(err, &de) || !de.Temporary() {
-		t.Fatalf("draining: %#v (code %q)", err, CodeOf(err))
+	var de *client.Error
+	if _, err := noRetry.Select(ctx, client.SelectRequest{Graph: "test", K: 3, L: 4}); client.CodeOf(err) != client.CodeDraining || !asError(err, &de) || !de.Temporary() {
+		t.Fatalf("draining: %#v (code %q)", err, client.CodeOf(err))
 	}
 }
 
@@ -245,11 +247,11 @@ func TestRetryOnDrain(t *testing.T) {
 	}))
 	t.Cleanup(flaky.Close)
 
-	c, err := New(flaky.URL, WithRetry(3, time.Millisecond))
+	c, err := client.New(flaky.URL, client.WithRetry(3, time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Select(context.Background(), SelectRequest{Graph: "test", K: 3, L: 4, R: 20})
+	res, err := c.Select(context.Background(), client.SelectRequest{Graph: "test", K: 3, L: 4, R: 20})
 	if err != nil {
 		t.Fatalf("retry did not recover: %v", err)
 	}
@@ -262,8 +264,8 @@ func TestRetryOnDrain(t *testing.T) {
 
 	// Retries exhausted: the typed drain error surfaces.
 	calls.Store(-100)
-	if _, err := c.Select(context.Background(), SelectRequest{Graph: "test", K: 3, L: 4, R: 20}); CodeOf(err) != CodeDraining {
-		t.Fatalf("exhausted retries: code %q (%v)", CodeOf(err), err)
+	if _, err := c.Select(context.Background(), client.SelectRequest{Graph: "test", K: 3, L: 4, R: 20}); client.CodeOf(err) != client.CodeDraining {
+		t.Fatalf("exhausted retries: code %q (%v)", client.CodeOf(err), err)
 	}
 }
 
@@ -292,14 +294,14 @@ func TestRetryOnOverloadHonorsRetryAfterZero(t *testing.T) {
 	}))
 	t.Cleanup(flaky.Close)
 
-	c, err := New(flaky.URL, WithRetry(3, 10*time.Second))
+	c, err := client.New(flaky.URL, client.WithRetry(3, 10*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	start := time.Now()
-	res, err := c.Select(ctx, SelectRequest{Graph: "test", K: 3, L: 4, R: 20})
+	res, err := c.Select(ctx, client.SelectRequest{Graph: "test", K: 3, L: 4, R: 20})
 	if err != nil {
 		t.Fatalf("retry did not recover: %v", err)
 	}
@@ -313,63 +315,18 @@ func TestRetryOnOverloadHonorsRetryAfterZero(t *testing.T) {
 	// Retries exhausted: the typed overloaded error surfaces, Temporary and
 	// carrying the parsed hint.
 	calls.Store(-100)
-	var oe *Error
-	_, err = c.Select(ctx, SelectRequest{Graph: "test", K: 3, L: 4, R: 20})
-	if CodeOf(err) != CodeOverloaded || !asError(err, &oe) || !oe.Temporary() || !oe.HasRetryAfter || oe.RetryAfter != 0 {
-		t.Fatalf("exhausted retries: %#v (code %q)", err, CodeOf(err))
+	var oe *client.Error
+	_, err = c.Select(ctx, client.SelectRequest{Graph: "test", K: 3, L: 4, R: 20})
+	if client.CodeOf(err) != client.CodeOverloaded || !asError(err, &oe) || !oe.Temporary() || !oe.HasRetryAfter || oe.RetryAfter != 0 {
+		t.Fatalf("exhausted retries: %#v (code %q)", err, client.CodeOf(err))
 	}
 }
 
-func TestRetryDelay(t *testing.T) {
-	// A Retry-After hint overrides the local backoff entirely — including a
-	// zero hint, which means retry now.
-	if d := retryDelay(10*time.Second, &Error{HasRetryAfter: true, RetryAfter: 0}, 0.7); d != 0 {
-		t.Fatalf("zero hint: delay %v, want 0", d)
-	}
-	if d := retryDelay(time.Millisecond, &Error{HasRetryAfter: true, RetryAfter: 5 * time.Second}, 0.2); d != 5*time.Second {
-		t.Fatalf("5s hint: delay %v, want 5s", d)
-	}
-	// Without a hint the delay is jittered into [backoff/2, backoff).
-	backoff := 200 * time.Millisecond
-	for _, u := range []float64{0, 0.25, 0.5, 0.999} {
-		d := retryDelay(backoff, &Error{}, u)
-		if d < backoff/2 || d >= backoff {
-			t.Fatalf("u=%v: delay %v outside [%v, %v)", u, d, backoff/2, backoff)
-		}
-	}
-	if d := retryDelay(0, &Error{}, 0.5); d != 0 {
-		t.Fatalf("zero backoff: delay %v, want 0", d)
-	}
-}
-
-// Two clients shed at the same instant must not retry in lockstep — that is
-// the thundering herd the jitter exists to break. Simulate both clients'
-// backoff schedules (each drawing its own jitter, as the real loop does) and
-// assert they diverge; then run two real clients concurrently against an
-// always-overloaded daemon to exercise the same path under the race
-// detector.
+// Two real clients hammering an always-overloaded daemon concurrently
+// exercise the jittered retry path under the race detector; the schedule
+// divergence itself is asserted in-package (retry_test.go).
 func TestConcurrentRetryingClientsDoNotSynchronize(t *testing.T) {
 	testleak.Check(t)
-	schedule := func() []time.Duration {
-		out := make([]time.Duration, 0, 8)
-		backoff := 200 * time.Millisecond
-		for i := 0; i < 8; i++ {
-			out = append(out, retryDelay(backoff, &Error{Code: CodeOverloaded}, rand.Float64()))
-			backoff *= 2
-		}
-		return out
-	}
-	a, b := schedule(), schedule()
-	same := 0
-	for i := range a {
-		if a[i] == b[i] {
-			same++
-		}
-	}
-	if same == len(a) {
-		t.Fatalf("two clients drew identical jittered schedules: %v", a)
-	}
-
 	shed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Retry-After", "0")
@@ -383,25 +340,25 @@ func TestConcurrentRetryingClientsDoNotSynchronize(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c, err := New(shed.URL, WithRetry(4, time.Millisecond))
+			c, err := client.New(shed.URL, client.WithRetry(4, time.Millisecond))
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			_, errs[i] = c.Objective(context.Background(), ObjectiveRequest{Graph: "test", L: 4, Set: []int{1}})
+			_, errs[i] = c.Objective(context.Background(), client.ObjectiveRequest{Graph: "test", L: 4, Set: []int{1}})
 		}()
 	}
 	wg.Wait()
 	for i, err := range errs {
-		if CodeOf(err) != CodeOverloaded {
-			t.Fatalf("client %d: code %q (%v), want overloaded", i, CodeOf(err), err)
+		if client.CodeOf(err) != client.CodeOverloaded {
+			t.Fatalf("client %d: code %q (%v), want overloaded", i, client.CodeOf(err), err)
 		}
 	}
 }
 
-// asError is errors.As specialized to *Error without importing errors.
-func asError(err error, target **Error) bool {
-	ce, ok := err.(*Error)
+// asError is errors.As specialized to *client.Error without importing errors.
+func asError(err error, target **client.Error) bool {
+	ce, ok := err.(*client.Error)
 	if ok {
 		*target = ce
 	}

@@ -1,0 +1,60 @@
+package client
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// In-package tests for the unexported retry schedule. The round-trip suite
+// against the real daemon lives in client_test.go (package client_test) so
+// that importing internal/server — which reaches back into this package via
+// the shard coordinator — does not form an import cycle.
+
+func TestRetryDelay(t *testing.T) {
+	// A Retry-After hint overrides the local backoff entirely — including a
+	// zero hint, which means retry now.
+	if d := retryDelay(10*time.Second, &Error{HasRetryAfter: true, RetryAfter: 0}, 0.7); d != 0 {
+		t.Fatalf("zero hint: delay %v, want 0", d)
+	}
+	if d := retryDelay(time.Millisecond, &Error{HasRetryAfter: true, RetryAfter: 5 * time.Second}, 0.2); d != 5*time.Second {
+		t.Fatalf("5s hint: delay %v, want 5s", d)
+	}
+	// Without a hint the delay is jittered into [backoff/2, backoff).
+	backoff := 200 * time.Millisecond
+	for _, u := range []float64{0, 0.25, 0.5, 0.999} {
+		d := retryDelay(backoff, &Error{}, u)
+		if d < backoff/2 || d >= backoff {
+			t.Fatalf("u=%v: delay %v outside [%v, %v)", u, d, backoff/2, backoff)
+		}
+	}
+	if d := retryDelay(0, &Error{}, 0.5); d != 0 {
+		t.Fatalf("zero backoff: delay %v, want 0", d)
+	}
+}
+
+// Two clients shed at the same instant must not retry in lockstep — that is
+// the thundering herd the jitter exists to break. Simulate both clients'
+// backoff schedules (each drawing its own jitter, as the real loop does) and
+// assert they diverge.
+func TestRetrySchedulesDoNotSynchronize(t *testing.T) {
+	schedule := func() []time.Duration {
+		out := make([]time.Duration, 0, 8)
+		backoff := 200 * time.Millisecond
+		for i := 0; i < 8; i++ {
+			out = append(out, retryDelay(backoff, &Error{Code: CodeOverloaded}, rand.Float64()))
+			backoff *= 2
+		}
+		return out
+	}
+	a, b := schedule(), schedule()
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatalf("two clients drew identical jittered schedules: %v", a)
+	}
+}

@@ -147,6 +147,83 @@ type TopGainsResponse struct {
 	Degraded    bool      `json:"degraded,omitempty"`
 }
 
+// PartialGainRequest identifies a GET /v1/partial/gain query: the integer
+// gain sums of Nodes against Set over the replicate range [R0, R1) of the
+// build identified by (Graph, Problem, L, Seed). Partial answers are the
+// worker half of replicate-sharded serving — exact int64 sums a coordinator
+// merges by addition and divides once, reproducing the unsharded float64
+// values bit-for-bit.
+type PartialGainRequest struct {
+	Graph   string
+	Problem string
+	L       int
+	Seed    *uint64
+	// R0 and R1 delimit the replicate range [R0, R1) this worker owns.
+	R0, R1 int
+	Set    []int
+	Nodes  []int
+	// WantObjective additionally requests the integer objective accumulator
+	// of Set over this range.
+	WantObjective bool
+}
+
+// PartialGainResponse is the /v1/partial/gain reply: Sums[i] is the integer
+// gain sum of Nodes[i] over the requested replicate range. ObjectiveSum is
+// present only when the request asked for it. Degraded: see
+// GainResponse.Degraded.
+type PartialGainResponse struct {
+	Graph        string  `json:"graph"`
+	Problem      string  `json:"problem"`
+	R0           int     `json:"r0"`
+	R1           int     `json:"r1"`
+	Set          []int   `json:"set"`
+	Nodes        []int   `json:"nodes"`
+	Sums         []int64 `json:"sums"`
+	ObjectiveSum *int64  `json:"objective_sum,omitempty"`
+	Replicates   int     `json:"replicates"`
+	IndexCached  bool    `json:"index_cached"`
+	Memo         string  `json:"memo"`
+	Degraded     bool    `json:"degraded,omitempty"`
+}
+
+// PartialTopGainsRequest identifies a GET /v1/partial/topgains query: the B
+// candidates with the largest integer gain sums over the replicate range
+// [R0, R1), Set members excluded.
+type PartialTopGainsRequest struct {
+	Graph   string
+	Problem string
+	L       int
+	Seed    *uint64
+	R0, R1  int
+	Set     []int
+	// B is the number of winners (0 = server default of 10). Unlike
+	// /v1/topgains the cap is the graph's node count, not max-k: a
+	// coordinator's threshold algorithm legitimately deepens past the public
+	// top-B cap.
+	B int
+	// Workers shards the candidate sweep (0 = server default).
+	Workers int
+}
+
+// PartialTopGainsResponse is the /v1/partial/topgains reply, sum descending
+// with ties broken by ascending node id. Exhausted reports that every
+// candidate outside Set was returned — a coordinator must not keep
+// deepening. Degraded: see GainResponse.Degraded.
+type PartialTopGainsResponse struct {
+	Graph       string  `json:"graph"`
+	Problem     string  `json:"problem"`
+	R0          int     `json:"r0"`
+	R1          int     `json:"r1"`
+	Set         []int   `json:"set"`
+	B           int     `json:"b"`
+	Nodes       []int   `json:"nodes"`
+	Sums        []int64 `json:"sums"`
+	Exhausted   bool    `json:"exhausted"`
+	IndexCached bool    `json:"index_cached"`
+	Memo        string  `json:"memo"`
+	Degraded    bool    `json:"degraded,omitempty"`
+}
+
 // Health is the /healthz reply.
 type Health struct {
 	Status  string  `json:"status"` // "ok" or "draining"
@@ -202,10 +279,40 @@ type AdmissionStats struct {
 	QueueWaitNS   int64 `json:"queue_wait_ns"`
 }
 
+// ShardConnStats mirrors one worker's entry in the /stats "shards" block.
+type ShardConnStats struct {
+	Addr     string `json:"addr"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+	Retries  int64  `json:"retries"`
+}
+
+// ShardsStats mirrors the /stats "shards" block of a coordinator-mode
+// daemon: per-shard scatter traffic, coordinator retries, and the
+// scatter-gather merge latency histogram (the quantiles are bucket upper
+// bounds in milliseconds).
+type ShardsStats struct {
+	Shards         int              `json:"shards"`
+	Merges         int64            `json:"merges"`
+	DegradedMerges int64            `json:"degraded_merges"`
+	Retries        int64            `json:"retries"`
+	MergeLatency   LatencySnapshot  `json:"merge_latency"`
+	PerShard       []ShardConnStats `json:"per_shard"`
+}
+
+// LatencySnapshot mirrors a /stats latency histogram summary.
+type LatencySnapshot struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
 // Stats is the /stats reply (endpoint latency histograms are left to raw
 // consumers; see the daemon's /stats documentation). Degraded counts read
 // answers served from frozen memo tables while the walk index was
-// unavailable.
+// unavailable. Shards is present only on coordinator-mode daemons.
 type Stats struct {
 	UptimeS          float64        `json:"uptime_s"`
 	Draining         bool           `json:"draining"`
@@ -215,4 +322,5 @@ type Stats struct {
 	Admission        AdmissionStats `json:"admission"`
 	Cache            CacheStats     `json:"cache"`
 	Memo             MemoStats      `json:"memo"`
+	Shards           *ShardsStats   `json:"shards,omitempty"`
 }

@@ -90,10 +90,8 @@ func main() {
 		sel, err = streamSelect(g, prob, opts, *indexFile)
 	case *indexFile != "":
 		sel, err = selectWithCachedIndex(g, prob, opts, *indexFile)
-	case prob == rwdom.Problem1:
-		sel, err = rwdom.MinimizeHittingTime(g, opts)
 	default:
-		sel, err = rwdom.MaximizeCoverage(g, opts)
+		sel, err = rwdom.Solve(g, prob, opts)
 	}
 	if err != nil {
 		fatal(err)
@@ -186,14 +184,50 @@ func streamSelect(g *rwdom.Graph, prob rwdom.Problem, opts rwdom.Options, indexF
 }
 
 // selectWithCachedIndex resolves the walk index through loadOrBuildIndex,
-// then runs the approximate greedy selection over it. opts.Workers drives
-// both the build and the selection loop.
+// then runs the approximate greedy selection over it through an Engine that
+// adopts the index. opts.Workers drives both the build and the selection
+// loop.
 func selectWithCachedIndex(g *rwdom.Graph, prob rwdom.Problem, opts rwdom.Options, path string) (*rwdom.Selection, error) {
 	ix, err := loadOrBuildIndex(g, opts, path)
 	if err != nil {
 		return nil, err
 	}
-	return rwdom.SelectWithIndexWorkers(ix, prob, opts.K, opts.Lazy, opts.Workers)
+	en, err := rwdom.Open(g, rwdom.WithWorkers(opts.Workers))
+	if err != nil {
+		return nil, err
+	}
+	defer en.Close()
+	if err := en.AdoptIndex(ix); err != nil {
+		return nil, err
+	}
+	strategy := rwdom.Plain
+	if opts.Lazy {
+		strategy = rwdom.Lazy
+	}
+	res, err := en.Select(context.Background(), rwdom.SelectRequest{
+		Problem:  prob,
+		K:        opts.K,
+		L:        ix.L(),
+		R:        ix.R(),
+		Seed:     ix.Seed(),
+		Strategy: strategy,
+		Workers:  opts.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	name := "ApproxF1"
+	if prob == rwdom.Problem2 {
+		name = "ApproxF2"
+	}
+	return &rwdom.Selection{
+		Algorithm:   name,
+		Nodes:       res.Nodes,
+		Gains:       res.Gains,
+		Evaluations: res.Evaluations,
+		BuildTime:   res.TableBuild,
+		SelectTime:  res.Select,
+	}, nil
 }
 
 // loadOrBuildIndex loads the walk index from path if it exists (validating

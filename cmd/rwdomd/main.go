@@ -16,6 +16,16 @@
 //	rwdomd -dataset CAGrQc -cache 4 -evict-every 10m -drain 30s -memo 256
 //	rwdomd -dataset Epinions -index-bytes 2GiB -memo-bytes 256MiB
 //
+// Replicate-sharded serving splits the R walk replicates across shards and
+// merges their integer partial sums exactly, so sharded answers are
+// bit-identical to unsharded ones. -shards runs coordinator and workers in
+// one process (each worker holds 1/N of every index); -peer points a
+// coordinator at separate worker daemons, which serve the /v1/partial range
+// endpoints:
+//
+//	rwdomd -dataset Epinions -shards 4
+//	rwdomd -dataset Epinions -peer http://worker0:7474 -peer http://worker1:7474
+//
 // Query it with curl:
 //
 //	curl -s localhost:7474/v1/select -d '{"graph":"Epinions","problem":"coverage","k":10,"L":6}'
@@ -94,9 +104,11 @@ func main() {
 	var (
 		graphFlags   stringList
 		datasetFlags stringList
+		peerFlags    stringList
 	)
 	flag.Var(&graphFlags, "graph", "serve an edge-list file as name=path (repeatable)")
 	flag.Var(&datasetFlags, "dataset", "serve a paper dataset stand-in as name[:scale] (repeatable; CAGrQc, CAHepPh, Brightkite, Epinions)")
+	flag.Var(&peerFlags, "peer", "serve as a coordinator over this worker daemon's base URL (repeatable; replicate ranges are split across peers)")
 	var (
 		listen     = flag.String("listen", ":7474", "HTTP listen address")
 		cacheSize  = flag.Int("cache", 8, "max resident walk indexes (<0 = unbounded)")
@@ -114,6 +126,7 @@ func main() {
 		maxConc    = flag.Int("max-concurrent", 0, "concurrent heavy computations admitted (0 = 2x cores, <0 = unbounded); excess requests queue then shed with 503 overloaded")
 		maxQueue   = flag.Int("max-queue", 0, "requests allowed to wait for a computation slot (0 = 8x slots)")
 		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed (503 overloaded) responses")
+		shards     = flag.Int("shards", 0, "run an in-process replicate-sharded coordinator with this many worker shards (0 or 1 = unsharded)")
 	)
 	var indexBytes, memoBytes byteSize
 	flag.Var(&indexBytes, "index-bytes", "heap budget for resident walk indexes, e.g. 2GiB or 512MiB (0 = unbounded)")
@@ -150,6 +163,8 @@ func main() {
 		MaxConcurrent:  *maxConc,
 		MaxQueue:       *maxQueue,
 		RetryAfterHint: *retryAfter,
+		Shards:         *shards,
+		Peers:          peerFlags,
 	})
 	if err != nil {
 		fatal(err)

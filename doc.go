@@ -8,10 +8,10 @@
 // Given a graph and a budget k, the package selects k target nodes under the
 // L-length random-walk model, solving either of the paper's two problems:
 //
-//   - Problem 1 (MinimizeHittingTime): minimize the total expected hitting
-//     time of L-length random walks from the remaining nodes to the targets;
-//   - Problem 2 (MaximizeCoverage): maximize the expected number of nodes
-//     whose L-length random walk reaches a target.
+//   - Problem1 (hitting time): minimize the total expected hitting time of
+//     L-length random walks from the remaining nodes to the targets;
+//   - Problem2 (coverage): maximize the expected number of nodes whose
+//     L-length random walk reaches a target.
 //
 // Both objectives are nondecreasing submodular set functions, so greedy
 // selection carries a 1 − 1/e approximation guarantee; the sampled
@@ -62,11 +62,41 @@
 // machine-readable codes (ErrorCodeOf: bad_request, not_found, draining,
 // timeout, internal) shared with the HTTP daemon and the client SDK.
 //
-// The original free functions (MinimizeHittingTime, MaximizeCoverage,
-// SelectWithIndex, ...) remain as deprecated shims over a default Engine:
-// they compile, return bit-identical selections, and point migrators at
-// the Engine equivalents. The DP, sampling and baseline algorithms are
-// reachable only through them.
+// For one-shot selection — and for the DP, sampling and baseline
+// algorithms, which have no serving equivalent — Solve(g, problem, opts)
+// is the non-deprecated free function. The original per-problem functions
+// (MinimizeHittingTime, MaximizeCoverage, SelectWithIndex, ...) remain as
+// deprecated one-line shims over Solve and the Engine: they compile,
+// return bit-identical selections, and point migrators at the
+// replacements.
+//
+// # Replicate-sharded serving
+//
+// The walk index is the dominant cost at scale — O(n·R·L) space built
+// once per (graph, L, R, seed). Sharded serving splits the replicate
+// range [0, R) across N workers, each materializing only its subrange of
+// every index, and a coordinator (internal/shard) scatter-gathers the
+// workers' integer partial sums and merges them exactly: per-replicate
+// walk seeding makes a range build a deterministic slice of the full
+// build, so summing disjoint int64 partial sums reproduces the unsharded
+// sums bit-for-bit, and the coordinator performs the one float64 division
+// and the greedy argmax with exactly the unsharded arithmetic. Selections,
+// gains, objectives and top-B rankings are bit-identical to the unsharded
+// engine for every worker count — sharding divides per-process memory and
+// build wall time, never results.
+//
+//	en, err := rwdom.Open(g, rwdom.WithShards(4))     // in-process workers
+//	en, err := rwdom.Open(g, rwdom.WithPeers(urls...)) // remote worker daemons
+//
+// Both forms serve the same Engine surface (AdoptIndex and Stats are
+// engine-specific; ShardStats reports scatter-gather counters instead).
+// The daemon grows the same topology: rwdomd -shards N forks in-process
+// workers, rwdomd -peer URL... coordinates remote worker daemons over
+// their GET /v1/partial/gain and /v1/partial/topgains endpoints, and
+// /stats gains a "shards" block (per-shard request/error/retry counts,
+// merge latency histogram). Worker faults are retried with Retry-After
+// backoff; a worker that stays down yields a typed error, never a merge
+// over a subset of the replicates.
 //
 // # Serving
 //

@@ -6,10 +6,10 @@ import (
 	"repro"
 )
 
-// ExampleMaximizeCoverage selects targets on the paper's running-example
+// ExampleSolve selects coverage targets on the paper's running-example
 // graph (Fig. 1) so that as many nodes as possible reach them by a 4-hop
 // random walk.
-func ExampleMaximizeCoverage() {
+func ExampleSolve() {
 	// The 8-node graph of the paper's Fig. 1 (v1..v8 are nodes 0..7).
 	g, err := rwdom.FromEdgeList(8, [][2]int{
 		{0, 1}, {0, 5},
@@ -23,7 +23,7 @@ func ExampleMaximizeCoverage() {
 	if err != nil {
 		panic(err)
 	}
-	sel, err := rwdom.MaximizeCoverage(g, rwdom.Options{K: 2, L: 4, Algorithm: rwdom.AlgorithmDP})
+	sel, err := rwdom.Solve(g, rwdom.Problem2, rwdom.Options{K: 2, L: 4, Algorithm: rwdom.AlgorithmDP})
 	if err != nil {
 		panic(err)
 	}
@@ -31,9 +31,9 @@ func ExampleMaximizeCoverage() {
 	// Output: [6 1]
 }
 
-// ExampleMinimizeHittingTime shows Problem 1 on a star: the hub is the
+// ExampleSolve_hittingTime shows Problem 1 on a star: the hub is the
 // unique best target.
-func ExampleMinimizeHittingTime() {
+func ExampleSolve_hittingTime() {
 	b := rwdom.NewBuilder(6, rwdom.Undirected)
 	for leaf := 1; leaf < 6; leaf++ {
 		b.AddEdge(0, leaf)
@@ -42,7 +42,7 @@ func ExampleMinimizeHittingTime() {
 	if err != nil {
 		panic(err)
 	}
-	sel, err := rwdom.MinimizeHittingTime(g, rwdom.Options{K: 1, L: 3, Algorithm: rwdom.AlgorithmDP})
+	sel, err := rwdom.Solve(g, rwdom.Problem1, rwdom.Options{K: 1, L: 3, Algorithm: rwdom.AlgorithmDP})
 	if err != nil {
 		panic(err)
 	}

@@ -33,13 +33,13 @@ func main() {
 		session = 6
 	)
 
-	greedy, err := rwdom.MaximizeCoverage(g, rwdom.Options{
+	greedy, err := rwdom.Solve(g, rwdom.Problem2, rwdom.Options{
 		K: k, L: session, R: 100, Seed: 2, Algorithm: rwdom.AlgorithmApprox, Lazy: true,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	degree, err := rwdom.MaximizeCoverage(g, rwdom.Options{K: k, L: session, Algorithm: rwdom.AlgorithmDegree})
+	degree, err := rwdom.Solve(g, rwdom.Problem2, rwdom.Options{K: k, L: session, Algorithm: rwdom.AlgorithmDegree})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -48,7 +48,7 @@ func main() {
 
 	// With a fixed budget, minimize expected search latency instead.
 	const budget = 20
-	fast, err := rwdom.MinimizeHittingTime(g, rwdom.Options{
+	fast, err := rwdom.Solve(g, rwdom.Problem1, rwdom.Options{
 		K: budget, L: ttl, R: 100, Seed: 3, Algorithm: rwdom.AlgorithmApprox, Lazy: true,
 	})
 	if err != nil {

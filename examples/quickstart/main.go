@@ -62,11 +62,11 @@ func main() {
 	}
 
 	// Baselines for contrast (no walk index involved).
-	deg, err := rwdom.MinimizeHittingTime(g, rwdom.Options{K: k, L: L, Algorithm: rwdom.AlgorithmDegree})
+	deg, err := rwdom.Solve(g, rwdom.Problem1, rwdom.Options{K: k, L: L, Algorithm: rwdom.AlgorithmDegree})
 	if err != nil {
 		log.Fatal(err)
 	}
-	dom, err := rwdom.MinimizeHittingTime(g, rwdom.Options{K: k, L: L, Algorithm: rwdom.AlgorithmDominate})
+	dom, err := rwdom.Solve(g, rwdom.Problem1, rwdom.Options{K: k, L: L, Algorithm: rwdom.AlgorithmDominate})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -32,7 +32,7 @@ func main() {
 
 	// Seed selection: maximize the expected number of users who encounter
 	// the app during one browsing session.
-	sel, err := rwdom.MaximizeCoverage(g, rwdom.Options{
+	sel, err := rwdom.Solve(g, rwdom.Problem2, rwdom.Options{
 		K: budget, L: patience, R: 100, Seed: 7,
 		Algorithm: rwdom.AlgorithmApprox, Lazy: true,
 	})
@@ -41,7 +41,7 @@ func main() {
 	}
 	fmt.Printf("greedy seeding took %v (index) + %v (selection)\n", sel.BuildTime, sel.SelectTime)
 
-	celebs, err := rwdom.MaximizeCoverage(g, rwdom.Options{K: budget, L: patience, Algorithm: rwdom.AlgorithmDegree})
+	celebs, err := rwdom.Solve(g, rwdom.Problem2, rwdom.Options{K: budget, L: patience, Algorithm: rwdom.AlgorithmDegree})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func main() {
 	fmt.Printf("\nreach vs browsing patience L (budget %d):\n", budget)
 	fmt.Printf("%-4s %-16s %-16s\n", "L", "greedy reach", "celebrity reach")
 	for _, L := range []int{2, 4, 6, 8, 10} {
-		gSel, err := rwdom.MaximizeCoverage(g, rwdom.Options{
+		gSel, err := rwdom.Solve(g, rwdom.Problem2, rwdom.Options{
 			K: budget, L: L, R: 100, Seed: 7, Algorithm: rwdom.AlgorithmApprox, Lazy: true,
 		})
 		if err != nil {

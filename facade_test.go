@@ -1,6 +1,7 @@
 package rwdom
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 )
@@ -55,14 +56,23 @@ func TestIndexSaveLoadFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := SelectWithIndex(ix, Problem1, 4, true)
-	if err != nil {
-		t.Fatal(err)
+	selectAdopted := func(adopted *Index) *Selection {
+		t.Helper()
+		en, err := Open(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer en.Close()
+		if err := en.AdoptIndex(adopted); err != nil {
+			t.Fatal(err)
+		}
+		res, err := en.Select(context.Background(), SelectRequest{Problem: Problem1, K: 4, L: 4, R: 30, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Selection{Nodes: res.Nodes, Gains: res.Gains}
 	}
-	b, err := SelectWithIndex(back, Problem1, 4, true)
-	if err != nil {
-		t.Fatal(err)
-	}
+	a, b := selectAdopted(ix), selectAdopted(back)
 	for i := range a.Nodes {
 		if a.Nodes[i] != b.Nodes[i] {
 			t.Fatal("loaded index gives different selection")
@@ -77,7 +87,7 @@ func TestIndexSaveLoadFacade(t *testing.T) {
 
 func TestSimulatorFacade(t *testing.T) {
 	g, _ := GenerateBarabasiAlbert(100, 2, 4)
-	sel, err := MaximizeCoverage(g, Options{K: 5, L: 5, R: 50, Algorithm: AlgorithmApprox})
+	sel, err := Solve(g, Problem2, Options{K: 5, L: 5, R: 50, Algorithm: AlgorithmApprox})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -236,7 +236,7 @@ func (e *Engine) AdoptIndex(name string, ix *index.Index) error {
 	if g != ix.Graph() {
 		return &Error{Code: CodeBadRequest, Message: fmt.Sprintf("engine: index was built on a different graph than %q", name)}
 	}
-	key := index.CacheKey{Graph: name, L: ix.L(), R: ix.R(), Seed: ix.Seed()}
+	key := index.CacheKey{Graph: name, L: ix.L(), R: ix.R(), Seed: ix.Seed(), R0: ix.R0()}
 	return e.cache.Adopt(key, ix)
 }
 
@@ -367,16 +367,19 @@ func (e *Engine) resolveWorkers(workers int) int {
 }
 
 // params are the validated request knobs that identify one materialized
-// index.
+// index. r0 is the first absolute replicate of a partial (replicate-range
+// sharded) index — zero on every full-index path, so those keys are
+// unchanged.
 type params struct {
 	graphName string
 	g         *graph.Graph
 	L, R      int
 	seed      uint64
+	r0        int
 }
 
 func (p params) cacheKey() index.CacheKey {
-	return index.CacheKey{Graph: p.graphName, L: p.L, R: p.R, Seed: p.seed}
+	return index.CacheKey{Graph: p.graphName, L: p.L, R: p.R, Seed: p.seed, R0: p.r0}
 }
 
 // resolveParams validates the shared graph/L/R/seed knobs. R defaults to the
@@ -446,7 +449,7 @@ func (e *Engine) acquireIndex(ctx context.Context, p params, workers int) (h *in
 			}
 			defer release()
 		}
-		return index.BuildWorkers(p.g, p.L, p.R, p.seed, workers)
+		return index.BuildRangeWorkers(p.g, p.L, p.seed, p.r0, p.r0+p.R, workers)
 	})
 	if built {
 		buildTime = time.Since(start)

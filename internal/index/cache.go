@@ -59,9 +59,17 @@ type CacheKey struct {
 	L     int
 	R     int
 	Seed  uint64
+	// R0 is the first absolute replicate number of a partial (replicate-range
+	// sharded) index: the key identifies the range [R0, R0+R) of the full
+	// build. Zero for full indexes, which keeps every pre-sharding key — and
+	// its String form, spill path and /stats rendering — unchanged.
+	R0 int
 }
 
 func (k CacheKey) String() string {
+	if k.R0 != 0 {
+		return fmt.Sprintf("%s/L=%d/R=%d/seed=%d/r0=%d", k.Graph, k.L, k.R, k.Seed, k.R0)
+	}
 	return fmt.Sprintf("%s/L=%d/R=%d/seed=%d", k.Graph, k.L, k.R, k.Seed)
 }
 
@@ -201,9 +209,9 @@ func (c *Cache) Adopt(key CacheKey, ix *Index) error {
 	if ix == nil {
 		return errors.New("index: adopt nil index")
 	}
-	if key.L != ix.L() || key.R != ix.R() || key.Seed != ix.Seed() {
-		return fmt.Errorf("index: adopt key %s does not match index build (L=%d R=%d seed=%d)",
-			key, ix.L(), ix.R(), ix.Seed())
+	if key.L != ix.L() || key.R != ix.R() || key.Seed != ix.Seed() || key.R0 != ix.R0() {
+		return fmt.Errorf("index: adopt key %s does not match index build (L=%d R=%d seed=%d R0=%d)",
+			key, ix.L(), ix.R(), ix.Seed(), ix.R0())
 	}
 	h, err := c.core.Acquire(key, func() (*Index, int64, error) {
 		return ix, ix.MemoryBytes(), nil
@@ -228,7 +236,7 @@ func (c *Cache) loadOrBuild(key CacheKey, g *graph.Graph, build func() (*Index, 
 			// rebuild, exactly like an organic load failure.
 			c.noteSpillLoadError()
 		} else if ix, err := LoadFile(c.spillPath(key), g); err == nil {
-			if ix.L() == key.L && ix.R() == key.R && ix.Seed() == key.Seed {
+			if ix.L() == key.L && ix.R() == key.R && ix.Seed() == key.Seed && ix.R0() == key.R0 {
 				return ix, true, nil
 			}
 			// A hash collision between distinct keys (or a stale file from

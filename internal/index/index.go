@@ -73,6 +73,13 @@ type Index struct {
 	g *graph.Graph
 	l int
 	r int
+	// rbase is the first absolute replicate number materialized: a partial
+	// index built by BuildRangeWorkers over [r0, r1) has rbase = r0 and
+	// r = r1 − r0. Walks are seeded per (node, absolute replicate), so the
+	// partial index holds exactly the rows [r0, r1) of the full build — the
+	// invariant replicate-sharded serving merges on. Full builds have
+	// rbase = 0.
+	rbase int
 	// seed is the master walk seed the index was built from (0 for indexes
 	// assembled by BuildFromWalks, which samples nothing). It is part of the
 	// serialized identity: the cache's spill loader verifies it so a stale
@@ -91,8 +98,12 @@ type Index struct {
 	// Problem 1, slot 1: Problem 2), computed lazily by EmptySetGains. The
 	// sync.Once slots make the index safe to share across concurrent
 	// EmptySetGains callers; everything else stays immutable after Build.
-	emptyOnce  [2]sync.Once
-	emptyGains [2][]float64
+	// emptySums is the integer-domain twin serving the partial read path
+	// (EmptySetGainSums).
+	emptyOnce    [2]sync.Once
+	emptyGains   [2][]float64
+	emptySumOnce [2]sync.Once
+	emptySums    [2][]int64
 }
 
 // Build materializes R L-length random walks per node and constructs the
@@ -123,15 +134,32 @@ type walkBuffer struct {
 // consumer observes: Gain and EstimateObjective accumulate in integers, so
 // selections are bit-for-bit reproducible regardless of parallelism.
 func BuildWorkers(g *graph.Graph, L, R int, seed uint64, workers int) (*Index, error) {
+	if R <= 0 {
+		return nil, fmt.Errorf("index: sample size R = %d, want > 0", R)
+	}
+	return BuildRangeWorkers(g, L, seed, 0, R, workers)
+}
+
+// BuildRangeWorkers materializes only the replicate range [r0, r1) of a full
+// R-replicate build. Walk i of the partial index is seeded per
+// (node, absolute replicate) — rng.Mix(seed, w, r0+i) — exactly as
+// BuildWorkers seeds replicate r0+i of the full build, so the partial index
+// is a deterministic slice of the full one: its rows equal rows [r0, r1) of
+// BuildWorkers(g, L, r1, seed, ·). Integer gain/objective sums over disjoint
+// ranges therefore add up to the full-build sums exactly, which is what lets
+// a replicate-sharded deployment merge partial answers bit-for-bit.
+// BuildWorkers is BuildRangeWorkers over [0, R).
+func BuildRangeWorkers(g *graph.Graph, L int, seed uint64, r0, r1, workers int) (*Index, error) {
 	if L < 0 {
 		return nil, fmt.Errorf("index: negative walk length %d", L)
 	}
 	if L > 1<<16-1 {
 		return nil, fmt.Errorf("index: walk length %d exceeds hop storage (max %d)", L, 1<<16-1)
 	}
-	if R <= 0 {
-		return nil, fmt.Errorf("index: sample size R = %d, want > 0", R)
+	if r0 < 0 || r1 <= r0 {
+		return nil, fmt.Errorf("index: replicate range [%d, %d) invalid, want 0 <= r0 < r1", r0, r1)
 	}
+	R := r1 - r0
 	if workers < 1 {
 		workers = 1
 	}
@@ -139,7 +167,7 @@ func BuildWorkers(g *graph.Graph, L, R int, seed uint64, workers int) (*Index, e
 	if workers > n {
 		workers = n
 	}
-	ix := &Index{g: g, l: L, r: R, seed: seed}
+	ix := &Index{g: g, l: L, r: R, rbase: r0, seed: seed}
 	rows := R * n
 	counts := make([]int64, rows+1)
 
@@ -206,7 +234,7 @@ func BuildWorkers(g *graph.Graph, L, R int, seed uint64, workers int) (*Index, e
 		}
 		for w := lo; w < hi; w++ {
 			for i := 0; i < R; i++ {
-				rnd.Seed(rng.Mix(seed, uint64(w), uint64(i)))
+				rnd.Seed(rng.Mix(seed, uint64(w), uint64(r0+i)))
 				generation++
 				visited[w] = generation
 				u := w
@@ -401,8 +429,14 @@ func (ix *Index) Graph() *graph.Graph { return ix.g }
 // L returns the walk-length bound the index was built with.
 func (ix *Index) L() int { return ix.l }
 
-// R returns the number of sample replicates per node.
+// R returns the number of sample replicates per node materialized in this
+// index — for a partial index, the width r1 − r0 of its replicate range.
 func (ix *Index) R() int { return ix.r }
+
+// R0 returns the first absolute replicate number materialized: 0 for full
+// builds, r0 for an index built by BuildRangeWorkers over [r0, r1). The
+// materialized range is [R0, R0+R).
+func (ix *Index) R0() int { return ix.rbase }
 
 // Seed returns the master walk seed the index was built from; 0 for indexes
 // assembled from explicit walks (BuildFromWalks).
@@ -552,6 +586,49 @@ func (t *DTable) GainBatch(us []int, out []float64) []float64 {
 		out = append(out, float64(t.gainInt(u))/r)
 	}
 	return out
+}
+
+// GainSumBatch computes the integer gain sum (Gain before the final division
+// by R) for every candidate in us, appending into (and returning) out. Like
+// GainBatch it is a pure read, safe to invoke concurrently from several
+// goroutines. It is the scatter-gather primitive of replicate-sharded
+// serving: integer sums over disjoint replicate ranges merge exactly by
+// addition, and the coordinator performs the single float64 division at the
+// end — the same expression the unsharded Gain computes — so merged gains
+// are bit-identical to unsharded ones.
+func (t *DTable) GainSumBatch(us []int, out []int64) []int64 {
+	for _, u := range us {
+		out = append(out, t.gainInt(u))
+	}
+	return out
+}
+
+// ObjectiveSum returns the integer objective accumulator Σ D[u] underlying
+// EstimateObjective, before averaging over replicates and (for Problem 1)
+// subtracting from nL. Unlike EstimateObjective it is a pure read — it
+// consults the Problem-2 saturation memo but never writes it — so it is safe
+// on shared memoized tables and may run concurrently with Gain reads. The
+// sharded coordinator adds these sums across replicate ranges and applies
+// the final float64 arithmetic once, reproducing EstimateObjective's value
+// bit-for-bit.
+func (t *DTable) ObjectiveSum(members []bool) int64 {
+	n := t.ix.g.N()
+	r := t.ix.r
+	var acc int64
+	for u := 0; u < n; u++ {
+		if t.problem == Problem1 && members[u] {
+			continue
+		}
+		if t.sat != nil && t.sat[u] {
+			acc += int64(r)
+			continue
+		}
+		base := u * r
+		for i := 0; i < r; i++ {
+			acc += int64(t.d[base+i])
+		}
+	}
+	return acc
 }
 
 // Update implements Algorithm 5: fold the newly selected node u into the

@@ -69,6 +69,55 @@ func (ix *Index) EmptySetGains(p Problem) ([]float64, error) {
 	return ix.emptyGains[slot], nil
 }
 
+// EmptySetGainSums is EmptySetGains in the integer domain: the gain sum of
+// every node against the empty set, before the division by R. Like
+// EmptySetGains the vector is computed once per problem and memoized on the
+// index; the returned slice is shared and must not be modified. It is the
+// empty-set fast path of the partial (replicate-sharded) read surface, where
+// answers stay integral so the coordinator can merge shard ranges exactly.
+func (ix *Index) EmptySetGainSums(p Problem) ([]int64, error) {
+	slot, err := emptySlot(p)
+	if err != nil {
+		return nil, err
+	}
+	ix.emptySumOnce[slot].Do(func() {
+		n := ix.g.N()
+		r := int64(ix.r)
+		l := int64(ix.l)
+		sums := make([]int64, n)
+		for u := 0; u < n; u++ {
+			lo, hi := ix.offsets[int64(u)*r], ix.offsets[(int64(u)+1)*r]
+			var acc int64
+			if p == Problem1 {
+				acc = r * l
+				for _, hop := range ix.hops[lo:hi] {
+					if int64(hop) < l {
+						acc += l - int64(hop)
+					}
+				}
+			} else {
+				acc = r + (hi - lo)
+			}
+			sums[u] = acc
+		}
+		ix.emptySums[slot] = sums
+	})
+	return ix.emptySums[slot], nil
+}
+
+// EmptySetObjectiveSum returns the integer objective accumulator of the
+// empty set — what DTable.ObjectiveSum reports on a fresh table: n·R·L for
+// Problem 1 (every replicate row holds L), 0 for Problem 2.
+func (ix *Index) EmptySetObjectiveSum(p Problem) (int64, error) {
+	if _, err := emptySlot(p); err != nil {
+		return 0, err
+	}
+	if p == Problem1 {
+		return int64(ix.g.N()) * int64(ix.r) * int64(ix.l), nil
+	}
+	return 0, nil
+}
+
 // EmptySetObjective returns the estimated objective of the empty set — what
 // EstimateObjective reports on a fresh D-table — without materializing one.
 // (Both objectives are 0 by construction; the value is computed with the

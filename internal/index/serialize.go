@@ -29,9 +29,13 @@ const (
 	// CRC32-C trailer over the magic, header and payload, so silently
 	// corrupted spill files (torn writes, truncation, bit rot) are detected
 	// at load time — forcing a rebuild — instead of surviving the structural
-	// checks and shifting every served answer. Older versions are rejected
-	// rather than silently misread, forcing a cheap rebuild.
-	indexVersion = 4
+	// checks and shifting every served answer; version 5 appended the first
+	// replicate number (R0) to the header so a partial index built over a
+	// replicate range [r0, r1) round-trips its range identity and a spilled
+	// shard slice can never be warm-loaded as a full build (or as a
+	// different shard's slice). Older versions are rejected rather than
+	// silently misread, forcing a cheap rebuild.
+	indexVersion = 5
 )
 
 // castagnoli is the CRC32-C polynomial table the v4 trailer uses (the same
@@ -65,6 +69,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		uint64(ix.r),
 		ix.seed,
 		uint64(len(ix.ids)),
+		uint64(ix.rbase),
 	}
 	for _, h := range header {
 		if err := put(h); err != nil {
@@ -104,24 +109,24 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 	if string(magic) != indexMagic {
 		return nil, fmt.Errorf("index: bad magic %q", magic)
 	}
-	var header [7]uint64
+	var header [8]uint64
 	for i := range header {
 		if err := binary.Read(br, binary.LittleEndian, &header[i]); err != nil {
 			return nil, fmt.Errorf("index: read header: %w", err)
 		}
+		if i == 0 && header[0] != indexVersion {
+			return nil, fmt.Errorf("index: unsupported version %d (want %d)", header[0], indexVersion)
+		}
 	}
-	version, fp, n, l, rr, seed, entries := header[0], header[1], header[2], header[3], header[4], header[5], header[6]
-	if version != indexVersion {
-		return nil, fmt.Errorf("index: unsupported version %d (want %d)", version, indexVersion)
-	}
+	fp, n, l, rr, seed, entries, rbase := header[1], header[2], header[3], header[4], header[5], header[6], header[7]
 	if got := g.Fingerprint(); got != fp {
 		return nil, fmt.Errorf("index: graph fingerprint mismatch: index built on %016x, loading against %016x", fp, got)
 	}
 	if int(n) != g.N() {
 		return nil, fmt.Errorf("index: node count mismatch: %d vs %d", n, g.N())
 	}
-	if l > 1<<16-1 || rr == 0 || rr > 1<<31 {
-		return nil, fmt.Errorf("index: implausible parameters L=%d R=%d", l, rr)
+	if l > 1<<16-1 || rr == 0 || rr > 1<<31 || rbase > 1<<31 {
+		return nil, fmt.Errorf("index: implausible parameters L=%d R=%d R0=%d", l, rr, rbase)
 	}
 	rows := int64(rr) * int64(n)
 	maxEntries := rows * int64(l)
@@ -132,6 +137,7 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 		g:       g,
 		l:       int(l),
 		r:       int(rr),
+		rbase:   int(rbase),
 		seed:    seed,
 		offsets: make([]int64, rows+1),
 		ids:     make([]int32, entries),

@@ -262,7 +262,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		s.handleSelectStream(w, r, req, ereq)
 		return
 	}
-	res, err := s.engine.Select(r.Context(), ereq)
+	res, err := s.q.Select(r.Context(), ereq)
 	if err != nil {
 		writeEngineError(w, err)
 		return
@@ -363,7 +363,7 @@ func (s *Server) handleGain(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, err)
 		return
 	}
-	res, err := s.engine.Gain(r.Context(), engine.GainRequest{
+	res, err := s.q.Gain(r.Context(), engine.GainRequest{
 		Graph:   qp.graph,
 		Problem: qp.problem,
 		L:       qp.L,
@@ -409,7 +409,7 @@ func (s *Server) handleObjective(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, err)
 		return
 	}
-	res, err := s.engine.Objective(r.Context(), engine.ObjectiveRequest{
+	res, err := s.q.Objective(r.Context(), engine.ObjectiveRequest{
 		Graph:   qp.graph,
 		Problem: qp.problem,
 		L:       qp.L,
@@ -479,7 +479,7 @@ func (s *Server) handleTopGains(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, err := s.engine.TopGains(r.Context(), engine.TopGainsRequest{
+	res, err := s.q.TopGains(r.Context(), engine.TopGainsRequest{
 		Graph:   qp.graph,
 		Problem: qp.problem,
 		L:       qp.L,
@@ -589,6 +589,9 @@ type StatsResponse struct {
 	Cache            CacheStatsJSON              `json:"cache"`
 	Memo             MemoStatsJSON               `json:"memo"`
 	Endpoints        map[string]EndpointSnapshot `json:"endpoints"`
+	// Shards reports coordinator-side scatter-gather counters; present only
+	// when this daemon fronts shards (-shards or -peer).
+	Shards *ShardsStatsJSON `json:"shards,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -621,6 +624,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
+		Shards:           s.shardsStats(),
 		UptimeS:          time.Since(s.start).Seconds(),
 		Draining:         s.draining.Load(),
 		InFlight:         s.inFlight.Load(),

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/engine"
+	"repro/internal/shard"
+)
+
+// The /v1/partial endpoints are the worker side of replicate-sharded
+// serving: integer gain sums (and objective accumulators) over a replicate
+// range [r0, r1) of the build identified by (graph, problem, L, seed). A
+// coordinator daemon merges disjoint ranges by addition and divides once,
+// so these endpoints never normalize — their replies are exact int64 sums.
+// They are served from this daemon's own engine even in coordinator mode,
+// so coordinators and workers can be layered freely.
+
+// PartialGainResponse is the /v1/partial/gain reply.
+type PartialGainResponse struct {
+	Graph   string `json:"graph"`
+	Problem string `json:"problem"`
+	R0      int    `json:"r0"`
+	R1      int    `json:"r1"`
+	Set     []int  `json:"set"`
+	Nodes   []int  `json:"nodes"`
+	// Sums[i] is the integer gain sum of Nodes[i] over [r0, r1).
+	Sums []int64 `json:"sums"`
+	// ObjectiveSum is present only when the request asked for it
+	// (objective=1): the integer objective accumulator of Set over the
+	// range.
+	ObjectiveSum *int64 `json:"objective_sum,omitempty"`
+	Replicates   int    `json:"replicates"`
+	IndexCached  bool   `json:"index_cached"`
+	Memo         string `json:"memo"`
+	Degraded     bool   `json:"degraded,omitempty"`
+}
+
+// PartialTopGainsResponse is the /v1/partial/topgains reply, sum descending
+// with ties broken by ascending node id.
+type PartialTopGainsResponse struct {
+	Graph       string  `json:"graph"`
+	Problem     string  `json:"problem"`
+	R0          int     `json:"r0"`
+	R1          int     `json:"r1"`
+	Set         []int   `json:"set"`
+	B           int     `json:"b"`
+	Nodes       []int   `json:"nodes"`
+	Sums        []int64 `json:"sums"`
+	Exhausted   bool    `json:"exhausted"`
+	IndexCached bool    `json:"index_cached"`
+	Memo        string  `json:"memo"`
+	Degraded    bool    `json:"degraded,omitempty"`
+}
+
+// parseRange parses the required r0/r1 replicate-range parameters; range
+// validity (0 <= r0 < r1, width <= max-R) is the engine's call.
+func parseRange(r *http.Request) (r0, r1 int, err error) {
+	q := r.URL.Query()
+	for _, p := range []struct {
+		key string
+		dst *int
+	}{{"r0", &r0}, {"r1", &r1}} {
+		v := q.Get(p.key)
+		if v == "" {
+			return 0, 0, fmt.Errorf("missing %s (the replicate range [r0, r1) is required)", p.key)
+		}
+		*p.dst, err = strconv.Atoi(v)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad %s=%q", p.key, v)
+		}
+	}
+	return r0, r1, nil
+}
+
+func (s *Server) handlePartialGain(w http.ResponseWriter, r *http.Request) {
+	qp, err := parseQueryParams(r)
+	if err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	r0, r1, err := parseRange(r)
+	if err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	q := r.URL.Query()
+	nodes, err := parseNodeList(q.Get("nodes"))
+	if err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	wantObjective := false
+	switch q.Get("objective") {
+	case "", "0":
+	case "1":
+		wantObjective = true
+	default:
+		writeBadRequest(w, fmt.Errorf("bad objective=%q (want 0 or 1)", q.Get("objective")))
+		return
+	}
+	res, err := s.engine.PartialGain(r.Context(), engine.PartialGainRequest{
+		Graph:         qp.graph,
+		Problem:       qp.problem,
+		L:             qp.L,
+		Seed:          qp.seed,
+		R0:            r0,
+		R1:            r1,
+		Set:           qp.set,
+		Nodes:         nodes,
+		WantObjective: wantObjective,
+	})
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	resp := PartialGainResponse{
+		Graph:       qp.graph,
+		Problem:     qp.problem.String(),
+		R0:          r0,
+		R1:          r1,
+		Set:         qp.set,
+		Nodes:       nodes,
+		Sums:        res.Sums,
+		Replicates:  res.Replicates,
+		IndexCached: res.IndexCached,
+		Memo:        res.Memo,
+		Degraded:    res.Degraded,
+	}
+	if wantObjective {
+		resp.ObjectiveSum = &res.ObjectiveSum
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePartialTopGains(w http.ResponseWriter, r *http.Request) {
+	qp, err := parseQueryParams(r)
+	if err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	r0, r1, err := parseRange(r)
+	if err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	q := r.URL.Query()
+	b := 0
+	if v := q.Get("b"); v != "" {
+		b, err = strconv.Atoi(v)
+		if err != nil {
+			writeBadRequest(w, fmt.Errorf("bad b=%q", v))
+			return
+		}
+		if b == 0 {
+			// Explicit zero is invalid (zero means "default" engine-side).
+			writeBadRequest(w, fmt.Errorf("b=0 invalid (omit b for the default)"))
+			return
+		}
+	}
+	workers := 0
+	if v := q.Get("workers"); v != "" {
+		workers, err = strconv.Atoi(v)
+		if err != nil {
+			writeBadRequest(w, fmt.Errorf("bad workers=%q", v))
+			return
+		}
+	}
+	res, err := s.engine.PartialTopGains(r.Context(), engine.PartialTopGainsRequest{
+		Graph:   qp.graph,
+		Problem: qp.problem,
+		L:       qp.L,
+		Seed:    qp.seed,
+		R0:      r0,
+		R1:      r1,
+		Set:     qp.set,
+		B:       b,
+		Workers: workers,
+	})
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PartialTopGainsResponse{
+		Graph:       qp.graph,
+		Problem:     qp.problem.String(),
+		R0:          r0,
+		R1:          r1,
+		Set:         qp.set,
+		B:           res.B,
+		Nodes:       res.Nodes,
+		Sums:        res.Sums,
+		Exhausted:   res.Exhausted,
+		IndexCached: res.IndexCached,
+		Memo:        res.Memo,
+		Degraded:    res.Degraded,
+	})
+}
+
+// ShardConnStatsJSON is one worker's entry in the /stats "shards" block.
+type ShardConnStatsJSON struct {
+	Addr     string `json:"addr"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+	Retries  int64  `json:"retries"`
+}
+
+// ShardsStatsJSON mirrors shard.Stats for /stats, present only in
+// coordinator mode.
+type ShardsStatsJSON struct {
+	Shards         int                   `json:"shards"`
+	Merges         int64                 `json:"merges"`
+	DegradedMerges int64                 `json:"degraded_merges"`
+	Retries        int64                 `json:"retries"`
+	MergeLatency   shard.LatencySnapshot `json:"merge_latency"`
+	PerShard       []ShardConnStatsJSON  `json:"per_shard"`
+}
+
+// shardsStats renders the coordinator's counters for /stats (nil when
+// unsharded).
+func (s *Server) shardsStats() *ShardsStatsJSON {
+	if s.coord == nil {
+		return nil
+	}
+	cs := s.coord.Stats()
+	out := &ShardsStatsJSON{
+		Shards:         cs.Shards,
+		Merges:         cs.Merges,
+		DegradedMerges: cs.DegradedMerges,
+		Retries:        cs.Retries,
+		MergeLatency:   cs.MergeLatency,
+		PerShard:       make([]ShardConnStatsJSON, len(cs.PerShard)),
+	}
+	for i, p := range cs.PerShard {
+		out.PerShard[i] = ShardConnStatsJSON{Addr: p.Addr, Requests: p.Requests, Errors: p.Errors, Retries: p.Retries}
+	}
+	return out
+}

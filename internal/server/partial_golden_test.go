@@ -1,0 +1,74 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"testing"
+)
+
+// Golden contract for the worker-facing /v1/partial endpoints. These are
+// the scatter-gather wire surface the shard coordinator depends on, so the
+// field names and the exact-integer sums representation are pinned the same
+// way the public v1 endpoints are: one golden file per success shape and
+// per reachable error code (overloaded/timeout/internal share the error
+// envelope already pinned by the error_* goldens — the partial handlers go
+// through the same writer).
+
+func getGolden(t *testing.T, tsURL, name, path string, wantStatus int) {
+	t.Helper()
+	resp, err := http.Get(tsURL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, name, resp.StatusCode, wantStatus, raw)
+}
+
+func TestGoldenPartialSuccessShapes(t *testing.T) {
+	_, ts := goldenHarness(t)
+
+	// Point gains over a replicate sub-range, both problems.
+	getGolden(t, ts.URL, "partial_gain_ok",
+		"/v1/partial/gain?graph=golden&problem=2&L=4&seed=7&r0=0&r1=12&set=1,2&nodes=0,5,9", http.StatusOK)
+	// objective=1 adds the exact objective_sum of the committed set.
+	getGolden(t, ts.URL, "partial_gain_objective_ok",
+		"/v1/partial/gain?graph=golden&problem=1&L=4&seed=7&r0=12&r1=25&set=1,2&nodes=3&objective=1", http.StatusOK)
+	// Empty set: first-pick gains, no nodes excluded.
+	getGolden(t, ts.URL, "partial_gain_empty_set_ok",
+		"/v1/partial/gain?graph=golden&problem=2&L=4&seed=7&r0=0&r1=25&nodes=4", http.StatusOK)
+	// Top-b candidates by integer sum over the shard's range.
+	getGolden(t, ts.URL, "partial_topgains_ok",
+		"/v1/partial/topgains?graph=golden&problem=2&L=4&seed=7&r0=0&r1=25&set=1&b=3", http.StatusOK)
+}
+
+func TestGoldenPartialErrorShapes(t *testing.T) {
+	s, ts := goldenHarness(t)
+
+	// bad_request: the replicate range is mandatory — a partial endpoint
+	// with no range is always a caller bug, never a full-index request.
+	getGolden(t, ts.URL, "partial_error_missing_range",
+		"/v1/partial/gain?graph=golden&L=4&seed=7&nodes=1", http.StatusBadRequest)
+	// bad_request: inverted range is rejected by the engine.
+	getGolden(t, ts.URL, "partial_error_bad_range",
+		"/v1/partial/gain?graph=golden&L=4&seed=7&r0=9&r1=3&nodes=1", http.StatusBadRequest)
+	// bad_request: objective is a 0/1 flag.
+	getGolden(t, ts.URL, "partial_error_bad_objective",
+		"/v1/partial/gain?graph=golden&L=4&seed=7&r0=0&r1=12&nodes=1&objective=yes", http.StatusBadRequest)
+	// bad_request: explicit b=0 is rejected (omit b for the default).
+	getGolden(t, ts.URL, "partial_error_bad_b",
+		"/v1/partial/topgains?graph=golden&L=4&seed=7&r0=0&r1=12&b=0", http.StatusBadRequest)
+	// not_found: unknown graph.
+	getGolden(t, ts.URL, "partial_error_not_found",
+		"/v1/partial/topgains?graph=nope&L=4&seed=7&r0=0&r1=12", http.StatusNotFound)
+
+	// draining: workers refuse partial work during shutdown so the
+	// coordinator retries another round instead of hanging on a dying peer.
+	s.draining.Store(true)
+	getGolden(t, ts.URL, "partial_error_draining",
+		"/v1/partial/gain?graph=golden&L=4&seed=7&r0=0&r1=12&nodes=1", http.StatusServiceUnavailable)
+	s.draining.Store(false)
+}

@@ -58,6 +58,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/index"
+	"repro/internal/shard"
 )
 
 // Config configures a Server. Graphs is required; zero values elsewhere get
@@ -113,6 +114,17 @@ type Config struct {
 	MaxConcurrent  int
 	MaxQueue       int
 	RetryAfterHint time.Duration
+	// Shards > 1 enables in-process replicate-sharded serving: the public
+	// select/read routes are answered by a coordinator over Shards engines,
+	// each materializing only its replicate subrange of every index, merged
+	// bit-identically to unsharded serving. Peers instead lists remote
+	// worker daemon base URLs, one shard per worker (the workers serve the
+	// same graphs and answer this daemon's /v1/partial scatter requests).
+	// At most one of the two may be set. Either way this daemon keeps its
+	// own full engine for the worker-side /v1/partial endpoints, so
+	// coordinators and workers can be layered.
+	Shards int
+	Peers  []string
 }
 
 func (c Config) withDefaults() Config {
@@ -159,11 +171,28 @@ func (c Config) engineConfig() engine.Config {
 	}
 }
 
+// querier is the read/select surface the public routes dispatch through:
+// the engine directly in unsharded mode, the scatter-gather coordinator in
+// sharded mode. Both produce bit-identical answers; handlers cannot tell
+// them apart.
+type querier interface {
+	Select(context.Context, engine.SelectRequest) (*engine.SelectResult, error)
+	SelectStream(context.Context, engine.SelectRequest, func(engine.Round) error) (*engine.SelectResult, error)
+	Gain(context.Context, engine.GainRequest) (*engine.GainResult, error)
+	Objective(context.Context, engine.ObjectiveRequest) (*engine.ObjectiveResult, error)
+	TopGains(context.Context, engine.TopGainsRequest) (*engine.TopGainsResult, error)
+}
+
 // Server serves selection queries over a fixed set of graphs. Create with
 // New, expose via Handler or Serve, release resources with Close.
 type Server struct {
 	cfg    Config
 	engine *engine.Engine
+	// coord is non-nil in sharded mode; q is where the public select/read
+	// routes go (coord when sharded, engine otherwise). The engine always
+	// serves the worker-side /v1/partial endpoints and /stats.
+	coord *shard.Coordinator
+	q     querier
 
 	start    time.Time
 	inFlight atomic.Int64
@@ -185,6 +214,9 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: graph %q is empty", name)
 		}
 	}
+	if cfg.Shards > 1 && len(cfg.Peers) > 0 {
+		return nil, errors.New("server: Shards and Peers are mutually exclusive")
+	}
 	cfg = cfg.withDefaults()
 	eng, err := engine.New(cfg.engineConfig())
 	if err != nil {
@@ -196,15 +228,45 @@ func New(cfg Config) (*Server, error) {
 		start:     time.Now(),
 		endpoints: make(map[string]*endpointMetrics),
 	}
+	s.q = eng
+	shardCfg := shard.Config{
+		Graphs:         cfg.Graphs,
+		DefaultTimeout: cfg.DefaultTimeout,
+		MaxTimeout:     cfg.MaxTimeout,
+		MaxR:           cfg.MaxR,
+		MaxK:           cfg.MaxK,
+	}
+	switch {
+	case cfg.Shards > 1:
+		co, err := shard.NewLocal(shardCfg, cfg.Shards, cfg.engineConfig())
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		s.coord, s.q = co, co
+	case len(cfg.Peers) > 0:
+		co, err := shard.NewRemote(shardCfg, cfg.Peers)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		s.coord, s.q = co, co
+	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/select", "select", s.handleSelect)
 	s.route("GET /v1/gain", "gain", s.handleGain)
 	s.route("GET /v1/objective", "objective", s.handleObjective)
 	s.route("GET /v1/topgains", "topgains", s.handleTopGains)
+	s.route("GET /v1/partial/gain", "partial_gain", s.handlePartialGain)
+	s.route("GET /v1/partial/topgains", "partial_topgains", s.handlePartialTopGains)
 	s.route("GET /healthz", "healthz", s.handleHealthz)
 	s.route("GET /stats", "stats", s.handleStats)
 	return s, nil
 }
+
+// Coordinator exposes the scatter-gather coordinator (nil in unsharded
+// mode), for stats and tests.
+func (s *Server) Coordinator() *shard.Coordinator { return s.coord }
 
 // Handler returns the root handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -337,12 +399,18 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 // Draining reports whether graceful shutdown has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Close releases server resources by closing the engine: outstanding
+// Close releases server resources by closing the engine (outstanding
 // computations are aborted, the background evictor stops, and resident
-// indexes spill to the spill directory. Idempotent.
+// indexes spill to the spill directory) and, in sharded mode, the
+// coordinator with its worker connections. Idempotent.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.closeErr = s.engine.Close()
+		if s.coord != nil {
+			if err := s.coord.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
 	})
 	return s.closeErr
 }

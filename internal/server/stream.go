@@ -64,7 +64,7 @@ func (s *Server) handleSelectStream(w http.ResponseWriter, r *http.Request, req 
 		}
 		return nil
 	}
-	res, err := s.engine.SelectStream(r.Context(), ereq, func(rd engine.Round) error {
+	res, err := s.q.SelectStream(r.Context(), ereq, func(rd engine.Round) error {
 		return emit(SelectStreamRound{Round: rd.Round, Node: rd.Node, Gain: rd.Gain, Objective: rd.Objective})
 	})
 	if err != nil {

@@ -1,0 +1,170 @@
+// Package shard is the coordinator half of replicate-sharded serving: it
+// owns a fixed set of worker connections, splits every request's replicate
+// range [0, R) into per-worker subranges, scatter-gathers the workers'
+// integer partial answers, and merges them exactly.
+//
+// The merge is exact because gains in this system accumulate as integer
+// sums over replicates and the per-(node, replicate) walk seeding makes a
+// range build a deterministic slice of the full build: summing the
+// disjoint subranges' int64 partial sums reproduces the full build's sums
+// bit-for-bit, and the coordinator performs the single float64 division
+// (and the greedy argmax over the resulting values) with exactly the
+// arithmetic the unsharded engine uses. Selections, gains, objectives and
+// top-B rankings are therefore bit-identical to the unsharded engine for
+// every worker count.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/client"
+	"repro/internal/engine"
+)
+
+// Conn is one worker's partial-read surface: the in-process form wraps an
+// engine directly, the remote form speaks the /v1/partial endpoints through
+// the typed client SDK. Both return engine-typed errors, so the coordinator
+// retries and classifies failures uniformly.
+type Conn interface {
+	// Addr names the worker for stats ("local/0", "http://host:port").
+	Addr() string
+	PartialGain(ctx context.Context, req engine.PartialGainRequest) (*engine.PartialGainResult, error)
+	PartialTopGains(ctx context.Context, req engine.PartialTopGainsRequest) (*engine.PartialTopGainsResult, error)
+	Close() error
+}
+
+// localConn serves partial reads from an in-process engine. When owned, the
+// engine's lifecycle belongs to the conn and Close tears it down.
+type localConn struct {
+	eng   *engine.Engine
+	addr  string
+	owned bool
+}
+
+// NewLocalConn wraps an in-process engine as a worker connection. The conn
+// does not own the engine; closing the conn leaves it running.
+func NewLocalConn(eng *engine.Engine, addr string) Conn {
+	return &localConn{eng: eng, addr: addr}
+}
+
+func (c *localConn) Addr() string { return c.addr }
+
+func (c *localConn) PartialGain(ctx context.Context, req engine.PartialGainRequest) (*engine.PartialGainResult, error) {
+	return c.eng.PartialGain(ctx, req)
+}
+
+func (c *localConn) PartialTopGains(ctx context.Context, req engine.PartialTopGainsRequest) (*engine.PartialTopGainsResult, error) {
+	return c.eng.PartialTopGains(ctx, req)
+}
+
+func (c *localConn) Close() error {
+	if c.owned {
+		return c.eng.Close()
+	}
+	return nil
+}
+
+// remoteConn serves partial reads from a remote worker daemon via the typed
+// client SDK. The SDK already retries draining/overloaded replies with
+// jittered backoff honoring Retry-After, so a conn-level call only fails
+// after the client's retry budget is spent; the coordinator's own retry
+// layer sits above that for sustained faults.
+type remoteConn struct {
+	c    *client.Client
+	addr string
+}
+
+// NewRemoteConn dials a worker daemon at baseURL (e.g.
+// "http://localhost:7475").
+func NewRemoteConn(baseURL string, opts ...client.Option) (Conn, error) {
+	c, err := client.New(baseURL, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &remoteConn{c: c, addr: baseURL}, nil
+}
+
+func (c *remoteConn) Addr() string { return c.addr }
+
+func (c *remoteConn) PartialGain(ctx context.Context, req engine.PartialGainRequest) (*engine.PartialGainResult, error) {
+	resp, err := c.c.PartialGain(ctx, client.PartialGainRequest{
+		Graph:         req.Graph,
+		Problem:       req.Problem.String(),
+		L:             req.L,
+		Seed:          &req.Seed,
+		R0:            req.R0,
+		R1:            req.R1,
+		Set:           req.Set,
+		Nodes:         req.Nodes,
+		WantObjective: req.WantObjective,
+	})
+	if err != nil {
+		return nil, engineError(err)
+	}
+	res := &engine.PartialGainResult{
+		Sums:        resp.Sums,
+		Replicates:  resp.Replicates,
+		IndexCached: resp.IndexCached,
+		Memo:        resp.Memo,
+		Degraded:    resp.Degraded,
+	}
+	if req.WantObjective {
+		if resp.ObjectiveSum == nil {
+			return nil, &engine.Error{Code: engine.CodeInternal, Message: fmt.Sprintf("worker %s: reply missing objective_sum", c.addr)}
+		}
+		res.ObjectiveSum = *resp.ObjectiveSum
+	}
+	return res, nil
+}
+
+func (c *remoteConn) PartialTopGains(ctx context.Context, req engine.PartialTopGainsRequest) (*engine.PartialTopGainsResult, error) {
+	resp, err := c.c.PartialTopGains(ctx, client.PartialTopGainsRequest{
+		Graph:   req.Graph,
+		Problem: req.Problem.String(),
+		L:       req.L,
+		Seed:    &req.Seed,
+		R0:      req.R0,
+		R1:      req.R1,
+		Set:     req.Set,
+		B:       req.B,
+		Workers: req.Workers,
+	})
+	if err != nil {
+		return nil, engineError(err)
+	}
+	return &engine.PartialTopGainsResult{
+		B:           resp.B,
+		Nodes:       resp.Nodes,
+		Sums:        resp.Sums,
+		Exhausted:   resp.Exhausted,
+		IndexCached: resp.IndexCached,
+		Memo:        resp.Memo,
+		Degraded:    resp.Degraded,
+	}, nil
+}
+
+func (c *remoteConn) Close() error { return nil }
+
+// engineError translates a client SDK error into the engine's typed error
+// model. The stable codes are shared verbatim across transports, so a
+// worker's bad_request/overloaded/draining classification (and its
+// Retry-After hint) survives the hop; transport-level failures (connection
+// refused, a killed worker) become CodeInternal.
+func engineError(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ce *client.Error
+	if errors.As(err, &ce) {
+		return &engine.Error{Code: engine.Code(ce.Code), Message: ce.Message, RetryAfter: ce.RetryAfter}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &engine.Error{Code: engine.CodeTimeout, Message: err.Error()}
+	}
+	if errors.Is(err, context.Canceled) {
+		return &engine.Error{Code: engine.CodeDraining, Message: err.Error()}
+	}
+	return &engine.Error{Code: engine.CodeInternal, Message: err.Error()}
+}

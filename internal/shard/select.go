@@ -1,0 +1,88 @@
+package shard
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Select runs one top-K selection by driving the greedy loop
+// coordinator-side: each round scatter-gathers the shards' top candidates,
+// merges them exactly with the threshold algorithm, commits the (gain
+// descending, smallest-id) argmax, and re-scatters with the grown set. The
+// committed set grows as a prefix chain, so each shard serves each round
+// from a one-Update extension of its previous round's memoized table.
+//
+// Selections — Nodes, Gains, and the telescoped Objective — are
+// bit-identical to the unsharded engine for both strategies and every
+// worker count: the merged gain of every candidate is the same float64
+// value the unsharded drivers compute, and the argmax rule is the same
+// total order. Evaluations counts the per-round candidate pool each shard
+// sweeps (n minus the committed set), which equals the plain driver's
+// count; the lazy driver's CELF count is not reproduced.
+func (co *Coordinator) Select(ctx context.Context, req engine.SelectRequest) (*engine.SelectResult, error) {
+	return co.selectRun(ctx, req, nil)
+}
+
+// SelectStream is Select that emits each round's pick as it is decided,
+// mirroring engine.SelectStream: emit runs on the calling goroutine in
+// round order, and a non-nil emit error aborts the run.
+func (co *Coordinator) SelectStream(ctx context.Context, req engine.SelectRequest, emit func(engine.Round) error) (*engine.SelectResult, error) {
+	return co.selectRun(ctx, req, emit)
+}
+
+func (co *Coordinator) selectRun(ctx context.Context, req engine.SelectRequest, emit func(engine.Round) error) (*engine.SelectResult, error) {
+	prob, err := resolveProblem(req.Problem)
+	if err != nil {
+		return nil, err
+	}
+	p, err := co.resolveParams(req.Graph, req.L, req.R, req.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if req.K < 0 || req.K > co.cfg.MaxK {
+		return nil, badRequestf("k=%d outside [0, %d]", req.K, co.cfg.MaxK)
+	}
+	runCtx, cancel := co.Context(ctx, req.Timeout)
+	defer cancel()
+
+	res := &engine.SelectResult{
+		Nodes: make([]int, 0, req.K),
+		Gains: make([]float64, 0, req.K),
+		L:     p.L, R: p.R,
+		Workers: req.Workers,
+		Lazy:    req.Strategy != engine.Plain,
+	}
+	start := time.Now()
+	set := make([]int, 0, req.K)
+	total := 0.0
+	for round := 1; round <= req.K; round++ {
+		roundStart := time.Now()
+		nodes, gains, meta, err := co.topMerged(runCtx, p, prob, set, 1, req.Workers)
+		if err != nil {
+			return nil, err
+		}
+		co.noteMerge(roundStart, meta)
+		if round == 1 {
+			res.IndexCached = meta.indexCached
+		}
+		if len(nodes) == 0 {
+			// Every node is selected; the greedy loop is done early.
+			break
+		}
+		u, g := nodes[0], gains[0]
+		set = append(set, u)
+		res.Nodes = append(res.Nodes, u)
+		res.Gains = append(res.Gains, g)
+		res.Evaluations += p.g.N() - len(set) + 1
+		total += g
+		if emit != nil {
+			if err := emit(engine.Round{Round: round, Node: u, Gain: g, Objective: total}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.Select = time.Since(start)
+	return res, nil
+}

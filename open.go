@@ -2,12 +2,14 @@ package rwdom
 
 import (
 	"context"
+	"errors"
 	"math"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/index"
+	"repro/internal/shard"
 )
 
 // This file is the context-first public API: Open binds a graph to a
@@ -22,8 +24,26 @@ import (
 // concurrent use; identical concurrent Select calls coalesce into one
 // computation and all queries share one materialized walk index per
 // (L, R, seed). Create with Open, release resources with Close.
+//
+// With WithShards or WithPeers, the Engine fronts a replicate-sharded
+// coordinator instead of a single in-process engine: each shard holds walk
+// indexes over a disjoint replicate range, and every query is answered by
+// merging the shards' integer partial sums — bit-identically to the
+// unsharded Engine.
 type Engine struct {
-	e *engine.Engine
+	e     *engine.Engine     // nil when sharded
+	coord *shard.Coordinator // nil when unsharded
+	q     querier
+}
+
+// querier is the query surface Engine delegates to — the in-process engine
+// or a sharded coordinator.
+type querier interface {
+	Select(context.Context, engine.SelectRequest) (*engine.SelectResult, error)
+	SelectStream(context.Context, engine.SelectRequest, func(engine.Round) error) (*engine.SelectResult, error)
+	Gain(context.Context, engine.GainRequest) (*engine.GainResult, error)
+	Objective(context.Context, engine.ObjectiveRequest) (*engine.ObjectiveResult, error)
+	TopGains(context.Context, engine.TopGainsRequest) (*engine.TopGainsResult, error)
 }
 
 // Request/response types, shared verbatim with the engine (and mirrored by
@@ -55,6 +75,13 @@ type (
 	// ErrorCode is the stable machine-readable code engine errors carry;
 	// inspect it with ErrorCodeOf.
 	ErrorCode = engine.Code
+	// ShardStats snapshots a sharded Engine's coordinator counters; see
+	// Engine.ShardStats.
+	ShardStats = shard.Stats
+	// ShardConnStats is one shard's request/error/retry counters.
+	ShardConnStats = shard.ConnStats
+	// ShardLatency summarizes the coordinator's merge latencies.
+	ShardLatency = shard.LatencySnapshot
 )
 
 // Greedy strategies for SelectRequest.Strategy; the zero value is Lazy.
@@ -75,17 +102,25 @@ const (
 // ErrorCodeOf extracts the stable code from any Engine method error.
 func ErrorCodeOf(err error) ErrorCode { return engine.CodeOf(err) }
 
+// openConfig is the resolved Open configuration: the wrapped engine's
+// config plus the sharding topology.
+type openConfig struct {
+	engine engine.Config
+	shards int
+	peers  []string
+}
+
 // Option configures Open.
-type Option func(*engine.Config)
+type Option func(*openConfig)
 
 // WithWorkers sets the default worker count for index construction and
 // gain evaluation (0 means all cores; per-request Workers overrides it —
 // Open leaves the worker cap effectively unbounded, like the request
 // caps). Selections are bit-for-bit identical for every value.
 func WithWorkers(n int) Option {
-	return func(c *engine.Config) {
+	return func(c *openConfig) {
 		if n > 0 {
-			c.DefaultWorkers = n
+			c.engine.DefaultWorkers = n
 		}
 	}
 }
@@ -93,66 +128,86 @@ func WithWorkers(n int) Option {
 // WithIndexCache bounds the number of resident walk indexes (< 0 means
 // unbounded; default 8).
 func WithIndexCache(entries int) Option {
-	return func(c *engine.Config) { c.CacheSize = entries }
+	return func(c *openConfig) { c.engine.CacheSize = entries }
 }
 
 // WithIndexCacheBytes additionally bounds the resident indexes' summed heap
 // footprint (0 means unbounded). The budget is soft while every resident
 // index is pinned by an in-flight call.
 func WithIndexCacheBytes(n int64) Option {
-	return func(c *engine.Config) { c.IndexBytes = n }
+	return func(c *openConfig) { c.engine.IndexBytes = n }
 }
 
 // WithMemoCache bounds the number of memoized per-set D-tables the gain
 // read path keeps resident (< 0 means unbounded; default 128).
 func WithMemoCache(entries int) Option {
-	return func(c *engine.Config) { c.MemoSize = entries }
+	return func(c *openConfig) { c.engine.MemoSize = entries }
 }
 
 // WithMemoCacheBytes additionally bounds the memoized tables' summed heap
 // footprint (0 means unbounded).
 func WithMemoCacheBytes(n int64) Option {
-	return func(c *engine.Config) { c.MemoBytes = n }
+	return func(c *openConfig) { c.engine.MemoBytes = n }
 }
 
 // WithoutMemo disables the memoized gain read path: every Gain, Objective
 // and TopGains call materializes a fresh D-table. Kept for parity testing
 // and A/B benchmarking.
 func WithoutMemo() Option {
-	return func(c *engine.Config) { c.DisableMemo = true }
+	return func(c *openConfig) { c.engine.DisableMemo = true }
 }
 
 // WithSpillDir persists evicted and Close-resident walk indexes under dir,
 // so a later Open against the same graph skips their builds.
 func WithSpillDir(dir string) Option {
-	return func(c *engine.Config) { c.SpillDir = dir }
+	return func(c *openConfig) { c.engine.SpillDir = dir }
 }
 
 // WithDefaultTimeout bounds calls that don't carry their own timeout
 // (via SelectRequest.Timeout or the context). Open's default is unbounded —
 // embedded callers control lifetimes with contexts.
 func WithDefaultTimeout(d time.Duration) Option {
-	return func(c *engine.Config) { c.DefaultTimeout = d }
+	return func(c *openConfig) { c.engine.DefaultTimeout = d }
 }
 
 // WithEvictInterval evicts walk indexes idle for one full interval, keeping
 // a long-lived Engine's heap proportional to its working set.
 func WithEvictInterval(d time.Duration) Option {
-	return func(c *engine.Config) { c.EvictInterval = d }
+	return func(c *openConfig) { c.engine.EvictInterval = d }
 }
 
 // WithLimits caps per-request sample size and budget — the daemon-style
 // defense against resource exhaustion, unbounded by default for embedded
 // use (0 keeps a side's default).
 func WithLimits(maxR, maxK int) Option {
-	return func(c *engine.Config) {
+	return func(c *openConfig) {
 		if maxR > 0 {
-			c.MaxR = maxR
+			c.engine.MaxR = maxR
 		}
 		if maxK > 0 {
-			c.MaxK = maxK
+			c.engine.MaxK = maxK
 		}
 	}
+}
+
+// WithShards runs the Engine as an in-process replicate-sharded
+// coordinator over n worker shards: every walk index is split into n
+// disjoint replicate ranges, one per shard, so no single shard ever holds
+// the full R replicates. Queries scatter to the shards and merge their
+// integer partial sums exactly; answers are bit-identical to the unsharded
+// Engine. n <= 1 means unsharded. Mutually exclusive with WithPeers.
+func WithShards(n int) Option {
+	return func(c *openConfig) { c.shards = n }
+}
+
+// WithPeers runs the Engine as a coordinator over remote rwdomd worker
+// daemons at the given base URLs (one shard per peer), scattering
+// replicate ranges to their /v1/partial endpoints. The local graph is used
+// only for validation and merge bookkeeping; each peer must serve the same
+// graph under the name "default" (Open's sole-graph name). Mutually
+// exclusive with WithShards.
+func WithPeers(urls ...string) Option {
+	return func(c *openConfig) { c.peers = urls }
 }
 
 // defaultGraphName is the logical name Open registers its graph under; all
@@ -162,12 +217,12 @@ const defaultGraphName = "default"
 // Open binds g to a new query Engine. The zero-option Engine is tuned for
 // embedded use: no implicit timeouts, effectively unbounded request caps,
 // all cores, memoized reads on. The daemon's stricter limits are opt-in
-// through Options.
+// through Options, as is replicate-sharded serving (WithShards, WithPeers).
 func Open(g *Graph, opts ...Option) (*Engine, error) {
 	if g == nil || g.N() == 0 {
 		return nil, graph.ErrEmptyGraph
 	}
-	cfg := engine.Config{
+	cfg := openConfig{engine: engine.Config{
 		Graphs: map[string]*graph.Graph{defaultGraphName: g},
 		// Embedded callers chose their parameters deliberately; caps exist
 		// for network-facing deployments. (The greedy drivers still clamp
@@ -175,15 +230,37 @@ func Open(g *Graph, opts ...Option) (*Engine, error) {
 		MaxR:       math.MaxInt32,
 		MaxK:       math.MaxInt32,
 		MaxWorkers: math.MaxInt32,
-	}
+	}}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	e, err := engine.New(cfg)
+	if cfg.shards > 1 && len(cfg.peers) > 0 {
+		return nil, errors.New("rwdom: WithShards and WithPeers are mutually exclusive")
+	}
+	if cfg.shards > 1 || len(cfg.peers) > 0 {
+		shardCfg := shard.Config{
+			Graphs:         cfg.engine.Graphs,
+			DefaultTimeout: cfg.engine.DefaultTimeout,
+			MaxR:           cfg.engine.MaxR,
+			MaxK:           cfg.engine.MaxK,
+		}
+		var co *shard.Coordinator
+		var err error
+		if cfg.shards > 1 {
+			co, err = shard.NewLocal(shardCfg, cfg.shards, cfg.engine)
+		} else {
+			co, err = shard.NewRemote(shardCfg, cfg.peers)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &Engine{coord: co, q: co}, nil
+	}
+	e, err := engine.New(cfg.engine)
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{e: e}, nil
+	return &Engine{e: e, q: e}, nil
 }
 
 // Select runs one top-K selection. Identical concurrent Selects (same
@@ -192,7 +269,7 @@ func Open(g *Graph, opts ...Option) (*Engine, error) {
 // every other query. Canceling ctx aborts this caller's wait (and the
 // computation itself once no caller is interested).
 func (e *Engine) Select(ctx context.Context, req SelectRequest) (*SelectResult, error) {
-	return e.e.Select(ctx, req)
+	return e.q.Select(ctx, req)
 }
 
 // SelectStream is Select that emits each greedy round's pick as it is
@@ -201,7 +278,7 @@ func (e *Engine) Select(ctx context.Context, req SelectRequest) (*SelectResult, 
 // emitted rounds — is bit-for-bit identical to the blocking Select result
 // for the same request, for every worker count.
 func (e *Engine) SelectStream(ctx context.Context, req SelectRequest, emit func(Round) error) (*SelectResult, error) {
-	return e.e.SelectStream(ctx, req, emit)
+	return e.q.SelectStream(ctx, req, emit)
 }
 
 // Gain returns the marginal gain of each candidate in req.Nodes against the
@@ -209,34 +286,61 @@ func (e *Engine) SelectStream(ctx context.Context, req SelectRequest, emit func(
 // read of a frozen memoized D-table; empty-set calls are answered from the
 // index's memoized empty-set gain vector.
 func (e *Engine) Gain(ctx context.Context, req GainRequest) (*GainResult, error) {
-	return e.e.Gain(ctx, req)
+	return e.q.Gain(ctx, req)
 }
 
 // Objective returns the estimated objective value of the seed set req.Set.
 func (e *Engine) Objective(ctx context.Context, req ObjectiveRequest) (*ObjectiveResult, error) {
-	return e.e.Objective(ctx, req)
+	return e.q.Objective(ctx, req)
 }
 
 // TopGains returns the req.B best candidates by marginal gain against
 // req.Set (set members excluded), gain descending, ties by ascending id.
 func (e *Engine) TopGains(ctx context.Context, req TopGainsRequest) (*TopGainsResult, error) {
-	return e.e.TopGains(ctx, req)
+	return e.q.TopGains(ctx, req)
 }
 
 // AdoptIndex makes a pre-built index (BuildIndex / LoadIndexFile) servable
 // by this Engine: queries against its (L, R, seed) identity become cache
-// hits instead of rebuilding the walks.
+// hits instead of rebuilding the walks. Sharded Engines build their
+// range-partitioned indexes themselves and reject adoption.
 func (e *Engine) AdoptIndex(ix *Index) error {
+	if e.e == nil {
+		return &engine.Error{Code: ErrBadRequest, Message: "AdoptIndex is not supported on a sharded Engine"}
+	}
 	return e.e.AdoptIndex(defaultGraphName, ix)
 }
 
-// Stats snapshots the Engine's cache and coalescing counters.
-func (e *Engine) Stats() EngineStats { return e.e.Stats() }
+// Stats snapshots the Engine's cache and coalescing counters. A sharded
+// Engine has no single cache; its counters live in ShardStats and the
+// snapshot here is zero.
+func (e *Engine) Stats() EngineStats {
+	if e.e == nil {
+		return EngineStats{}
+	}
+	return e.e.Stats()
+}
+
+// ShardStats snapshots the coordinator's scatter-gather counters — shard
+// count, merges, retries, per-shard request tallies, merge latency. Nil for
+// an unsharded Engine.
+func (e *Engine) ShardStats() *ShardStats {
+	if e.coord == nil {
+		return nil
+	}
+	st := e.coord.Stats()
+	return &st
+}
 
 // Close releases Engine resources: in-flight computations are aborted and
 // resident indexes spill to the spill directory when one is configured.
 // Idempotent.
-func (e *Engine) Close() error { return e.e.Close() }
+func (e *Engine) Close() error {
+	if e.coord != nil {
+		return e.coord.Close()
+	}
+	return e.e.Close()
+}
 
 // strategyOf maps the legacy Lazy flag onto a Strategy.
 func strategyOf(lazy bool) Strategy {

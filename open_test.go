@@ -5,11 +5,14 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/index"
 )
 
-// The new context-first API must agree bit-for-bit with the deprecated
-// facade it replaces.
-func TestOpenSelectMatchesDeprecatedFacade(t *testing.T) {
+// The context-first API must agree bit-for-bit with the one-shot Solve
+// facade (and hence with the deprecated shims, which delegate to it).
+func TestOpenSelectMatchesSolveFacade(t *testing.T) {
 	g := testGraph(t)
 	en, err := Open(g, WithWorkers(2))
 	if err != nil {
@@ -23,11 +26,7 @@ func TestOpenSelectMatchesDeprecatedFacade(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		legacy := MinimizeHittingTime
-		if p == Problem2 {
-			legacy = MaximizeCoverage
-		}
-		want, err := legacy(g, Options{K: 5, L: 4, R: 40, Seed: 3, Lazy: true, Algorithm: AlgorithmApprox, Workers: 2})
+		want, err := Solve(g, p, Options{K: 5, L: 4, R: 40, Seed: 3, Lazy: true, Algorithm: AlgorithmApprox, Workers: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -189,7 +188,7 @@ func TestOpenAdoptIndex(t *testing.T) {
 	if !res.IndexCached {
 		t.Fatal("adopted index was rebuilt")
 	}
-	want, err := SelectWithIndex(ix, Problem1, 4, true)
+	want, err := core.ApproxWithIndexWorkers(ix, index.Problem1, 4, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package rwdom
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -18,14 +19,14 @@ func TestSelectionsDeterministicAcrossWorkers(t *testing.T) {
 	}
 	for _, lazy := range []bool{true, false} {
 		for _, run := range []struct {
-			name string
-			fn   func(*Graph, Options) (*Selection, error)
+			name    string
+			problem Problem
 		}{
-			{"MinimizeHittingTime", MinimizeHittingTime},
-			{"MaximizeCoverage", MaximizeCoverage},
+			{"F1", Problem1},
+			{"F2", Problem2},
 		} {
 			base := Options{K: 15, L: 5, R: 30, Seed: 9, Algorithm: AlgorithmApprox, Lazy: lazy, Workers: 1}
-			want, err := run.fn(g, base)
+			want, err := Solve(g, run.problem, base)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -35,7 +36,7 @@ func TestSelectionsDeterministicAcrossWorkers(t *testing.T) {
 			for _, workers := range []int{2, 8} {
 				opts := base
 				opts.Workers = workers
-				got, err := run.fn(g, opts)
+				got, err := Solve(g, run.problem, opts)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -52,10 +53,10 @@ func TestSelectionsDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
-// TestSelectWithIndexWorkersDeterministic covers the shared-index entry
-// point: one materialization, selections across worker counts must agree,
-// including the default (Workers = 0 = all cores).
-func TestSelectWithIndexWorkersDeterministic(t *testing.T) {
+// TestAdoptedIndexWorkersDeterministic covers the shared-index entry
+// point: one materialization adopted by an Engine, selections across worker
+// counts must agree, including the default (Workers = 0 = all cores).
+func TestAdoptedIndexWorkersDeterministic(t *testing.T) {
 	g, err := GeneratePowerLaw(2000, 8000, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -64,13 +65,23 @@ func TestSelectWithIndexWorkersDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	en, err := Open(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	if err := en.AdoptIndex(ix); err != nil {
+		t.Fatal(err)
+	}
 	for _, p := range []Problem{Problem1, Problem2} {
-		want, err := SelectWithIndexWorkers(ix, p, 12, true, 1)
+		req := SelectRequest{Problem: p, K: 12, L: 6, R: 25, Seed: 3, Workers: 1}
+		want, err := en.Select(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{0, 2, 8} {
-			got, err := SelectWithIndexWorkers(ix, p, 12, true, workers)
+			req.Workers = workers
+			got, err := en.Select(context.Background(), req)
 			if err != nil {
 				t.Fatal(err)
 			}

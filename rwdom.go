@@ -179,28 +179,35 @@ func (o Options) coreOptions() core.Options {
 	return core.Options{K: o.K, L: o.L, R: o.R, Seed: o.Seed, Lazy: o.Lazy, Workers: o.Workers}
 }
 
-// MinimizeHittingTime solves Problem 1: select up to K nodes minimizing the
-// total expected L-length hitting time from the remaining nodes
-// (equivalently, maximizing F1(S) = nL − Σ_{u∈V\S} h^L_{uS}).
-//
-// Deprecated: use Open and Engine.Select with Problem1 — the context-first
-// API shares walk indexes and memoized reads across calls and problems.
-// This shim routes the approximate algorithm through a throwaway default
-// Engine (selections are bit-for-bit unchanged); the DP, sampling and
-// baseline algorithms have no serving equivalent and keep their direct
-// implementations.
-func MinimizeHittingTime(g *Graph, opts Options) (*Selection, error) {
+// Solve selects up to Options.K nodes for problem p with the chosen
+// solver — the problem-parameterized home of the direct algorithms (DP,
+// sampling, and the degree/dominate/core baselines), which have no serving
+// equivalent. AlgorithmApprox routes through a throwaway default Engine;
+// long-lived approximate users should Open an Engine and Select against it
+// instead, sharing walk indexes and memoized reads across calls and
+// problems. Baseline algorithms ignore p (they never look at the
+// objective).
+func Solve(g *Graph, p Problem, opts Options) (*Selection, error) {
+	if p != Problem1 && p != Problem2 {
+		return nil, fmt.Errorf("rwdom: unknown problem %v", p)
+	}
 	opts, err := opts.resolve(g)
 	if err != nil {
 		return nil, err
 	}
 	switch opts.Algorithm {
 	case AlgorithmDP:
+		if p == Problem2 {
+			return core.DPF2(g, opts.coreOptions())
+		}
 		return core.DPF1(g, opts.coreOptions())
 	case AlgorithmSampling:
+		if p == Problem2 {
+			return core.SampleF2(g, opts.coreOptions())
+		}
 		return core.SampleF1(g, opts.coreOptions())
 	case AlgorithmApprox:
-		return defaultEngineSelect(g, opts, Problem1)
+		return defaultEngineSelect(g, opts, p)
 	case AlgorithmDegree:
 		return core.Degree(g, opts.K)
 	case AlgorithmDominate:
@@ -212,33 +219,27 @@ func MinimizeHittingTime(g *Graph, opts Options) (*Selection, error) {
 	}
 }
 
+// MinimizeHittingTime solves Problem 1: select up to K nodes minimizing the
+// total expected L-length hitting time from the remaining nodes
+// (equivalently, maximizing F1(S) = nL − Σ_{u∈V\S} h^L_{uS}).
+//
+// Deprecated: use Open and Engine.Select with Problem1 — the context-first
+// API shares walk indexes and memoized reads across calls and problems —
+// or Solve with Problem1 for the direct (DP, sampling, baseline)
+// algorithms. This shim is Solve(g, Problem1, opts); selections are
+// bit-for-bit unchanged.
+func MinimizeHittingTime(g *Graph, opts Options) (*Selection, error) {
+	return Solve(g, Problem1, opts)
+}
+
 // MaximizeCoverage solves Problem 2: select up to K nodes maximizing the
 // expected number of nodes whose L-length random walk hits the selection
 // (F2(S) = E[Σ_u X^L_{uS}]).
 //
-// Deprecated: use Open and Engine.Select with Problem2; see
-// MinimizeHittingTime for the shim semantics.
+// Deprecated: use Open and Engine.Select with Problem2, or Solve with
+// Problem2; see MinimizeHittingTime for the shim semantics.
 func MaximizeCoverage(g *Graph, opts Options) (*Selection, error) {
-	opts, err := opts.resolve(g)
-	if err != nil {
-		return nil, err
-	}
-	switch opts.Algorithm {
-	case AlgorithmDP:
-		return core.DPF2(g, opts.coreOptions())
-	case AlgorithmSampling:
-		return core.SampleF2(g, opts.coreOptions())
-	case AlgorithmApprox:
-		return defaultEngineSelect(g, opts, Problem2)
-	case AlgorithmDegree:
-		return core.Degree(g, opts.K)
-	case AlgorithmDominate:
-		return core.Dominate(g, opts.K)
-	case AlgorithmCore:
-		return core.Core(g, opts.K)
-	default:
-		return nil, fmt.Errorf("rwdom: unknown algorithm %v", opts.Algorithm)
-	}
+	return Solve(g, Problem2, opts)
 }
 
 // Metrics holds the paper's two effectiveness metrics: AHT (average hitting
@@ -355,7 +356,7 @@ const (
 // path on top. This shim routes through a throwaway default Engine that
 // adopts ix; selections are bit-for-bit unchanged.
 func SelectWithIndex(ix *Index, p Problem, k int, lazy bool) (*Selection, error) {
-	return SelectWithIndexWorkers(ix, p, k, lazy, 0)
+	return defaultEngineSelectWithIndex(ix, p, k, lazy, 0)
 }
 
 // SelectWithIndexWorkers is SelectWithIndex with an explicit worker count

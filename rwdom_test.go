@@ -1,6 +1,7 @@
 package rwdom
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func TestQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sel, err := MaximizeCoverage(g, Options{K: 10, L: 6, R: 50})
+	sel, err := Solve(g, Problem2, Options{K: 10, L: 6, R: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestAutoAlgorithmResolution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	auto, err := MinimizeHittingTime(g, Options{K: 3, L: 4})
+	auto, err := Solve(g, Problem1, Options{K: 3, L: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestAutoAlgorithmResolution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	autoBig, err := MinimizeHittingTime(big, Options{K: 3, L: 4})
+	autoBig, err := Solve(big, Problem1, Options{K: 3, L: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,11 +69,11 @@ func TestAllAlgorithmsRun(t *testing.T) {
 	g := testGraph(t)
 	for _, alg := range []Algorithm{AlgorithmDP, AlgorithmSampling, AlgorithmApprox, AlgorithmDegree, AlgorithmDominate, AlgorithmCore} {
 		opts := Options{K: 4, L: 4, R: 30, Algorithm: alg}
-		for name, fn := range map[string]func(*Graph, Options) (*Selection, error){
-			"MinimizeHittingTime": MinimizeHittingTime,
-			"MaximizeCoverage":    MaximizeCoverage,
+		for name, p := range map[string]Problem{
+			"F1": Problem1,
+			"F2": Problem2,
 		} {
-			sel, err := fn(g, opts)
+			sel, err := Solve(g, p, opts)
 			if err != nil {
 				t.Fatalf("%s/%v: %v", name, alg, err)
 			}
@@ -85,7 +86,7 @@ func TestAllAlgorithmsRun(t *testing.T) {
 
 func TestDefaultRApplied(t *testing.T) {
 	g := testGraph(t)
-	sel, err := MaximizeCoverage(g, Options{K: 2, L: 3, Algorithm: AlgorithmApprox})
+	sel, err := Solve(g, Problem2, Options{K: 2, L: 3, Algorithm: AlgorithmApprox})
 	if err != nil {
 		t.Fatalf("R defaulting failed: %v", err)
 	}
@@ -180,16 +181,30 @@ func TestIndexReuseAcrossProblems(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s1, err := SelectWithIndex(ix, Problem1, 4, true)
+	en, err := Open(g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := SelectWithIndex(ix, Problem2, 4, true)
+	defer en.Close()
+	if err := en.AdoptIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	req := SelectRequest{K: 4, L: 5, R: 60, Seed: 9}
+	req.Problem = Problem1
+	s1, err := en.Select(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Problem = Problem2
+	s2, err := en.Select(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(s1.Nodes) != 4 || len(s2.Nodes) != 4 {
 		t.Fatal("index reuse selections wrong size")
+	}
+	if !s1.IndexCached || !s2.IndexCached {
+		t.Fatal("adopted index was rebuilt")
 	}
 }
 
@@ -222,15 +237,15 @@ func TestAlgorithmString(t *testing.T) {
 }
 
 func TestErrorPaths(t *testing.T) {
-	if _, err := MinimizeHittingTime(nil, Options{K: 1, L: 2}); err == nil {
+	if _, err := Solve(nil, Problem1, Options{K: 1, L: 2}); err == nil {
 		t.Error("nil graph accepted")
 	}
 	g := testGraph(t)
-	if _, err := MaximizeCoverage(g, Options{K: 1, L: 2, Algorithm: Algorithm(99)}); err == nil {
+	if _, err := Solve(g, Problem2, Options{K: 1, L: 2, Algorithm: Algorithm(99)}); err == nil {
 		t.Error("bogus algorithm accepted")
 	}
-	if _, err := MinimizeHittingTime(g, Options{K: 1, L: 2, Algorithm: Algorithm(99)}); err == nil {
-		t.Error("bogus algorithm accepted")
+	if _, err := Solve(g, Problem(9), Options{K: 1, L: 2}); err == nil {
+		t.Error("bogus problem accepted")
 	}
 	if _, err := SelectCombined(nil, Options{K: 1, L: 2}, 0.5); err == nil {
 		t.Error("nil graph accepted by SelectCombined")

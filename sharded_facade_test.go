@@ -1,0 +1,120 @@
+package rwdom
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// A sharded facade Engine must return bit-for-bit the selection an
+// unsharded one computes: the partial gain sums over disjoint replicate
+// ranges are integers, so the coordinator's merge is exact.
+func TestOpenWithShardsParity(t *testing.T) {
+	g := testGraph(t)
+	ctx := context.Background()
+
+	plain, err := Open(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+
+	for _, p := range []Problem{Problem1, Problem2} {
+		req := SelectRequest{Problem: p, K: 5, L: 4, R: 40, Seed: 3, Strategy: Lazy}
+		want, err := plain.Select(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{2, 4} {
+			en, err := Open(g, WithShards(shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := en.Select(ctx, req)
+			if err != nil {
+				en.Close()
+				t.Fatal(err)
+			}
+			if len(got.Nodes) != len(want.Nodes) {
+				t.Fatalf("problem %v shards=%d: %d nodes, want %d", p, shards, len(got.Nodes), len(want.Nodes))
+			}
+			for i := range want.Nodes {
+				if got.Nodes[i] != want.Nodes[i] {
+					t.Fatalf("problem %v shards=%d: nodes %v, want %v", p, shards, got.Nodes, want.Nodes)
+				}
+				if math.Float64bits(got.Gains[i]) != math.Float64bits(want.Gains[i]) {
+					t.Fatalf("problem %v shards=%d: gain %d diverges", p, shards, i)
+				}
+			}
+			if math.Float64bits(got.Objective()) != math.Float64bits(want.Objective()) {
+				t.Fatalf("problem %v shards=%d: objective diverges", p, shards)
+			}
+
+			// Read path parity on the selected prefix.
+			gotGain, err := en.Gain(ctx, GainRequest{L: 4, R: 40, Seed: 3, Set: want.Nodes[:2], Nodes: []int{0, 7}})
+			if err != nil {
+				en.Close()
+				t.Fatal(err)
+			}
+			wantGain, err := plain.Gain(ctx, GainRequest{L: 4, R: 40, Seed: 3, Set: want.Nodes[:2], Nodes: []int{0, 7}})
+			if err != nil {
+				en.Close()
+				t.Fatal(err)
+			}
+			for i := range wantGain.Gains {
+				if math.Float64bits(gotGain.Gains[i]) != math.Float64bits(wantGain.Gains[i]) {
+					t.Fatalf("problem %v shards=%d: read gains diverge", p, shards)
+				}
+			}
+
+			if st := en.ShardStats(); st == nil || st.Shards != shards {
+				t.Fatalf("shards=%d: ShardStats %+v", shards, st)
+			} else if st.Merges == 0 {
+				t.Fatalf("shards=%d: no merges recorded: %+v", shards, st)
+			}
+			if err := en.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// An unsharded engine reports no shard stats.
+	if st := plain.ShardStats(); st != nil {
+		t.Fatalf("unsharded engine has ShardStats %+v", st)
+	}
+}
+
+// Sharded engines refuse index adoption (each shard owns a partial index)
+// and refuse contradictory topology options.
+func TestOpenShardedRestrictions(t *testing.T) {
+	g := testGraph(t)
+
+	if _, err := Open(g, WithShards(2), WithPeers("http://localhost:1")); err == nil {
+		t.Fatal("WithShards+WithPeers accepted")
+	}
+
+	en, err := Open(g, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	ix, err := BuildIndexParallel(g, 4, 30, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := en.AdoptIndex(ix); ErrorCodeOf(err) != ErrBadRequest {
+		t.Fatalf("AdoptIndex on sharded engine: %v", err)
+	}
+
+	// WithShards(1) and WithShards(0) stay on the unsharded path.
+	for _, n := range []int{0, 1} {
+		one, err := Open(g, WithShards(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if one.ShardStats() != nil {
+			t.Fatalf("WithShards(%d) built a coordinator", n)
+		}
+		one.Close()
+	}
+}
