@@ -35,7 +35,7 @@ echo "== benchmarks (benchtime=$BENCHTIME) =="
 go test -run '^$' \
     -bench 'BenchmarkSelectionEndToEnd|BenchmarkIndexBuild$|BenchmarkServingThroughput|BenchmarkGainServing|BenchmarkWarmGainRequest|BenchmarkEngineWarmGain|BenchmarkTopGainsRepeat|BenchmarkAblationAliasVsBinarySearch|BenchmarkAblationCSRVsAdjList|BenchmarkAblationVisitedStamp|BenchmarkAblationLazyVsPlainGreedy|BenchmarkAblationIndexVsResample' \
     -benchtime "$BENCHTIME" -timeout 60m . > "$RAW" 2>&1 || { cat "$RAW"; exit 1; }
-go test -run '^$' -bench 'BenchmarkAblationDTableLayout' \
+go test -run '^$' -bench 'BenchmarkAblationDTableLayout|BenchmarkIncrementalRepair' \
     -benchtime "$BENCHTIME" -timeout 30m ./internal/index/ >> "$RAW" 2>&1 || { cat "$RAW"; exit 1; }
 go test -run '^$' -bench 'BenchmarkShardIndexBuild' \
     -benchtime "$BENCHTIME" -timeout 30m ./internal/shard/ >> "$RAW" 2>&1 || { cat "$RAW"; exit 1; }

@@ -22,8 +22,9 @@
 //
 // Errors returned by every method are (*Error) when the daemon produced a
 // structured failure; Code carries the stable code (CodeBadRequest,
-// CodeNotFound, CodeDraining, CodeOverloaded, CodeTimeout, CodeInternal)
-// from the shared JSON envelope {"error":{"code","message"}}. Draining and
+// CodeNotFound, CodeDraining, CodeOverloaded, CodeTimeout, CodeConflict,
+// CodeStaleEpoch, CodeInternal) from the shared JSON envelope
+// {"error":{"code","message"}}. Draining and
 // overloaded replies are retried automatically with jittered exponential
 // backoff, honoring the daemon's Retry-After hint when one is present.
 package client
@@ -50,6 +51,13 @@ const (
 	CodeDraining   = "draining"
 	CodeOverloaded = "overloaded"
 	CodeTimeout    = "timeout"
+	// CodeConflict marks a graph mutation the current graph state rejects: a
+	// stale base epoch (another writer won the race — re-read and retry with
+	// the new epoch) or a structurally conflicting delta. Nothing was applied.
+	CodeConflict = "conflict"
+	// CodeStaleEpoch marks a read pinned to a graph epoch the daemon has
+	// moved past; retrying against the current epoch succeeds.
+	CodeStaleEpoch = "stale_epoch"
 	CodeInternal   = "internal"
 )
 
@@ -337,6 +345,20 @@ func (c *Client) TopGains(ctx context.Context, req TopGainsRequest) (*TopGainsRe
 	return &out, nil
 }
 
+// ApplyDelta mutates a served graph: append nodes, add edges, remove edges,
+// all-or-nothing. Set req.BaseEpoch to make the mutation conditional on the
+// graph still being at that epoch (optimistic concurrency); a lost race
+// answers CodeConflict. Mutations refused while the daemon drains or sheds
+// load are retried like any other call — the daemon only refuses them
+// before applying anything.
+func (c *Client) ApplyDelta(ctx context.Context, req ApplyDeltaRequest) (*ApplyDeltaResponse, error) {
+	var out ApplyDeltaResponse
+	if err := c.postJSON(ctx, "/v1/graph/"+url.PathEscape(req.Graph)+"/edges", nil, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // PartialGain returns the integer gain sums of req.Nodes against req.Set
 // over the replicate range [req.R0, req.R1) — the worker half of
 // replicate-sharded serving.
@@ -344,6 +366,9 @@ func (c *Client) PartialGain(ctx context.Context, req PartialGainRequest) (*Part
 	q := readQuery(req.Graph, req.Problem, req.L, 0, req.Seed, req.Set)
 	q.Set("r0", strconv.Itoa(req.R0))
 	q.Set("r1", strconv.Itoa(req.R1))
+	if req.Epoch != nil {
+		q.Set("epoch", strconv.FormatUint(*req.Epoch, 10))
+	}
 	if len(req.Nodes) > 0 {
 		q.Set("nodes", nodeList(req.Nodes))
 	}
@@ -363,6 +388,9 @@ func (c *Client) PartialTopGains(ctx context.Context, req PartialTopGainsRequest
 	q := readQuery(req.Graph, req.Problem, req.L, 0, req.Seed, req.Set)
 	q.Set("r0", strconv.Itoa(req.R0))
 	q.Set("r1", strconv.Itoa(req.R1))
+	if req.Epoch != nil {
+		q.Set("epoch", strconv.FormatUint(*req.Epoch, 10))
+	}
 	if req.B > 0 {
 		q.Set("b", strconv.Itoa(req.B))
 	}

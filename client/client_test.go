@@ -2,6 +2,7 @@ package client_test
 
 import (
 	"context"
+	"errors"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -363,4 +364,67 @@ func asError(err error, target **client.Error) bool {
 		*target = ce
 	}
 	return ok
+}
+
+func TestApplyDeltaRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	_, c := harness(t, server.Config{Graphs: map[string]*graph.Graph{"test": g}})
+	ctx := context.Background()
+
+	// Mutate through the SDK: remove one real edge, add one node wired in.
+	u := 0
+	for g.Degree(u) == 0 {
+		u++
+	}
+	v := int(g.Neighbors(u)[0])
+	base := uint64(0)
+	res, err := c.ApplyDelta(ctx, client.ApplyDeltaRequest{
+		Graph:     "test",
+		AddNodes:  1,
+		Add:       []client.Edge{{U: g.N(), V: u}},
+		Remove:    []client.Edge{{U: u, V: v}},
+		BaseEpoch: &base,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph != "test" || res.Epoch != 1 || res.Nodes != g.N()+1 || res.Touched == 0 {
+		t.Fatalf("mutation reply %+v", res)
+	}
+
+	// The mutation is visible to reads: the appended node is a valid
+	// candidate now, and its gain reflects the new edge.
+	gr, err := c.Gain(ctx, client.GainRequest{Graph: "test", L: 4, R: 20, Nodes: []int{g.N()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gr.Gains) != 1 || gr.Gains[0] <= 0 {
+		t.Fatalf("post-mutation gain of the appended node: %+v", gr)
+	}
+
+	// Typed conflict on a stale base epoch, carried through the envelope.
+	_, err = c.ApplyDelta(ctx, client.ApplyDeltaRequest{
+		Graph: "test", Add: []client.Edge{{U: 1, V: 2}}, BaseEpoch: &base,
+	})
+	var ce *client.Error
+	if !errors.As(err, &ce) || ce.Code != client.CodeConflict || ce.HTTPStatus != http.StatusConflict {
+		t.Fatalf("stale base epoch: %v, want typed %s/409", err, client.CodeConflict)
+	}
+
+	// Epoch-pinned partial reads: the current pin answers, a stale pin is a
+	// typed stale_epoch — the coordinator's mixed-epoch-merge guard on the
+	// wire.
+	pin := uint64(1)
+	if _, err := c.PartialGain(ctx, client.PartialGainRequest{
+		Graph: "test", L: 4, R0: 0, R1: 20, Nodes: []int{1}, Epoch: &pin,
+	}); err != nil {
+		t.Fatalf("current-epoch pin: %v", err)
+	}
+	stale := uint64(0)
+	_, err = c.PartialGain(ctx, client.PartialGainRequest{
+		Graph: "test", L: 4, R0: 0, R1: 20, Nodes: []int{1}, Epoch: &stale,
+	})
+	if !errors.As(err, &ce) || ce.Code != client.CodeStaleEpoch {
+		t.Fatalf("stale-epoch pin: %v, want typed %s", err, client.CodeStaleEpoch)
+	}
 }

@@ -147,6 +147,54 @@ type TopGainsResponse struct {
 	Degraded    bool      `json:"degraded,omitempty"`
 }
 
+// Edge is one undirected weighted edge of a mutation delta. W is optional
+// (daemon default 1).
+type Edge struct {
+	U int     `json:"u"`
+	V int     `json:"v"`
+	W float64 `json:"w,omitempty"`
+}
+
+// ApplyDeltaRequest is the POST /v1/graph/{name}/edges body: one
+// all-or-nothing mutation of a served graph. The daemon bumps the graph's
+// mutation epoch on success and repairs its resident walk indexes
+// incrementally, so warm caches stay warm across small deltas.
+type ApplyDeltaRequest struct {
+	// Graph names the graph to mutate; it rides in the URL path, not the
+	// body.
+	Graph string `json:"-"`
+	// AddNodes appends this many fresh isolated nodes (ids n .. n+AddNodes-1)
+	// before edges are applied, so added edges may reference them.
+	AddNodes int `json:"add_nodes,omitempty"`
+	// Add lists edges to insert; adding an existing edge is a conflict.
+	Add []Edge `json:"add,omitempty"`
+	// Remove lists edges to delete (weights ignored); removing a missing
+	// edge is a conflict.
+	Remove []Edge `json:"remove,omitempty"`
+	// BaseEpoch, when non-nil, makes the mutation conditional: it applies
+	// only if the graph is still at that epoch, else CodeConflict.
+	BaseEpoch *uint64 `json:"base_epoch,omitempty"`
+}
+
+// ApplyDeltaResponse is the /v1/graph/{name}/edges reply.
+type ApplyDeltaResponse struct {
+	Graph string `json:"graph"`
+	// Epoch is the graph's new mutation epoch. Reads pinned to it (see
+	// PartialGainRequest.Epoch) are guaranteed post-mutation answers.
+	Epoch uint64 `json:"epoch"`
+	// Nodes and Edges are the post-mutation graph dimensions; Touched the
+	// number of nodes whose adjacency changed.
+	Nodes   int `json:"nodes"`
+	Edges   int `json:"edges"`
+	Touched int `json:"touched"`
+	// IndexesRepaired counts resident walk indexes carried across the
+	// mutation by incremental repair; IndexesDropped those that rebuild on
+	// next use; MemosDropped the memoized gain tables invalidated.
+	IndexesRepaired int `json:"indexes_repaired"`
+	IndexesDropped  int `json:"indexes_dropped"`
+	MemosDropped    int `json:"memos_dropped"`
+}
+
 // PartialGainRequest identifies a GET /v1/partial/gain query: the integer
 // gain sums of Nodes against Set over the replicate range [R0, R1) of the
 // build identified by (Graph, Problem, L, Seed). Partial answers are the
@@ -160,8 +208,13 @@ type PartialGainRequest struct {
 	Seed    *uint64
 	// R0 and R1 delimit the replicate range [R0, R1) this worker owns.
 	R0, R1 int
-	Set    []int
-	Nodes  []int
+	// Epoch, when non-nil, pins the request to a graph mutation epoch: a
+	// daemon whose graph is at any other epoch answers CodeStaleEpoch
+	// instead of silently contributing sums from a different graph state.
+	// Coordinators set it on every scatter.
+	Epoch *uint64
+	Set   []int
+	Nodes []int
 	// WantObjective additionally requests the integer objective accumulator
 	// of Set over this range.
 	WantObjective bool
@@ -195,7 +248,9 @@ type PartialTopGainsRequest struct {
 	L       int
 	Seed    *uint64
 	R0, R1  int
-	Set     []int
+	// Epoch: see PartialGainRequest.Epoch.
+	Epoch *uint64
+	Set   []int
 	// B is the number of winners (0 = server default of 10). Unlike
 	// /v1/topgains the cap is the graph's node count, not max-k: a
 	// coordinator's threshold algorithm legitimately deepens past the public

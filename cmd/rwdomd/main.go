@@ -32,6 +32,7 @@
 //	curl -sN 'localhost:7474/v1/select?stream=1' -d '{"graph":"Epinions","k":10,"L":6}'   # NDJSON round events
 //	curl -s 'localhost:7474/v1/gain?graph=Epinions&L=6&set=1,2&nodes=7,9'
 //	curl -s 'localhost:7474/v1/topgains?graph=Epinions&L=6&set=1,2&b=10'
+//	curl -s -X POST localhost:7474/v1/graph/Epinions/edges -d '{"add":[{"u":11,"v":17}]}'   # mutate: bumps the epoch, repairs warm indexes
 //	curl -s localhost:7474/stats
 package main
 

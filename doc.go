@@ -59,8 +59,9 @@
 // memoized D-table. SelectStream emits each greedy round (node, gain,
 // objective-so-far) as it is decided, and the emitted rounds reassemble
 // bit-identically into the blocking Select result. Errors carry stable
-// machine-readable codes (ErrorCodeOf: bad_request, not_found, draining,
-// timeout, internal) shared with the HTTP daemon and the client SDK.
+// machine-readable codes (ErrorCodeOf: bad_request, not_found, conflict,
+// stale_epoch, draining, timeout, internal) shared with the HTTP daemon
+// and the client SDK.
 //
 // For one-shot selection — and for the DP, sampling and baseline
 // algorithms, which have no serving equivalent — Solve(g, problem, opts)
@@ -69,6 +70,36 @@
 // deprecated one-line shims over Solve and the Engine: they compile,
 // return bit-identical selections, and point migrators at the
 // replacements.
+//
+// # Mutable graphs
+//
+// A served graph is not frozen: Engine.ApplyDelta applies one atomic batch
+// of changes — nodes appended, edges added, edges removed — and bumps the
+// graph's mutation epoch:
+//
+//	res, err := en.ApplyDelta(ctx, rwdom.ApplyDeltaRequest{Delta: rwdom.Delta{
+//	    AddEdges:    []rwdom.Edge{{U: 11, V: 17}},
+//	    RemoveEdges: []rwdom.Edge{{U: 3, V: 9}},
+//	}})
+//
+// The mutation is copy-on-write: queries that already resolved their graph
+// snapshot finish against pre-mutation state bit-identically, and the epoch
+// rides in every derived identity (index cache keys, spill files, memoized
+// D-table keys, selection coalescing), so no post-mutation request can ever
+// be answered from a pre-mutation artifact. Resident walk indexes survive
+// the mutation by incremental repair — only the walk rows the delta touched
+// are regenerated, a cost proportional to the change rather than the graph
+// — and a repaired index answers bit-identically to a from-scratch rebuild
+// of the mutated graph (a parity suite enforces this across problems,
+// strategies, worker and shard counts). Structural conflicts (adding an
+// edge that exists, removing one that doesn't) and stale ApplyDeltaRequest
+// .BaseEpoch pins — the optimistic-concurrency handle for
+// read-modify-write callers — fail typed with ErrConflict and apply
+// nothing. On a sharded Engine the coordinator broadcasts every delta to
+// all workers before returning; a worker that misses a broadcast answers
+// its epoch-pinned scatters with typed ErrStaleEpoch errors, never a
+// silently mixed-epoch merge. The daemon exposes the same operation as
+// POST /v1/graph/{name}/edges, mirrored by client.ApplyDelta.
 //
 // # Replicate-sharded serving
 //
@@ -164,6 +195,7 @@
 // The examples directory contains runnable programs for the paper's three
 // motivating applications (item placement in social networks, Ads
 // placement, and P2P resource placement) plus the daemon+client pair
-// (examples/serving), and internal/experiments regenerates every table and
-// figure of the paper's evaluation section.
+// (examples/serving) and live graph mutation (examples/mutation), and
+// internal/experiments regenerates every table and figure of the paper's
+// evaluation section.
 package rwdom

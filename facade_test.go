@@ -2,6 +2,7 @@ package rwdom
 
 import (
 	"context"
+	"math"
 	"path/filepath"
 	"testing"
 )
@@ -140,5 +141,78 @@ func TestAnalyzeGraphFacade(t *testing.T) {
 	}
 	if a.Top1pctDegreeCut <= 0 {
 		t.Fatalf("degree cut %d", a.Top1pctDegreeCut)
+	}
+}
+
+// TestEngineApplyDeltaFacade drives the mutation surface through the public
+// API, unsharded and sharded: a mutated warm Engine must answer selections
+// bit-identically to a fresh Engine opened over the already-mutated graph,
+// and the mutation-specific error codes must surface typed.
+func TestEngineApplyDeltaFacade(t *testing.T) {
+	g := testGraph(t)
+	u := 0
+	for g.Degree(u) == 0 {
+		u++
+	}
+	v := int(g.Neighbors(u)[0])
+	d := Delta{AddNodes: 1, AddEdges: []Edge{{U: g.N(), V: u}}, RemoveEdges: []Edge{{U: u, V: v}}}
+	mutated, _, err := g.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	req := SelectRequest{Problem: Problem2, K: 5, L: 4, R: 40, Seed: 11}
+
+	for _, shards := range []int{0, 2} {
+		var opts []Option
+		if shards > 1 {
+			opts = append(opts, WithShards(shards))
+		}
+		en, err := Open(g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer en.Close()
+		if _, err := en.Select(ctx, req); err != nil { // warm the index
+			t.Fatal(err)
+		}
+		res, err := en.ApplyDelta(ctx, ApplyDeltaRequest{Delta: d})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Epoch != 1 || res.Nodes != g.N()+1 {
+			t.Fatalf("shards=%d: mutation result %+v", shards, res)
+		}
+
+		ref, err := Open(mutated, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ref.Close()
+		got, err := en.Select(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Select(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Nodes {
+			if got.Nodes[i] != want.Nodes[i] || math.Float64bits(got.Gains[i]) != math.Float64bits(want.Gains[i]) {
+				t.Fatalf("shards=%d: post-mutation selection diverges at %d: %d/%v want %d/%v",
+					shards, i, got.Nodes[i], got.Gains[i], want.Nodes[i], want.Gains[i])
+			}
+		}
+
+		// Typed conflicts: re-removing the removed edge, and a stale epoch pin.
+		_, err = en.ApplyDelta(ctx, ApplyDeltaRequest{Delta: Delta{RemoveEdges: []Edge{{U: u, V: v}}}})
+		if ErrorCodeOf(err) != ErrConflict {
+			t.Fatalf("shards=%d: removing a missing edge: code %q, want %q", shards, ErrorCodeOf(err), ErrConflict)
+		}
+		stale := uint64(0)
+		_, err = en.ApplyDelta(ctx, ApplyDeltaRequest{Delta: d, BaseEpoch: &stale})
+		if ErrorCodeOf(err) != ErrConflict {
+			t.Fatalf("shards=%d: stale BaseEpoch: code %q, want %q", shards, ErrorCodeOf(err), ErrConflict)
+		}
 	}
 }

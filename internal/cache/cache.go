@@ -309,6 +309,37 @@ func (c *Cache[K, V]) Invalidate(match func(K) bool) int {
 	return dropped
 }
 
+// Take removes every ready entry whose key matches — like Invalidate — but
+// transfers ownership of the unreferenced victims to the caller instead of
+// routing them through OnEvict: once Take returns, no map entry and no live
+// handle references a returned value, so the caller may mutate it freely
+// (the index cache uses this to repair walk indexes in place after a graph
+// mutation). Entries still pinned by a handle are orphaned exactly as
+// Invalidate orphans them — removed from the map, value released for
+// collection when the last holder calls Release — and are reported by key
+// only, since their values are still shared with live readers. Entries
+// still populating are skipped entirely: their leader will publish under a
+// key the caller has already decided is stale, which is wasteful but
+// harmless (nothing resolves that key again) and the leader's handle keeps
+// the entry pinned anyway.
+func (c *Cache[K, V]) Take(match func(K) bool) (taken []Entry[K, V], orphaned []K) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		if !e.isReady() || e.err != nil || !match(e.key) {
+			continue
+		}
+		c.removeLocked(e)
+		c.stats.Invalidated++
+		if e.refs == 0 {
+			taken = append(taken, Entry[K, V]{Key: e.key, Value: e.value, Bytes: e.bytes})
+		} else {
+			orphaned = append(orphaned, e.key)
+		}
+	}
+	return taken, orphaned
+}
+
 // EvictIdle evicts every unreferenced entry whose last use is not newer than
 // olderThan on the logical clock (see Clock and StartEvictor) and returns
 // how many were evicted. Victims flow through OnEvict like any other

@@ -21,10 +21,19 @@
 // prefix extension, spill-to-disk, byte budgets) for free instead of
 // reimplementing it per transport.
 //
+// Graphs are mutable at runtime: ApplyDelta applies an edge/node delta
+// copy-on-write, bumps the graph's mutation epoch, and repairs the resident
+// walk indexes incrementally (internal/index.Repair regenerates only the
+// affected walk rows) instead of dropping them for full rebuilds. Every
+// cached artifact — index cache keys, spill files, memoized D-tables,
+// singleflight selection keys — carries the epoch, so a pre-mutation
+// artifact can never serve a post-mutation request.
+//
 // Errors carry stable machine-readable codes (*Error with CodeBadRequest,
-// CodeNotFound, CodeDraining, CodeOverloaded, CodeTimeout, CodeInternal) so
-// codecs can map them mechanically — the HTTP layer to statuses and its
-// JSON error envelope, the client SDK back to typed errors.
+// CodeNotFound, CodeDraining, CodeOverloaded, CodeTimeout, CodeConflict,
+// CodeStaleEpoch, CodeInternal) so codecs can map them mechanically — the
+// HTTP layer to statuses and its JSON error envelope, the client SDK back
+// to typed errors.
 //
 // Under load the engine degrades instead of collapsing: an admission gate
 // (Config.MaxConcurrent/MaxQueue) bounds concurrent selections and index
@@ -130,11 +139,22 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Engine answers selection and gain queries over a fixed set of graphs,
-// sharing one cache stack across every transport. Create with New, release
-// resources with Close. All methods are safe for concurrent use.
+// Engine answers selection and gain queries over a fixed set of graph
+// names (the graphs themselves are mutable through ApplyDelta), sharing one
+// cache stack across every transport. Create with New, release resources
+// with Close. All methods are safe for concurrent use.
 type Engine struct {
-	cfg   Config
+	cfg Config
+	// graphs is the live name → graph mapping, copied from cfg.Graphs at New
+	// and updated in place by ApplyDelta (the map's key set never changes;
+	// only values are swapped for their post-mutation successors). graphsMu
+	// serializes mutations against each other and against param resolution:
+	// readers take the RLock just long enough to snapshot a *graph.Graph —
+	// each snapshot is immutable (ApplyDelta is copy-on-write), so the heavy
+	// work after resolution runs lock-free against a consistent epoch.
+	graphsMu sync.RWMutex
+	graphs   map[string]*graph.Graph
+
 	cache *index.Cache
 	// memo is the memoized D-table cache behind Gain, Objective and
 	// TopGains; nil when cfg.DisableMemo.
@@ -176,8 +196,13 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	graphs := make(map[string]*graph.Graph, len(cfg.Graphs))
+	for name, g := range cfg.Graphs {
+		graphs[name] = g
+	}
 	e := &Engine{
 		cfg:       cfg,
+		graphs:    graphs,
 		cache:     cache,
 		lifecycle: ctx,
 		abort:     cancel,
@@ -201,18 +226,35 @@ func New(cfg Config) (*Engine, error) {
 
 // Graph returns the named graph, or the engine's sole graph when name is
 // empty and exactly one is configured (the embedded single-graph case).
+// The returned graph is an immutable snapshot: after an ApplyDelta a fresh
+// call returns the successor, but a held pointer stays valid (and stays at
+// its epoch) forever.
 func (e *Engine) Graph(name string) (*graph.Graph, bool) {
-	if name == "" && len(e.cfg.Graphs) == 1 {
-		for _, g := range e.cfg.Graphs {
+	e.graphsMu.RLock()
+	defer e.graphsMu.RUnlock()
+	if name == "" && len(e.graphs) == 1 {
+		for _, g := range e.graphs {
 			return g, true
 		}
 	}
-	g, ok := e.cfg.Graphs[name]
+	g, ok := e.graphs[name]
 	return g, ok
 }
 
 // Graphs returns the number of configured graphs.
 func (e *Engine) Graphs() int { return len(e.cfg.Graphs) }
+
+// soleGraphName resolves the empty-name shorthand to the engine's sole
+// configured graph name; returns name unchanged otherwise. The key set of
+// the graphs map is fixed at New, so cfg.Graphs is authoritative for names.
+func (e *Engine) soleGraphName(name string) string {
+	if name == "" && len(e.cfg.Graphs) == 1 {
+		for only := range e.cfg.Graphs {
+			return only
+		}
+	}
+	return name
+}
 
 // Cache exposes the index cache (for stats, adoption and tests).
 func (e *Engine) Cache() *index.Cache { return e.cache }
@@ -224,19 +266,15 @@ func (e *Engine) AdoptIndex(name string, ix *index.Index) error {
 	if ix == nil {
 		return &Error{Code: CodeBadRequest, Message: "engine: adopt nil index"}
 	}
-	if name == "" && len(e.cfg.Graphs) == 1 {
-		for only := range e.cfg.Graphs {
-			name = only
-		}
-	}
-	g, ok := e.cfg.Graphs[name]
+	name = e.soleGraphName(name)
+	g, ok := e.Graph(name)
 	if !ok {
 		return &Error{Code: CodeNotFound, Message: fmt.Sprintf("unknown graph %q", name)}
 	}
 	if g != ix.Graph() {
 		return &Error{Code: CodeBadRequest, Message: fmt.Sprintf("engine: index was built on a different graph than %q", name)}
 	}
-	key := index.CacheKey{Graph: name, L: ix.L(), R: ix.R(), Seed: ix.Seed(), R0: ix.R0()}
+	key := index.CacheKey{Graph: name, L: ix.L(), R: ix.R(), Seed: ix.Seed(), R0: ix.R0(), Epoch: ix.GraphEpoch()}
 	return e.cache.Adopt(key, ix)
 }
 
@@ -369,17 +407,22 @@ func (e *Engine) resolveWorkers(workers int) int {
 // params are the validated request knobs that identify one materialized
 // index. r0 is the first absolute replicate of a partial (replicate-range
 // sharded) index — zero on every full-index path, so those keys are
-// unchanged.
+// unchanged. epoch is the mutation epoch of the graph snapshot g: params
+// capture (g, epoch) atomically at resolution, so everything downstream —
+// the index cache key, the singleflight selection key, the memo key —
+// computes against one consistent graph state even if a mutation lands
+// mid-request.
 type params struct {
 	graphName string
 	g         *graph.Graph
 	L, R      int
 	seed      uint64
 	r0        int
+	epoch     uint64
 }
 
 func (p params) cacheKey() index.CacheKey {
-	return index.CacheKey{Graph: p.graphName, L: p.L, R: p.R, Seed: p.seed, R0: p.r0}
+	return index.CacheKey{Graph: p.graphName, L: p.L, R: p.R, Seed: p.seed, R0: p.r0, Epoch: p.epoch}
 }
 
 // resolveParams validates the shared graph/L/R/seed knobs. R defaults to the
@@ -389,13 +432,9 @@ func (e *Engine) resolveParams(graphName string, L, R int, seed uint64) (params,
 	if !ok {
 		return params{}, &Error{Code: CodeNotFound, Message: fmt.Sprintf("unknown graph %q", graphName)}
 	}
-	if graphName == "" {
-		// Sole-graph shorthand resolved by Graph above: key the cache under
-		// the real name so explicit and shorthand requests share indexes.
-		for only := range e.cfg.Graphs {
-			graphName = only
-		}
-	}
+	// Sole-graph shorthand: key the cache under the real name so explicit
+	// and shorthand requests share indexes.
+	graphName = e.soleGraphName(graphName)
 	// L = 0 (zero-hop walks) is degenerate but legal for embedded use; the
 	// HTTP codec enforces its stricter L >= 1 contract before reaching here.
 	if L < 0 || L > 1<<16-1 {
@@ -407,7 +446,7 @@ func (e *Engine) resolveParams(graphName string, L, R int, seed uint64) (params,
 	if R < 1 || R > e.cfg.MaxR {
 		return params{}, badRequestf("R=%d outside [1, %d]", R, e.cfg.MaxR)
 	}
-	return params{graphName: graphName, g: g, L: L, R: R, seed: seed}, nil
+	return params{graphName: graphName, g: g, L: L, R: R, seed: seed, epoch: g.Epoch()}, nil
 }
 
 // resolveProblem validates the problem knob; zero means Problem 2 (the

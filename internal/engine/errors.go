@@ -33,6 +33,18 @@ const (
 	CodeOverloaded Code = "overloaded"
 	// CodeTimeout marks a request that exhausted its compute budget.
 	CodeTimeout Code = "timeout"
+	// CodeConflict marks a graph mutation the current graph state rejects:
+	// the request's base epoch no longer matches (another mutation won the
+	// race — re-read and retry with the new epoch), or the delta itself
+	// conflicts with the structure (adding an edge that exists, removing one
+	// that doesn't). The mutation was not applied.
+	CodeConflict Code = "conflict"
+	// CodeStaleEpoch marks a read pinned to a graph epoch the serving
+	// process has moved past (a shard worker received a scatter built
+	// against a pre-mutation epoch). The answer would have mixed epochs, so
+	// the request is refused instead; it is safe to retry — the coordinator
+	// re-scatters against the current epoch.
+	CodeStaleEpoch Code = "stale_epoch"
 	// CodeInternal marks everything else.
 	CodeInternal Code = "internal"
 )
@@ -119,6 +131,8 @@ func HTTPStatus(code Code) int {
 		return http.StatusNotFound
 	case CodeDraining, CodeOverloaded:
 		return http.StatusServiceUnavailable
+	case CodeConflict, CodeStaleEpoch:
+		return http.StatusConflict
 	case CodeTimeout:
 		return http.StatusGatewayTimeout
 	default:

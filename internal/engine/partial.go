@@ -31,8 +31,14 @@ type PartialGainRequest struct {
 	Seed    uint64
 	// R0 and R1 delimit the replicate range [R0, R1) this worker owns.
 	R0, R1 int
-	Set    []int
-	Nodes  []int
+	// Epoch, when non-nil, pins the request to a graph mutation epoch: a
+	// worker whose graph is at any other epoch answers CodeStaleEpoch
+	// (retryable) instead of silently contributing pre- or post-mutation
+	// sums to a merge built against a different epoch. Coordinators set it;
+	// unsharded callers may leave it nil.
+	Epoch *uint64
+	Set   []int
+	Nodes []int
 	// WantObjective additionally computes the integer objective accumulator
 	// of Set over this range (DTable.ObjectiveSum), so a coordinator can
 	// merge objectives in the same request that fetches gains.
@@ -65,6 +71,8 @@ type PartialTopGainsRequest struct {
 	L       int
 	Seed    uint64
 	R0, R1  int
+	// Epoch: see PartialGainRequest.Epoch.
+	Epoch   *uint64
 	Set     []int
 	B       int
 	Workers int
@@ -110,6 +118,9 @@ func (e *Engine) resolvePartial(graphName string, problem Problem, L int, seed u
 func (e *Engine) PartialGain(ctx context.Context, req PartialGainRequest) (*PartialGainResult, error) {
 	p, prob, err := e.resolvePartial(req.Graph, req.Problem, req.L, req.Seed, req.R0, req.R1, req.Set)
 	if err != nil {
+		return nil, err
+	}
+	if err := epochGuard(p, req.Epoch); err != nil {
 		return nil, err
 	}
 	// Unlike Gain, an empty node list is legal when the request wants the
@@ -177,6 +188,9 @@ func (e *Engine) PartialGain(ctx context.Context, req PartialGainRequest) (*Part
 func (e *Engine) PartialTopGains(ctx context.Context, req PartialTopGainsRequest) (*PartialTopGainsResult, error) {
 	p, prob, err := e.resolvePartial(req.Graph, req.Problem, req.L, req.Seed, req.R0, req.R1, req.Set)
 	if err != nil {
+		return nil, err
+	}
+	if err := epochGuard(p, req.Epoch); err != nil {
 		return nil, err
 	}
 	b := req.B

@@ -60,6 +60,17 @@ type Graph struct {
 	adj     []int32
 	weights []float64 // nil for unweighted graphs
 
+	// epoch counts the mutations this graph lineage has absorbed: builders
+	// and loaders produce epoch 0, and every ApplyDelta returns a graph at
+	// epoch+1. Unlike Fingerprint, which hashes structure, the epoch never
+	// repeats within a lineage — a delta and its inverse yield a graph that
+	// is structurally identical to the original but two epochs newer — so
+	// caches keyed by epoch can never confuse "mutated back" with "never
+	// mutated". The epoch is deliberately not part of Fingerprint and not
+	// persisted by the edge-list writers; a reloaded graph starts a fresh
+	// lineage at epoch 0.
+	epoch uint64
+
 	// cumWeights, present only for weighted graphs, stores per-row prefix
 	// sums of weights, used by WeightDegree and the binary-search sampler
 	// kept for the alias parity test and ablation benchmark.
@@ -92,6 +103,11 @@ func (g *Graph) Kind() Kind { return g.kind }
 
 // Weighted reports whether the graph carries edge weights.
 func (g *Graph) Weighted() bool { return g.weights != nil }
+
+// Epoch returns the graph's mutation epoch: 0 for built/loaded graphs,
+// incremented by every ApplyDelta. See the field comment for why this is
+// distinct from Fingerprint.
+func (g *Graph) Epoch() uint64 { return g.epoch }
 
 // Degree returns the out-degree of node u (degree for undirected graphs).
 func (g *Graph) Degree(u int) int {

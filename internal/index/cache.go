@@ -64,13 +64,23 @@ type CacheKey struct {
 	// build. Zero for full indexes, which keeps every pre-sharding key — and
 	// its String form, spill path and /stats rendering — unchanged.
 	R0 int
+	// Epoch is the mutation epoch of the graph content the index reflects
+	// (graph.Epoch()). Keys at different epochs are distinct, so an index
+	// built before a graph mutation can never serve a post-mutation request
+	// through the cache. Zero for never-mutated graphs, which keeps every
+	// pre-mutation key, String form and spill path unchanged.
+	Epoch uint64
 }
 
 func (k CacheKey) String() string {
+	s := fmt.Sprintf("%s/L=%d/R=%d/seed=%d", k.Graph, k.L, k.R, k.Seed)
 	if k.R0 != 0 {
-		return fmt.Sprintf("%s/L=%d/R=%d/seed=%d/r0=%d", k.Graph, k.L, k.R, k.Seed, k.R0)
+		s += fmt.Sprintf("/r0=%d", k.R0)
 	}
-	return fmt.Sprintf("%s/L=%d/R=%d/seed=%d", k.Graph, k.L, k.R, k.Seed)
+	if k.Epoch != 0 {
+		s += fmt.Sprintf("/epoch=%d", k.Epoch)
+	}
+	return s
 }
 
 // CacheStats counts cache traffic. Snapshot via Cache.Stats.
@@ -209,9 +219,9 @@ func (c *Cache) Adopt(key CacheKey, ix *Index) error {
 	if ix == nil {
 		return errors.New("index: adopt nil index")
 	}
-	if key.L != ix.L() || key.R != ix.R() || key.Seed != ix.Seed() || key.R0 != ix.R0() {
-		return fmt.Errorf("index: adopt key %s does not match index build (L=%d R=%d seed=%d R0=%d)",
-			key, ix.L(), ix.R(), ix.Seed(), ix.R0())
+	if key.L != ix.L() || key.R != ix.R() || key.Seed != ix.Seed() || key.R0 != ix.R0() || key.Epoch != ix.GraphEpoch() {
+		return fmt.Errorf("index: adopt key %s does not match index build (L=%d R=%d seed=%d R0=%d epoch=%d)",
+			key, ix.L(), ix.R(), ix.Seed(), ix.R0(), ix.GraphEpoch())
 	}
 	h, err := c.core.Acquire(key, func() (*Index, int64, error) {
 		return ix, ix.MemoryBytes(), nil
@@ -236,7 +246,7 @@ func (c *Cache) loadOrBuild(key CacheKey, g *graph.Graph, build func() (*Index, 
 			// rebuild, exactly like an organic load failure.
 			c.noteSpillLoadError()
 		} else if ix, err := LoadFile(c.spillPath(key), g); err == nil {
-			if ix.L() == key.L && ix.R() == key.R && ix.Seed() == key.Seed && ix.R0() == key.R0 {
+			if ix.L() == key.L && ix.R() == key.R && ix.Seed() == key.Seed && ix.R0() == key.R0 && ix.GraphEpoch() == key.Epoch {
 				return ix, true, nil
 			}
 			// A hash collision between distinct keys (or a stale file from
@@ -329,6 +339,32 @@ func (c *Cache) spillAsync(victims []cache.Entry[CacheKey, *Index]) {
 		defer c.spillWG.Done()
 		c.spill(victims)
 	}()
+}
+
+// TakenIndex is one resident index removed by TakeGraph, with the key it
+// was resident under. The caller owns the index exclusively.
+type TakenIndex struct {
+	Key   CacheKey
+	Index *Index
+}
+
+// TakeGraph removes every resident index for the named graph, returning
+// exclusive ownership of the unpinned ones — no handle and no map entry
+// references them, so the caller may Repair them in place after a graph
+// mutation — plus the keys of the pinned ones, which are orphaned: their
+// in-flight readers finish on them (a consistent pre-mutation answer), but
+// nothing new can acquire them. Neither set flows through the eviction
+// hook: nothing is spilled (the values are about to be repaired or
+// dropped, and a pre-mutation file on disk is unreachable anyway — the
+// post-mutation key has a different spill path), and the caller is the
+// serving layer itself, which drops the dependent memo tables explicitly.
+func (c *Cache) TakeGraph(name string) (taken []TakenIndex, orphaned []CacheKey) {
+	entries, orphaned := c.core.Take(func(k CacheKey) bool { return k.Graph == name })
+	taken = make([]TakenIndex, 0, len(entries))
+	for _, e := range entries {
+		taken = append(taken, TakenIndex{Key: e.Key, Index: e.Value})
+	}
+	return taken, orphaned
 }
 
 // EvictIdle evicts every unreferenced entry whose last use is not newer than

@@ -67,8 +67,10 @@ func (p Problem) String() string {
 	}
 }
 
-// Index is the immutable inverted index of Algorithm 3. It is safe for
-// concurrent readers; D-tables carry the mutable state.
+// Index is the inverted index of Algorithm 3. It is safe for concurrent
+// readers and immutable under them; the only mutation is Repair (mutate.go),
+// which requires the caller to exclude readers for its duration. D-tables
+// carry the per-query mutable state.
 type Index struct {
 	g *graph.Graph
 	l int
@@ -86,24 +88,54 @@ type Index struct {
 	// or colliding spill file can never impersonate a different build.
 	seed uint64
 
-	// Row (i, v) occupies ids[offsets[v*R+i]:offsets[v*R+i+1]] with parallel
-	// first-visit hops in hops — candidate-major, all R rows of a node
-	// contiguous (see the package comment). Entries are (source node, hop of
-	// first visit); a source appears at most once per row.
+	// gepoch is the mutation epoch of the graph the entries reflect: equal to
+	// g.Epoch() at build time and advanced by every Repair. It is part of the
+	// serialized identity (format v6), so a spill file written before a
+	// mutation can never warm-load as current afterwards even when the
+	// mutation round-trips the structure (fingerprint alone cannot tell
+	// "mutated back" from "never mutated").
+	gepoch uint64
+	// fromWalks marks indexes assembled by BuildFromWalks: their walks were
+	// supplied, not sampled from seed, so Repair cannot deterministically
+	// regenerate them and refuses.
+	fromWalks bool
+
+	// Row (i, v) occupies ids[span(v*R+i)] with parallel first-visit hops in
+	// hops — candidate-major, all R rows of a node contiguous (see the
+	// package comment). Entries are (source node, hop of first visit), sorted
+	// by source; a source appears at most once per row.
+	//
+	// Freshly built or loaded indexes are compact: ends is nil and row k is
+	// ids[offsets[k]:offsets[k+1]]. After a Repair the index is patched: ends
+	// is non-nil, row k is ids[offsets[k]:ends[k]], rows need not be adjacent
+	// or in order, and dead counts unreachable slots (shrunken-row slack and
+	// relocated rows' old storage). Compact restores the canonical compact
+	// form; WriteTo always serializes it, so the on-disk format never sees
+	// patched layout.
 	offsets []int64
 	ids     []int32
 	hops    []uint16
+	ends    []int64
+	dead    int64
 
 	// emptyGains memoizes the per-problem empty-set gain vectors (slot 0:
-	// Problem 1, slot 1: Problem 2), computed lazily by EmptySetGains. The
-	// sync.Once slots make the index safe to share across concurrent
-	// EmptySetGains callers; everything else stays immutable after Build.
+	// Problem 1, slot 1: Problem 2), computed lazily by EmptySetGains under
+	// emptyMu, which makes the index safe to share across concurrent callers.
 	// emptySums is the integer-domain twin serving the partial read path
-	// (EmptySetGainSums).
-	emptyOnce    [2]sync.Once
-	emptyGains   [2][]float64
-	emptySumOnce [2]sync.Once
-	emptySums    [2][]int64
+	// (EmptySetGainSums). Repair drops both (the entries they summarize
+	// changed); a plain mutex rather than sync.Once keeps the memo resettable.
+	emptyMu    sync.Mutex
+	emptyGains [2][]float64
+	emptySums  [2][]int64
+}
+
+// span returns the bounds of row k in ids/hops, valid in both compact and
+// patched layouts.
+func (ix *Index) span(k int64) (lo, hi int64) {
+	if ix.ends == nil {
+		return ix.offsets[k], ix.offsets[k+1]
+	}
+	return ix.offsets[k], ix.ends[k]
 }
 
 // Build materializes R L-length random walks per node and constructs the
@@ -167,7 +199,7 @@ func BuildRangeWorkers(g *graph.Graph, L int, seed uint64, r0, r1, workers int) 
 	if workers > n {
 		workers = n
 	}
-	ix := &Index{g: g, l: L, r: R, rbase: r0, seed: seed}
+	ix := &Index{g: g, l: L, r: R, rbase: r0, seed: seed, gepoch: g.Epoch()}
 	rows := R * n
 	counts := make([]int64, rows+1)
 
@@ -354,7 +386,7 @@ func BuildFromWalks(g *graph.Graph, L, R int, walks [][][]int32) (*Index, error)
 	if len(walks) != n {
 		return nil, fmt.Errorf("index: walks for %d nodes, graph has %d", len(walks), n)
 	}
-	ix := &Index{g: g, l: L, r: R}
+	ix := &Index{g: g, l: L, r: R, gepoch: g.Epoch(), fromWalks: true}
 	rows := R * n
 	counts := make([]int64, rows+1)
 	visited := make([]uint32, n)
@@ -442,22 +474,30 @@ func (ix *Index) R0() int { return ix.rbase }
 // assembled from explicit walks (BuildFromWalks).
 func (ix *Index) Seed() uint64 { return ix.seed }
 
+// GraphEpoch returns the mutation epoch of the graph state the index
+// reflects: g.Epoch() at build time, advanced by every Repair.
+func (ix *Index) GraphEpoch() uint64 { return ix.gepoch }
+
 // Entries returns the number of materialized (source, first-visit) pairs;
 // it is bounded by nRL.
-func (ix *Index) Entries() int64 { return ix.offsets[len(ix.offsets)-1] }
+func (ix *Index) Entries() int64 {
+	if ix.ends != nil {
+		return int64(len(ix.ids)) - ix.dead
+	}
+	return ix.offsets[len(ix.offsets)-1]
+}
 
 // Row returns the sources that hit node v in replicate i and their
 // first-visit hops. The slices alias index storage and must not be modified.
 func (ix *Index) Row(i, v int) (ids []int32, hops []uint16) {
-	row := int64(v)*int64(ix.r) + int64(i)
-	lo, hi := ix.offsets[row], ix.offsets[row+1]
+	lo, hi := ix.span(int64(v)*int64(ix.r) + int64(i))
 	return ix.ids[lo:hi], ix.hops[lo:hi]
 }
 
 // MemoryBytes reports the approximate heap footprint of the index, used by
 // the scalability experiment to confirm O(nRL + m) space.
 func (ix *Index) MemoryBytes() int64 {
-	return int64(len(ix.offsets))*8 + int64(len(ix.ids))*4 + int64(len(ix.hops))*2
+	return int64(len(ix.offsets))*8 + int64(len(ix.ids))*4 + int64(len(ix.hops))*2 + int64(len(ix.ends))*8
 }
 
 // DTable is the mutable D[1:R][1:n] array of Algorithms 4–6, tracking the
@@ -544,11 +584,15 @@ func (t *DTable) Gain(u int) float64 {
 func (t *DTable) gainInt(u int) int64 {
 	r := t.ix.r
 	base := u * r
+	ends := t.ix.ends
 	var acc int64
 	if t.problem == Problem1 {
 		for i := 0; i < r; i++ {
 			acc += int64(t.d[base+i])
 			lo, hi := t.ix.offsets[base+i], t.ix.offsets[base+i+1]
+			if ends != nil {
+				hi = ends[base+i]
+			}
 			ids := t.ix.ids[lo:hi]
 			hops := t.ix.hops[lo:hi]
 			for e, v := range ids {
@@ -563,6 +607,9 @@ func (t *DTable) gainInt(u int) int64 {
 				acc++
 			}
 			lo, hi := t.ix.offsets[base+i], t.ix.offsets[base+i+1]
+			if ends != nil {
+				hi = ends[base+i]
+			}
 			for _, v := range t.ix.ids[lo:hi] {
 				if t.d[int(v)*r+i] == 0 {
 					acc++
@@ -636,10 +683,14 @@ func (t *DTable) ObjectiveSum(members []bool) int64 {
 func (t *DTable) Update(u int) {
 	r := t.ix.r
 	base := u * r
+	ends := t.ix.ends
 	if t.problem == Problem1 {
 		for i := 0; i < r; i++ {
 			t.d[base+i] = 0
 			lo, hi := t.ix.offsets[base+i], t.ix.offsets[base+i+1]
+			if ends != nil {
+				hi = ends[base+i]
+			}
 			ids := t.ix.ids[lo:hi]
 			hops := t.ix.hops[lo:hi]
 			for e, v := range ids {
@@ -652,6 +703,9 @@ func (t *DTable) Update(u int) {
 		for i := 0; i < r; i++ {
 			t.d[base+i] = 1
 			lo, hi := t.ix.offsets[base+i], t.ix.offsets[base+i+1]
+			if ends != nil {
+				hi = ends[base+i]
+			}
 			for _, v := range t.ix.ids[lo:hi] {
 				t.d[int(v)*r+i] = 1
 			}

@@ -22,12 +22,58 @@ func emptySlot(p Problem) (int, error) {
 	}
 }
 
+// emptySumInt computes the empty-set integer gain sum of node u — the shared
+// kernel of EmptySetGains and EmptySetGainSums. In the compact layout a
+// node's R replicate rows are contiguous (candidate-major) and the whole sum
+// reads one span; a patched index walks the R row spans individually.
+func (ix *Index) emptySumInt(p Problem, u int) int64 {
+	r := int64(ix.r)
+	l := int64(ix.l)
+	var acc int64
+	if p == Problem1 {
+		// d ≡ L: the node's own rows contribute R·L, and every index entry
+		// with hop < L improves its source's hitting time by L − hop.
+		acc = r * l
+	} else {
+		// d ≡ 0: the node's own rows contribute R, and every index entry is
+		// a not-yet-dominated source walk.
+		acc = r
+	}
+	base := int64(u) * r
+	if ix.ends == nil {
+		lo, hi := ix.offsets[base], ix.offsets[base+r]
+		if p == Problem1 {
+			for _, hop := range ix.hops[lo:hi] {
+				if int64(hop) < l {
+					acc += l - int64(hop)
+				}
+			}
+		} else {
+			acc += hi - lo
+		}
+		return acc
+	}
+	for i := int64(0); i < r; i++ {
+		lo, hi := ix.offsets[base+i], ix.ends[base+i]
+		if p == Problem1 {
+			for _, hop := range ix.hops[lo:hi] {
+				if int64(hop) < l {
+					acc += l - int64(hop)
+				}
+			}
+		} else {
+			acc += hi - lo
+		}
+	}
+	return acc
+}
+
 // EmptySetGains returns the marginal gain of every node against the empty
 // set — Gain(u) of a fresh D-table — computed directly from the index
 // entries without materializing any n·R table. The vector is computed once
-// per problem on first use and memoized on the index, so steady-state calls
-// are free; it is safe for concurrent callers. The returned slice is shared
-// and must not be modified.
+// per problem and memoized on the index until the next Repair drops it, so
+// steady-state calls are free; it is safe for concurrent callers. The
+// returned slice is shared and must not be modified.
 //
 // Values are bit-for-bit identical to NewDTable(p).Gain(u): both accumulate
 // the same integer sum over u's replicate span and divide by R last.
@@ -36,73 +82,52 @@ func (ix *Index) EmptySetGains(p Problem) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix.emptyOnce[slot].Do(func() {
+	ix.emptyMu.Lock()
+	defer ix.emptyMu.Unlock()
+	if ix.emptyGains[slot] == nil {
 		n := ix.g.N()
-		r := int64(ix.r)
-		l := int64(ix.l)
 		gains := make([]float64, n)
 		fr := float64(ix.r)
 		for u := 0; u < n; u++ {
-			// A node's R replicate rows are contiguous (candidate-major), so
-			// the whole empty-set sum reads one span.
-			lo, hi := ix.offsets[int64(u)*r], ix.offsets[(int64(u)+1)*r]
-			var acc int64
-			if p == Problem1 {
-				// d ≡ L: the node's own rows contribute R·L, and every index
-				// entry with hop < L improves its source's hitting time by
-				// L − hop.
-				acc = r * l
-				for _, hop := range ix.hops[lo:hi] {
-					if int64(hop) < l {
-						acc += l - int64(hop)
-					}
-				}
-			} else {
-				// d ≡ 0: the node's own rows contribute R, and every index
-				// entry is a not-yet-dominated source walk.
-				acc = r + (hi - lo)
-			}
-			gains[u] = float64(acc) / fr
+			gains[u] = float64(ix.emptySumInt(p, u)) / fr
 		}
 		ix.emptyGains[slot] = gains
-	})
+	}
 	return ix.emptyGains[slot], nil
 }
 
 // EmptySetGainSums is EmptySetGains in the integer domain: the gain sum of
 // every node against the empty set, before the division by R. Like
 // EmptySetGains the vector is computed once per problem and memoized on the
-// index; the returned slice is shared and must not be modified. It is the
-// empty-set fast path of the partial (replicate-sharded) read surface, where
-// answers stay integral so the coordinator can merge shard ranges exactly.
+// index until the next Repair; the returned slice is shared and must not be
+// modified. It is the empty-set fast path of the partial (replicate-sharded)
+// read surface, where answers stay integral so the coordinator can merge
+// shard ranges exactly.
 func (ix *Index) EmptySetGainSums(p Problem) ([]int64, error) {
 	slot, err := emptySlot(p)
 	if err != nil {
 		return nil, err
 	}
-	ix.emptySumOnce[slot].Do(func() {
+	ix.emptyMu.Lock()
+	defer ix.emptyMu.Unlock()
+	if ix.emptySums[slot] == nil {
 		n := ix.g.N()
-		r := int64(ix.r)
-		l := int64(ix.l)
 		sums := make([]int64, n)
 		for u := 0; u < n; u++ {
-			lo, hi := ix.offsets[int64(u)*r], ix.offsets[(int64(u)+1)*r]
-			var acc int64
-			if p == Problem1 {
-				acc = r * l
-				for _, hop := range ix.hops[lo:hi] {
-					if int64(hop) < l {
-						acc += l - int64(hop)
-					}
-				}
-			} else {
-				acc = r + (hi - lo)
-			}
-			sums[u] = acc
+			sums[u] = ix.emptySumInt(p, u)
 		}
 		ix.emptySums[slot] = sums
-	})
+	}
 	return ix.emptySums[slot], nil
+}
+
+// resetEmptyMemos drops the memoized empty-set vectors; Repair calls it
+// because the entries (and possibly n) they summarize changed.
+func (ix *Index) resetEmptyMemos() {
+	ix.emptyMu.Lock()
+	ix.emptyGains = [2][]float64{}
+	ix.emptySums = [2][]int64{}
+	ix.emptyMu.Unlock()
 }
 
 // EmptySetObjectiveSum returns the integer objective accumulator of the

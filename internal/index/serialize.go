@@ -33,9 +33,14 @@ const (
 	// replicate number (R0) to the header so a partial index built over a
 	// replicate range [r0, r1) round-trips its range identity and a spilled
 	// shard slice can never be warm-loaded as a full build (or as a
-	// different shard's slice). Older versions are rejected rather than
+	// different shard's slice); version 6 appended the graph mutation epoch,
+	// so once graphs can change at runtime (graph.ApplyDelta) a spill file
+	// written before a mutation is rejected on restart instead of silently
+	// serving pre-mutation walks — including when a delta and its inverse
+	// leave the structure (and thus the fingerprint) identical but the
+	// lineage two epochs newer. Older versions are rejected rather than
 	// silently misread, forcing a cheap rebuild.
-	indexVersion = 5
+	indexVersion = 6
 )
 
 // castagnoli is the CRC32-C polynomial table the v4 trailer uses (the same
@@ -44,8 +49,10 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // WriteTo serializes the index. It implements io.WriterTo. Everything from
 // the magic through the payload is covered by a trailing CRC32-C, verified
-// by ReadIndex.
+// by ReadIndex. A patched (post-Repair) index is serialized in its canonical
+// compacted form, computed on a copy — the receiver is not mutated.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	ix = ix.compacted()
 	bw := bufio.NewWriterSize(w, 1<<20)
 	sum := crc32.New(castagnoli)
 	cw := io.MultiWriter(bw, sum)
@@ -70,6 +77,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		ix.seed,
 		uint64(len(ix.ids)),
 		uint64(ix.rbase),
+		ix.gepoch,
 	}
 	for _, h := range header {
 		if err := put(h); err != nil {
@@ -109,7 +117,7 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 	if string(magic) != indexMagic {
 		return nil, fmt.Errorf("index: bad magic %q", magic)
 	}
-	var header [8]uint64
+	var header [9]uint64
 	for i := range header {
 		if err := binary.Read(br, binary.LittleEndian, &header[i]); err != nil {
 			return nil, fmt.Errorf("index: read header: %w", err)
@@ -118,9 +126,14 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 			return nil, fmt.Errorf("index: unsupported version %d (want %d)", header[0], indexVersion)
 		}
 	}
-	fp, n, l, rr, seed, entries, rbase := header[1], header[2], header[3], header[4], header[5], header[6], header[7]
+	fp, n, l, rr, seed, entries, rbase, gepoch := header[1], header[2], header[3], header[4], header[5], header[6], header[7], header[8]
 	if got := g.Fingerprint(); got != fp {
 		return nil, fmt.Errorf("index: graph fingerprint mismatch: index built on %016x, loading against %016x", fp, got)
+	}
+	if got := g.Epoch(); got != gepoch {
+		// The fingerprint above cannot catch a delta plus its inverse (the
+		// structure round-trips); the monotone epoch can.
+		return nil, fmt.Errorf("index: graph epoch mismatch: index built at epoch %d, loading against epoch %d", gepoch, got)
 	}
 	if int(n) != g.N() {
 		return nil, fmt.Errorf("index: node count mismatch: %d vs %d", n, g.N())
@@ -139,6 +152,7 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 		r:       int(rr),
 		rbase:   int(rbase),
 		seed:    seed,
+		gepoch:  gepoch,
 		offsets: make([]int64, rows+1),
 		ids:     make([]int32, entries),
 		hops:    make([]uint16, entries),

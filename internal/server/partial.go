@@ -54,6 +54,20 @@ type PartialTopGainsResponse struct {
 	Degraded    bool    `json:"degraded,omitempty"`
 }
 
+// parseEpoch parses the optional epoch pin parameter (see
+// engine.PartialGainRequest.Epoch): nil when absent.
+func parseEpoch(r *http.Request) (*uint64, error) {
+	v := r.URL.Query().Get("epoch")
+	if v == "" {
+		return nil, nil
+	}
+	e, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad epoch=%q", v)
+	}
+	return &e, nil
+}
+
 // parseRange parses the required r0/r1 replicate-range parameters; range
 // validity (0 <= r0 < r1, width <= max-R) is the engine's call.
 func parseRange(r *http.Request) (r0, r1 int, err error) {
@@ -100,6 +114,11 @@ func (s *Server) handlePartialGain(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, fmt.Errorf("bad objective=%q (want 0 or 1)", q.Get("objective")))
 		return
 	}
+	epoch, err := parseEpoch(r)
+	if err != nil {
+		writeBadRequest(w, err)
+		return
+	}
 	res, err := s.engine.PartialGain(r.Context(), engine.PartialGainRequest{
 		Graph:         qp.graph,
 		Problem:       qp.problem,
@@ -107,6 +126,7 @@ func (s *Server) handlePartialGain(w http.ResponseWriter, r *http.Request) {
 		Seed:          qp.seed,
 		R0:            r0,
 		R1:            r1,
+		Epoch:         epoch,
 		Set:           qp.set,
 		Nodes:         nodes,
 		WantObjective: wantObjective,
@@ -167,6 +187,11 @@ func (s *Server) handlePartialTopGains(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	epoch, err := parseEpoch(r)
+	if err != nil {
+		writeBadRequest(w, err)
+		return
+	}
 	res, err := s.engine.PartialTopGains(r.Context(), engine.PartialTopGainsRequest{
 		Graph:   qp.graph,
 		Problem: qp.problem,
@@ -174,9 +199,10 @@ func (s *Server) handlePartialTopGains(w http.ResponseWriter, r *http.Request) {
 		Seed:    qp.seed,
 		R0:      r0,
 		R1:      r1,
+		Epoch:   epoch,
 		Set:     qp.set,
-		B:       b,
 		Workers: workers,
+		B:       b,
 	})
 	if err != nil {
 		writeEngineError(w, err)

@@ -16,6 +16,12 @@
 //	GET  /v1/gain       marginal gain of candidate nodes against a seed set
 //	GET  /v1/objective  estimated objective value of a seed set
 //	GET  /v1/topgains   top-B candidates by marginal gain against a seed set
+//	POST /v1/graph/{name}/edges
+//	                    mutate graph {name}: append nodes, add and remove
+//	                    edges in one atomic delta; bumps the graph's
+//	                    mutation epoch and repairs resident walk indexes
+//	                    incrementally (in sharded mode the delta is
+//	                    broadcast to every worker)
 //	GET  /healthz       liveness (503 while draining)
 //	GET  /stats         index/memo cache traffic, in-flight gauge,
 //	                    per-endpoint latency histograms
@@ -24,8 +30,9 @@
 //
 //	{"error":{"code":"bad_request","message":"k=0 outside [1, 10000]"}}
 //
-// with stable codes bad_request, not_found, draining, overloaded, timeout
-// and internal (engine.Code), always under Content-Type: application/json.
+// with stable codes bad_request, not_found, conflict, stale_epoch,
+// draining, overloaded, timeout and internal (engine.Code), always under
+// Content-Type: application/json.
 // The client package decodes the same envelope into typed errors, and
 // retries draining and overloaded replies with jittered backoff.
 //
@@ -198,6 +205,14 @@ type Server struct {
 	inFlight atomic.Int64
 	draining atomic.Bool
 
+	// mutateMu serializes graph mutations across the server's appliers (its
+	// own engine — which always serves /v1/partial — and, in sharded mode,
+	// the coordinator's workers), so every applier observes deltas in the
+	// same order. Deltas do not commute in general; without this a pair of
+	// concurrent POSTs could reach the engine and the workers in opposite
+	// orders and diverge at the same epoch.
+	mutateMu sync.Mutex
+
 	mux       *http.ServeMux
 	endpoints map[string]*endpointMetrics
 	closeOnce sync.Once
@@ -257,6 +272,7 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET /v1/gain", "gain", s.handleGain)
 	s.route("GET /v1/objective", "objective", s.handleObjective)
 	s.route("GET /v1/topgains", "topgains", s.handleTopGains)
+	s.route("POST /v1/graph/{name}/edges", "mutate", s.handleApplyDelta)
 	s.route("GET /v1/partial/gain", "partial_gain", s.handlePartialGain)
 	s.route("GET /v1/partial/topgains", "partial_topgains", s.handlePartialTopGains)
 	s.route("GET /healthz", "healthz", s.handleHealthz)

@@ -32,6 +32,11 @@ type Conn interface {
 	Addr() string
 	PartialGain(ctx context.Context, req engine.PartialGainRequest) (*engine.PartialGainResult, error)
 	PartialTopGains(ctx context.Context, req engine.PartialTopGainsRequest) (*engine.PartialTopGainsResult, error)
+	// ApplyDelta replays a graph mutation onto the worker. The coordinator
+	// broadcasts every applied delta with BaseEpoch pinned to the worker's
+	// expected pre-mutation epoch, so a worker that missed an earlier
+	// broadcast conflicts instead of silently diverging.
+	ApplyDelta(ctx context.Context, req engine.ApplyDeltaRequest) (*engine.ApplyDeltaResult, error)
 	Close() error
 }
 
@@ -57,6 +62,10 @@ func (c *localConn) PartialGain(ctx context.Context, req engine.PartialGainReque
 
 func (c *localConn) PartialTopGains(ctx context.Context, req engine.PartialTopGainsRequest) (*engine.PartialTopGainsResult, error) {
 	return c.eng.PartialTopGains(ctx, req)
+}
+
+func (c *localConn) ApplyDelta(ctx context.Context, req engine.ApplyDeltaRequest) (*engine.ApplyDeltaResult, error) {
+	return c.eng.ApplyDelta(ctx, req)
 }
 
 func (c *localConn) Close() error {
@@ -96,6 +105,7 @@ func (c *remoteConn) PartialGain(ctx context.Context, req engine.PartialGainRequ
 		Seed:          &req.Seed,
 		R0:            req.R0,
 		R1:            req.R1,
+		Epoch:         req.Epoch,
 		Set:           req.Set,
 		Nodes:         req.Nodes,
 		WantObjective: req.WantObjective,
@@ -127,6 +137,7 @@ func (c *remoteConn) PartialTopGains(ctx context.Context, req engine.PartialTopG
 		Seed:    &req.Seed,
 		R0:      req.R0,
 		R1:      req.R1,
+		Epoch:   req.Epoch,
 		Set:     req.Set,
 		B:       req.B,
 		Workers: req.Workers,
@@ -142,6 +153,36 @@ func (c *remoteConn) PartialTopGains(ctx context.Context, req engine.PartialTopG
 		IndexCached: resp.IndexCached,
 		Memo:        resp.Memo,
 		Degraded:    resp.Degraded,
+	}, nil
+}
+
+func (c *remoteConn) ApplyDelta(ctx context.Context, req engine.ApplyDeltaRequest) (*engine.ApplyDeltaResult, error) {
+	add := make([]client.Edge, 0, len(req.Delta.AddEdges))
+	for _, e := range req.Delta.AddEdges {
+		add = append(add, client.Edge{U: e.U, V: e.V, W: e.W})
+	}
+	remove := make([]client.Edge, 0, len(req.Delta.RemoveEdges))
+	for _, e := range req.Delta.RemoveEdges {
+		remove = append(remove, client.Edge{U: e.U, V: e.V, W: e.W})
+	}
+	resp, err := c.c.ApplyDelta(ctx, client.ApplyDeltaRequest{
+		Graph:     req.Graph,
+		AddNodes:  req.Delta.AddNodes,
+		Add:       add,
+		Remove:    remove,
+		BaseEpoch: req.BaseEpoch,
+	})
+	if err != nil {
+		return nil, engineError(err)
+	}
+	return &engine.ApplyDeltaResult{
+		Epoch:           resp.Epoch,
+		Nodes:           resp.Nodes,
+		Edges:           resp.Edges,
+		Touched:         resp.Touched,
+		IndexesRepaired: resp.IndexesRepaired,
+		IndexesDropped:  resp.IndexesDropped,
+		MemosDropped:    resp.MemosDropped,
 	}, nil
 }
 

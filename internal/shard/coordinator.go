@@ -69,12 +69,24 @@ type Coordinator struct {
 	cfg   Config
 	conns []Conn
 
+	// graphs is the coordinator's live view of the served graphs, seeded from
+	// cfg.Graphs and advanced by ApplyDelta. Reads snapshot (graph, epoch)
+	// under the RLock and pin that epoch on every scatter, so a mid-request
+	// mutation surfaces as a typed retryable stale_epoch from the workers
+	// instead of a silently mixed-epoch merge.
+	graphsMu sync.RWMutex
+	graphs   map[string]*graph.Graph
+
 	merges         atomic.Int64
 	degradedMerges atomic.Int64
 	retries        atomic.Int64
 	mergeLat       histogram
 	perShard       []connStats
 
+	// closed is closed by Close, aborting any retry backoff still sleeping —
+	// a coordinator teardown must not strand goroutines in timers whose
+	// request context is unbounded.
+	closed    chan struct{}
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -88,10 +100,16 @@ func New(cfg Config, conns []Conn) (*Coordinator, error) {
 	if len(cfg.Graphs) == 0 {
 		return nil, fmt.Errorf("shard: coordinator needs at least one graph")
 	}
+	graphs := make(map[string]*graph.Graph, len(cfg.Graphs))
+	for name, g := range cfg.Graphs {
+		graphs[name] = g
+	}
 	return &Coordinator{
 		cfg:      cfg.withDefaults(),
 		conns:    conns,
+		graphs:   graphs,
 		perShard: make([]connStats, len(conns)),
+		closed:   make(chan struct{}),
 	}, nil
 }
 
@@ -139,6 +157,7 @@ func (co *Coordinator) Shards() int { return len(co.conns) }
 // their engines).
 func (co *Coordinator) Close() error {
 	co.closeOnce.Do(func() {
+		close(co.closed)
 		for _, c := range co.conns {
 			if err := c.Close(); err != nil && co.closeErr == nil {
 				co.closeErr = err
@@ -148,24 +167,30 @@ func (co *Coordinator) Close() error {
 	return co.closeErr
 }
 
-// qparams are the validated logical (full-range) request knobs.
+// qparams are the validated logical (full-range) request knobs. epoch is
+// the graph's mutation epoch at resolve time, pinned onto every scatter the
+// request performs.
 type qparams struct {
 	graphName string
 	g         *graph.Graph
 	L, R      int
 	seed      uint64
+	epoch     uint64
 }
 
 // resolveParams mirrors engine.resolveParams: same defaults, same bounds,
 // same messages — a request rejected by the unsharded engine is rejected
-// identically here, before anything is scattered.
+// identically here, before anything is scattered. The (graph, epoch) pair is
+// snapshotted atomically under the graphs RLock, like the engine's.
 func (co *Coordinator) resolveParams(graphName string, L, R int, seed uint64) (qparams, error) {
-	g, ok := co.cfg.Graphs[graphName]
-	if !ok && graphName == "" && len(co.cfg.Graphs) == 1 {
-		for only, sole := range co.cfg.Graphs {
+	co.graphsMu.RLock()
+	g, ok := co.graphs[graphName]
+	if !ok && graphName == "" && len(co.graphs) == 1 {
+		for only, sole := range co.graphs {
 			graphName, g, ok = only, sole, true
 		}
 	}
+	co.graphsMu.RUnlock()
 	if !ok {
 		return qparams{}, &engine.Error{Code: engine.CodeNotFound, Message: fmt.Sprintf("unknown graph %q", graphName)}
 	}
@@ -178,7 +203,7 @@ func (co *Coordinator) resolveParams(graphName string, L, R int, seed uint64) (q
 	if R < 1 || R > co.cfg.MaxR {
 		return qparams{}, badRequestf("R=%d outside [1, %d]", R, co.cfg.MaxR)
 	}
-	return qparams{graphName: graphName, g: g, L: L, R: R, seed: seed}, nil
+	return qparams{graphName: graphName, g: g, L: L, R: R, seed: seed, epoch: g.Epoch()}, nil
 }
 
 // resolveProblem mirrors engine's: zero means Problem 2.
@@ -247,10 +272,10 @@ func (co *Coordinator) split(R int) []span {
 }
 
 // callGain is one shard call with the coordinator's retry layer: temporary
-// (draining/overloaded) failures are re-sent up to cfg.Retries times with
-// doubling backoff, the worker's Retry-After hint overriding the computed
-// wait. Everything else — including bad_request, timeout, and transport
-// death — surfaces immediately.
+// (draining/overloaded/stale_epoch) failures are re-sent up to cfg.Retries
+// times with doubling backoff, the worker's Retry-After hint overriding the
+// computed wait. Everything else — including bad_request, timeout, and
+// transport death — surfaces immediately.
 func (co *Coordinator) callGain(ctx context.Context, sp span, req engine.PartialGainRequest) (*engine.PartialGainResult, error) {
 	var res *engine.PartialGainResult
 	err := co.withRetry(ctx, sp.shard, func() error {
@@ -280,7 +305,8 @@ func (co *Coordinator) withRetry(ctx context.Context, shard int, call func() err
 			return nil
 		}
 		code := engine.CodeOf(err)
-		if attempt >= co.cfg.Retries || (code != engine.CodeDraining && code != engine.CodeOverloaded) {
+		retryable := code == engine.CodeDraining || code == engine.CodeOverloaded || code == engine.CodeStaleEpoch
+		if attempt >= co.cfg.Retries || !retryable {
 			co.perShard[shard].errors.Add(1)
 			return err
 		}
@@ -296,6 +322,13 @@ func (co *Coordinator) withRetry(ctx context.Context, shard int, call func() err
 			t.Stop()
 			co.perShard[shard].errors.Add(1)
 			return wrapCtx(ctx.Err())
+		case <-co.closed:
+			// Coordinator teardown: abort the backoff instead of sleeping out
+			// a wait the dying coordinator will never use. Classified as
+			// draining — the process is going away, exactly like a drain.
+			t.Stop()
+			co.perShard[shard].errors.Add(1)
+			return &engine.Error{Code: engine.CodeDraining, Message: "shard: coordinator closed during retry backoff"}
 		case <-t.C:
 		}
 		backoff *= 2

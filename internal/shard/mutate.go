@@ -1,0 +1,105 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// Coordinator-side graph mutation. The coordinator is the single writer of
+// the sharded deployment: ApplyDelta applies the delta to the coordinator's
+// own graph copy (which validates it and decides the new epoch), then
+// broadcasts it to every worker with BaseEpoch pinned to the pre-mutation
+// epoch, so a worker that somehow missed an earlier broadcast conflicts
+// loudly instead of silently diverging. The write lock excludes resolveParams
+// for the duration, which orders every read strictly before or strictly
+// after the mutation: a pre-mutation read carries the old epoch pin and
+// merges only pre-mutation partial sums, a post-mutation read only starts
+// after every worker acknowledged the delta.
+//
+// On a partial broadcast failure the coordinator still commits the new
+// graph: the workers that applied the delta are at the new epoch and the
+// coordinator must scatter against them with the pin they can answer. The
+// laggard answers every pinned scatter with stale_epoch — a typed,
+// retryable, never-silently-merged failure — until it is fixed or replaced.
+func (co *Coordinator) ApplyDelta(ctx context.Context, req engine.ApplyDeltaRequest) (*engine.ApplyDeltaResult, error) {
+	if req.Delta.Empty() {
+		return nil, badRequestf("empty delta")
+	}
+
+	co.graphsMu.Lock()
+	defer co.graphsMu.Unlock()
+
+	name := req.Graph
+	g, ok := co.graphs[name]
+	if !ok && name == "" && len(co.graphs) == 1 {
+		for only, sole := range co.graphs {
+			name, g, ok = only, sole, true
+		}
+	}
+	if !ok {
+		return nil, &engine.Error{Code: engine.CodeNotFound, Message: fmt.Sprintf("unknown graph %q", name)}
+	}
+	base := g.Epoch()
+	if req.BaseEpoch != nil && *req.BaseEpoch != base {
+		return nil, &engine.Error{
+			Code:    engine.CodeConflict,
+			Message: fmt.Sprintf("graph %q is at epoch %d, request expected %d", name, base, *req.BaseEpoch),
+		}
+	}
+	ng, touched, err := g.ApplyDelta(req.Delta)
+	if err != nil {
+		if errors.Is(err, graph.ErrEdgeExists) || errors.Is(err, graph.ErrEdgeMissing) {
+			return nil, &engine.Error{Code: engine.CodeConflict, Message: err.Error()}
+		}
+		return nil, &engine.Error{Code: engine.CodeBadRequest, Message: err.Error()}
+	}
+
+	// Broadcast to every worker (not just the spans of some R): each worker
+	// validated the same delta against the same pre-mutation graph state, so
+	// all of them land on a structurally identical graph at the same epoch.
+	breq := req
+	breq.Graph = name
+	breq.BaseEpoch = &base
+	runCtx, cancel := co.Context(ctx, 0)
+	defer cancel()
+	results := make([]*engine.ApplyDeltaResult, len(co.conns))
+	errs := make([]error, len(co.conns))
+	var wg sync.WaitGroup
+	for i := range co.conns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = co.withRetry(runCtx, i, func() error {
+				var err error
+				results[i], err = co.conns[i].ApplyDelta(runCtx, breq)
+				return err
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	// Commit before reporting any worker failure — see the doc comment.
+	co.graphs[name] = ng
+
+	res := &engine.ApplyDeltaResult{
+		Epoch:   ng.Epoch(),
+		Nodes:   ng.N(),
+		Edges:   ng.M(),
+		Touched: len(touched),
+	}
+	for i, r := range results {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("shard: worker %s failed to apply delta (cluster now at epoch %d, worker likely stale): %w",
+				co.conns[i].Addr(), ng.Epoch(), errs[i])
+		}
+		res.IndexesRepaired += r.IndexesRepaired
+		res.IndexesDropped += r.IndexesDropped
+		res.MemosDropped += r.MemosDropped
+	}
+	return res, nil
+}

@@ -1,0 +1,265 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/testleak"
+)
+
+// testDelta builds a structural delta against g: remove one existing edge,
+// add one absent edge, and append one new node wired into the graph.
+func testDelta(t *testing.T, g *graph.Graph) graph.Delta {
+	t.Helper()
+	u := 0
+	for ; u < g.N(); u++ {
+		if g.Degree(u) > 0 {
+			break
+		}
+	}
+	v := int(g.Neighbors(u)[0])
+	a, b := -1, -1
+	for x := 0; x < g.N() && a < 0; x++ {
+		for y := x + 2; y < g.N(); y++ {
+			if x != y && !g.HasEdge(x, y) {
+				a, b = x, y
+				break
+			}
+		}
+	}
+	if a < 0 {
+		t.Fatal("no absent edge found")
+	}
+	return graph.Delta{
+		AddNodes:    1,
+		AddEdges:    []graph.Edge{{U: a, V: b}, {U: g.N(), V: u}},
+		RemoveEdges: []graph.Edge{{U: u, V: v}},
+	}
+}
+
+// TestShardApplyDeltaParity is the sharded half of the tentpole's parity
+// criterion: after a coordinator-broadcast mutation, selections and reads
+// must stay bit-identical to an unsharded engine that applied the same
+// delta — for 1, 2 and 4 shards, both problems, both strategies. The
+// pre-mutation Select warms every worker's index so the broadcast exercises
+// the incremental-repair path, not a cold rebuild.
+func TestShardApplyDeltaParity(t *testing.T) {
+	ctx := context.Background()
+	for _, shards := range []int{1, 2, 4} {
+		g := testGraph(t, 300, 13)
+		ref, co := newParityPair(t, g, shards)
+		warm := engine.SelectRequest{Graph: "test", K: 4, L: 5, R: 25, Seed: 9}
+		if _, err := co.Select(ctx, warm); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.Select(ctx, warm); err != nil {
+			t.Fatal(err)
+		}
+
+		d := testDelta(t, g)
+		res, err := co.ApplyDelta(ctx, engine.ApplyDeltaRequest{Graph: "test", Delta: d})
+		if err != nil {
+			t.Fatalf("shards=%d: coordinator ApplyDelta: %v", shards, err)
+		}
+		if res.Epoch != 1 {
+			t.Fatalf("shards=%d: epoch %d, want 1", shards, res.Epoch)
+		}
+		if res.IndexesRepaired == 0 {
+			t.Fatalf("shards=%d: no worker index was repaired incrementally (dropped=%d)", shards, res.IndexesDropped)
+		}
+		if _, err := ref.ApplyDelta(ctx, engine.ApplyDeltaRequest{Graph: "test", Delta: d}); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, problem := range []engine.Problem{engine.Problem1, engine.Problem2} {
+			for _, strategy := range []engine.Strategy{engine.Lazy, engine.Plain} {
+				req := engine.SelectRequest{
+					Graph: "test", Problem: problem, K: 6,
+					L: 5, R: 25, Seed: 9, Strategy: strategy,
+				}
+				want, err := ref.Select(ctx, req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := co.Select(ctx, req)
+				if err != nil {
+					t.Fatalf("shards=%d %v/%v: %v", shards, problem, strategy, err)
+				}
+				if !sameInts(got.Nodes, want.Nodes) || !sameFloats(got.Gains, want.Gains) {
+					t.Fatalf("shards=%d %v/%v: post-mutation selection diverged: %v/%v, want %v/%v",
+						shards, problem, strategy, got.Nodes, got.Gains, want.Nodes, want.Gains)
+				}
+			}
+			greq := engine.GainRequest{
+				Graph: "test", Problem: problem, L: 5, R: 25, Seed: 9,
+				Set: []int{3, 17}, Nodes: []int{0, 5, 299, 300},
+			}
+			want, err := ref.Gain(ctx, greq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := co.Gain(ctx, greq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameFloats(got.Gains, want.Gains) {
+				t.Fatalf("shards=%d %v: post-mutation gains %v, want %v", shards, problem, got.Gains, want.Gains)
+			}
+			oreq := engine.ObjectiveRequest{Graph: "test", Problem: problem, L: 5, R: 25, Seed: 9, Set: []int{3, 17}}
+			wantO, err := ref.Objective(ctx, oreq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotO, err := co.Objective(ctx, oreq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(gotO.Objective) != math.Float64bits(wantO.Objective) {
+				t.Fatalf("shards=%d %v: post-mutation objective %v, want %v", shards, problem, gotO.Objective, wantO.Objective)
+			}
+		}
+	}
+}
+
+// TestShardApplyDeltaConflicts pins the coordinator's mutation validation:
+// the same typed codes as the engine's, checked before anything is
+// broadcast.
+func TestShardApplyDeltaConflicts(t *testing.T) {
+	g := testGraph(t, 60, 3)
+	_, co := newParityPair(t, g, 2)
+	ctx := context.Background()
+	d := testDelta(t, g)
+	stale := uint64(7)
+	cases := []struct {
+		name string
+		req  engine.ApplyDeltaRequest
+		code engine.Code
+	}{
+		{"empty delta", engine.ApplyDeltaRequest{Graph: "test"}, engine.CodeBadRequest},
+		{"unknown graph", engine.ApplyDeltaRequest{Graph: "nope", Delta: d}, engine.CodeNotFound},
+		{"stale base epoch", engine.ApplyDeltaRequest{Graph: "test", Delta: d, BaseEpoch: &stale}, engine.CodeConflict},
+		{"remove missing", engine.ApplyDeltaRequest{Graph: "test", Delta: graph.Delta{RemoveEdges: d.AddEdges[:1]}}, engine.CodeConflict},
+		{"node out of range", engine.ApplyDeltaRequest{Graph: "test", Delta: graph.Delta{AddEdges: []graph.Edge{{U: 0, V: 500}}}}, engine.CodeBadRequest},
+	}
+	for _, tc := range cases {
+		_, err := co.ApplyDelta(ctx, tc.req)
+		if engine.CodeOf(err) != tc.code {
+			t.Fatalf("%s: code %q (err %v), want %q", tc.name, engine.CodeOf(err), err, tc.code)
+		}
+	}
+	// Nothing was applied or broadcast: reads still resolve at epoch 0.
+	if _, err := co.Gain(ctx, engine.GainRequest{Graph: "test", L: 4, R: 8, Nodes: []int{1}}); err != nil {
+		t.Fatalf("reads broken after rejected mutations: %v", err)
+	}
+}
+
+// rejectMutationConn wraps a real worker conn but refuses mutations —
+// simulating a worker that cannot apply a broadcast (crashed mid-apply,
+// version skew). The coordinator must surface a typed error AND keep serving
+// pinned reads safely: the laggard answers stale_epoch, never a silent
+// mixed-epoch merge.
+type rejectMutationConn struct {
+	Conn
+}
+
+func (c *rejectMutationConn) ApplyDelta(ctx context.Context, req engine.ApplyDeltaRequest) (*engine.ApplyDeltaResult, error) {
+	return nil, &engine.Error{Code: engine.CodeInternal, Message: "injected: mutation refused"}
+}
+
+// TestShardLaggardWorkerStaleEpoch drives the partial-broadcast-failure
+// path end to end.
+func TestShardLaggardWorkerStaleEpoch(t *testing.T) {
+	testleak.Check(t)
+	g := testGraph(t, 120, 5)
+	graphs := map[string]*graph.Graph{"test": g}
+	mkEngine := func() *engine.Engine {
+		eng, err := engine.New(engine.Config{Graphs: graphs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { eng.Close() })
+		return eng
+	}
+	good := NewLocalConn(mkEngine(), "local/0")
+	lag := &rejectMutationConn{Conn: NewLocalConn(mkEngine(), "local/1")}
+	co, err := New(Config{Graphs: graphs, Retries: -1}, []Conn{good, lag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { co.Close() })
+	ctx := context.Background()
+
+	_, err = co.ApplyDelta(ctx, engine.ApplyDeltaRequest{Graph: "test", Delta: testDelta(t, g)})
+	if engine.CodeOf(err) != engine.CodeInternal {
+		t.Fatalf("partial broadcast failure: code %q (err %v), want internal", engine.CodeOf(err), err)
+	}
+
+	// The coordinator moved to epoch 1 (worker 0 applied); worker 1 is stuck
+	// at epoch 0. A read scattering over both workers must fail typed — the
+	// laggard's stale_epoch — not return a silently mixed-epoch merge.
+	_, err = co.Gain(ctx, engine.GainRequest{Graph: "test", L: 4, R: 8, Nodes: []int{1, 2}})
+	var ee *engine.Error
+	if !errors.As(err, &ee) || ee.Code != engine.CodeStaleEpoch {
+		t.Fatalf("read over laggard worker: err %v, want typed stale_epoch", err)
+	}
+}
+
+// blockedConn always answers overloaded with a long Retry-After, parking the
+// coordinator's retry layer in its backoff sleep.
+type blockedConn struct{}
+
+func (blockedConn) Addr() string { return "blocked/0" }
+func (blockedConn) PartialGain(ctx context.Context, req engine.PartialGainRequest) (*engine.PartialGainResult, error) {
+	return nil, &engine.Error{Code: engine.CodeOverloaded, Message: "injected: overloaded", RetryAfter: time.Hour}
+}
+func (blockedConn) PartialTopGains(ctx context.Context, req engine.PartialTopGainsRequest) (*engine.PartialTopGainsResult, error) {
+	return nil, &engine.Error{Code: engine.CodeOverloaded, Message: "injected: overloaded", RetryAfter: time.Hour}
+}
+func (blockedConn) ApplyDelta(ctx context.Context, req engine.ApplyDeltaRequest) (*engine.ApplyDeltaResult, error) {
+	return nil, &engine.Error{Code: engine.CodeOverloaded, Message: "injected: overloaded", RetryAfter: time.Hour}
+}
+func (blockedConn) Close() error { return nil }
+
+// TestCloseAbortsRetryBackoff: a request sleeping in the coordinator's retry
+// backoff (here: an hour, from the worker's Retry-After hint) must be
+// released promptly when the coordinator is closed, instead of stranding
+// the caller and the goroutine until the timer fires. Regression test for
+// the backoff select lacking a coordinator-shutdown arm: before the fix
+// this test timed out.
+func TestCloseAbortsRetryBackoff(t *testing.T) {
+	g := testGraph(t, 40, 1)
+	co, err := New(Config{Graphs: map[string]*graph.Graph{"test": g}}, []Conn{blockedConn{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := co.Gain(context.Background(), engine.GainRequest{Graph: "test", L: 3, R: 5, Nodes: []int{1}})
+		done <- err
+	}()
+	// Wait until the retry layer has recorded the first attempt and is
+	// sleeping in its hour-long backoff.
+	deadline := time.Now().Add(5 * time.Second)
+	for co.Stats().Retries == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the retry backoff")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := co.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if engine.CodeOf(err) != engine.CodeDraining {
+			t.Fatalf("aborted backoff: code %q (err %v), want draining", engine.CodeOf(err), err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Gain still blocked 5s after Close; backoff sleep was not aborted")
+	}
+}

@@ -29,7 +29,7 @@ func (co *Coordinator) Gain(ctx context.Context, req engine.GainRequest) (*engin
 	defer cancel()
 	start := time.Now()
 	results, err := co.scatterGain(runCtx, engine.PartialGainRequest{
-		Graph: p.graphName, Problem: prob, L: p.L, Seed: p.seed,
+		Graph: p.graphName, Problem: prob, L: p.L, Seed: p.seed, Epoch: &p.epoch,
 		Set: req.Set, Nodes: req.Nodes,
 	}, co.split(p.R))
 	if err != nil {
@@ -68,7 +68,7 @@ func (co *Coordinator) Objective(ctx context.Context, req engine.ObjectiveReques
 	defer cancel()
 	start := time.Now()
 	results, err := co.scatterGain(runCtx, engine.PartialGainRequest{
-		Graph: p.graphName, Problem: prob, L: p.L, Seed: p.seed,
+		Graph: p.graphName, Problem: prob, L: p.L, Seed: p.seed, Epoch: &p.epoch,
 		Set: req.Set, WantObjective: true,
 	}, co.split(p.R))
 	if err != nil {
@@ -186,7 +186,7 @@ func (co *Coordinator) topMerged(ctx context.Context, p qparams, prob index.Prob
 	}
 	for depth := b; ; depth = min(depth*2, n) {
 		base := engine.PartialTopGainsRequest{
-			Graph: p.graphName, Problem: prob, L: p.L, Seed: p.seed,
+			Graph: p.graphName, Problem: prob, L: p.L, Seed: p.seed, Epoch: &p.epoch,
 			Set: set, B: min(depth, n), Workers: workers,
 		}
 		results, err := co.scatterTopGains(ctx, base, spans)
@@ -295,7 +295,7 @@ func (co *Coordinator) lookupMissing(ctx context.Context, p qparams, prob index.
 		go func(i int, sp span, missing []int) {
 			defer wg.Done()
 			res, err := co.callGain(ctx, sp, engine.PartialGainRequest{
-				Graph: p.graphName, Problem: prob, L: p.L, Seed: p.seed,
+				Graph: p.graphName, Problem: prob, L: p.L, Seed: p.seed, Epoch: &p.epoch,
 				R0: sp.r0, R1: sp.r1, Set: set, Nodes: missing,
 			})
 			if err != nil {

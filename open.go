@@ -44,6 +44,7 @@ type querier interface {
 	Gain(context.Context, engine.GainRequest) (*engine.GainResult, error)
 	Objective(context.Context, engine.ObjectiveRequest) (*engine.ObjectiveResult, error)
 	TopGains(context.Context, engine.TopGainsRequest) (*engine.TopGainsResult, error)
+	ApplyDelta(context.Context, engine.ApplyDeltaRequest) (*engine.ApplyDeltaResult, error)
 }
 
 // Request/response types, shared verbatim with the engine (and mirrored by
@@ -82,6 +83,16 @@ type (
 	ShardConnStats = shard.ConnStats
 	// ShardLatency summarizes the coordinator's merge latencies.
 	ShardLatency = shard.LatencySnapshot
+	// Delta is one atomic graph mutation: nodes to append, edges to add,
+	// edges to remove; see Engine.ApplyDelta.
+	Delta = graph.Delta
+	// Edge is one undirected edge in a Delta (W <= 0 means unweighted).
+	Edge = graph.Edge
+	// ApplyDeltaRequest asks for a graph mutation; see Engine.ApplyDelta.
+	ApplyDeltaRequest = engine.ApplyDeltaRequest
+	// ApplyDeltaResult reports one applied mutation: the new epoch and the
+	// fate of every cached artifact (repaired, dropped, memo-invalidated).
+	ApplyDeltaResult = engine.ApplyDeltaResult
 )
 
 // Greedy strategies for SelectRequest.Strategy; the zero value is Lazy.
@@ -97,6 +108,12 @@ const (
 	ErrDraining   = engine.CodeDraining
 	ErrTimeout    = engine.CodeTimeout
 	ErrInternal   = engine.CodeInternal
+	// ErrConflict rejects a structurally impossible mutation (adding an
+	// edge that exists, removing one that doesn't) or a stale BaseEpoch.
+	ErrConflict = engine.CodeConflict
+	// ErrStaleEpoch rejects a read pinned to an epoch the graph is not at;
+	// re-issue the read to resolve against the current epoch.
+	ErrStaleEpoch = engine.CodeStaleEpoch
 )
 
 // ErrorCodeOf extracts the stable code from any Engine method error.
@@ -298,6 +315,20 @@ func (e *Engine) Objective(ctx context.Context, req ObjectiveRequest) (*Objectiv
 // req.Set (set members excluded), gain descending, ties by ascending id.
 func (e *Engine) TopGains(ctx context.Context, req TopGainsRequest) (*TopGainsResult, error) {
 	return e.q.TopGains(ctx, req)
+}
+
+// ApplyDelta applies one atomic mutation to the served graph and bumps its
+// mutation epoch. The mutation is copy-on-write — concurrent queries that
+// already resolved their snapshot finish against pre-mutation state,
+// bit-identically — and resident walk indexes are repaired incrementally
+// (cost proportional to the delta, not the graph), so mutating a warm
+// Engine keeps it warm. Structural conflicts and a stale BaseEpoch fail
+// with ErrConflict and apply nothing. On a sharded Engine the delta is
+// broadcast to every shard before the call returns; a shard that fails to
+// apply leaves the Engine answering reads with typed ErrStaleEpoch errors
+// rather than silently merging mixed-epoch state.
+func (e *Engine) ApplyDelta(ctx context.Context, req ApplyDeltaRequest) (*ApplyDeltaResult, error) {
+	return e.q.ApplyDelta(ctx, req)
 }
 
 // AdoptIndex makes a pre-built index (BuildIndex / LoadIndexFile) servable
