@@ -1,0 +1,65 @@
+package rwdom
+
+import (
+	"context"
+	"testing"
+)
+
+// WithAccuracy end to end through the public facade: easy (hub-dominated)
+// instances stop below the R cap with the certified interval, and the same
+// engine honors a per-request override.
+func TestWithAccuracyEarlyStops(t *testing.T) {
+	g, err := GenerateBarabasiAlbert(400, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := Open(g, WithAccuracy(25, 0.05), WithAccuracyChunk(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	ctx := context.Background()
+
+	res, err := en.Select(ctx, SelectRequest{K: 3, L: 6, R: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epsilon != 25 || res.Delta != 0.05 {
+		t.Fatalf("engine default not inherited: epsilon=%v delta=%v", res.Epsilon, res.Delta)
+	}
+	if !res.EarlyStopped || res.ReplicatesUsed >= 200 {
+		t.Fatalf("easy graph used %d/200 replicates, expected an early stop", res.ReplicatesUsed)
+	}
+	if res.CIWidth > res.Epsilon {
+		t.Fatalf("CIWidth %v exceeds the epsilon target %v", res.CIWidth, res.Epsilon)
+	}
+
+	// A per-request epsilon overrides the engine default; an unreachable one
+	// degrades to the full fixed-R selection with the achieved interval.
+	capped, err := en.Select(ctx, SelectRequest{K: 3, L: 6, R: 200, Seed: 7, Epsilon: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Epsilon != 1e-12 || capped.EarlyStopped || capped.ReplicatesUsed != 200 {
+		t.Fatalf("per-request override not honored: %+v", capped)
+	}
+}
+
+// The sharding boundary through the facade: WithAccuracy cannot Open a
+// sharded engine, and a per-request epsilon against one is ErrUnsupported.
+func TestWithAccuracyShardedRejected(t *testing.T) {
+	g := testGraph(t)
+
+	if _, err := Open(g, WithShards(2), WithAccuracy(0.5, 0.05)); err == nil {
+		t.Fatal("Open accepted WithShards + WithAccuracy")
+	}
+
+	en, err := Open(g, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer en.Close()
+	if _, err := en.Select(context.Background(), SelectRequest{K: 3, L: 4, R: 20, Epsilon: 0.5}); ErrorCodeOf(err) != ErrUnsupported {
+		t.Fatalf("sharded accuracy select: %v (code %v), want ErrUnsupported", err, ErrorCodeOf(err))
+	}
+}

@@ -33,7 +33,7 @@ echo "== benchmarks (benchtime=$BENCHTIME) =="
 # status from its last command, so `go test | tee` would mask bench
 # failures from set -e and this script would write an empty record.
 go test -run '^$' \
-    -bench 'BenchmarkSelectionEndToEnd|BenchmarkIndexBuild$|BenchmarkServingThroughput|BenchmarkGainServing|BenchmarkWarmGainRequest|BenchmarkEngineWarmGain|BenchmarkTopGainsRepeat|BenchmarkAblationAliasVsBinarySearch|BenchmarkAblationCSRVsAdjList|BenchmarkAblationVisitedStamp|BenchmarkAblationLazyVsPlainGreedy|BenchmarkAblationIndexVsResample' \
+    -bench 'BenchmarkSelectionEndToEnd|BenchmarkIndexBuild$|BenchmarkChunkedBuild|BenchmarkAdaptiveBudget|BenchmarkServingThroughput|BenchmarkGainServing|BenchmarkWarmGainRequest|BenchmarkEngineWarmGain|BenchmarkTopGainsRepeat|BenchmarkAblationAliasVsBinarySearch|BenchmarkAblationCSRVsAdjList|BenchmarkAblationVisitedStamp|BenchmarkAblationLazyVsPlainGreedy|BenchmarkAblationIndexVsResample' \
     -benchtime "$BENCHTIME" -timeout 60m . > "$RAW" 2>&1 || { cat "$RAW"; exit 1; }
 go test -run '^$' -bench 'BenchmarkAblationDTableLayout|BenchmarkIncrementalRepair' \
     -benchtime "$BENCHTIME" -timeout 30m ./internal/index/ >> "$RAW" 2>&1 || { cat "$RAW"; exit 1; }
@@ -50,7 +50,12 @@ BEGIN {
 /^Benchmark/ && $4 == "ns/op" {
     if (!first) printf ",\n"
     first = 0
-    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $1, $2, $3
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", $1, $2, $3
+    # Custom b.ReportMetric pairs ("62.15 ci_width", "50.00 replicates")
+    # follow ns/op as value/unit pairs; record each under its unit name.
+    for (i = 5; i + 1 <= NF; i += 2)
+        printf ", \"%s\": %s", $(i + 1), $i
+    printf "}"
 }
 END { printf "\n  ]\n}\n" }
 ' "$RAW" > "$OUT"

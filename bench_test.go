@@ -354,6 +354,81 @@ func BenchmarkIndexBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkChunkedBuild measures chunked index materialization — the same
+// walks as BenchmarkIndexBuild (CI's bench gate maps the two onto each
+// other), assembled as ordered replicate chunks with per-chunk CSR columns.
+// The chunked layout is what the adaptive accuracy budgets build
+// incrementally; this benchmark pins its full-R build cost against the flat
+// build so the chunk seams stay free when accuracy is off.
+func BenchmarkChunkedBuild(b *testing.B) {
+	g, err := GeneratePowerLaw(5000, 30000, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := index.BuildChunkedWorkers(g, 6, 20, uint64(i), 5, bc.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdaptiveBudget measures an epsilon-targeted selection against the
+// fixed-R plain greedy on the same hub-dominated graph. The adaptive arm
+// reports its schedule as custom metrics — replicates (used, out of the R
+// cap) and ci_width (largest committed half-width) — so the record shows the
+// sampling saved, not just the wall time.
+func BenchmarkAdaptiveBudget(b *testing.B) {
+	g, err := GenerateBarabasiAlbert(2000, 2, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const (
+		K = 5
+		L = 6
+		R = 200
+	)
+	b.Run("fixed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sel, err := Solve(g, Problem2, Options{K: K, L: L, R: R, Seed: 7, Algorithm: AlgorithmApprox})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(sel.Nodes) != K {
+				b.Fatal("short selection")
+			}
+		}
+		b.ReportMetric(R, "replicates")
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		acc := core.Accuracy{Epsilon: 75, Delta: 0.05, Chunk: 25}
+		opts := core.Options{K: K, L: L, R: R, Seed: 7}
+		var used, ci float64
+		for i := 0; i < b.N; i++ {
+			sel, err := core.ApproxAdaptiveStream(context.Background(), g, index.Problem2, opts, acc, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(sel.Nodes) != K || !sel.EarlyStopped {
+				b.Fatalf("expected an early-stopped %d-node selection, got %d nodes (early=%t)",
+					K, len(sel.Nodes), sel.EarlyStopped)
+			}
+			used, ci = float64(sel.ReplicatesUsed), sel.MaxCIWidth
+		}
+		b.ReportMetric(used, "replicates")
+		b.ReportMetric(ci, "ci_width")
+	})
+}
+
 // BenchmarkSelectionEndToEnd measures a full public-API selection (index
 // build + greedy loop) at a realistic medium scale, for both problems, at
 // one worker and at all cores. The workers=1 arms correspond to the seed's

@@ -1,0 +1,99 @@
+package client_test
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"repro/client"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+// TestAccuracyRoundTrip pins the SDK half of the adaptive-budget contract:
+// an epsilon-targeted Select carries the accuracy evidence block, streamed
+// rounds carry their per-round CI fields, and Stats surfaces the daemon's
+// adaptive counters.
+func TestAccuracyRoundTrip(t *testing.T) {
+	g, err := graph.BarabasiAlbert(400, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := harness(t, server.Config{
+		Graphs:        map[string]*graph.Graph{"easy": g},
+		AccuracyChunk: 25,
+	})
+	ctx := context.Background()
+	req := client.SelectRequest{Graph: "easy", K: 3, L: 6, R: 200, Epsilon: 25, Delta: 0.05}
+
+	res, err := c.Select(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := res.Accuracy
+	if acc == nil {
+		t.Fatal("epsilon-targeted Select has no Accuracy block")
+	}
+	if acc.Epsilon != 25 || acc.Delta != 0.05 {
+		t.Fatalf("accuracy echoes epsilon=%v delta=%v", acc.Epsilon, acc.Delta)
+	}
+	if !acc.EarlyStopped || acc.ReplicatesUsed >= 200 || acc.CIWidth > acc.Epsilon {
+		t.Fatalf("easy graph should early-stop under budget: %+v", acc)
+	}
+
+	st, err := c.SelectStream(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var rounds []client.Round
+	for st.Next() {
+		rounds = append(rounds, st.Round())
+	}
+	sres, err := st.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Accuracy == nil || *sres.Accuracy != *acc {
+		t.Fatalf("stream accuracy %+v, blocking %+v", sres.Accuracy, acc)
+	}
+	if len(rounds) != len(res.Nodes) {
+		t.Fatalf("%d rounds for %d picks", len(rounds), len(res.Nodes))
+	}
+	for i, rd := range rounds {
+		if rd.Replicates < 1 || rd.Replicates > acc.ReplicatesUsed || rd.CIWidth > acc.Epsilon {
+			t.Fatalf("round %d CI evidence inconsistent: %+v", i, rd)
+		}
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accuracy == nil {
+		t.Fatal("Stats has no Accuracy block after adaptive traffic")
+	}
+	if stats.Accuracy.AdaptiveSelects < 2 || stats.Accuracy.EarlyStops < 2 {
+		t.Fatalf("adaptive counters not recorded: %+v", stats.Accuracy)
+	}
+	if len(stats.Accuracy.CIWidthHist) != 5 {
+		t.Fatalf("ci_width_hist has %d buckets, want 5", len(stats.Accuracy.CIWidthHist))
+	}
+}
+
+// TestAccuracyUnsupportedSharded pins the typed error for the sharding
+// boundary: epsilon against a sharded daemon is CodeUnsupported / HTTP 501.
+func TestAccuracyUnsupportedSharded(t *testing.T) {
+	_, c := harness(t, server.Config{Shards: 2})
+
+	_, err := c.Select(context.Background(), client.SelectRequest{
+		Graph: "test", K: 2, L: 4, R: 20, Epsilon: 0.5,
+	})
+	if client.CodeOf(err) != client.CodeUnsupported {
+		t.Fatalf("sharded accuracy select: %v (code %q), want %q", err, client.CodeOf(err), client.CodeUnsupported)
+	}
+	var ce *client.Error
+	if !asError(err, &ce) || ce.HTTPStatus != http.StatusNotImplemented {
+		t.Fatalf("HTTP status %v, want 501", err)
+	}
+}

@@ -23,7 +23,7 @@
 // Errors returned by every method are (*Error) when the daemon produced a
 // structured failure; Code carries the stable code (CodeBadRequest,
 // CodeNotFound, CodeDraining, CodeOverloaded, CodeTimeout, CodeConflict,
-// CodeStaleEpoch, CodeInternal) from the shared JSON envelope
+// CodeStaleEpoch, CodeUnsupported, CodeInternal) from the shared JSON envelope
 // {"error":{"code","message"}}. Draining and
 // overloaded replies are retried automatically with jittered exponential
 // backoff, honoring the daemon's Retry-After hint when one is present.
@@ -58,7 +58,12 @@ const (
 	// CodeStaleEpoch marks a read pinned to a graph epoch the daemon has
 	// moved past; retrying against the current epoch succeeds.
 	CodeStaleEpoch = "stale_epoch"
-	CodeInternal   = "internal"
+	// CodeUnsupported marks a well-formed request combining features the
+	// daemon's serving mode cannot honor — today, accuracy knobs
+	// (epsilon/delta) against a sharded deployment. Retry without the knob
+	// or against an unsharded daemon.
+	CodeUnsupported = "unsupported"
+	CodeInternal    = "internal"
 )
 
 // Error is a structured daemon error.

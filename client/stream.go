@@ -34,13 +34,15 @@ type SelectStream struct {
 
 // streamLine is the union of the three NDJSON line shapes.
 type streamLine struct {
-	Round     int             `json:"round"`
-	Node      *int            `json:"node"`
-	Gain      float64         `json:"gain"`
-	Objective float64         `json:"objective"`
-	Done      bool            `json:"done"`
-	Result    *SelectResponse `json:"result"`
-	Error     *struct {
+	Round      int             `json:"round"`
+	Node       *int            `json:"node"`
+	Gain       float64         `json:"gain"`
+	Objective  float64         `json:"objective"`
+	CIWidth    float64         `json:"ci_width"`
+	Replicates int             `json:"replicates"`
+	Done       bool            `json:"done"`
+	Result     *SelectResponse `json:"result"`
+	Error      *struct {
 		Code    string `json:"code"`
 		Message string `json:"message"`
 	} `json:"error"`
@@ -99,7 +101,7 @@ func (s *SelectStream) Next() bool {
 			s.done = true
 			return false
 		case ev.Node != nil:
-			s.cur = Round{Round: ev.Round, Node: *ev.Node, Gain: ev.Gain, Objective: ev.Objective}
+			s.cur = Round{Round: ev.Round, Node: *ev.Node, Gain: ev.Gain, Objective: ev.Objective, CIWidth: ev.CIWidth, Replicates: ev.Replicates}
 			return true
 		}
 	}

@@ -39,6 +39,28 @@ type SelectRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// TimeoutMS bounds the request (0 = server default).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Epsilon > 0 enables the adaptive replicate budget: R becomes a cap and
+	// each greedy round stops sampling once the leader's separation
+	// confidence interval beats Epsilon at confidence Delta (server default
+	// 0.05). Zero inherits the daemon default (off unless it runs with
+	// -epsilon). Sharded daemons reject accuracy knobs with CodeUnsupported.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Delta   float64 `json:"delta,omitempty"`
+}
+
+// Accuracy is the adaptive-budget evidence block of a select reply, present
+// only when the run had an epsilon target. CIWidth is the largest per-round
+// separation half-width among the committed rounds (CIWidth <= Epsilon
+// certifies every round met the target); ReplicatesUsed the final
+// materialized replicate width (<= R); EarlyStopped whether the run finished
+// below the R cap.
+type Accuracy struct {
+	Epsilon        float64 `json:"epsilon"`
+	Delta          float64 `json:"delta"`
+	CIWidth        float64 `json:"ci_width"`
+	ReplicatesUsed int     `json:"replicates_used"`
+	ChunksBuilt    int     `json:"chunks_built"`
+	EarlyStopped   bool    `json:"early_stopped"`
 }
 
 // SelectResponse is the /v1/select reply.
@@ -59,15 +81,21 @@ type SelectResponse struct {
 	SelectMS    float64   `json:"select_ms"`
 	IndexCached bool      `json:"index_cached"`
 	Coalesced   bool      `json:"coalesced"`
+	// Accuracy carries the adaptive-budget evidence; nil on fixed-R runs.
+	Accuracy *Accuracy `json:"accuracy,omitempty"`
 }
 
 // Round is one NDJSON round event of POST /v1/select?stream=1: the node
 // picked in this greedy round, its marginal gain, and the objective so far.
+// CIWidth and Replicates carry the round's accuracy evidence on adaptive
+// (epsilon-targeted) runs and are zero otherwise.
 type Round struct {
-	Round     int     `json:"round"`
-	Node      int     `json:"node"`
-	Gain      float64 `json:"gain"`
-	Objective float64 `json:"objective"`
+	Round      int     `json:"round"`
+	Node       int     `json:"node"`
+	Gain       float64 `json:"gain"`
+	Objective  float64 `json:"objective"`
+	CIWidth    float64 `json:"ci_width,omitempty"`
+	Replicates int     `json:"replicates,omitempty"`
 }
 
 // GainRequest identifies a GET /v1/gain query.
@@ -364,10 +392,22 @@ type LatencySnapshot struct {
 	P99MS  float64 `json:"p99_ms"`
 }
 
+// AccuracyStats mirrors the /stats "accuracy" block: adaptive
+// (epsilon-targeted) selection traffic. CIWidthHist buckets each completed
+// run's achieved CIWidth/epsilon ratio into [0,0.25), [0.25,0.5), [0.5,0.75),
+// [0.75,1], and >1 (the run hit the R cap before reaching epsilon).
+type AccuracyStats struct {
+	AdaptiveSelects int64   `json:"adaptive_selects"`
+	EarlyStops      int64   `json:"early_stops"`
+	ChunksBuilt     int64   `json:"chunks_built"`
+	CIWidthHist     []int64 `json:"ci_width_hist"`
+}
+
 // Stats is the /stats reply (endpoint latency histograms are left to raw
 // consumers; see the daemon's /stats documentation). Degraded counts read
 // answers served from frozen memo tables while the walk index was
-// unavailable. Shards is present only on coordinator-mode daemons.
+// unavailable. Shards is present only on coordinator-mode daemons; Accuracy
+// only once an adaptive selection has run.
 type Stats struct {
 	UptimeS          float64        `json:"uptime_s"`
 	Draining         bool           `json:"draining"`
@@ -377,5 +417,6 @@ type Stats struct {
 	Admission        AdmissionStats `json:"admission"`
 	Cache            CacheStats     `json:"cache"`
 	Memo             MemoStats      `json:"memo"`
+	Accuracy         *AccuracyStats `json:"accuracy,omitempty"`
 	Shards           *ShardsStats   `json:"shards,omitempty"`
 }

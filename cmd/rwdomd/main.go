@@ -26,6 +26,18 @@
 //	rwdomd -dataset Epinions -shards 4
 //	rwdomd -dataset Epinions -peer http://worker0:7474 -peer http://worker1:7474
 //
+// Adaptive accuracy budgets (-epsilon, optional -delta) turn the per-request
+// R into a cap: the walk index is materialized in replicate chunks and each
+// greedy round stops sampling once a confidence interval on the leader's
+// separation beats epsilon, so easy graphs finish with a fraction of R while
+// hard graphs spend the cap and report the interval they achieved (the
+// reply's "accuracy" block). Requests may also opt in per call with
+// "epsilon"/"delta" body fields. Not available on sharded deployments (501
+// "unsupported"):
+//
+//	rwdomd -dataset Epinions -epsilon 0.5 -delta 0.05
+//	curl -s localhost:7474/v1/select -d '{"graph":"Epinions","k":10,"L":6,"epsilon":0.5}'
+//
 // Query it with curl:
 //
 //	curl -s localhost:7474/v1/select -d '{"graph":"Epinions","problem":"coverage","k":10,"L":6}'
@@ -128,6 +140,9 @@ func main() {
 		maxQueue   = flag.Int("max-queue", 0, "requests allowed to wait for a computation slot (0 = 8x slots)")
 		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed (503 overloaded) responses")
 		shards     = flag.Int("shards", 0, "run an in-process replicate-sharded coordinator with this many worker shards (0 or 1 = unsharded)")
+		epsilon    = flag.Float64("epsilon", 0, "default accuracy target: adaptive replicate budgets stop each greedy round once the leader's separation CI half-width is <= epsilon (0 = off; R becomes a cap; incompatible with -shards/-peer)")
+		delta      = flag.Float64("delta", 0, "confidence for -epsilon (and per-request epsilons): each round's CI holds with probability >= 1-delta/k (0 = 0.05)")
+		accChunk   = flag.Int("accuracy-chunk", 0, "replicate-chunk width adaptive runs build per step (0 = R/8, rounded up); in sharded mode, aligns per-worker replicate spans to this multiple")
 	)
 	var indexBytes, memoBytes byteSize
 	flag.Var(&indexBytes, "index-bytes", "heap budget for resident walk indexes, e.g. 2GiB or 512MiB (0 = unbounded)")
@@ -166,6 +181,9 @@ func main() {
 		RetryAfterHint: *retryAfter,
 		Shards:         *shards,
 		Peers:          peerFlags,
+		DefaultEpsilon: *epsilon,
+		DefaultDelta:   *delta,
+		AccuracyChunk:  *accChunk,
 	})
 	if err != nil {
 		fatal(err)

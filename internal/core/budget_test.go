@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+// TestAdaptiveEarlyStopsOnEasyGraph pins the speed half of the adaptive
+// contract: on a graph with a decisive hub, the separation interval closes
+// well below the R cap, every committed round reports CI ≤ ε, and the
+// selected set matches the fixed-R selection (the leader is clear, so fewer
+// replicates pick the same nodes).
+func TestAdaptiveEarlyStopsOnEasyGraph(t *testing.T) {
+	// A star with a few spokes joined: node 0 dominates every walk source.
+	g, err := graph.BarabasiAlbert(400, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{K: 3, L: 6, R: 200, Seed: 7}
+	// ε is an absolute half-width in gain units, so it calibrates per
+	// problem: F1 separations are L× larger than F2's. Both targets sit well
+	// above the interval this instance achieves at the full R=200
+	// (≈69 for F1, ≈14.5 for F2), so the rule must close early.
+	epsFor := map[index.Problem]float64{index.Problem1: 120, index.Problem2: 25}
+	for _, p := range []index.Problem{index.Problem1, index.Problem2} {
+		acc := Accuracy{Epsilon: epsFor[p], Delta: 0.05, Chunk: 25}
+		sel, err := ApproxAdaptiveStream(context.Background(), g, p, opts, acc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sel.EarlyStopped || sel.ReplicatesUsed >= opts.R {
+			t.Fatalf("%v: used %d/%d replicates, expected early stop", p, sel.ReplicatesUsed, opts.R)
+		}
+		if sel.MaxCIWidth > acc.Epsilon {
+			t.Fatalf("%v: MaxCIWidth %v exceeds epsilon %v despite early stop", p, sel.MaxCIWidth, acc.Epsilon)
+		}
+		if len(sel.Nodes) != opts.K || len(sel.Rounds) != opts.K {
+			t.Fatalf("%v: %d nodes / %d rounds, want %d", p, len(sel.Nodes), len(sel.Rounds), opts.K)
+		}
+		for i, rd := range sel.Rounds {
+			if rd.CIWidth > acc.Epsilon || rd.Replicates > sel.ReplicatesUsed {
+				t.Fatalf("%v: round %d CI %v replicates %d inconsistent", p, i, rd.CIWidth, rd.Replicates)
+			}
+		}
+	}
+}
+
+// TestAdaptiveCapsAtROnHardTarget pins the accuracy half: with an
+// unreachable ε the run spends the whole budget, reports EarlyStopped =
+// false, and its selection is bit-identical to the plain fixed-R greedy at
+// the same parameters — the cap degrades to today's behavior plus error
+// bars.
+func TestAdaptiveCapsAtROnHardTarget(t *testing.T) {
+	g, err := graph.BarabasiAlbert(200, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{K: 4, L: 5, R: 40, Seed: 13}
+	for _, p := range []index.Problem{index.Problem1, index.Problem2} {
+		acc := Accuracy{Epsilon: 1e-12, Delta: 0.1, Chunk: 16}
+		sel, err := ApproxAdaptiveStream(context.Background(), g, p, opts, acc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.EarlyStopped || sel.ReplicatesUsed != opts.R {
+			t.Fatalf("%v: used %d replicates, want full cap %d", p, sel.ReplicatesUsed, opts.R)
+		}
+		if sel.MaxCIWidth <= 0 {
+			t.Fatalf("%v: capped run must report its achieved CI, got %v", p, sel.MaxCIWidth)
+		}
+		fixed, err := approxGreedy(g, Options{K: opts.K, L: opts.L, R: opts.R, Seed: opts.Seed}, "ref", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sel.Nodes) != len(fixed.Nodes) {
+			t.Fatalf("%v: %d nodes vs fixed %d", p, len(sel.Nodes), len(fixed.Nodes))
+		}
+		for i := range sel.Nodes {
+			if sel.Nodes[i] != fixed.Nodes[i] || sel.Gains[i] != fixed.Gains[i] {
+				t.Fatalf("%v: capped adaptive diverges from fixed-R at round %d: node %d/%d gain %v/%v",
+					p, i, sel.Nodes[i], fixed.Nodes[i], sel.Gains[i], fixed.Gains[i])
+			}
+		}
+	}
+}
+
+// TestAdaptiveDeterministicAcrossWorkers pins bit-reproducibility of the
+// adaptive path: nodes, gains, replicate schedule and CI widths are
+// identical at every worker count.
+func TestAdaptiveDeterministicAcrossWorkers(t *testing.T) {
+	g, err := graph.BarabasiAlbert(150, 2, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy{Epsilon: 0.5, Delta: 0.05, Chunk: 10}
+	var ref *BudgetSelection
+	for _, workers := range []int{1, 2, 4} {
+		opts := Options{K: 5, L: 4, R: 80, Seed: 23, Workers: workers}
+		sel, err := ApproxAdaptiveStream(context.Background(), g, index.Problem2, opts, acc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = sel
+			continue
+		}
+		if sel.ReplicatesUsed != ref.ReplicatesUsed || sel.ChunksBuilt != ref.ChunksBuilt {
+			t.Fatalf("workers=%d: schedule %d/%d, want %d/%d", workers, sel.ReplicatesUsed, sel.ChunksBuilt, ref.ReplicatesUsed, ref.ChunksBuilt)
+		}
+		for i := range ref.Nodes {
+			if sel.Nodes[i] != ref.Nodes[i] || sel.Gains[i] != ref.Gains[i] || sel.Rounds[i] != ref.Rounds[i] {
+				t.Fatalf("workers=%d: round %d diverges", workers, i)
+			}
+		}
+	}
+}
+
+// TestAdaptiveStreamObserver pins the streamed rounds: one BudgetPick per
+// committed node, totals telescoping, and observer errors aborting the run.
+func TestAdaptiveStreamObserver(t *testing.T) {
+	g, err := graph.BarabasiAlbert(100, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{K: 3, L: 4, R: 30, Seed: 1}
+	acc := Accuracy{Epsilon: 2, Delta: 0.05, Chunk: 10}
+	var picks []BudgetPick
+	sel, err := ApproxAdaptiveStream(context.Background(), g, index.Problem2, opts, acc, func(bp BudgetPick) error {
+		picks = append(picks, bp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(picks) != len(sel.Nodes) {
+		t.Fatalf("%d picks for %d nodes", len(picks), len(sel.Nodes))
+	}
+	total := 0.0
+	for i, bp := range picks {
+		total += bp.Gain
+		if bp.Round != i+1 || bp.Node != sel.Nodes[i] || bp.Total != total {
+			t.Fatalf("pick %d inconsistent: %+v", i, bp)
+		}
+		if bp.CIWidth != sel.Rounds[i].CIWidth || bp.Replicates != sel.Rounds[i].Replicates {
+			t.Fatalf("pick %d CI fields diverge from Rounds", i)
+		}
+	}
+	wantErr := context.Canceled
+	_, err = ApproxAdaptiveStream(context.Background(), g, index.Problem2, opts, acc, func(BudgetPick) error {
+		return wantErr
+	})
+	if err != wantErr {
+		t.Fatalf("observer error not propagated: %v", err)
+	}
+}
+
+// TestAdaptiveValidation pins the knob contract.
+func TestAdaptiveValidation(t *testing.T) {
+	g, _ := graph.BarabasiAlbert(50, 2, 1)
+	opts := Options{K: 2, L: 3, R: 10, Seed: 1}
+	bad := []Accuracy{
+		{Epsilon: 0, Delta: 0.05},
+		{Epsilon: -1, Delta: 0.05},
+		{Epsilon: 0.5, Delta: 0},
+		{Epsilon: 0.5, Delta: 1},
+		{Epsilon: 0.5, Delta: 0.05, Chunk: -1},
+	}
+	for _, acc := range bad {
+		if _, err := ApproxAdaptiveStream(context.Background(), g, index.Problem2, opts, acc, nil); err == nil {
+			t.Fatalf("accuracy %+v accepted", acc)
+		}
+	}
+}

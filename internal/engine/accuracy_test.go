@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestSelectAccuracyCappedParity pins the degraded-to-fixed-R half of the
+// accuracy contract at the engine layer: with an unreachable epsilon the
+// adaptive run spends the whole R cap and selects bit-identically to the
+// plain fixed-R Select, while the result reports its accuracy evidence
+// (replicates used, achieved CI) instead of failing.
+func TestSelectAccuracyCappedParity(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	for _, problem := range []Problem{Problem1, Problem2} {
+		base := SelectRequest{Graph: "test", Problem: problem, K: 4, L: 5, R: 30, Seed: 3, Strategy: Plain}
+		fixed, err := e.Select(context.Background(), base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := base
+		req.Epsilon, req.Delta = 1e-12, 0.1
+		adaptive, err := e.Select(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adaptive.Epsilon != req.Epsilon || adaptive.Delta != req.Delta {
+			t.Fatalf("%v: result echoes epsilon=%v delta=%v, want %v/%v",
+				problem, adaptive.Epsilon, adaptive.Delta, req.Epsilon, req.Delta)
+		}
+		if adaptive.EarlyStopped || adaptive.ReplicatesUsed != base.R || adaptive.CIWidth <= 0 {
+			t.Fatalf("%v: capped run reported early=%t replicates=%d ci=%v",
+				problem, adaptive.EarlyStopped, adaptive.ReplicatesUsed, adaptive.CIWidth)
+		}
+		if len(adaptive.Nodes) != len(fixed.Nodes) {
+			t.Fatalf("%v: %d nodes vs fixed %d", problem, len(adaptive.Nodes), len(fixed.Nodes))
+		}
+		for i := range fixed.Nodes {
+			if adaptive.Nodes[i] != fixed.Nodes[i] ||
+				math.Float64bits(adaptive.Gains[i]) != math.Float64bits(fixed.Gains[i]) {
+				t.Fatalf("%v: round %d diverges from fixed-R: node %d/%d gain %v/%v",
+					problem, i, adaptive.Nodes[i], fixed.Nodes[i], adaptive.Gains[i], fixed.Gains[i])
+			}
+		}
+	}
+}
+
+// TestSelectAccuracyEarlyStop pins the speed half: on a hub-dominated graph
+// with a loose epsilon the run stops below the R cap, every streamed round
+// carries its CI evidence, and the stream result matches the blocking one.
+func TestSelectAccuracyEarlyStop(t *testing.T) {
+	g, err := graph.BarabasiAlbert(400, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newTestEngine(t, Config{Graphs: map[string]*graph.Graph{"easy": g}, AccuracyChunk: 25})
+	req := SelectRequest{Graph: "easy", Problem: Problem2, K: 3, L: 6, R: 200, Seed: 7, Epsilon: 25, Delta: 0.05}
+	want, err := e.Select(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.EarlyStopped || want.ReplicatesUsed >= req.R {
+		t.Fatalf("used %d/%d replicates, expected early stop", want.ReplicatesUsed, req.R)
+	}
+	if want.CIWidth > req.Epsilon {
+		t.Fatalf("CIWidth %v exceeds epsilon %v despite early stop", want.CIWidth, req.Epsilon)
+	}
+	if want.ChunksBuilt < 1 || want.ChunksBuilt > (req.R+24)/25 {
+		t.Fatalf("implausible ChunksBuilt %d", want.ChunksBuilt)
+	}
+	var rounds []Round
+	got, err := e.SelectStream(context.Background(), req, func(rd Round) error {
+		rounds = append(rounds, rd)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != len(want.Nodes) || len(got.Nodes) != len(want.Nodes) {
+		t.Fatalf("%d rounds / %d streamed nodes, want %d", len(rounds), len(got.Nodes), len(want.Nodes))
+	}
+	for i, rd := range rounds {
+		if rd.Node != want.Nodes[i] || math.Float64bits(rd.Gain) != math.Float64bits(want.Gains[i]) {
+			t.Fatalf("round %d: streamed %d/%v, blocking %d/%v", i, rd.Node, rd.Gain, want.Nodes[i], want.Gains[i])
+		}
+		if rd.CIWidth > req.Epsilon || rd.Replicates < 1 || rd.Replicates > want.ReplicatesUsed {
+			t.Fatalf("round %d accuracy evidence inconsistent: ci=%v replicates=%d", i, rd.CIWidth, rd.Replicates)
+		}
+	}
+	if got.ReplicatesUsed != want.ReplicatesUsed || got.ChunksBuilt != want.ChunksBuilt {
+		t.Fatalf("stream schedule %d/%d, blocking %d/%d",
+			got.ReplicatesUsed, got.ChunksBuilt, want.ReplicatesUsed, want.ChunksBuilt)
+	}
+
+	st := e.Stats()
+	if st.Accuracy.AdaptiveSelects < 2 || st.Accuracy.EarlyStops < 2 || st.Accuracy.ChunksBuilt < 2 {
+		t.Fatalf("accuracy stats not recorded: %+v", st.Accuracy)
+	}
+	var histTotal int64
+	for _, c := range st.Accuracy.CIWidthHist {
+		histTotal += c
+	}
+	if histTotal != st.Accuracy.AdaptiveSelects {
+		t.Fatalf("CI histogram holds %d runs, want %d", histTotal, st.Accuracy.AdaptiveSelects)
+	}
+}
+
+// TestSelectAccuracyDefaults pins the engine-default path (WithAccuracy):
+// a request without its own epsilon inherits Config.DefaultEpsilon and the
+// documented 0.05 delta.
+func TestSelectAccuracyDefaults(t *testing.T) {
+	g, err := graph.BarabasiAlbert(300, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newTestEngine(t, Config{Graphs: map[string]*graph.Graph{"g": g}, DefaultEpsilon: 30})
+	res, err := e.Select(context.Background(), SelectRequest{Graph: "g", K: 2, L: 5, R: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epsilon != 30 || res.Delta != 0.05 {
+		t.Fatalf("defaults not applied: epsilon=%v delta=%v", res.Epsilon, res.Delta)
+	}
+	if res.ReplicatesUsed < 1 || res.ReplicatesUsed > 100 {
+		t.Fatalf("implausible ReplicatesUsed %d", res.ReplicatesUsed)
+	}
+}
+
+// TestSelectAccuracyValidation pins the knob contract: malformed accuracy
+// parameters are rejected as bad_request before any compute.
+func TestSelectAccuracyValidation(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	bad := []SelectRequest{
+		{Graph: "test", K: 2, L: 4, R: 10, Epsilon: -1},
+		{Graph: "test", K: 2, L: 4, R: 10, Epsilon: math.Inf(1)},
+		{Graph: "test", K: 2, L: 4, R: 10, Epsilon: 0.5, Delta: -0.1},
+		{Graph: "test", K: 2, L: 4, R: 10, Epsilon: 0.5, Delta: 1},
+		{Graph: "test", K: 2, L: 4, R: 10, Delta: 0.05}, // delta without a target
+	}
+	for i, req := range bad {
+		if _, err := e.Select(context.Background(), req); CodeOf(err) != CodeBadRequest {
+			t.Fatalf("request %d: got %v, want bad_request", i, err)
+		}
+	}
+	if _, err := New(Config{Graphs: map[string]*graph.Graph{"g": testGraph(t, 50, 1)}, DefaultEpsilon: -2}); err == nil {
+		t.Fatal("negative DefaultEpsilon accepted")
+	}
+	if _, err := New(Config{Graphs: map[string]*graph.Graph{"g": testGraph(t, 50, 1)}, DefaultDelta: 1.5}); err == nil {
+		t.Fatal("out-of-range DefaultDelta accepted")
+	}
+}

@@ -65,6 +65,16 @@ type SelectRequest struct {
 	// gets its timeout error immediately while the build detaches and still
 	// warms the cache; an expired selection loop is canceled outright.
 	Timeout time.Duration
+	// Epsilon > 0 enables the adaptive replicate budget: R becomes a cap and
+	// each greedy round stops sampling once the leader/runner-up separation
+	// interval half-width is at most Epsilon at confidence Delta (split over
+	// the K rounds). Zero inherits the engine default (off unless configured
+	// via Config.DefaultEpsilon / rwdom.WithAccuracy). Delta must be in
+	// (0, 1) when accuracy is on; zero inherits the engine default (0.05).
+	// Adaptive runs always use the plain driver (CELF bounds are invalid
+	// across replicate-width growth) and skip the shared index cache.
+	Epsilon float64
+	Delta   float64
 }
 
 // SelectResult is one completed selection. Nodes, Gains and Evaluations are
@@ -93,6 +103,18 @@ type SelectResult struct {
 	// the whole selection was shared with an identical concurrent request.
 	IndexCached bool
 	Coalesced   bool
+	// Accuracy evidence of an adaptive run (zero values on fixed-R runs).
+	// Epsilon and Delta echo the resolved accuracy knobs; ReplicatesUsed is
+	// the final materialized replicate width (≤ R); ChunksBuilt counts index
+	// chunks materialized; EarlyStopped reports finishing below the R cap;
+	// CIWidth is the largest per-round separation half-width among committed
+	// rounds, so CIWidth ≤ Epsilon certifies every round met the target.
+	Epsilon        float64
+	Delta          float64
+	CIWidth        float64
+	ReplicatesUsed int
+	ChunksBuilt    int
+	EarlyStopped   bool
 }
 
 // Objective returns the telescoped objective value Σ Gains.
@@ -113,6 +135,11 @@ type Round struct {
 	Node      int
 	Gain      float64
 	Objective float64
+	// CIWidth and Replicates carry the round's accuracy evidence on adaptive
+	// runs: the separation-interval half-width and the replicates
+	// materialized when the round's node was committed. Zero on fixed-R runs.
+	CIWidth    float64
+	Replicates int
 }
 
 // GainRequest asks for the marginal gains of Nodes against the seed Set.

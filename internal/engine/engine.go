@@ -31,7 +31,8 @@
 //
 // Errors carry stable machine-readable codes (*Error with CodeBadRequest,
 // CodeNotFound, CodeDraining, CodeOverloaded, CodeTimeout, CodeConflict,
-// CodeStaleEpoch, CodeInternal) so codecs can map them mechanically — the
+// CodeStaleEpoch, CodeUnsupported, CodeInternal) so codecs can map them
+// mechanically — the
 // HTTP layer to statuses and its JSON error envelope, the client SDK back
 // to typed errors.
 //
@@ -46,6 +47,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -106,6 +108,17 @@ type Config struct {
 	MemoSize    int
 	MemoBytes   int64
 	DisableMemo bool
+	// DefaultEpsilon > 0 turns the adaptive replicate budget on for every
+	// Select/SelectStream whose request does not set its own Epsilon: R
+	// becomes a cap and rounds stop sampling once the leader's separation
+	// interval beats Epsilon at confidence DefaultDelta. Zero (the default)
+	// leaves accuracy off unless a request opts in. DefaultDelta defaults to
+	// 0.05 when accuracy is on. rwdom.WithAccuracy sets both.
+	DefaultEpsilon float64
+	DefaultDelta   float64
+	// AccuracyChunk is the replicate-chunk width adaptive runs build per
+	// extension step (0 means ceil(R/8), the core default).
+	AccuracyChunk int
 }
 
 func (c Config) withDefaults() Config {
@@ -170,6 +183,14 @@ type Engine struct {
 	selectsCoalesced atomic.Int64
 	degraded         atomic.Int64
 
+	// Adaptive-budget counters: selections run under an accuracy target,
+	// how many stopped below the R cap, total index chunks materialized, and
+	// a histogram of achieved CIWidth/ε ratios (see AccuracyStats).
+	adaptiveSelects atomic.Int64
+	earlyStops      atomic.Int64
+	chunksBuilt     atomic.Int64
+	ciWidthHist     [ciBuckets]atomic.Int64
+
 	// lifecycle is canceled by Abort/Close; every computation context
 	// descends from it so shutdown aborts stragglers.
 	lifecycle context.Context
@@ -189,6 +210,15 @@ func New(cfg Config) (*Engine, error) {
 		if g == nil || g.N() == 0 {
 			return nil, &Error{Code: CodeBadRequest, Message: fmt.Sprintf("engine: graph %q is empty", name)}
 		}
+	}
+	if math.IsNaN(cfg.DefaultEpsilon) || math.IsInf(cfg.DefaultEpsilon, 0) || cfg.DefaultEpsilon < 0 {
+		return nil, &Error{Code: CodeBadRequest, Message: fmt.Sprintf("engine: default epsilon %v, want >= 0", cfg.DefaultEpsilon)}
+	}
+	if cfg.DefaultDelta != 0 && !(cfg.DefaultDelta > 0 && cfg.DefaultDelta < 1) {
+		return nil, &Error{Code: CodeBadRequest, Message: fmt.Sprintf("engine: default delta %v, want in (0, 1)", cfg.DefaultDelta)}
+	}
+	if cfg.AccuracyChunk < 0 {
+		return nil, &Error{Code: CodeBadRequest, Message: fmt.Sprintf("engine: accuracy chunk %d, want >= 0", cfg.AccuracyChunk)}
 	}
 	cfg = cfg.withDefaults()
 	cache, err := index.NewCache(cfg.CacheSize, cfg.IndexBytes, cfg.SpillDir)
@@ -301,7 +331,8 @@ func (e *Engine) MemoPinnedRefs() int {
 }
 
 // Stats snapshots the engine-level counters: index-cache and memo traffic,
-// coalesced selections, degraded answers, and admission-gate pressure.
+// coalesced selections, degraded answers, admission-gate pressure, and
+// adaptive-accuracy activity.
 type Stats struct {
 	Cache            index.CacheStats
 	Memo             MemoStats
@@ -312,6 +343,39 @@ type Stats struct {
 	Degraded int64
 	// Admission snapshots the heavy-work gate (zero value when disabled).
 	Admission AdmissionStats
+	// Accuracy snapshots the adaptive replicate-budget counters (zero value
+	// when no adaptive selection has run).
+	Accuracy AccuracyStats
+}
+
+// ciBuckets is the CIWidth/ε histogram width: four quarters of the target
+// plus an overflow bucket for capped runs that missed it.
+const ciBuckets = 5
+
+// AccuracyStats counts adaptive-budget selections. CIWidthHist buckets each
+// completed run's achieved CIWidth/ε ratio: [0,0.25), [0.25,0.5),
+// [0.5,0.75), [0.75,1], and >1 (the run hit the R cap before reaching ε).
+type AccuracyStats struct {
+	AdaptiveSelects int64
+	EarlyStops      int64
+	ChunksBuilt     int64
+	CIWidthHist     [ciBuckets]int64
+}
+
+// recordAdaptive folds one completed adaptive selection into the counters.
+func (e *Engine) recordAdaptive(res *SelectResult) {
+	e.adaptiveSelects.Add(1)
+	if res.EarlyStopped {
+		e.earlyStops.Add(1)
+	}
+	e.chunksBuilt.Add(int64(res.ChunksBuilt))
+	b := ciBuckets - 1
+	if res.Epsilon > 0 && res.CIWidth <= res.Epsilon {
+		if b = int(res.CIWidth / res.Epsilon * 4); b > ciBuckets-2 {
+			b = ciBuckets - 2
+		}
+	}
+	e.ciWidthHist[b].Add(1)
 }
 
 // Stats returns a snapshot of the engine counters.
@@ -322,6 +386,14 @@ func (e *Engine) Stats() Stats {
 		SelectsCoalesced: e.selectsCoalesced.Load(),
 		Degraded:         e.degraded.Load(),
 		Admission:        e.gate.stats(),
+		Accuracy: AccuracyStats{
+			AdaptiveSelects: e.adaptiveSelects.Load(),
+			EarlyStops:      e.earlyStops.Load(),
+			ChunksBuilt:     e.chunksBuilt.Load(),
+		},
+	}
+	for i := range e.ciWidthHist {
+		s.Accuracy.CIWidthHist[i] = e.ciWidthHist[i].Load()
 	}
 	if e.memo != nil {
 		s.Memo = e.memo.Stats()

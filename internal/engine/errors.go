@@ -45,6 +45,13 @@ const (
 	// the request is refused instead; it is safe to retry — the coordinator
 	// re-scatters against the current epoch.
 	CodeStaleEpoch Code = "stale_epoch"
+	// CodeUnsupported marks a request combining features the serving mode
+	// cannot honor — today, accuracy knobs (epsilon/delta) on a
+	// replicate-sharded deployment, where no single process holds the full
+	// replicate range the adaptive stopping rule samples over. The request
+	// itself is well-formed; retry without the unsupported knob or against
+	// an unsharded deployment.
+	CodeUnsupported Code = "unsupported"
 	// CodeInternal marks everything else.
 	CodeInternal Code = "internal"
 )
@@ -135,6 +142,8 @@ func HTTPStatus(code Code) int {
 		return http.StatusConflict
 	case CodeTimeout:
 		return http.StatusGatewayTimeout
+	case CodeUnsupported:
+		return http.StatusNotImplemented
 	default:
 		return http.StatusInternalServerError
 	}

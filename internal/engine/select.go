@@ -4,28 +4,62 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/index"
 )
 
 // resolveSelect validates a SelectRequest against the engine limits.
-func (e *Engine) resolveSelect(req SelectRequest) (p params, prob index.Problem, workers int, err error) {
+func (e *Engine) resolveSelect(req SelectRequest) (p params, prob index.Problem, workers int, acc *core.Accuracy, err error) {
 	prob, err = resolveProblem(req.Problem)
 	if err != nil {
-		return params{}, 0, 0, err
+		return params{}, 0, 0, nil, err
 	}
 	p, err = e.resolveParams(req.Graph, req.L, req.R, req.Seed)
 	if err != nil {
-		return params{}, 0, 0, err
+		return params{}, 0, 0, nil, err
 	}
 	// K = 0 yields an empty selection, the library's historical behavior;
 	// the HTTP codec enforces its stricter k >= 1 contract before reaching
 	// here.
 	if req.K < 0 || req.K > e.cfg.MaxK {
-		return params{}, 0, 0, badRequestf("k=%d outside [0, %d]", req.K, e.cfg.MaxK)
+		return params{}, 0, 0, nil, badRequestf("k=%d outside [0, %d]", req.K, e.cfg.MaxK)
 	}
-	return p, prob, e.resolveWorkers(req.Workers), nil
+	acc, err = e.resolveAccuracy(req.Epsilon, req.Delta)
+	if err != nil {
+		return params{}, 0, 0, nil, err
+	}
+	return p, prob, e.resolveWorkers(req.Workers), acc, nil
+}
+
+// resolveAccuracy resolves the per-request accuracy knobs against the engine
+// defaults: nil means the fixed-R path (accuracy off). Zero epsilon inherits
+// Config.DefaultEpsilon; zero delta inherits Config.DefaultDelta, then the
+// documented 0.05.
+func (e *Engine) resolveAccuracy(eps, delta float64) (*core.Accuracy, error) {
+	if math.IsNaN(eps) || math.IsInf(eps, 0) || eps < 0 {
+		return nil, badRequestf("epsilon=%v, want >= 0", eps)
+	}
+	if eps == 0 {
+		eps = e.cfg.DefaultEpsilon
+	}
+	if eps == 0 {
+		if delta != 0 {
+			return nil, badRequestf("delta=%v without an epsilon target", delta)
+		}
+		return nil, nil
+	}
+	if delta == 0 {
+		delta = e.cfg.DefaultDelta
+	}
+	if delta == 0 {
+		delta = 0.05
+	}
+	if math.IsNaN(delta) || delta <= 0 || delta >= 1 {
+		return nil, badRequestf("delta=%v outside (0, 1)", delta)
+	}
+	return &core.Accuracy{Epsilon: eps, Delta: delta, Chunk: e.cfg.AccuracyChunk}, nil
 }
 
 // Select runs one top-K selection. Identical selections (same graph,
@@ -40,7 +74,7 @@ func (e *Engine) resolveSelect(req SelectRequest) (p params, prob index.Problem,
 // ctx bounds this caller's wait (and is additionally clamped by the
 // request/engine timeout); Abort/Close cancel the computation itself.
 func (e *Engine) Select(ctx context.Context, req SelectRequest) (*SelectResult, error) {
-	p, prob, workers, err := e.resolveSelect(req)
+	p, prob, workers, acc, err := e.resolveSelect(req)
 	if err != nil {
 		return nil, err
 	}
@@ -48,6 +82,11 @@ func (e *Engine) Select(ctx context.Context, req SelectRequest) (*SelectResult, 
 	defer cancel()
 
 	key := fmt.Sprintf("%s|%s|k=%d|lazy=%t", p.cacheKey(), prob, req.K, req.Strategy.lazy())
+	if acc != nil {
+		// Accuracy knobs change the computation (and its result), so they
+		// coalesce only with identically-targeted requests.
+		key += fmt.Sprintf("|eps=%g|delta=%g", acc.Epsilon, acc.Delta)
+	}
 	compute := func(stop <-chan struct{}) (any, error) {
 		cctx, cancel := e.computeCtx(req.Timeout)
 		defer cancel()
@@ -70,7 +109,7 @@ func (e *Engine) Select(ctx context.Context, req SelectRequest) (*SelectResult, 
 			return nil, err
 		}
 		defer release()
-		return e.runSelect(markAdmitted(cctx), p, prob, req.K, req.Strategy.lazy(), workers, nil)
+		return e.runSelect(markAdmitted(cctx), p, prob, req.K, req.Strategy.lazy(), workers, acc, nil)
 	}
 	v, err, shared := e.sf.Do(waitCtx, key, compute)
 	if shared && err != nil && waitCtx.Err() == nil &&
@@ -111,7 +150,7 @@ func (e *Engine) Select(ctx context.Context, req SelectRequest) (*SelectResult, 
 // computation runs under this caller's context (clamped by the
 // request/engine timeout and the engine lifecycle).
 func (e *Engine) SelectStream(ctx context.Context, req SelectRequest, emit func(Round) error) (*SelectResult, error) {
-	p, prob, workers, err := e.resolveSelect(req)
+	p, prob, workers, acc, err := e.resolveSelect(req)
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +163,7 @@ func (e *Engine) SelectStream(ctx context.Context, req SelectRequest, emit func(
 		return nil, err
 	}
 	defer release()
-	res, err := e.runSelect(markAdmitted(runCtx), p, prob, req.K, req.Strategy.lazy(), workers, emit)
+	res, err := e.runSelect(markAdmitted(runCtx), p, prob, req.K, req.Strategy.lazy(), workers, acc, emit)
 	if err != nil {
 		return nil, wrapCompute(err)
 	}
@@ -132,8 +171,12 @@ func (e *Engine) SelectStream(ctx context.Context, req SelectRequest, emit func(
 }
 
 // runSelect executes one selection under the caller-supplied computation
-// context, streaming rounds to onRound when non-nil.
-func (e *Engine) runSelect(ctx context.Context, p params, prob index.Problem, k int, lazy bool, workers int, onRound func(Round) error) (*SelectResult, error) {
+// context, streaming rounds to onRound when non-nil. A non-nil acc routes to
+// the adaptive replicate-budget driver.
+func (e *Engine) runSelect(ctx context.Context, p params, prob index.Problem, k int, lazy bool, workers int, acc *core.Accuracy, onRound func(Round) error) (*SelectResult, error) {
+	if acc != nil {
+		return e.runAdaptiveSelect(ctx, p, prob, k, workers, *acc, onRound)
+	}
 	h, built, indexBuild, err := e.acquireIndexCtx(ctx, p, workers)
 	if err != nil {
 		return nil, err
@@ -162,4 +205,50 @@ func (e *Engine) runSelect(ctx context.Context, p params, prob index.Problem, k 
 		Select:      sel.SelectTime,
 		IndexCached: !built,
 	}, nil
+}
+
+// runAdaptiveSelect executes one selection under an adaptive replicate
+// budget. The run materializes a private chunked index that grows on demand
+// instead of going through the shared cache: the replicate width an adaptive
+// run ends at is data-dependent, so caching a partial index under the fixed-R
+// key would poison fixed-R requests, and the chunk builds are cheap exactly
+// when the run stops early. The caller already holds the admission slot for
+// the whole run, which covers the incremental builds.
+func (e *Engine) runAdaptiveSelect(ctx context.Context, p params, prob index.Problem, k int, workers int, acc core.Accuracy, onRound func(Round) error) (*SelectResult, error) {
+	var onPick func(core.BudgetPick) error
+	if onRound != nil {
+		onPick = func(bp core.BudgetPick) error {
+			return onRound(Round{
+				Round:      bp.Round,
+				Node:       bp.Node,
+				Gain:       bp.Gain,
+				Objective:  bp.Total,
+				CIWidth:    bp.CIWidth,
+				Replicates: bp.Replicates,
+			})
+		}
+	}
+	opts := core.Options{K: k, L: p.L, R: p.R, Seed: p.seed, Workers: workers}
+	sel, err := core.ApproxAdaptiveStream(ctx, p.g, prob, opts, acc, onPick)
+	if err != nil {
+		return nil, err
+	}
+	res := &SelectResult{
+		Nodes:          sel.Nodes,
+		Gains:          sel.Gains,
+		Evaluations:    sel.Evaluations,
+		L:              p.L,
+		R:              p.R,
+		Workers:        workers,
+		IndexBuild:     sel.BuildTime,
+		Select:         sel.SelectTime,
+		Epsilon:        acc.Epsilon,
+		Delta:          acc.Delta,
+		ReplicatesUsed: sel.ReplicatesUsed,
+		ChunksBuilt:    sel.ChunksBuilt,
+		EarlyStopped:   sel.EarlyStopped,
+		CIWidth:        sel.MaxCIWidth,
+	}
+	e.recordAdaptive(res)
+	return res, nil
 }

@@ -20,14 +20,24 @@
 //
 // # Memory layout
 //
-// Both the index and the D-table are stored candidate-major: row (v, i)
-// lives at v·R+i, so the R replicate rows of one node are contiguous. One
-// Gain(u) therefore reads a single contiguous span of index entries
-// (ids[offsets[u·R] : offsets[(u+1)·R]]) and one contiguous D-span
-// (d[u·R : (u+1)·R]) instead of the R scattered rows a replicate-major
-// d[i·n+u] layout costs. The selection loop evaluates Gain over many
-// candidates per round, so this is the hot-path layout; the ablation
-// benchmark in the index test suite quantifies the difference.
+// Within one materialized replicate range, the index and the D-table are
+// stored candidate-major: row (v, i) lives at v·R+i, so the R replicate rows
+// of one node are contiguous. One Gain(u) therefore reads a single
+// contiguous span of index entries (ids[offsets[u·R] : offsets[(u+1)·R]])
+// and one contiguous D-span (d[u·R : (u+1)·R]) instead of the R scattered
+// rows a replicate-major d[i·n+u] layout costs. The selection loop evaluates
+// Gain over many candidates per round, so this is the hot-path layout; the
+// ablation benchmark in the index test suite quantifies the difference.
+//
+// An index can also be chunked (chunked.go): an ordered set of replicate
+// chunks, each a self-contained candidate-major CSR over a consecutive
+// replicate range built by BuildRangeWorkers from the same master seed.
+// Per-walk seeding by (node, absolute replicate) makes each chunk a
+// deterministic slice of the flat build, so integer gain/objective partials
+// summed across chunks equal the flat sums exactly, and a chunked index can
+// grow one chunk at a time (ExtendReplicates) — the mechanism behind
+// adaptive accuracy budgets. The on-disk format (serialize.go, v7) stores
+// one payload + CRC per chunk; a flat index serializes as a single chunk.
 //
 // Gains are pure reads of the D-table between Update calls and accumulate
 // in integers, so GainBatch may be invoked concurrently from any number of
@@ -99,6 +109,17 @@ type Index struct {
 	// supplied, not sampled from seed, so Repair cannot deterministically
 	// regenerate them and refuses.
 	fromWalks bool
+
+	// parts, when non-nil, marks a chunked index: an ordered set of
+	// self-contained partial indexes over consecutive replicate ranges
+	// (chunked.go). Each part is a flat candidate-major CSR built by
+	// BuildRangeWorkers over its own range, so per-walk seeding guarantees the
+	// chunks concatenate to exactly the rows a flat build of the same total
+	// width materializes. A chunked parent holds only aggregate metadata
+	// (g/l/r/rbase/seed/gepoch) — its offsets/ids/hops/ends stay nil — and
+	// every accessor sums or delegates across parts in replicate order.
+	// Flat indexes (parts == nil) are untouched by the chunked machinery.
+	parts []*Index
 
 	// Row (i, v) occupies ids[span(v*R+i)] with parallel first-visit hops in
 	// hops — candidate-major, all R rows of a node contiguous (see the
@@ -481,6 +502,13 @@ func (ix *Index) GraphEpoch() uint64 { return ix.gepoch }
 // Entries returns the number of materialized (source, first-visit) pairs;
 // it is bounded by nRL.
 func (ix *Index) Entries() int64 {
+	if ix.parts != nil {
+		var total int64
+		for _, pt := range ix.parts {
+			total += pt.Entries()
+		}
+		return total
+	}
 	if ix.ends != nil {
 		return int64(len(ix.ids)) - ix.dead
 	}
@@ -490,6 +518,10 @@ func (ix *Index) Entries() int64 {
 // Row returns the sources that hit node v in replicate i and their
 // first-visit hops. The slices alias index storage and must not be modified.
 func (ix *Index) Row(i, v int) (ids []int32, hops []uint16) {
+	if ix.parts != nil {
+		pt, li := ix.partFor(i)
+		return pt.Row(li, v)
+	}
 	lo, hi := ix.span(int64(v)*int64(ix.r) + int64(i))
 	return ix.ids[lo:hi], ix.hops[lo:hi]
 }
@@ -497,6 +529,13 @@ func (ix *Index) Row(i, v int) (ids []int32, hops []uint16) {
 // MemoryBytes reports the approximate heap footprint of the index, used by
 // the scalability experiment to confirm O(nRL + m) space.
 func (ix *Index) MemoryBytes() int64 {
+	if ix.parts != nil {
+		var total int64
+		for _, pt := range ix.parts {
+			total += pt.MemoryBytes()
+		}
+		return total
+	}
 	return int64(len(ix.offsets))*8 + int64(len(ix.ids))*4 + int64(len(ix.hops))*2 + int64(len(ix.ends))*8
 }
 
@@ -510,6 +549,13 @@ type DTable struct {
 	problem Problem
 	d       []uint16 // candidate-major: d[u*R+i], matching the index rows
 	size    int      // |S| so far
+	// tabs, when non-nil, marks the table of a chunked index: one flat child
+	// table per replicate chunk (per-chunk columns), with d/sat unused on the
+	// parent. Every read sums exact int64 partials across tabs; Update fans
+	// out to every tab. sel records the Update history so SyncChunks can
+	// replay it into columns for chunks attached after the table was created.
+	tabs []*DTable
+	sel  []int
 	// sat, Problem 2 only, memoizes nodes whose replicate row is fully
 	// saturated (all R entries 1). Rows are monotone non-decreasing, so a
 	// saturated row stays saturated; EstimateObjective uses it to skip the
@@ -529,6 +575,17 @@ func (ix *Index) NewDTable(p Problem) (*DTable, error) {
 	if p != Problem1 && p != Problem2 {
 		return nil, fmt.Errorf("index: unknown problem %d", int(p))
 	}
+	if ix.parts != nil {
+		t := &DTable{ix: ix, problem: p, tabs: make([]*DTable, 0, len(ix.parts))}
+		for _, pt := range ix.parts {
+			ct, err := pt.NewDTable(p)
+			if err != nil {
+				return nil, err
+			}
+			t.tabs = append(t.tabs, ct)
+		}
+		return t, nil
+	}
 	d := &DTable{ix: ix, problem: p, d: make([]uint16, ix.r*ix.g.N())}
 	if p == Problem1 {
 		l := uint16(ix.l)
@@ -547,6 +604,14 @@ func (t *DTable) Problem() Problem { return t.problem }
 // Clone returns an independent copy of the table, used to evaluate
 // hypothetical selections without disturbing the greedy state.
 func (t *DTable) Clone() *DTable {
+	if t.tabs != nil {
+		c := &DTable{ix: t.ix, problem: t.problem, size: t.size, tabs: make([]*DTable, 0, len(t.tabs))}
+		for _, tb := range t.tabs {
+			c.tabs = append(c.tabs, tb.Clone())
+		}
+		c.sel = append([]int(nil), t.sel...)
+		return c
+	}
 	d := make([]uint16, len(t.d))
 	copy(d, t.d)
 	var sat []bool
@@ -582,6 +647,13 @@ func (t *DTable) Gain(u int) float64 {
 // spans: the candidate's own D-row d[u·R : (u+1)·R] and the candidate's
 // index entries ids[offsets[u·R] : offsets[(u+1)·R]].
 func (t *DTable) gainInt(u int) int64 {
+	if t.tabs != nil {
+		var acc int64
+		for _, tb := range t.tabs {
+			acc += tb.gainInt(u)
+		}
+		return acc
+	}
 	r := t.ix.r
 	base := u * r
 	ends := t.ix.ends
@@ -659,6 +731,13 @@ func (t *DTable) GainSumBatch(us []int, out []int64) []int64 {
 // the final float64 arithmetic once, reproducing EstimateObjective's value
 // bit-for-bit.
 func (t *DTable) ObjectiveSum(members []bool) int64 {
+	if t.tabs != nil {
+		var acc int64
+		for _, tb := range t.tabs {
+			acc += tb.ObjectiveSum(members)
+		}
+		return acc
+	}
 	n := t.ix.g.N()
 	r := t.ix.r
 	var acc int64
@@ -681,6 +760,15 @@ func (t *DTable) ObjectiveSum(members []bool) int64 {
 // Update implements Algorithm 5: fold the newly selected node u into the
 // D-table so subsequent Gain calls are relative to S ∪ {u}.
 func (t *DTable) Update(u int) {
+	if t.tabs != nil {
+		for _, tb := range t.tabs {
+			tb.Update(u)
+		}
+		t.sel = append(t.sel, u)
+		t.size++
+		t.muts++
+		return
+	}
 	r := t.ix.r
 	base := u * r
 	ends := t.ix.ends
@@ -727,6 +815,28 @@ func (t *DTable) Update(u int) {
 // grow toward saturation, and late greedy rounds saturate most of the
 // graph, so repeated objective probes become nearly O(n).
 func (t *DTable) EstimateObjective(members []bool) float64 {
+	var acc int64
+	if t.tabs != nil {
+		for _, tb := range t.tabs {
+			acc += tb.objectiveAccum(members)
+		}
+	} else {
+		acc = t.objectiveAccum(members)
+	}
+	n := t.ix.g.N()
+	avg := float64(acc) / float64(t.ix.r)
+	if t.problem == Problem1 {
+		return float64(n)*float64(t.ix.l) - avg
+	}
+	return avg
+}
+
+// objectiveAccum is EstimateObjective's integer accumulator over a flat
+// table's replicate columns, maintaining the Problem-2 saturation memo. The
+// chunked path sums it across child tables and applies the float arithmetic
+// once with the total replicate width, so chunked objectives are bit-for-bit
+// identical to flat ones.
+func (t *DTable) objectiveAccum(members []bool) int64 {
 	n := t.ix.g.N()
 	r := t.ix.r
 	var acc int64
@@ -748,9 +858,5 @@ func (t *DTable) EstimateObjective(members []bool) float64 {
 		}
 		acc += row
 	}
-	avg := float64(acc) / float64(r)
-	if t.problem == Problem1 {
-		return float64(n)*float64(t.ix.l) - avg
-	}
-	return avg
+	return acc
 }

@@ -27,6 +27,15 @@ func emptySlot(p Problem) (int, error) {
 // node's R replicate rows are contiguous (candidate-major) and the whole sum
 // reads one span; a patched index walks the R row spans individually.
 func (ix *Index) emptySumInt(p Problem, u int) int64 {
+	if ix.parts != nil {
+		// Per-chunk accumulators start from the chunk's own width (R_c·L or
+		// R_c), so they sum to the flat accumulator exactly: Σ R_c = R.
+		var acc int64
+		for _, pt := range ix.parts {
+			acc += pt.emptySumInt(p, u)
+		}
+		return acc
+	}
 	r := int64(ix.r)
 	l := int64(ix.l)
 	var acc int64
@@ -208,9 +217,27 @@ func (t *DTable) ExtendFrom(s *Snapshot, extra ...int) error {
 		return fmt.Errorf("index: snapshot invalidated by %d later mutation(s) of its source", s.src.muts-s.muts)
 	}
 	if t != s.src {
-		copy(t.d, s.src.d)
-		if t.sat != nil {
-			copy(t.sat, s.src.sat)
+		if t.tabs != nil || s.src.tabs != nil {
+			// Chunked tables transfer column by column; both sides must hold
+			// the same chunk set (a SyncChunks on either side bumps muts, so
+			// width drift is caught here or by the snapshot check above).
+			if len(t.tabs) != len(s.src.tabs) {
+				return fmt.Errorf("index: ExtendFrom across chunk widths (%d vs %d chunks)", len(t.tabs), len(s.src.tabs))
+			}
+			for i, st := range s.src.tabs {
+				dt := t.tabs[i]
+				copy(dt.d, st.d)
+				if dt.sat != nil {
+					copy(dt.sat, st.sat)
+				}
+				dt.size = st.size
+			}
+			t.sel = append(t.sel[:0], s.src.sel...)
+		} else {
+			copy(t.d, s.src.d)
+			if t.sat != nil {
+				copy(t.sat, s.src.sat)
+			}
 		}
 		t.size = s.src.size
 	}
@@ -227,5 +254,9 @@ func (t *DTable) Index() *Index { return t.ix }
 // MemoryBytes reports the approximate heap footprint of the table, used by
 // the serving layer's memo cache for /stats accounting.
 func (t *DTable) MemoryBytes() int64 {
-	return int64(len(t.d))*2 + int64(len(t.sat))
+	total := int64(len(t.d))*2 + int64(len(t.sat)) + int64(len(t.sel))*8
+	for _, tb := range t.tabs {
+		total += tb.MemoryBytes()
+	}
+	return total
 }

@@ -96,6 +96,20 @@ func (ix *Index) Repair(ng *graph.Graph, touched []int) error {
 			return fmt.Errorf("index: touched node %d out of range [0,%d)", t, newN)
 		}
 	}
+	if ix.parts != nil {
+		// Chunks are self-contained partial indexes over disjoint replicate
+		// ranges, so each repairs independently against the same delta; the
+		// parent then advances its aggregate graph state.
+		for _, pt := range ix.parts {
+			if err := pt.Repair(ng, touched); err != nil {
+				return err
+			}
+		}
+		ix.g = ng
+		ix.gepoch = ng.Epoch()
+		ix.resetEmptyMemos()
+		return nil
+	}
 	R := ix.r
 	L := ix.l
 	oldRows := int64(oldN) * int64(R)
@@ -279,6 +293,12 @@ func (ix *Index) compactArrays() ([]int64, []int32, []uint16) {
 // graph. It is a no-op on a compact index. Like Repair it mutates the index
 // and must not run concurrently with readers.
 func (ix *Index) Compact() {
+	if ix.parts != nil {
+		for _, pt := range ix.parts {
+			pt.Compact()
+		}
+		return
+	}
 	if ix.ends == nil {
 		return
 	}
@@ -293,6 +313,10 @@ func (ix *Index) Compact() {
 // safe for concurrent readers of a compact index and never persists the
 // patched layout.
 func (ix *Index) compacted() *Index {
+	if ix.parts != nil {
+		// Chunked parents hold no arrays; WriteTo compacts chunk by chunk.
+		return ix
+	}
 	if ix.ends == nil {
 		return ix
 	}

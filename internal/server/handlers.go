@@ -161,6 +161,29 @@ type SelectRequest struct {
 	// the build detaches and still warms the cache; an expired selection
 	// loop is canceled outright.
 	TimeoutMS int `json:"timeout_ms"`
+	// Epsilon > 0 enables the adaptive replicate budget: R becomes a cap and
+	// each round stops sampling once the leader's separation interval beats
+	// epsilon at confidence delta (default 0.05, or the daemon's -delta).
+	// Zero inherits the daemon default (-epsilon, off unless set). Rejected
+	// with 501 "unsupported" on sharded deployments.
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+}
+
+// AccuracyJSON is the adaptive-budget evidence block of a select reply,
+// present only when the run had an epsilon target.
+type AccuracyJSON struct {
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+	// CIWidth is the largest per-round separation half-width among the
+	// committed rounds; CIWidth <= epsilon certifies every round met the
+	// target. ReplicatesUsed is the final materialized replicate width (<= R),
+	// ChunksBuilt the index chunks materialized, EarlyStopped whether the run
+	// finished below the R cap.
+	CIWidth        float64 `json:"ci_width"`
+	ReplicatesUsed int     `json:"replicates_used"`
+	ChunksBuilt    int     `json:"chunks_built"`
+	EarlyStopped   bool    `json:"early_stopped"`
 }
 
 // SelectResponse is the /v1/select reply.
@@ -184,6 +207,8 @@ type SelectResponse struct {
 	// the whole selection was shared with an identical concurrent request.
 	IndexCached bool `json:"index_cached"`
 	Coalesced   bool `json:"coalesced"`
+	// Accuracy carries the adaptive-budget evidence; omitted on fixed-R runs.
+	Accuracy *AccuracyJSON `json:"accuracy,omitempty"`
 }
 
 // decodeSelect parses and translates the body into the engine request
@@ -216,13 +241,27 @@ func decodeSelect(r *http.Request, w http.ResponseWriter) (req SelectRequest, er
 		Strategy: strategy,
 		Workers:  req.Workers,
 		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+		Epsilon:  req.Epsilon,
+		Delta:    req.Delta,
 	}
 	return req, ereq, nil
 }
 
 // encodeSelect builds the wire reply from the engine result.
 func encodeSelect(req SelectRequest, ereq engine.SelectRequest, res *engine.SelectResult) SelectResponse {
+	var acc *AccuracyJSON
+	if res.Epsilon > 0 {
+		acc = &AccuracyJSON{
+			Epsilon:        res.Epsilon,
+			Delta:          res.Delta,
+			CIWidth:        res.CIWidth,
+			ReplicatesUsed: res.ReplicatesUsed,
+			ChunksBuilt:    res.ChunksBuilt,
+			EarlyStopped:   res.EarlyStopped,
+		}
+	}
 	return SelectResponse{
+		Accuracy:    acc,
 		Graph:       req.Graph,
 		Problem:     ereq.Problem.String(),
 		K:           req.K,
@@ -578,6 +617,17 @@ type AdmissionStatsJSON struct {
 	QueueWaitNS   int64 `json:"queue_wait_ns"`
 }
 
+// AccuracyStatsJSON mirrors engine.AccuracyStats for /stats: adaptive
+// (epsilon-targeted) selection traffic. CIWidthHist buckets each completed
+// run's achieved CIWidth/epsilon ratio into [0,0.25), [0.25,0.5), [0.5,0.75),
+// [0.75,1], and >1 (the run hit the R cap before reaching epsilon).
+type AccuracyStatsJSON struct {
+	AdaptiveSelects int64   `json:"adaptive_selects"`
+	EarlyStops      int64   `json:"early_stops"`
+	ChunksBuilt     int64   `json:"chunks_built"`
+	CIWidthHist     []int64 `json:"ci_width_hist"`
+}
+
 // StatsResponse is the /stats reply.
 type StatsResponse struct {
 	UptimeS          float64                     `json:"uptime_s"`
@@ -589,6 +639,9 @@ type StatsResponse struct {
 	Cache            CacheStatsJSON              `json:"cache"`
 	Memo             MemoStatsJSON               `json:"memo"`
 	Endpoints        map[string]EndpointSnapshot `json:"endpoints"`
+	// Accuracy reports adaptive-budget selection counters; present once any
+	// adaptive selection has run on this daemon.
+	Accuracy *AccuracyStatsJSON `json:"accuracy,omitempty"`
 	// Shards reports coordinator-side scatter-gather counters; present only
 	// when this daemon fronts shards (-shards or -peer).
 	Shards *ShardsStatsJSON `json:"shards,omitempty"`
@@ -623,8 +676,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ResidentBytes:  es.Memo.ResidentBytes,
 		}
 	}
+	var accuracy *AccuracyStatsJSON
+	if es.Accuracy.AdaptiveSelects > 0 {
+		accuracy = &AccuracyStatsJSON{
+			AdaptiveSelects: es.Accuracy.AdaptiveSelects,
+			EarlyStops:      es.Accuracy.EarlyStops,
+			ChunksBuilt:     es.Accuracy.ChunksBuilt,
+			CIWidthHist:     es.Accuracy.CIWidthHist[:],
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Shards:           s.shardsStats(),
+		Accuracy:         accuracy,
 		UptimeS:          time.Since(s.start).Seconds(),
 		Draining:         s.draining.Load(),
 		InFlight:         s.inFlight.Load(),

@@ -132,6 +132,18 @@ type Config struct {
 	// coordinators and workers can be layered.
 	Shards int
 	Peers  []string
+	// DefaultEpsilon > 0 turns the adaptive replicate budget on for every
+	// select whose body does not set its own epsilon (see
+	// engine.Config.DefaultEpsilon); DefaultDelta is the matching confidence
+	// default (0.05 when unset). Accuracy requires the full replicate range
+	// in one process, so a sharded deployment (Shards/Peers) rejects a
+	// non-zero DefaultEpsilon at startup — and per-request epsilons with a
+	// 501. AccuracyChunk overrides the replicate-chunk width adaptive runs
+	// build per step (0 = ceil(R/8)); in sharded mode it instead aligns the
+	// per-worker replicate spans to chunk multiples.
+	DefaultEpsilon float64
+	DefaultDelta   float64
+	AccuracyChunk  int
 }
 
 func (c Config) withDefaults() Config {
@@ -175,6 +187,9 @@ func (c Config) engineConfig() engine.Config {
 		MaxConcurrent:  c.MaxConcurrent,
 		MaxQueue:       c.MaxQueue,
 		RetryAfterHint: c.RetryAfterHint,
+		DefaultEpsilon: c.DefaultEpsilon,
+		DefaultDelta:   c.DefaultDelta,
+		AccuracyChunk:  c.AccuracyChunk,
 	}
 }
 
@@ -232,6 +247,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Shards > 1 && len(cfg.Peers) > 0 {
 		return nil, errors.New("server: Shards and Peers are mutually exclusive")
 	}
+	if cfg.DefaultEpsilon > 0 && (cfg.Shards > 1 || len(cfg.Peers) > 0) {
+		return nil, errors.New("server: a default accuracy target (epsilon) is not supported on sharded deployments")
+	}
 	cfg = cfg.withDefaults()
 	eng, err := engine.New(cfg.engineConfig())
 	if err != nil {
@@ -250,6 +268,7 @@ func New(cfg Config) (*Server, error) {
 		MaxTimeout:     cfg.MaxTimeout,
 		MaxR:           cfg.MaxR,
 		MaxK:           cfg.MaxK,
+		ChunkSize:      cfg.AccuracyChunk,
 	}
 	switch {
 	case cfg.Shards > 1:

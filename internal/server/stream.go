@@ -32,6 +32,10 @@ type SelectStreamRound struct {
 	Node      int     `json:"node"`
 	Gain      float64 `json:"gain"`
 	Objective float64 `json:"objective"`
+	// CIWidth and Replicates carry the round's accuracy evidence on
+	// adaptive (epsilon-targeted) runs; omitted on fixed-R runs.
+	CIWidth    float64 `json:"ci_width,omitempty"`
+	Replicates int     `json:"replicates,omitempty"`
 }
 
 // SelectStreamDone is the final line of a successful stream; Result is the
@@ -65,7 +69,10 @@ func (s *Server) handleSelectStream(w http.ResponseWriter, r *http.Request, req 
 		return nil
 	}
 	res, err := s.q.SelectStream(r.Context(), ereq, func(rd engine.Round) error {
-		return emit(SelectStreamRound{Round: rd.Round, Node: rd.Node, Gain: rd.Gain, Objective: rd.Objective})
+		return emit(SelectStreamRound{
+			Round: rd.Round, Node: rd.Node, Gain: rd.Gain, Objective: rd.Objective,
+			CIWidth: rd.CIWidth, Replicates: rd.Replicates,
+		})
 	})
 	if err != nil {
 		if !wrote {

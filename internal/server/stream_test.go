@@ -16,13 +16,15 @@ import (
 // streamLine is the union of the three NDJSON line shapes, distinguished by
 // which fields are present.
 type streamLine struct {
-	Round     int             `json:"round"`
-	Node      *int            `json:"node"`
-	Gain      float64         `json:"gain"`
-	Objective float64         `json:"objective"`
-	Done      bool            `json:"done"`
-	Result    *SelectResponse `json:"result"`
-	Error     *ErrorBody      `json:"error"`
+	Round      int             `json:"round"`
+	Node       *int            `json:"node"`
+	Gain       float64         `json:"gain"`
+	Objective  float64         `json:"objective"`
+	CIWidth    float64         `json:"ci_width"`
+	Replicates int             `json:"replicates"`
+	Done       bool            `json:"done"`
+	Result     *SelectResponse `json:"result"`
+	Error      *ErrorBody      `json:"error"`
 }
 
 // postSelectStream posts body with ?stream=1 and parses every NDJSON line.

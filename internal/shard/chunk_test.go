@@ -1,0 +1,131 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/index"
+	"repro/internal/testleak"
+)
+
+// TestSplitChunkAligned pins the chunk-aligned split geometry: every span
+// boundary except the final one lands on a ChunkSize multiple, widths differ
+// by at most one chunk, and the spans still partition [0, R) exactly —
+// including ragged tails (R % c != 0), more shards than chunks, and R < c.
+func TestSplitChunkAligned(t *testing.T) {
+	for _, tc := range []struct {
+		R, c, n int
+	}{
+		{R: 200, c: 25, n: 4},  // even: 8 chunks over 4 workers
+		{R: 230, c: 25, n: 4},  // ragged tail: 10 chunks, last is 5 wide
+		{R: 100, c: 30, n: 8},  // more workers than chunks: some get none
+		{R: 20, c: 64, n: 3},   // R < c: single chunk, single worker
+		{R: 77, c: 10, n: 5},   // ragged + uneven chunks-per-worker
+		{R: 64, c: 1, n: 3},    // c <= 1 degrades to the plain split
+		{R: 1000, c: 13, n: 7}, // larger sweep
+	} {
+		co := &Coordinator{cfg: Config{ChunkSize: tc.c}, conns: make([]Conn, tc.n)}
+		spans := co.split(tc.R)
+		next := 0
+		for i, sp := range spans {
+			if sp.r0 != next {
+				t.Fatalf("R=%d c=%d n=%d: span %d starts at %d, want %d (gap/overlap)",
+					tc.R, tc.c, tc.n, i, sp.r0, next)
+			}
+			if sp.r1 <= sp.r0 {
+				t.Fatalf("R=%d c=%d n=%d: empty span %d [%d,%d)", tc.R, tc.c, tc.n, i, sp.r0, sp.r1)
+			}
+			if tc.c > 1 {
+				if sp.r0%tc.c != 0 {
+					t.Fatalf("R=%d c=%d n=%d: span %d start %d not chunk-aligned",
+						tc.R, tc.c, tc.n, i, sp.r0)
+				}
+				if sp.r1%tc.c != 0 && sp.r1 != tc.R {
+					t.Fatalf("R=%d c=%d n=%d: span %d end %d not chunk-aligned",
+						tc.R, tc.c, tc.n, i, sp.r1)
+				}
+			}
+			next = sp.r1
+		}
+		if next != tc.R {
+			t.Fatalf("R=%d c=%d n=%d: spans cover [0,%d), want [0,%d)", tc.R, tc.c, tc.n, next, tc.R)
+		}
+		if tc.c > 1 {
+			chunks := (tc.R + tc.c - 1) / tc.c
+			lo, hi := chunks/tc.n, (chunks+tc.n-1)/tc.n
+			for i, sp := range spans {
+				w := (sp.r1 - sp.r0 + tc.c - 1) / tc.c
+				if w < lo || w > hi {
+					t.Fatalf("R=%d c=%d n=%d: span %d holds %d chunks, want %d..%d (unbalanced)",
+						tc.R, tc.c, tc.n, i, w, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// TestChunkAlignedMergeParity pins that chunk alignment changes only where
+// the replicate boundaries fall, not what the coordinator answers: sharded
+// selections and reads with ChunkSize set stay bit-identical to the
+// unsharded engine across shard counts. R = 230 with chunk 25 exercises the
+// ragged final chunk.
+func TestChunkAlignedMergeParity(t *testing.T) {
+	g := testGraph(t, 350, 13)
+	ctx := context.Background()
+	graphs := map[string]*graph.Graph{"test": g}
+	testleak.Check(t)
+	ref, err := engine.New(engine.Config{Graphs: graphs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ref.Close() })
+
+	req := engine.SelectRequest{Graph: "test", K: 6, L: 5, R: 230, Seed: 4}
+	want, err := ref.Select(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGain, err := ref.Gain(ctx, engine.GainRequest{
+		Graph: "test", Problem: index.Problem2, L: 5, R: 230, Seed: 4,
+		Set: want.Nodes[:2], Nodes: []int{0, 7, 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{2, 3, 5} {
+		co, err := NewLocal(Config{Graphs: graphs, ChunkSize: 25}, shards, engine.Config{Graphs: graphs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := co.Select(ctx, req)
+		if err != nil {
+			co.Close()
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !sameInts(got.Nodes, want.Nodes) || !sameFloats(got.Gains, want.Gains) {
+			co.Close()
+			t.Fatalf("shards=%d chunk=25: nodes %v gains %v, want %v %v",
+				shards, got.Nodes, got.Gains, want.Nodes, want.Gains)
+		}
+		gotGain, err := co.Gain(ctx, engine.GainRequest{
+			Graph: "test", Problem: index.Problem2, L: 5, R: 230, Seed: 4,
+			Set: want.Nodes[:2], Nodes: []int{0, 7, 11},
+		})
+		if err != nil {
+			co.Close()
+			t.Fatalf("shards=%d gain: %v", shards, err)
+		}
+		for i := range wantGain.Gains {
+			if math.Float64bits(gotGain.Gains[i]) != math.Float64bits(wantGain.Gains[i]) {
+				co.Close()
+				t.Fatalf("shards=%d chunk=25: gain[%d] %v, want %v",
+					shards, i, gotGain.Gains[i], wantGain.Gains[i])
+			}
+		}
+		co.Close()
+	}
+}

@@ -38,6 +38,14 @@ type Config struct {
 	// layer underneath.
 	Retries      int
 	RetryBackoff time.Duration
+	// ChunkSize, when > 1, aligns the per-worker replicate spans to
+	// multiples of the replicate-chunk width (the index's chunked layout):
+	// each worker's range starts and ends on a chunk boundary (except the
+	// last, which ends at R), so a worker's subrange index is a whole number
+	// of chunks and a spilled chunked index never straddles workers. The
+	// split stays a partition of [0, R), so merged answers are bit-identical
+	// to the unaligned split. 0 or 1 means unaligned (the historical split).
+	ChunkSize int
 }
 
 // withDefaults resolves the documented zero-value defaults.
@@ -259,9 +267,28 @@ type span struct {
 // [s·R/N, (s+1)·R/N), the balanced split whose widths differ by at most
 // one. Workers whose slice is empty (R < N) are skipped entirely — they
 // receive no requests and contribute an implicit zero to every merge.
+//
+// With cfg.ChunkSize > 1 the same balancing runs in chunk units: the R
+// replicates form ceil(R/ChunkSize) chunks, worker s gets chunks
+// [s·C/N, (s+1)·C/N), and the final chunk (possibly ragged) ends at R. Every
+// boundary lands on a chunk multiple, widths differ by at most one chunk,
+// and the spans still partition [0, R) exactly, so merges are unchanged.
 func (co *Coordinator) split(R int) []span {
 	n := len(co.conns)
 	spans := make([]span, 0, n)
+	if c := co.cfg.ChunkSize; c > 1 {
+		chunks := (R + c - 1) / c
+		for s := 0; s < n; s++ {
+			lo, hi := (s*chunks/n)*c, (s+1)*chunks/n*c
+			if hi > R {
+				hi = R
+			}
+			if hi > lo {
+				spans = append(spans, span{shard: s, r0: lo, r1: hi})
+			}
+		}
+		return spans
+	}
 	for s := 0; s < n; s++ {
 		lo, hi := s*R/n, (s+1)*R/n
 		if hi > lo {

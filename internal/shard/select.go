@@ -44,6 +44,13 @@ func (co *Coordinator) selectRun(ctx context.Context, req engine.SelectRequest, 
 	if req.K < 0 || req.K > co.cfg.MaxK {
 		return nil, badRequestf("k=%d outside [0, %d]", req.K, co.cfg.MaxK)
 	}
+	if req.Epsilon != 0 || req.Delta != 0 {
+		// The adaptive stopping rule samples per-replicate gains over the
+		// full replicate range; no shard holds it, so the knob cannot be
+		// honored here.
+		return nil, &engine.Error{Code: engine.CodeUnsupported,
+			Message: "accuracy (epsilon/delta) is not supported on sharded deployments"}
+	}
 	runCtx, cancel := co.Context(ctx, req.Timeout)
 	defer cancel()
 

@@ -114,6 +114,10 @@ const (
 	// ErrStaleEpoch rejects a read pinned to an epoch the graph is not at;
 	// re-issue the read to resolve against the current epoch.
 	ErrStaleEpoch = engine.CodeStaleEpoch
+	// ErrUnsupported rejects a well-formed request combining features the
+	// serving mode cannot honor — today, accuracy knobs (epsilon/delta) on a
+	// sharded Engine.
+	ErrUnsupported = engine.CodeUnsupported
 )
 
 // ErrorCodeOf extracts the stable code from any Engine method error.
@@ -227,6 +231,34 @@ func WithPeers(urls ...string) Option {
 	return func(c *openConfig) { c.peers = urls }
 }
 
+// WithAccuracy turns the adaptive replicate budget on for every Select whose
+// request does not set its own Epsilon: SelectRequest.R becomes a cap, the
+// walk index is materialized in replicate chunks, and each greedy round stops
+// sampling as soon as a confidence interval on the separation between the
+// leading candidate and the runner-up has half-width at most epsilon at
+// confidence delta (split over the K rounds). Easy instances finish with a
+// fraction of R and report EarlyStopped; hard instances spend the full R and
+// report the interval they achieved (SelectResult.CIWidth) instead of
+// failing silently. epsilon is in objective units (a per-replicate gain
+// average) and must be > 0; delta must be in (0, 1) — 0.05 is the
+// conventional choice. Adaptive selections always use the plain greedy
+// driver and are bit-reproducible at every worker count. Incompatible with
+// WithShards/WithPeers: Open fails, because no shard holds the full
+// replicate range the stopping rule samples over.
+func WithAccuracy(epsilon, delta float64) Option {
+	return func(c *openConfig) {
+		c.engine.DefaultEpsilon = epsilon
+		c.engine.DefaultDelta = delta
+	}
+}
+
+// WithAccuracyChunk overrides the replicate-chunk width adaptive selections
+// materialize per extension step (0 means ceil(R/8)). Smaller chunks stop
+// closer to the minimal sufficient sample at the cost of more sweep passes.
+func WithAccuracyChunk(c0 int) Option {
+	return func(c *openConfig) { c.engine.AccuracyChunk = c0 }
+}
+
 // defaultGraphName is the logical name Open registers its graph under; all
 // request Graph fields may be left empty (sole-graph shorthand).
 const defaultGraphName = "default"
@@ -254,12 +286,18 @@ func Open(g *Graph, opts ...Option) (*Engine, error) {
 	if cfg.shards > 1 && len(cfg.peers) > 0 {
 		return nil, errors.New("rwdom: WithShards and WithPeers are mutually exclusive")
 	}
+	if cfg.engine.DefaultEpsilon > 0 && (cfg.shards > 1 || len(cfg.peers) > 0) {
+		return nil, errors.New("rwdom: WithAccuracy is not supported on a sharded Engine (no shard holds the full replicate range)")
+	}
 	if cfg.shards > 1 || len(cfg.peers) > 0 {
 		shardCfg := shard.Config{
 			Graphs:         cfg.engine.Graphs,
 			DefaultTimeout: cfg.engine.DefaultTimeout,
 			MaxR:           cfg.engine.MaxR,
 			MaxK:           cfg.engine.MaxK,
+			// Align per-shard replicate spans to chunk multiples when a chunk
+			// width is configured (harmless otherwise — still a partition).
+			ChunkSize: cfg.engine.AccuracyChunk,
 		}
 		var co *shard.Coordinator
 		var err error
