@@ -25,8 +25,8 @@ trap 'rm -f "$RAW"' EXIT
 echo "== go vet =="
 go vet ./...
 
-echo "== race detector (cache, index, greedy, engine, server, shard, client, core) =="
-go test -race -count=1 ./internal/cache/... ./internal/index/... ./internal/greedy/... ./internal/engine/... ./internal/server/... ./internal/shard/... ./client/... ./internal/core/...
+echo "== race detector (cache, index, store, greedy, engine, server, shard, client, core) =="
+go test -race -count=1 ./internal/cache/... ./internal/index/... ./internal/store/... ./internal/greedy/... ./internal/engine/... ./internal/server/... ./internal/shard/... ./client/... ./internal/core/...
 
 echo "== benchmarks (benchtime=$BENCHTIME) =="
 # Redirect instead of piping through tee: POSIX sh reports a pipeline's
@@ -35,7 +35,7 @@ echo "== benchmarks (benchtime=$BENCHTIME) =="
 go test -run '^$' \
     -bench 'BenchmarkSelectionEndToEnd|BenchmarkIndexBuild$|BenchmarkChunkedBuild|BenchmarkAdaptiveBudget|BenchmarkServingThroughput|BenchmarkGainServing|BenchmarkWarmGainRequest|BenchmarkEngineWarmGain|BenchmarkTopGainsRepeat|BenchmarkAblationAliasVsBinarySearch|BenchmarkAblationCSRVsAdjList|BenchmarkAblationVisitedStamp|BenchmarkAblationLazyVsPlainGreedy|BenchmarkAblationIndexVsResample' \
     -benchtime "$BENCHTIME" -timeout 60m . > "$RAW" 2>&1 || { cat "$RAW"; exit 1; }
-go test -run '^$' -bench 'BenchmarkAblationDTableLayout|BenchmarkIncrementalRepair' \
+go test -run '^$' -bench 'BenchmarkAblationDTableLayout|BenchmarkIncrementalRepair|BenchmarkWarmRestart|BenchmarkStoreBackedGain' \
     -benchtime "$BENCHTIME" -timeout 30m ./internal/index/ >> "$RAW" 2>&1 || { cat "$RAW"; exit 1; }
 go test -run '^$' -bench 'BenchmarkShardIndexBuild' \
     -benchtime "$BENCHTIME" -timeout 30m ./internal/shard/ >> "$RAW" 2>&1 || { cat "$RAW"; exit 1; }

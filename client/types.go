@@ -324,11 +324,28 @@ type CacheStats struct {
 	SpillLoads      int64    `json:"spill_loads"`
 	SpillSaves      int64    `json:"spill_saves"`
 	SpillLoadErrors int64    `json:"spill_load_errors"`
+	SpillSkipped    int64    `json:"spill_skipped"`
+	MmapLoads       int64    `json:"mmap_loads"`
 	Evictions       int64    `json:"evictions"`
 	BuildErrors     int64    `json:"build_errors"`
 	Resident        int      `json:"resident"`
 	ResidentBytes   int64    `json:"resident_bytes"`
 	Keys            []string `json:"keys"`
+}
+
+// StorageStats mirrors the /stats "storage" block: the daemon's spill
+// storage subsystem — the configured on-disk format, whether v8 spill loads
+// serve store-backed off mmap'd pages, and the aggregate mapping/decode
+// counters of resident store-backed indexes.
+type StorageStats struct {
+	SpillFormat    string `json:"spill_format"`
+	Mmap           bool   `json:"mmap"`
+	MappedIndexes  int    `json:"mapped_indexes"`
+	MappedBytes    int64  `json:"mapped_bytes"`
+	DecodeHits     int64  `json:"decode_hits"`
+	DecodeMisses   int64  `json:"decode_misses"`
+	DecodeErrors   int64  `json:"decode_errors"`
+	PageInRestarts int64  `json:"page_in_restarts"`
 }
 
 // MemoStats mirrors the /stats "memo" block.
@@ -407,7 +424,8 @@ type AccuracyStats struct {
 // consumers; see the daemon's /stats documentation). Degraded counts read
 // answers served from frozen memo tables while the walk index was
 // unavailable. Shards is present only on coordinator-mode daemons; Accuracy
-// only once an adaptive selection has run.
+// only once an adaptive selection has run; Storage only when the daemon has
+// a spill directory.
 type Stats struct {
 	UptimeS          float64        `json:"uptime_s"`
 	Draining         bool           `json:"draining"`
@@ -419,4 +437,5 @@ type Stats struct {
 	Memo             MemoStats      `json:"memo"`
 	Accuracy         *AccuracyStats `json:"accuracy,omitempty"`
 	Shards           *ShardsStats   `json:"shards,omitempty"`
+	Storage          *StorageStats  `json:"storage,omitempty"`
 }

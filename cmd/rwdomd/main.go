@@ -15,6 +15,8 @@
 //	rwdomd -graph web=web.txt -graph social=social.txt -spill /var/cache/rwdomd
 //	rwdomd -dataset CAGrQc -cache 4 -evict-every 10m -drain 30s -memo 256
 //	rwdomd -dataset Epinions -index-bytes 2GiB -memo-bytes 256MiB
+//	rwdomd -dataset Epinions -spill /var/cache/rwdomd -mmap   # O(1) page-in warm restarts
+//	rwdomd -dataset Epinions -spill /var/cache/rwdomd -spill-format v7   # legacy spill format
 //
 // Replicate-sharded serving splits the R walk replicates across shards and
 // merges their integer partial sums exactly, so sharded answers are
@@ -126,6 +128,8 @@ func main() {
 		listen     = flag.String("listen", ":7474", "HTTP listen address")
 		cacheSize  = flag.Int("cache", 8, "max resident walk indexes (<0 = unbounded)")
 		spillDir   = flag.String("spill", "", "directory for evicted/shutdown index spills (empty = disabled)")
+		spillFmt   = flag.String("spill-format", "v8", "on-disk format spills are written in: v8 (compressed store container), v8raw (raw page-aligned sections), or v7 (legacy); loads accept every format")
+		mmapSpills = flag.Bool("mmap", false, "serve v8 spill loads off a read-only memory mapping (page-in warm restarts, mapped indexes cost ~nothing against -index-bytes)")
 		workers    = flag.Int("workers", 0, "default per-request workers (0 = all cores)")
 		maxWorkers = flag.Int("max-workers", 0, "cap on the per-request workers knob (0 = all cores)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request timeout")
@@ -165,6 +169,8 @@ func main() {
 		CacheSize:      *cacheSize,
 		IndexBytes:     int64(indexBytes),
 		SpillDir:       *spillDir,
+		SpillFormat:    *spillFmt,
+		MmapSpills:     *mmapSpills,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		DrainTimeout:   *drain,

@@ -179,6 +179,28 @@
 // "serving" and "gainserving") measure end-to-end HTTP throughput over the
 // warm caches, memoized versus fresh.
 //
+// # Storage formats
+//
+// Spilled indexes are written in format v8, a page-aligned container
+// (internal/store) with a per-chunk directory, CRC32-C on every section,
+// and optionally delta/varint-compressed walk spans (the default; roughly
+// 2-3x smaller files). Loads sniff the magic, so v7 and older spill
+// directories keep warm-loading after an upgrade. WithMmapSpills serves
+// warm loads straight off a read-only memory mapping: a restart maps and
+// CRC-verifies the file instead of deserializing it (O(1)-ish page-in
+// restart, ~13x faster in BenchmarkWarmRestart), rows page in as queries
+// touch them, and mapped indexes cost nothing against the index-bytes
+// budget — the working set may exceed RAM. Compressed spans decode on
+// read through a small hot-row cache; store-backed answers are
+// bit-identical to heap answers (a parity suite enforces it across
+// formats, problems, layouts, growth and repair — Repair first promotes
+// a mapped index onto the heap, since the mapping is read-only).
+// WithSpillFormat selects the writer ("v8", "v8raw", "v7"); corruption
+// anywhere in a spill file fails the open and triggers a counted rebuild,
+// never a wrong answer. Engine.Stats.Storage (and the daemon's /stats
+// "storage" block) reports the effective format plus mapped-index,
+// page-in-restart and decode-cache counters.
+//
 // # Quick start
 //
 //	g, err := rwdom.GeneratePowerLaw(10000, 50000, 1)
@@ -195,7 +217,8 @@
 // The examples directory contains runnable programs for the paper's three
 // motivating applications (item placement in social networks, Ads
 // placement, and P2P resource placement) plus the daemon+client pair
-// (examples/serving) and live graph mutation (examples/mutation), and
+// (examples/serving), live graph mutation (examples/mutation) and
+// mmap-backed warm restarts (examples/mmapserve), and
 // internal/experiments regenerates every table and figure of the paper's
 // evaluation section.
 package rwdom

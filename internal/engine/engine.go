@@ -71,6 +71,16 @@ type Config struct {
 	// SpillDir, when non-empty, persists evicted and Close-resident indexes
 	// so later misses and restarts skip the build.
 	SpillDir string
+	// SpillFormat selects what spill saves write: "v8" (compressed store
+	// container, the default), "v8raw" (raw page-aligned sections), or "v7"
+	// (legacy full-deserialize format). Loads sniff the file magic and accept
+	// every format regardless of this setting.
+	SpillFormat string
+	// MmapSpills serves v8 spill loads store-backed through a read-only
+	// memory mapping: a warm restart pages rows in on demand instead of
+	// deserializing, and mapped indexes cost ~nothing against IndexBytes
+	// (their pages are reclaimable page cache, not heap).
+	MmapSpills bool
 	// EvictInterval enables background eviction of indexes not used for one
 	// full interval (0 disables it).
 	EvictInterval time.Duration
@@ -221,9 +231,10 @@ func New(cfg Config) (*Engine, error) {
 		return nil, &Error{Code: CodeBadRequest, Message: fmt.Sprintf("engine: accuracy chunk %d, want >= 0", cfg.AccuracyChunk)}
 	}
 	cfg = cfg.withDefaults()
-	cache, err := index.NewCache(cfg.CacheSize, cfg.IndexBytes, cfg.SpillDir)
+	cache, err := index.NewCacheWith(cfg.CacheSize, cfg.IndexBytes, cfg.SpillDir,
+		index.SpillConfig{Format: cfg.SpillFormat, Mmap: cfg.MmapSpills})
 	if err != nil {
-		return nil, err
+		return nil, &Error{Code: CodeBadRequest, Message: err.Error()}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	graphs := make(map[string]*graph.Graph, len(cfg.Graphs))
@@ -346,6 +357,9 @@ type Stats struct {
 	// Accuracy snapshots the adaptive replicate-budget counters (zero value
 	// when no adaptive selection has run).
 	Accuracy AccuracyStats
+	// Storage snapshots the spill/storage subsystem: configured format, mmap
+	// serving, and aggregate decode counters of resident store-backed indexes.
+	Storage index.StorageStats
 }
 
 // ciBuckets is the CIWidth/ε histogram width: four quarters of the target
@@ -395,6 +409,7 @@ func (e *Engine) Stats() Stats {
 	for i := range e.ciWidthHist {
 		s.Accuracy.CIWidthHist[i] = e.ciWidthHist[i].Load()
 	}
+	s.Storage = e.cache.StorageStats()
 	if e.memo != nil {
 		s.Memo = e.memo.Stats()
 	}

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/index"
+)
+
+// TestWarmRestartParityMmap is the end-to-end page-in restart contract: a
+// daemon that spilled its indexes as compressed v8 and restarts with mmap
+// serving must answer every selection and gain bit-identically to the cold
+// engine that built them on the heap — across both problems, both greedy
+// drivers, and different worker counts — without running a single build.
+func TestWarmRestartParityMmap(t *testing.T) {
+	g, err := graph.BarabasiAlbert(300, 3, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spill := t.TempDir()
+	ctx := context.Background()
+	reqs := []SelectRequest{
+		{Problem: index.Problem1, K: 5, L: 5, R: 20, Strategy: Lazy, Workers: 1},
+		{Problem: index.Problem1, K: 5, L: 5, R: 20, Strategy: Plain, Workers: 3},
+		{Problem: index.Problem2, K: 5, L: 5, R: 20, Strategy: Lazy, Workers: 4},
+		{Problem: index.Problem2, K: 5, L: 5, R: 20, Strategy: Plain, Workers: 1},
+	}
+
+	// Cold engine: build on the heap, answer, spill at Close.
+	cold, err := New(Config{Graphs: map[string]*graph.Graph{"g": g}, SpillDir: spill})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldSelects := make([]*SelectResult, len(reqs))
+	for i, req := range reqs {
+		res, err := cold.Select(ctx, req)
+		if err != nil {
+			t.Fatalf("cold select %d: %v", i, err)
+		}
+		coldSelects[i] = res
+	}
+	coldGains, err := cold.Gain(ctx, GainRequest{Problem: index.Problem2, L: 5, R: 20,
+		Set: coldSelects[2].Nodes[:2], Nodes: []int{0, 1, 2, 3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm engine: same spill dir, mmap serving. Every index must come up
+	// as a page-in load; a build would mean the restart was not warm.
+	warm, err := New(Config{Graphs: map[string]*graph.Graph{"g": g}, SpillDir: spill, MmapSpills: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	for i, req := range reqs {
+		res, err := warm.Select(ctx, req)
+		if err != nil {
+			t.Fatalf("warm select %d: %v", i, err)
+		}
+		if !res.IndexCached {
+			t.Fatalf("warm select %d paid an index build", i)
+		}
+		cr := coldSelects[i]
+		if len(res.Nodes) != len(cr.Nodes) {
+			t.Fatalf("warm select %d: %d nodes, want %d", i, len(res.Nodes), len(cr.Nodes))
+		}
+		for j := range cr.Nodes {
+			if res.Nodes[j] != cr.Nodes[j] {
+				t.Fatalf("warm select %d round %d: node %d, want %d", i, j, res.Nodes[j], cr.Nodes[j])
+			}
+			if math.Float64bits(res.Gains[j]) != math.Float64bits(cr.Gains[j]) {
+				t.Fatalf("warm select %d round %d: gain %v, want %v", i, j, res.Gains[j], cr.Gains[j])
+			}
+		}
+	}
+	warmGains, err := warm.Gain(ctx, GainRequest{Problem: index.Problem2, L: 5, R: 20,
+		Set: coldSelects[2].Nodes[:2], Nodes: []int{0, 1, 2, 3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range coldGains.Gains {
+		if math.Float64bits(warmGains.Gains[i]) != math.Float64bits(coldGains.Gains[i]) {
+			t.Fatalf("warm gain[%d]: %v, want %v", i, warmGains.Gains[i], coldGains.Gains[i])
+		}
+	}
+
+	st := warm.Stats()
+	if st.Cache.Misses == 0 || st.Cache.SpillLoads != st.Cache.Misses {
+		t.Fatalf("SpillLoads = %d of %d misses, want all warm", st.Cache.SpillLoads, st.Cache.Misses)
+	}
+	if st.Storage.PageInRestarts == 0 {
+		t.Skip("mmap unavailable on this platform")
+	}
+	if st.Storage.MappedIndexes == 0 || st.Storage.MappedBytes <= 0 {
+		t.Fatalf("Storage = %+v, want mapped indexes", st.Storage)
+	}
+}

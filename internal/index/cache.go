@@ -38,6 +38,7 @@ import (
 type Cache struct {
 	core     *cache.Cache[CacheKey, *Index]
 	spillDir string
+	spillCfg SpillConfig
 	// spillWG tracks in-flight background spills so SpillAll (shutdown)
 	// does not race past them.
 	spillWG sync.WaitGroup
@@ -46,7 +47,48 @@ type Cache struct {
 	spillLoads      int64
 	spillSaves      int64
 	spillLoadErrors int64
+	spillSkipped    int64
+	mmapLoads       int64
 	evictHook       func([]CacheKey)
+}
+
+// SpillConfig selects how the cache persists and reloads spilled indexes.
+// The zero value is the production default: write compressed v8 store
+// files, load them fully onto the heap.
+type SpillConfig struct {
+	// Format is what spill saves write: FormatV8 (compressed store
+	// container, the default), FormatV8Raw (store container with raw
+	// page-aligned sections), or FormatV7 (legacy). Loads always sniff the
+	// file magic and accept every format, so changing the write format
+	// never invalidates an existing spill directory.
+	Format string
+	// Mmap serves v8 spill loads store-backed through a read-only mapping:
+	// a warm restart pages rows in on demand instead of deserializing, and
+	// the loaded index costs ~nothing against the cache's bytes budget
+	// (its pages are reclaimable page cache, not heap). v7 files always
+	// fully deserialize.
+	Mmap bool
+	// HotRows sizes the decoded-block cache of each compressed chunk
+	// (see store.OpenOptions): 0 means store.DefaultHotRows, negative
+	// disables caching.
+	HotRows int
+}
+
+// format returns the effective write format.
+func (sc SpillConfig) format() string {
+	if sc.Format == "" {
+		return FormatV8
+	}
+	return sc.Format
+}
+
+func (sc SpillConfig) validate() error {
+	switch sc.format() {
+	case FormatV7, FormatV8, FormatV8Raw:
+		return nil
+	default:
+		return fmt.Errorf("index: unknown spill format %q (want %s, %s or %s)", sc.Format, FormatV8, FormatV8Raw, FormatV7)
+	}
 }
 
 // CacheKey identifies one materialized index: the logical graph name plus
@@ -99,6 +141,13 @@ type CacheStats struct {
 	// (corrupt, truncated, wrong version) — each one fell back to a rebuild.
 	// A missing file is a plain cold miss, not an error.
 	SpillLoadErrors int64
+	// SpillSkipped counts evictions that skipped re-serializing because the
+	// victim was store-backed by its own up-to-date spill file (the bytes
+	// were already durable on disk).
+	SpillSkipped int64
+	// MmapLoads counts the subset of SpillLoads served store-backed through
+	// an mmap — page-in restarts that paid no deserialize.
+	MmapLoads int64
 	// Evictions counts entries dropped from the cache (spilled or not).
 	Evictions int64
 	// BuildErrors counts failed Acquires: the failed build itself plus every
@@ -133,12 +182,21 @@ func (h *Handle) Release() { h.h.Release() }
 // needed; evicted indexes are serialized there and misses check it before
 // building.
 func NewCache(maxEntries int, maxBytes int64, spillDir string) (*Cache, error) {
+	return NewCacheWith(maxEntries, maxBytes, spillDir, SpillConfig{})
+}
+
+// NewCacheWith is NewCache with an explicit spill configuration (format,
+// mmap serving, hot-row cache size).
+func NewCacheWith(maxEntries int, maxBytes int64, spillDir string, cfg SpillConfig) (*Cache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	if spillDir != "" {
 		if err := os.MkdirAll(spillDir, 0o755); err != nil {
 			return nil, fmt.Errorf("index: cache spill dir: %w", err)
 		}
 	}
-	c := &Cache{spillDir: spillDir}
+	c := &Cache{spillDir: spillDir, spillCfg: cfg}
 	c.core = cache.New(cache.Config[CacheKey, *Index]{
 		MaxEntries: maxEntries,
 		MaxBytes:   maxBytes,
@@ -245,8 +303,16 @@ func (c *Cache) loadOrBuild(key CacheKey, g *graph.Graph, build func() (*Index, 
 			// An injected unreadable file: count it and fall through to the
 			// rebuild, exactly like an organic load failure.
 			c.noteSpillLoadError()
-		} else if ix, err := LoadFile(c.spillPath(key), g); err == nil {
+		} else if ix, err := LoadAny(c.spillPath(key), g, StoreOptions{Mmap: c.spillCfg.Mmap, HotRows: c.spillCfg.HotRows}); err == nil {
 			if ix.L() == key.L && ix.R() == key.R && ix.Seed() == key.Seed && ix.R0() == key.R0 && ix.GraphEpoch() == key.Epoch {
+				if ix.StoreMapped() {
+					// A page-in restart: the index came up without a
+					// deserialize — rows fault in from the file as queries
+					// touch them.
+					c.mu.Lock()
+					c.mmapLoads++
+					c.mu.Unlock()
+				}
 				return ix, true, nil
 			}
 			// A hash collision between distinct keys (or a stale file from
@@ -281,10 +347,15 @@ func (c *Cache) spillPath(key CacheKey) string {
 	return filepath.Join(c.spillDir, fmt.Sprintf("idx-%016x.rwdomidx", h.Sum64()))
 }
 
-// saveAtomic writes ix to path via a temp file + rename, so concurrent
-// spill-loads never observe a partially written index and two spillers of
-// the same key cannot interleave.
-func saveAtomic(ix *Index, path string) error {
+// saveAtomic writes ix to path in the configured format via a temp file +
+// fsync + rename, so concurrent spill-loads never observe a partially
+// written index, two spillers of the same key cannot interleave, and a
+// crash between the write and the rename can never publish a torn file
+// under the final name — the same durability contract graph saves follow.
+// (A torn file would still only cost a counted rebuild thanks to the CRCs,
+// but the fsync keeps the failure mode "old file or new file", never
+// "garbage file".)
+func saveAtomic(ix *Index, path string, cfg SpillConfig) error {
 	if err := faultinject.Do(faultinject.SiteSpillSave); err != nil {
 		return err
 	}
@@ -293,10 +364,23 @@ func saveAtomic(ix *Index, path string) error {
 		return fmt.Errorf("index: %w", err)
 	}
 	tmp := f.Name()
-	if _, err := ix.WriteTo(f); err != nil {
+	switch cfg.format() {
+	case FormatV7:
+		_, err = ix.WriteTo(f)
+	case FormatV8Raw:
+		_, err = ix.WriteStore(f, false)
+	default: // FormatV8
+		_, err = ix.WriteStore(f, true)
+	}
+	if err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("index: %w", err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
@@ -314,15 +398,35 @@ func (c *Cache) spill(victims []cache.Entry[CacheKey, *Index]) {
 	if c.spillDir == "" || len(victims) == 0 {
 		return
 	}
-	saved := int64(0)
+	saved, skipped := int64(0), int64(0)
 	for _, v := range victims {
-		if err := saveAtomic(v.Value, c.spillPath(v.Key)); err == nil {
+		path := c.spillPath(v.Key)
+		if c.spillCurrent(v.Value, path) {
+			skipped++
+			continue
+		}
+		if err := saveAtomic(v.Value, path, c.spillCfg); err == nil {
 			saved++
 		}
 	}
 	c.mu.Lock()
 	c.spillSaves += saved
+	c.spillSkipped += skipped
 	c.mu.Unlock()
+}
+
+// spillCurrent reports whether ix's bytes are already durable at path: a
+// store-backed index loaded from that very spill file, still covering its
+// whole replicate range (ExtendReplicates since load would have widened it).
+// Resident indexes are immutable (Repair only happens on indexes removed
+// via TakeGraph), so re-serializing an unchanged store-backed index on
+// eviction would write back the bytes it is serving from.
+func (c *Cache) spillCurrent(ix *Index, path string) bool {
+	if !ix.storeComplete() || ix.StorePath() != path {
+		return false
+	}
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 // spillAsync runs spill in the background: serializing a large evicted
@@ -397,9 +501,14 @@ func (c *Cache) SpillAll() error {
 	}
 	c.spillWG.Wait() // let in-flight background spills land first
 	var errs []error
-	saved := int64(0)
+	saved, skipped := int64(0), int64(0)
 	for _, e := range c.core.Resident() {
-		if err := saveAtomic(e.Value, c.spillPath(e.Key)); err != nil {
+		path := c.spillPath(e.Key)
+		if c.spillCurrent(e.Value, path) {
+			skipped++
+			continue
+		}
+		if err := saveAtomic(e.Value, path, c.spillCfg); err != nil {
 			errs = append(errs, fmt.Errorf("%s: %w", e.Key, err))
 		} else {
 			saved++
@@ -407,6 +516,7 @@ func (c *Cache) SpillAll() error {
 	}
 	c.mu.Lock()
 	c.spillSaves += saved
+	c.spillSkipped += skipped
 	c.mu.Unlock()
 	return errors.Join(errs...)
 }
@@ -416,6 +526,7 @@ func (c *Cache) Stats() CacheStats {
 	cs := c.core.Stats()
 	c.mu.Lock()
 	loads, saves, loadErrs := c.spillLoads, c.spillSaves, c.spillLoadErrors
+	skipped, mmaps := c.spillSkipped, c.mmapLoads
 	c.mu.Unlock()
 	return CacheStats{
 		Hits:            cs.Hits,
@@ -424,11 +535,66 @@ func (c *Cache) Stats() CacheStats {
 		SpillLoads:      loads,
 		SpillSaves:      saves,
 		SpillLoadErrors: loadErrs,
+		SpillSkipped:    skipped,
+		MmapLoads:       mmaps,
 		Evictions:       cs.Evictions,
 		BuildErrors:     cs.PopulateErrors,
 		Resident:        cs.Resident,
 		ResidentBytes:   cs.ResidentBytes,
 	}
+}
+
+// StorageStats describes the storage subsystem's view of the cache: the
+// configured spill format, and the aggregate mmap/decode counters of every
+// resident store-backed index. Snapshot via Cache.StorageStats; the serving
+// layer renders it as the /stats "storage" block.
+type StorageStats struct {
+	// SpillFormat is the effective write format (v8, v8raw, or v7); Mmap
+	// reports whether v8 spill loads serve store-backed off mapped pages.
+	SpillFormat string
+	Mmap        bool
+	// MappedIndexes is the number of resident indexes serving through a
+	// mapping; MappedBytes the total size of their read-only mappings
+	// (page-cache residency, not Go heap).
+	MappedIndexes int
+	MappedBytes   int64
+	// DecodeHits/DecodeMisses count compressed-span reads served from
+	// hot-row caches vs decoded from mapped blobs, summed over resident
+	// store-backed indexes; DecodeErrors counts malformed blocks served as
+	// empty spans (writer bug — corruption is caught at load).
+	DecodeHits   int64
+	DecodeMisses int64
+	DecodeErrors int64
+	// PageInRestarts counts spill loads that came up by mmap page-in
+	// instead of a deserialize (CacheStats.MmapLoads).
+	PageInRestarts int64
+}
+
+// StorageStats snapshots the storage subsystem counters across resident
+// indexes.
+func (c *Cache) StorageStats() StorageStats {
+	c.mu.Lock()
+	s := StorageStats{
+		SpillFormat:    c.spillCfg.format(),
+		Mmap:           c.spillCfg.Mmap,
+		PageInRestarts: c.mmapLoads,
+	}
+	c.mu.Unlock()
+	for _, e := range c.core.Resident() {
+		ix := e.Value
+		if !ix.StoreBacked() {
+			continue
+		}
+		if ix.StoreMapped() {
+			s.MappedIndexes++
+			s.MappedBytes += ix.MappedBytes()
+		}
+		st := ix.StoreStats()
+		s.DecodeHits += st.DecodeHits
+		s.DecodeMisses += st.DecodeMisses
+		s.DecodeErrors += st.DecodeErrors
+	}
+	return s
 }
 
 // PinnedRefs returns the total refcount across resident entries — test

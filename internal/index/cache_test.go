@@ -131,6 +131,10 @@ func TestCacheSpillRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The second Acquire of k1 below evicts k2, whose spill runs in the
+	// background; drain it before the TempDir cleanup removes the directory
+	// out from under the rename.
+	t.Cleanup(c.spillWG.Wait)
 	var builds atomic.Int64
 	k1 := CacheKey{Graph: "g", L: 4, R: 15, Seed: 1}
 	k2 := CacheKey{Graph: "g", L: 4, R: 15, Seed: 2}

@@ -127,6 +127,9 @@ func (ix *Index) MaxRowLen(u int) int {
 		}
 		return best
 	}
+	if ix.sb != nil {
+		return ix.maxRowLenStore(u)
+	}
 	base := int64(u) * int64(ix.r)
 	best := int64(0)
 	for i := int64(0); i < int64(ix.r); i++ {
@@ -181,6 +184,9 @@ func (t *DTable) AppendReplicateGainSums(u int, out []int64) []int64 {
 			out = tb.AppendReplicateGainSums(u, out)
 		}
 		return out
+	}
+	if t.ix.sb != nil {
+		return t.appendReplicateGainSumsStore(u, out)
 	}
 	r := t.ix.r
 	base := u * r

@@ -52,6 +52,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/rng"
+	"repro/internal/store"
 )
 
 // Problem selects which objective the D-table tracks.
@@ -138,6 +139,23 @@ type Index struct {
 	hops    []uint16
 	ends    []int64
 	dead    int64
+
+	// stf, when non-nil, marks a store-backed index (backing.go): the CSR
+	// data lives in a format-v8 store file (internal/store), served either
+	// by aliasing offsets/ids/hops directly out of its pages (raw chunks) or
+	// by decode-on-read (sb below). The reference pins the file's mapping —
+	// slices into a mapping do not keep it reachable on their own — so an
+	// in-flight query can never lose its pages; unmapping happens via
+	// finalizer when the last store-backed Index drops. On a chunked parent
+	// stf is the shared file of its store-backed parts.
+	stf *store.File
+	// sb, when non-nil, serves this flat chunk's rows by decoding the
+	// file's compressed spans on read (with a hot-row cache) instead of
+	// materialized arrays; offsets/ids/hops are nil and sbEntries holds the
+	// chunk's entry count from the file directory. Mutation promotes to
+	// heap first (Promote).
+	sb        *store.Spans
+	sbEntries int64
 
 	// emptyGains memoizes the per-problem empty-set gain vectors (slot 0:
 	// Problem 1, slot 1: Problem 2), computed lazily by EmptySetGains under
@@ -509,6 +527,9 @@ func (ix *Index) Entries() int64 {
 		}
 		return total
 	}
+	if ix.sb != nil {
+		return ix.sbEntries
+	}
 	if ix.ends != nil {
 		return int64(len(ix.ids)) - ix.dead
 	}
@@ -522,19 +543,35 @@ func (ix *Index) Row(i, v int) (ids []int32, hops []uint16) {
 		pt, li := ix.partFor(i)
 		return pt.Row(li, v)
 	}
+	if ix.sb != nil {
+		return ix.storeRow(i, v)
+	}
 	lo, hi := ix.span(int64(v)*int64(ix.r) + int64(i))
 	return ix.ids[lo:hi], ix.hops[lo:hi]
 }
 
 // MemoryBytes reports the approximate heap footprint of the index, used by
-// the scalability experiment to confirm O(nRL + m) space.
+// the scalability experiment to confirm O(nRL + m) space and by the cache's
+// bytes budget. A store-backed chunk's entry data lives on mapped pages (or
+// in the shared file buffer accounted once on the parent, see below), not
+// the Go heap, so it reports ~0: mapped indexes are nearly free against the
+// budget, which is exactly what lets a cache serve more index than RAM.
 func (ix *Index) MemoryBytes() int64 {
 	if ix.parts != nil {
-		var total int64
+		total := int64(0)
+		if ix.stf != nil {
+			total = ix.stf.HeapBytes()
+		}
 		for _, pt := range ix.parts {
+			if pt.stf != nil {
+				continue // pages or shared buffer, counted on the parent
+			}
 			total += pt.MemoryBytes()
 		}
 		return total
+	}
+	if ix.stf != nil {
+		return ix.stf.HeapBytes()
 	}
 	return int64(len(ix.offsets))*8 + int64(len(ix.ids))*4 + int64(len(ix.hops))*2 + int64(len(ix.ends))*8
 }
@@ -654,6 +691,9 @@ func (t *DTable) gainInt(u int) int64 {
 		}
 		return acc
 	}
+	if t.ix.sb != nil {
+		return t.gainIntStore(u)
+	}
 	r := t.ix.r
 	base := u * r
 	ends := t.ix.ends
@@ -765,6 +805,12 @@ func (t *DTable) Update(u int) {
 			tb.Update(u)
 		}
 		t.sel = append(t.sel, u)
+		t.size++
+		t.muts++
+		return
+	}
+	if t.ix.sb != nil {
+		t.updateStore(u)
 		t.size++
 		t.muts++
 		return

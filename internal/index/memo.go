@@ -36,6 +36,9 @@ func (ix *Index) emptySumInt(p Problem, u int) int64 {
 		}
 		return acc
 	}
+	if ix.sb != nil {
+		return ix.emptySumIntStore(p, u)
+	}
 	r := int64(ix.r)
 	l := int64(ix.l)
 	var acc int64

@@ -96,6 +96,11 @@ func (ix *Index) Repair(ng *graph.Graph, touched []int) error {
 			return fmt.Errorf("index: touched node %d out of range [0,%d)", t, newN)
 		}
 	}
+	// Mutation needs writable arrays; a store-backed index serves off
+	// read-only pages, so copy-on-write onto the heap first (backing.go).
+	if err := ix.Promote(); err != nil {
+		return err
+	}
 	if ix.parts != nil {
 		// Chunks are self-contained partial indexes over disjoint replicate
 		// ranges, so each repairs independently against the same delta; the
@@ -316,6 +321,20 @@ func (ix *Index) compacted() *Index {
 	if ix.parts != nil {
 		// Chunked parents hold no arrays; WriteTo compacts chunk by chunk.
 		return ix
+	}
+	if ix.sb != nil {
+		// Decode-on-read chunks have no materialized arrays: decode the
+		// whole chunk into a compact copy (blocks are compact by
+		// construction), leaving the receiver untouched.
+		offsets, ids, hops, err := ix.sb.Materialize()
+		if err != nil {
+			// Unreachable short of a writer bug (the file passed its CRC
+			// pass at open); serialize an empty chunk rather than panic.
+			offsets = make([]int64, int64(ix.r)*int64(ix.g.N())+1)
+		}
+		c := &Index{g: ix.g, l: ix.l, r: ix.r, rbase: ix.rbase, seed: ix.seed, gepoch: ix.gepoch, fromWalks: ix.fromWalks}
+		c.offsets, c.ids, c.hops = offsets, ids, hops
+		return c
 	}
 	if ix.ends == nil {
 		return ix

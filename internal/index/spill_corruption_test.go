@@ -2,6 +2,7 @@ package index
 
 import (
 	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -94,16 +95,23 @@ func TestCacheRebuildsOnCorruptSpill(t *testing.T) {
 
 // TestReadIndexRejectsBitFlipAnywhere sweeps a flipped bit across the stream
 // (sampled) and asserts the reader never returns success: whatever the CRC
-// misses, the structural checks must catch, and vice versa.
+// misses, the structural checks must catch, and vice versa. The file is
+// written in the legacy v7 format explicitly — this is the v7 reader's
+// sweep; internal/store carries the v8 equivalent.
 func TestReadIndexRejectsBitFlipAnywhere(t *testing.T) {
-	dir := t.TempDir()
-	key := CacheKey{Graph: "g", L: 3, R: 8, Seed: 5}
-	_, path := spillFileFor(t, dir, key)
+	g := cacheTestGraph(t, 31)
+	ix, err := Build(g, 3, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ix.rwdomidx")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
 	orig, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := cacheTestGraph(t, 31)
 	step := len(orig)/64 + 1
 	for off := 0; off < len(orig); off += step {
 		b := append([]byte(nil), orig...)

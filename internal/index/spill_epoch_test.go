@@ -40,8 +40,10 @@ func TestSpillRejectsStaleEpoch(t *testing.T) {
 
 	// Direct load: the epoch-0 file must be rejected against the epoch-2
 	// graph on the epoch alone — the fingerprint check cannot fire here.
-	if _, err := LoadFile(path, g2); err == nil || !strings.Contains(err.Error(), "epoch") {
-		t.Fatalf("LoadFile against mutated-back graph: err = %v, want epoch mismatch", err)
+	// (LoadAny: the cache writes v8 store files by default now, and the v8
+	// loader carries the same epoch check.)
+	if _, err := LoadAny(path, g2, StoreOptions{}); err == nil || !strings.Contains(err.Error(), "epoch") {
+		t.Fatalf("LoadAny against mutated-back graph: err = %v, want epoch mismatch", err)
 	}
 
 	// Restart-style cache path: an index spilled post-mutation sits at the

@@ -595,11 +595,28 @@ type CacheStatsJSON struct {
 	SpillLoads      int64    `json:"spill_loads"`
 	SpillSaves      int64    `json:"spill_saves"`
 	SpillLoadErrors int64    `json:"spill_load_errors"`
+	SpillSkipped    int64    `json:"spill_skipped"`
+	MmapLoads       int64    `json:"mmap_loads"`
 	Evictions       int64    `json:"evictions"`
 	BuildErrors     int64    `json:"build_errors"`
 	Resident        int      `json:"resident"`
 	ResidentBytes   int64    `json:"resident_bytes"`
 	Keys            []string `json:"keys"`
+}
+
+// StorageStatsJSON mirrors index.StorageStats for /stats: the spill storage
+// subsystem — configured on-disk format, whether v8 loads serve off mmap'd
+// pages, and the aggregate mapping/decode counters of resident store-backed
+// indexes. Present only when the daemon has a spill directory.
+type StorageStatsJSON struct {
+	SpillFormat    string `json:"spill_format"`
+	Mmap           bool   `json:"mmap"`
+	MappedIndexes  int    `json:"mapped_indexes"`
+	MappedBytes    int64  `json:"mapped_bytes"`
+	DecodeHits     int64  `json:"decode_hits"`
+	DecodeMisses   int64  `json:"decode_misses"`
+	DecodeErrors   int64  `json:"decode_errors"`
+	PageInRestarts int64  `json:"page_in_restarts"`
 }
 
 // AdmissionStatsJSON mirrors engine.AdmissionStats for /stats: the admission
@@ -645,6 +662,9 @@ type StatsResponse struct {
 	// Shards reports coordinator-side scatter-gather counters; present only
 	// when this daemon fronts shards (-shards or -peer).
 	Shards *ShardsStatsJSON `json:"shards,omitempty"`
+	// Storage reports the spill storage subsystem (format, mmap serving,
+	// decode counters); present only when a spill directory is configured.
+	Storage *StorageStatsJSON `json:"storage,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -685,9 +705,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			CIWidthHist:     es.Accuracy.CIWidthHist[:],
 		}
 	}
+	var storage *StorageStatsJSON
+	if s.cfg.SpillDir != "" {
+		storage = &StorageStatsJSON{
+			SpillFormat:    es.Storage.SpillFormat,
+			Mmap:           es.Storage.Mmap,
+			MappedIndexes:  es.Storage.MappedIndexes,
+			MappedBytes:    es.Storage.MappedBytes,
+			DecodeHits:     es.Storage.DecodeHits,
+			DecodeMisses:   es.Storage.DecodeMisses,
+			DecodeErrors:   es.Storage.DecodeErrors,
+			PageInRestarts: es.Storage.PageInRestarts,
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Shards:           s.shardsStats(),
 		Accuracy:         accuracy,
+		Storage:          storage,
 		UptimeS:          time.Since(s.start).Seconds(),
 		Draining:         s.draining.Load(),
 		InFlight:         s.inFlight.Load(),
@@ -712,6 +746,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			SpillLoads:      es.Cache.SpillLoads,
 			SpillSaves:      es.Cache.SpillSaves,
 			SpillLoadErrors: es.Cache.SpillLoadErrors,
+			SpillSkipped:    es.Cache.SpillSkipped,
+			MmapLoads:       es.Cache.MmapLoads,
 			Evictions:       es.Cache.Evictions,
 			BuildErrors:     es.Cache.BuildErrors,
 			Resident:        es.Cache.Resident,

@@ -83,6 +83,12 @@ type Config struct {
 	// SpillDir, when non-empty, persists evicted and shutdown-resident
 	// indexes so later misses and restarts skip the build.
 	SpillDir string
+	// SpillFormat selects what spill saves write: "v8" (compressed store
+	// container, the default), "v8raw", or "v7" (legacy). MmapSpills serves
+	// v8 spill loads store-backed off a read-only memory mapping instead of
+	// deserializing them onto the heap. See engine.Config.
+	SpillFormat string
+	MmapSpills  bool
 	// DefaultTimeout bounds a request that doesn't set timeout_ms (default
 	// 30s). MaxTimeout caps what a request may ask for (default 5m).
 	DefaultTimeout time.Duration
@@ -174,6 +180,8 @@ func (c Config) engineConfig() engine.Config {
 		CacheSize:      c.CacheSize,
 		IndexBytes:     c.IndexBytes,
 		SpillDir:       c.SpillDir,
+		SpillFormat:    c.SpillFormat,
+		MmapSpills:     c.MmapSpills,
 		EvictInterval:  c.EvictInterval,
 		DefaultTimeout: c.DefaultTimeout,
 		MaxTimeout:     c.MaxTimeout,

@@ -1,0 +1,128 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Delta/varint codec for compressed chunks. One node's block holds the
+// node's replicate rows back to back; within a row, ids are strictly
+// ascending so consecutive deltas stay small and most entries encode in
+// 2–3 bytes (delta + hop) instead of the raw 6.
+
+// rowSorter orders one row's (id, hop) pairs by id for encoding. The
+// sharded build's atomic fallback path may scatter a row's entries out of
+// source order; every consumer accumulates in integers so answers are
+// order-independent, but the delta codec needs ascending ids, so the writer
+// canonicalizes. A source appears at most once per row (first-visit
+// semantics), so the order is total.
+type rowSorter struct {
+	ids  []int32
+	hops []uint16
+}
+
+func (s *rowSorter) Len() int           { return len(s.ids) }
+func (s *rowSorter) Less(i, j int) bool { return s.ids[i] < s.ids[j] }
+func (s *rowSorter) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.hops[i], s.hops[j] = s.hops[j], s.hops[i]
+}
+
+// sortedRow returns row entries sorted ascending by id, reusing scratch when
+// a copy is needed; rows that are already sorted (the common case — every
+// build path except the atomic-counter fallback emits them sorted) are
+// returned as-is with zero copies.
+func sortedRow(ids []int32, hops []uint16, scratch *rowSorter) ([]int32, []uint16) {
+	sorted := true
+	for e := 1; e < len(ids); e++ {
+		if ids[e] < ids[e-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return ids, hops
+	}
+	scratch.ids = append(scratch.ids[:0], ids...)
+	scratch.hops = append(scratch.hops[:0], hops...)
+	sort.Sort(scratch)
+	return scratch.ids, scratch.hops
+}
+
+// encodeBlock appends node u's block — the chunk's width rows for u — to dst
+// and returns it. offsets/ids/hops are the chunk's compact CSR.
+func encodeBlock(dst []byte, u, width int, offsets []int64, ids []int32, hops []uint16, scratch *rowSorter) []byte {
+	base := int64(u) * int64(width)
+	for i := int64(0); i < int64(width); i++ {
+		lo, hi := offsets[base+i], offsets[base+i+1]
+		rid, rhop := sortedRow(ids[lo:hi], hops[lo:hi], scratch)
+		dst = binary.AppendUvarint(dst, uint64(len(rid)))
+		prev := int32(-1)
+		for e := range rid {
+			dst = binary.AppendUvarint(dst, uint64(rid[e]-prev))
+			dst = binary.AppendUvarint(dst, uint64(rhop[e]))
+			prev = rid[e]
+		}
+	}
+	return dst
+}
+
+// decoded is one node's decoded block: local row bounds (offs[i]:offs[i+1]
+// indexes ids/hops for row i) plus the entry arrays — the same shape the
+// heap-resident hot paths consume, so store-backed gain arithmetic is
+// line-for-line identical to heap-resident and therefore bit-identical.
+type decoded struct {
+	u    int32
+	offs []int64
+	ids  []int32
+	hops []uint16
+}
+
+// decodeBlock decodes node u's block from blob. Every read is bounds-checked
+// and every decoded id/hop validated, so a malformed block (impossible after
+// the open-time CRC pass short of a writer bug) returns an error instead of
+// panicking or serving garbage.
+func decodeBlock(blob []byte, u, width, n, maxHop int) (*decoded, error) {
+	d := &decoded{u: int32(u), offs: make([]int64, width+1)}
+	pos := 0
+	for i := 0; i < width; i++ {
+		d.offs[i] = int64(len(d.ids))
+		rowLen, sz := binary.Uvarint(blob[pos:])
+		if sz <= 0 {
+			return nil, fmt.Errorf("store: node %d row %d: truncated row length", u, i)
+		}
+		pos += sz
+		if rowLen > uint64(n) {
+			return nil, fmt.Errorf("store: node %d row %d: length %d exceeds n=%d", u, i, rowLen, n)
+		}
+		prev := int64(-1)
+		for e := uint64(0); e < rowLen; e++ {
+			delta, sz := binary.Uvarint(blob[pos:])
+			if sz <= 0 {
+				return nil, fmt.Errorf("store: node %d row %d: truncated id delta", u, i)
+			}
+			pos += sz
+			hop, sz := binary.Uvarint(blob[pos:])
+			if sz <= 0 {
+				return nil, fmt.Errorf("store: node %d row %d: truncated hop", u, i)
+			}
+			pos += sz
+			id := prev + int64(delta)
+			if delta == 0 || id >= int64(n) {
+				return nil, fmt.Errorf("store: node %d row %d: id %d out of range (delta %d)", u, i, id, delta)
+			}
+			if hop == 0 || hop > uint64(maxHop) {
+				return nil, fmt.Errorf("store: node %d row %d: hop %d outside [1,%d]", u, i, hop, maxHop)
+			}
+			d.ids = append(d.ids, int32(id))
+			d.hops = append(d.hops, uint16(hop))
+			prev = id
+		}
+	}
+	if pos != len(blob) {
+		return nil, fmt.Errorf("store: node %d: block has %d trailing bytes", u, len(blob)-pos)
+	}
+	d.offs[width] = int64(len(d.ids))
+	return d, nil
+}

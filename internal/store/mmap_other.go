@@ -1,0 +1,17 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapFile on platforms without syscall.Mmap support: Open falls back to the
+// aligned heap read path, which serves the same bytes with the same
+// validation — only the O(1)-page-in property is lost.
+func mmapFile(*os.File, int64) ([]byte, error) {
+	return nil, fmt.Errorf("store: mmap unsupported on this platform")
+}
+
+func munmapFile([]byte) error { return nil }

@@ -1,0 +1,199 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// WriteOptions configures the writer.
+type WriteOptions struct {
+	// Compress delta/varint-encodes every chunk's spans (encoding 1) instead
+	// of storing the raw arrays (encoding 0). Compressed files are typically
+	// 2–3× smaller; raw files serve reads with zero decode work when mmap'd.
+	Compress bool
+	// PageSize overrides the section alignment; 0 means DefaultPageSize.
+	// Must be a power of two ≥ 512 (so int64 sections stay 8-aligned and the
+	// alignment survives any real mmap granularity).
+	PageSize int
+}
+
+// section is one laid-out payload section: its final file range, checksum,
+// and the byte fragments that produce it.
+type section struct {
+	off, size int64
+	crc       uint32
+	frags     [][]byte
+}
+
+// Write serializes chunks under the given identity in format v8. The layout
+// is computed up front (section offsets, lengths and CRCs included), so the
+// stream is written strictly forward — no seeking — which keeps it compatible
+// with the cache's temp-file + fsync + rename spill path.
+func Write(w io.Writer, id Identity, chunks []Chunk, opts WriteOptions) (int64, error) {
+	if err := checkHostEndian(); err != nil {
+		return 0, err
+	}
+	page := int64(opts.PageSize)
+	if page == 0 {
+		page = DefaultPageSize
+	}
+	if page < 512 || page&(page-1) != 0 {
+		return 0, fmt.Errorf("store: page size %d, want a power of two >= 512", page)
+	}
+	if len(chunks) == 0 {
+		return 0, fmt.Errorf("store: no chunks to write")
+	}
+	if id.N < 0 || id.L < 0 || id.L > 1<<16-1 || id.R <= 0 || id.R0 < 0 {
+		return 0, fmt.Errorf("store: implausible identity n=%d L=%d R=%d R0=%d", id.N, id.L, id.R, id.R0)
+	}
+
+	// Validate the chunk ranges and precompute every section: raw sections
+	// alias the caller's arrays (zero copies), varint sections are encoded
+	// into fresh buffers.
+	encoding := uint64(encodingRaw)
+	if opts.Compress {
+		encoding = encodingVarint
+	}
+	next := id.R0
+	var totalEntries int64
+	secs := make([][3]section, len(chunks))
+	var scratch rowSorter
+	for c, ch := range chunks {
+		if ch.R0 != next || ch.Width <= 0 || ch.R0+ch.Width > id.R0+id.R {
+			return 0, fmt.Errorf("store: chunk %d range [%d, %d) (expected start %d within [%d, %d))",
+				c, ch.R0, ch.R0+ch.Width, next, id.R0, id.R0+id.R)
+		}
+		rows := int64(ch.Width) * int64(id.N)
+		if int64(len(ch.Offsets)) != rows+1 {
+			return 0, fmt.Errorf("store: chunk %d has %d offsets, want %d", c, len(ch.Offsets), rows+1)
+		}
+		entries := ch.Offsets[rows]
+		if ch.Offsets[0] != 0 || entries != int64(len(ch.Ids)) || len(ch.Ids) != len(ch.Hops) {
+			return 0, fmt.Errorf("store: chunk %d arrays inconsistent (entries %d, ids %d, hops %d)",
+				c, entries, len(ch.Ids), len(ch.Hops))
+		}
+		totalEntries += entries
+		next = ch.R0 + ch.Width
+		if opts.Compress {
+			blockOffs := make([]int64, id.N+1)
+			// Size hint: compressed entries usually take 2–4 bytes vs raw 6.
+			blob := make([]byte, 0, entries*3+rows)
+			for u := 0; u < id.N; u++ {
+				blockOffs[u] = int64(len(blob))
+				blob = encodeBlock(blob, u, ch.Width, ch.Offsets, ch.Ids, ch.Hops, &scratch)
+			}
+			blockOffs[id.N] = int64(len(blob))
+			secs[c][0].frags = [][]byte{int64Bytes(blockOffs)}
+			secs[c][1].frags = [][]byte{blob}
+		} else {
+			secs[c][0].frags = [][]byte{int64Bytes(ch.Offsets)}
+			secs[c][1].frags = [][]byte{int32Bytes(ch.Ids)}
+			secs[c][2].frags = [][]byte{uint16Bytes(ch.Hops)}
+		}
+	}
+	if next != id.R0+id.R {
+		return 0, fmt.Errorf("store: chunks cover [%d, %d), identity declares [%d, %d)", id.R0, next, id.R0, id.R0+id.R)
+	}
+	if id.Entries != 0 && id.Entries != totalEntries {
+		return 0, fmt.Errorf("store: identity declares %d entries, chunks hold %d", id.Entries, totalEntries)
+	}
+
+	// Lay the sections out page-aligned after the header + directory, and
+	// checksum each one so the directory can be emitted in the same forward
+	// pass as everything else.
+	pos := int64(headerSize + len(chunks)*dirEntrySize + 4)
+	for c := range secs {
+		for s := range secs[c] {
+			sec := &secs[c][s]
+			for _, frag := range sec.frags {
+				sec.size += int64(len(frag))
+			}
+			if sec.size == 0 {
+				continue
+			}
+			pos = alignUp(pos, page)
+			sec.off = pos
+			pos += sec.size
+			sum := crc32.New(castagnoli)
+			for _, frag := range sec.frags {
+				sum.Write(frag)
+			}
+			sec.crc = sum.Sum32()
+		}
+	}
+
+	header := make([]byte, 0, headerSize)
+	header = append(header, Magic...)
+	for _, v := range []uint64{
+		Version, id.Fingerprint, id.Epoch,
+		uint64(id.N), uint64(id.L), uint64(id.R), uint64(id.R0),
+		id.Seed, uint64(totalEntries), uint64(len(chunks)), uint64(page), 0,
+	} {
+		header = putUint64(header, v)
+	}
+	header = binary32(header, crc32.Checksum(header, castagnoli))
+
+	dir := make([]byte, 0, len(chunks)*dirEntrySize+4)
+	for c, ch := range chunks {
+		entries := ch.Offsets[int64(ch.Width)*int64(id.N)]
+		dir = putUint64(dir, uint64(ch.R0))
+		dir = putUint64(dir, uint64(ch.Width))
+		dir = putUint64(dir, uint64(entries))
+		dir = putUint64(dir, encoding)
+		for s := range secs[c] {
+			sec := &secs[c][s]
+			dir = putUint64(dir, uint64(sec.off))
+			dir = putUint64(dir, uint64(sec.size))
+			dir = putUint64(dir, uint64(sec.crc))
+		}
+	}
+	dir = binary32(dir, crc32.Checksum(dir, castagnoli))
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	written := int64(0)
+	emit := func(b []byte) error {
+		n, err := bw.Write(b)
+		written += int64(n)
+		return err
+	}
+	if err := emit(header); err != nil {
+		return written, fmt.Errorf("store: write header: %w", err)
+	}
+	if err := emit(dir); err != nil {
+		return written, fmt.Errorf("store: write directory: %w", err)
+	}
+	var pad [DefaultPageSize]byte
+	for c := range secs {
+		for s := range secs[c] {
+			sec := &secs[c][s]
+			if sec.size == 0 {
+				continue
+			}
+			for written < sec.off {
+				gap := sec.off - written
+				if gap > int64(len(pad)) {
+					gap = int64(len(pad))
+				}
+				if err := emit(pad[:gap]); err != nil {
+					return written, fmt.Errorf("store: write padding: %w", err)
+				}
+			}
+			for _, frag := range sec.frags {
+				if err := emit(frag); err != nil {
+					return written, fmt.Errorf("store: write chunk %d section %d: %w", c, s, err)
+				}
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, fmt.Errorf("store: flush: %w", err)
+	}
+	return written, nil
+}
+
+// binary32 appends v little-endian as 4 bytes.
+func binary32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}

@@ -184,6 +184,25 @@ func WithSpillDir(dir string) Option {
 	return func(c *openConfig) { c.engine.SpillDir = dir }
 }
 
+// WithSpillFormat selects the on-disk format spills are written in: "v8"
+// (compressed store container, the default), "v8raw" (raw page-aligned
+// sections), or "v7" (the legacy full-deserialize format). Loads sniff the
+// file magic and accept every format, so changing it never invalidates an
+// existing spill directory.
+func WithSpillFormat(format string) Option {
+	return func(c *openConfig) { c.engine.SpillFormat = format }
+}
+
+// WithMmapSpills serves v8 spill loads store-backed through a read-only
+// memory mapping: a warm Open against a spill directory pages walk rows in
+// on demand instead of deserializing them, and mapped indexes cost ~nothing
+// against WithIndexCacheBytes (their pages are reclaimable page cache, not
+// heap) — the larger-than-RAM serving mode. Answers are bit-identical to
+// heap-resident serving.
+func WithMmapSpills() Option {
+	return func(c *openConfig) { c.engine.MmapSpills = true }
+}
+
 // WithDefaultTimeout bounds calls that don't carry their own timeout
 // (via SelectRequest.Timeout or the context). Open's default is unbounded —
 // embedded callers control lifetimes with contexts.
